@@ -1,0 +1,35 @@
+# Developer entry points.  Everything is plain pytest underneath.
+
+PYTHON ?= python
+
+.PHONY: install test bench bench-paper-scale study examples clean
+
+install:
+	$(PYTHON) -m pip install -e ".[test]"
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# the paper's scale: 47 owners x 3,661 strangers (several minutes)
+bench-paper-scale:
+	REPRO_BENCH_OWNERS=47 REPRO_BENCH_STRANGERS=3661 \
+		$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+study:
+	$(PYTHON) -m repro --owners 8 --strangers 300
+
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/interactive_risk_audit.py --auto
+	$(PYTHON) examples/crawl_and_learn.py
+	$(PYTHON) examples/compare_strategies.py
+	$(PYTHON) examples/risk_aware_applications.py
+	$(PYTHON) examples/dynamic_graph.py
+	$(PYTHON) examples/paper_study.py --owners 8 --strangers 200
+
+clean:
+	rm -rf build dist *.egg-info .pytest_cache benchmarks/out
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,58 @@
+"""E11 — ablation: classifier choice (harmonic vs kNN vs majority).
+
+The paper chooses the Zhu et al. harmonic classifier because it "works
+well with few labeled samples".  This bench runs the identical pipeline
+with each classifier: the similarity-graph classifiers (harmonic, kNN)
+must clear the structure-blind majority floor by a wide margin.
+"""
+
+import pytest
+
+from repro.experiments.headline import headline_metrics
+from repro.experiments.report import render_table
+from repro.experiments.study import run_study
+
+from .conftest import SEED, write_artifact
+
+_RESULTS: dict[str, object] = {}
+
+
+@pytest.mark.parametrize("classifier", ["harmonic", "knn", "majority"])
+def test_ablation_classifier(benchmark, population, classifier):
+    study = benchmark.pedantic(
+        run_study,
+        args=(population,),
+        kwargs={"pooling": "npp", "classifier": classifier, "seed": SEED},
+        rounds=1,
+        iterations=1,
+    )
+    metrics = headline_metrics(study)
+    _RESULTS[classifier] = metrics
+    assert metrics.exact_match_accuracy is not None
+
+    if len(_RESULTS) == 3:
+        harmonic = _RESULTS["harmonic"]
+        knn = _RESULTS["knn"]
+        majority = _RESULTS["majority"]
+        # graph-structure classifiers beat the majority floor
+        assert harmonic.holdout_accuracy > majority.holdout_accuracy + 0.05
+        assert knn.holdout_accuracy > majority.holdout_accuracy + 0.05
+
+        rows = [
+            (
+                name,
+                f"{metric.exact_match_accuracy:.1%}",
+                f"{metric.holdout_accuracy:.1%}",
+                f"{metric.validation_rmse:.3f}",
+                f"{metric.mean_labels_per_owner:.0f}",
+            )
+            for name, metric in _RESULTS.items()
+        ]
+        write_artifact(
+            "ablation_classifier",
+            "Ablation — classifier choice (NPP pools)\n"
+            + render_table(
+                ("classifier", "validated acc", "holdout acc", "RMSE", "labels/owner"),
+                rows,
+            ),
+        )

@@ -1,0 +1,85 @@
+"""E20 — ablation: network-similarity variant.
+
+The ``NS()`` measure of ref [9] is reconstructed two ways (its source
+paper is not available): the default count×cohesion form, and a
+cluster-explicit form closer to the IRI 2011 abstract's wording.  The
+pipeline's qualitative results should not hinge on that modeling choice —
+this bench runs the full study under each variant (plus two naive
+baselines) and checks that the Figure 4 skew and the headline accuracy
+band hold for both reconstructions.
+"""
+
+import pytest
+
+from repro.clustering.nsg import network_similarity_groups
+from repro.experiments.headline import headline_metrics
+from repro.experiments.report import render_table
+from repro.experiments.study import run_study
+from repro.similarity.registry import get_measure
+
+from .conftest import SEED, write_artifact
+
+_VARIANTS = ("ns", "ns_clustered", "mutual_fraction", "jaccard")
+_RECONSTRUCTIONS = {"ns", "ns_clustered"}
+_RESULTS: dict[str, tuple] = {}
+
+
+@pytest.mark.parametrize("variant", _VARIANTS)
+def test_ablation_ns_variant(benchmark, population, variant):
+    measure = get_measure(variant)
+    study = benchmark.pedantic(
+        run_study,
+        args=(population,),
+        kwargs={"seed": SEED, "network_similarity": measure},
+        rounds=1,
+        iterations=1,
+    )
+    metrics = headline_metrics(study)
+
+    # NSG occupancy under this measure, pooled over owners
+    occupancy = {index: 0 for index in range(1, 11)}
+    for run in study.runs:
+        similarities = {
+            stranger: measure(population.graph, run.owner.user_id, stranger)
+            for stranger in run.owner.ground_truth
+        }
+        for group in network_similarity_groups(similarities, 10):
+            occupancy[group.index] += len(group.members)
+
+    _RESULTS[variant] = (metrics, occupancy)
+    if variant in _RECONSTRUCTIONS:
+        # both reconstructions must keep the paper's qualitative shape
+        assert metrics.holdout_accuracy > 0.65
+        low_mass = occupancy[1] + occupancy[2] + occupancy[3]
+        assert low_mass > sum(occupancy.values()) / 2
+
+    if len(_RESULTS) == len(_VARIANTS):
+        rows = []
+        for name in _VARIANTS:
+            metric, counts = _RESULTS[name]
+            occupied = sum(1 for count in counts.values() if count)
+            rows.append(
+                (
+                    name + ("  (default)" if name == "ns" else ""),
+                    f"{metric.exact_match_accuracy:.1%}",
+                    f"{metric.holdout_accuracy:.1%}",
+                    f"{metric.mean_labels_per_owner:.0f}",
+                    occupied,
+                    f"{counts[1] / max(sum(counts.values()), 1):.0%}",
+                )
+            )
+        write_artifact(
+            "ablation_ns_variant",
+            "Ablation — network-similarity variant\n"
+            + render_table(
+                (
+                    "measure",
+                    "validated acc",
+                    "holdout acc",
+                    "labels/owner",
+                    "occupied NSGs",
+                    "share in nsg1",
+                ),
+                rows,
+            ),
+        )

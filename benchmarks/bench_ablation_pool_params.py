@@ -1,0 +1,73 @@
+"""E12 — ablation: pool parameters alpha and beta (Section IV-B).
+
+The paper fixes alpha = 10 (similarity bins) and beta = 0.4 (Squeezer
+threshold), noting that "increasing beta could result in too many profile
+based clusters each of which with few strangers".  This bench sweeps both
+parameters over one owner and reports pool counts and label spend —
+reproducing the trade-off that motivated the paper's choices.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.config import PipelineConfig, PoolingConfig
+from repro.experiments.report import render_table
+from repro.learning.session import RiskLearningSession
+
+from .conftest import SEED, write_artifact
+
+_ROWS: list[tuple] = []
+_SWEEP = [
+    ("alpha", 4), ("alpha", 10), ("alpha", 16),
+    ("beta", 0.2), ("beta", 0.4), ("beta", 0.7),
+]
+
+
+@pytest.mark.parametrize("parameter,value", _SWEEP)
+def test_ablation_pool_params(benchmark, population, parameter, value):
+    owner = population.owners[0]
+    pooling_kwargs = {parameter: value}
+    config = PipelineConfig(pooling=PoolingConfig(**pooling_kwargs))
+
+    def run_once():
+        session = RiskLearningSession(
+            population.graph,
+            owner.user_id,
+            owner.as_oracle(),
+            config=config,
+            seed=SEED,
+        )
+        return session, session.run()
+
+    session, result = benchmark.pedantic(run_once, rounds=1, iterations=1)
+
+    agreement = sum(
+        1
+        for stranger, label in result.final_labels().items()
+        if label is owner.truth(stranger)
+    ) / result.num_strangers
+    _ROWS.append(
+        (
+            f"{parameter}={value}",
+            result.num_pools,
+            result.labels_requested,
+            f"{agreement:.1%}",
+            f"{result.mean_rounds_to_stop:.2f}",
+        )
+    )
+    assert result.num_strangers == len(population.strangers_of(owner.user_id))
+
+    if len(_ROWS) == len(_SWEEP):
+        # the trade-off the paper describes: finer pooling -> more pools
+        by_name = {row[0]: row for row in _ROWS}
+        assert by_name["beta=0.7"][1] >= by_name["beta=0.2"][1]
+        assert by_name["alpha=16"][1] >= by_name["alpha=4"][1]
+        write_artifact(
+            "ablation_pool_params",
+            "Ablation — pooling parameters (one owner)\n"
+            + render_table(
+                ("setting", "pools", "labels", "agreement", "rounds/pool"),
+                _ROWS,
+            ),
+        )

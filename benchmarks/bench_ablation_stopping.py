@@ -1,0 +1,86 @@
+"""E17 — ablation: stopping rule (accuracy / stabilization / combined).
+
+Section III-D argues for combining both criteria: "accuracy helps in
+validating label predictions, but it requires owner effort ...
+stabilization in predicted labels does not guarantee accuracy".  This
+bench runs the pipeline under each single-criterion rule and the paper's
+combined rule, measuring the labels-spent-versus-accuracy trade-off.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.analysis.confusion import ConfusionMatrix
+from repro.config import LearningConfig, PipelineConfig
+from repro.experiments.report import render_table
+from repro.experiments.study import run_study
+from repro.experiments.headline import headline_metrics
+
+from .conftest import SEED, write_artifact
+
+_MODES = ("accuracy", "stabilization", "combined")
+_RESULTS: dict[str, tuple] = {}
+
+
+@pytest.mark.parametrize("mode", _MODES)
+def test_ablation_stopping_rule(benchmark, population, mode):
+    config = PipelineConfig(learning=LearningConfig(stopping_mode=mode))
+    study = benchmark.pedantic(
+        run_study,
+        args=(population,),
+        kwargs={"config": config, "seed": SEED},
+        rounds=1,
+        iterations=1,
+    )
+    metrics = headline_metrics(study)
+
+    # dangerous-error rate against ground truth, pooled over owners
+    matrix = ConfusionMatrix()
+    for run in study.runs:
+        for stranger, label in run.result.final_labels().items():
+            matrix.add(label, run.owner.truth(stranger))
+
+    _RESULTS[mode] = (metrics, matrix)
+    assert metrics.exact_match_accuracy is not None
+
+    if len(_RESULTS) == len(_MODES):
+        combined_metrics, _ = _RESULTS["combined"]
+        stabilization_metrics, _ = _RESULTS["stabilization"]
+        # stabilization-only stops earlier or equal (it drops a criterion)
+        assert (
+            stabilization_metrics.total_labels
+            <= combined_metrics.total_labels
+        )
+        # the combined rule should not lose holdout accuracy to the
+        # cheaper single-criterion rule
+        assert (
+            combined_metrics.holdout_accuracy
+            >= stabilization_metrics.holdout_accuracy - 0.02
+        )
+        rows = [
+            (
+                mode + ("  (paper)" if mode == "combined" else ""),
+                f"{metric.exact_match_accuracy:.1%}",
+                f"{metric.holdout_accuracy:.1%}",
+                f"{metric.mean_labels_per_owner:.0f}",
+                f"{metric.mean_rounds_to_stop:.2f}",
+                f"{matrix.underprediction_rate:.1%}",
+            )
+            for mode, (metric, matrix) in _RESULTS.items()
+        ]
+        write_artifact(
+            "ablation_stopping",
+            "Ablation — stopping rule (Section III-D)\n"
+            + render_table(
+                (
+                    "rule",
+                    "validated acc",
+                    "holdout acc",
+                    "labels/owner",
+                    "rounds/pool",
+                    "dangerous errors",
+                ),
+                rows,
+            ),
+        )

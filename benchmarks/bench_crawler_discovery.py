@@ -1,0 +1,53 @@
+"""E13 — crawler dynamics (Section IV-A).
+
+The paper's Sight app "can take up to 1 week" to learn a big portion
+(4,000 strangers) of the social graph, and discovered ~30,000 strangers
+in 2 months — a saturating discovery curve.  This bench simulates the
+crawl over the benchmark cohort's first owner and checks the curve's
+shape: substantial early coverage, diminishing returns, near-complete
+coverage by week 8.
+"""
+
+import random
+
+from repro.experiments.report import render_table
+from repro.graph.ego import EgoNetwork
+from repro.synth.crawler import simulate_sight_crawl
+
+from .conftest import SEED, write_artifact
+
+
+def test_crawler_discovery_curve(benchmark, population):
+    owner = population.owners[0]
+    ego = EgoNetwork(population.graph, owner.user_id)
+
+    def crawl():
+        return simulate_sight_crawl(
+            ego,
+            days=56,
+            interactions_per_friend_per_day=0.35,
+            rng=random.Random(SEED),
+        )
+
+    simulation = benchmark(crawl)
+    curve = simulation.discovery_curve()
+
+    # --- paper-shape assertions ---
+    week1 = curve[6]
+    week8 = curve[55]
+    assert week1 > 0.3 * simulation.total_strangers  # big portion in week 1
+    assert week8 >= week1
+    assert simulation.coverage > 0.9  # 2 months ≈ the whole graph
+    # saturating: the first week discovers more than the last week
+    last_week = curve[55] - curve[48]
+    assert week1 > last_week
+
+    rows = [
+        (f"day {day}", curve[day - 1], f"{curve[day - 1] / simulation.total_strangers:.0%}")
+        for day in (1, 7, 14, 28, 56)
+    ]
+    write_artifact(
+        "crawler_discovery",
+        "Crawler discovery curve (one owner)\n"
+        + render_table(("checkpoint", "strangers known", "coverage"), rows),
+    )

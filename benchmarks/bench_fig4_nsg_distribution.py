@@ -1,0 +1,22 @@
+"""E1 — Figure 4: stranger count per network similarity group.
+
+Paper shape: heavily skewed toward the low-similarity groups; no stranger
+above NS = 0.6 (the top groups are empty).
+"""
+
+from repro.experiments.figures import figure4
+from repro.experiments.report import render_figure4
+
+from .conftest import write_artifact
+
+
+def test_fig4_nsg_distribution(benchmark, population):
+    counts = benchmark(figure4, population)
+
+    # --- paper-shape assertions ---
+    assert sum(counts.values()) == population.total_strangers
+    assert counts[1] == max(counts.values())  # most strangers weakly tied
+    assert counts[1] + counts[2] > sum(counts.values()) / 2
+    assert counts[8] == counts[9] == counts[10] == 0  # nothing above 0.6
+
+    write_artifact("figure4", render_figure4(counts))

@@ -1,0 +1,27 @@
+"""E2 — Figure 5: RMSE by round, NPP versus NSP pools.
+
+Paper shape: the network-and-profile pools (NPP) reach lower error
+faster than the network-only baseline (NSP) — profile sub-clustering
+groups strangers the owner judges alike.
+"""
+
+from repro.experiments.figures import figure5
+from repro.experiments.report import render_round_series
+
+from .conftest import write_artifact
+
+
+def test_fig5_error_by_round(benchmark, npp_study, nsp_study):
+    series = benchmark(figure5, npp_study, nsp_study)
+
+    # --- paper-shape assertions (early rounds, where all pools live) ---
+    depth = min(len(series["npp"]), len(series["nsp"]), 4)
+    npp_mean = sum(series["npp"][1:depth]) / max(depth - 1, 1)
+    nsp_mean = sum(series["nsp"][1:depth]) / max(depth - 1, 1)
+    assert npp_mean < nsp_mean
+    for values in series.values():
+        assert all(0.0 <= value <= 2.0 for value in values)
+
+    write_artifact(
+        "figure5", render_round_series("Figure 5 — RMSE by round", series)
+    )

@@ -1,0 +1,27 @@
+"""E3 — Figure 6: average number of unstabilized labels per round.
+
+Paper shape: NPP pools stabilize with far fewer moving labels per round
+than NSP pools.
+"""
+
+from repro.experiments.figures import figure6
+from repro.experiments.report import render_round_series
+
+from .conftest import write_artifact
+
+
+def test_fig6_stabilization(benchmark, npp_study, nsp_study):
+    series = benchmark(figure6, npp_study, nsp_study)
+
+    # --- paper-shape assertions ---
+    assert sum(series["npp"]) < sum(series["nsp"])
+    # both strategies trend toward stability
+    assert series["npp"][-1] <= series["npp"][0]
+    assert series["nsp"][-1] <= series["nsp"][0]
+
+    write_artifact(
+        "figure6",
+        render_round_series(
+            "Figure 6 — average unstabilized labels by round", series
+        ),
+    )

@@ -1,0 +1,26 @@
+"""E4 — Figure 7: percentage of very risky strangers per similarity group.
+
+Paper shape: the very-risky fraction consistently decreases as network
+similarity grows (homophily: closer strangers are judged safer).
+"""
+
+from repro.experiments.figures import figure7
+from repro.experiments.report import render_figure7
+
+from .conftest import write_artifact
+
+
+def test_fig7_very_risky_by_group(benchmark, population):
+    series = benchmark(figure7, population)
+
+    # --- paper-shape assertions ---
+    indices = sorted(series)
+    assert len(indices) >= 3
+    # low-similarity groups are riskiest; populous low groups strictly so
+    first_three = [series[index] for index in indices[:3]]
+    assert first_three == sorted(first_three, reverse=True)
+    assert series[indices[0]] > series[indices[-1]]
+    for value in series.values():
+        assert 0.0 <= value <= 1.0
+
+    write_artifact("figure7", render_figure7(series))

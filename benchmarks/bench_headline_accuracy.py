@@ -1,0 +1,40 @@
+"""E10 — headline metrics: accuracy, rounds, labels, confidence.
+
+Paper numbers: 83.38 % exact-match accuracy over validated predictions,
+RMSE below the 0.5 stopping threshold on converged pools, stabilization
+in ~3.29 rounds, average confidence 78.39, 86 labels per owner (for
+3,661 strangers).
+
+The benchmark times one full owner session (the unit of deployment cost)
+and asserts the cohort metrics land in the paper's neighborhood.
+"""
+
+from repro.experiments.headline import headline_metrics
+from repro.experiments.report import render_headline
+from repro.learning.session import RiskLearningSession
+
+from .conftest import SEED, write_artifact
+
+
+def test_headline_metrics(benchmark, population, npp_study):
+    owner = population.owners[0]
+
+    def one_owner_session():
+        session = RiskLearningSession(
+            population.graph, owner.user_id, owner.as_oracle(), seed=SEED
+        )
+        return session.run()
+
+    benchmark.pedantic(one_owner_session, rounds=3, iterations=1)
+
+    metrics = headline_metrics(npp_study)
+
+    # --- paper-neighborhood assertions ---
+    assert metrics.exact_match_accuracy > 0.65   # paper: 0.8338
+    assert metrics.holdout_accuracy > 0.70
+    assert metrics.validation_rmse < 0.8
+    assert 2.0 < metrics.mean_rounds_to_stop < 7.0  # paper: 3.29
+    assert 60.0 < metrics.mean_confidence < 95.0    # paper: 78.39
+    assert metrics.label_efficiency() < 0.6  # far fewer labels than strangers
+
+    write_artifact("headline", render_headline(metrics))

@@ -1,0 +1,32 @@
+"""E23 — the effort/accuracy learning curve.
+
+The system's value proposition in one series: cumulative validated
+accuracy as owner labels accumulate.  The paper's workflow depends on the
+curve being steep early ("the user can start to label and learn about the
+risk since the first day") and its tail matching the headline accuracy.
+"""
+
+from repro.experiments.curves import learning_curve, render_learning_curve
+
+from .conftest import write_artifact
+
+
+def test_learning_curve(benchmark, npp_study):
+    points = benchmark(learning_curve, npp_study)
+
+    # --- shape assertions ---
+    validated = [
+        point for point in points if point.validated_accuracy is not None
+    ]
+    assert len(validated) >= 3
+    final = validated[-1]
+    assert final.validated_accuracy > 0.6  # tail = headline band
+    # steep start: the first half of the effort already delivers most of
+    # the final accuracy
+    midpoint = validated[len(validated) // 2]
+    assert midpoint.validated_accuracy > final.validated_accuracy - 0.12
+    # effort strictly accumulates
+    labels = [point.labels_spent for point in points]
+    assert labels == sorted(labels)
+
+    write_artifact("learning_curve", render_learning_curve(points))

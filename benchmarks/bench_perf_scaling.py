@@ -1,0 +1,91 @@
+"""E18 — performance: the pipeline's computational hot spots.
+
+Not a paper artifact — engineering benchmarks for the three costs that
+dominate a deployment: the all-pairs ``PS()`` edge-weight matrix, the
+harmonic solve (dense versus sparse path), and a full owner session.
+The assertions pin the contracts (vectorized matrix matches the scalar
+measure; sparse solve matches dense) so a performance regression cannot
+silently change results.
+"""
+
+import numpy as np
+import pytest
+
+from repro.classifier.graphs import SimilarityGraph
+from repro.classifier.harmonic import HarmonicClassifier
+from repro.config import ClassifierConfig
+from repro.learning.session import RiskLearningSession
+from repro.similarity.profile import ProfileSimilarity
+from repro.types import RiskLabel
+
+from .conftest import SEED
+
+
+@pytest.fixture(scope="module")
+def pool_profiles(population):
+    """The biggest pool-like profile set available from the cohort."""
+    owner = population.owners[0]
+    strangers = population.strangers_of(owner.user_id)
+    return [population.graph.profile(s) for s in strangers]
+
+
+def test_perf_pairwise_matrix(benchmark, pool_profiles):
+    measure = ProfileSimilarity(pool_profiles)
+    matrix = benchmark(measure.pairwise_matrix, pool_profiles)
+    # contract: vectorized result equals the scalar measure
+    assert matrix[0, 1] == pytest.approx(
+        measure(pool_profiles[0], pool_profiles[1])
+    )
+    assert matrix.shape == (len(pool_profiles), len(pool_profiles))
+
+
+def _sparse_system(size: int, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    weights = np.zeros((size, size))
+    for _ in range(size * 5):
+        a, b = rng.integers(0, size, size=2)
+        if a != b:
+            weights[a, b] = weights[b, a] = rng.uniform(0.2, 1.0)
+    return SimilarityGraph(list(range(size)), weights)
+
+
+def test_perf_harmonic_dense(benchmark):
+    graph = _sparse_system(400)
+    classifier = HarmonicClassifier(
+        graph, ClassifierConfig(sparse_size_threshold=0)
+    )
+    labeled = {0: RiskLabel.NOT_RISKY, 1: RiskLabel.VERY_RISKY}
+    predictions = benchmark(classifier.predict, labeled)
+    assert len(predictions) == 398
+
+
+def test_perf_harmonic_sparse(benchmark):
+    graph = _sparse_system(400)
+    dense = HarmonicClassifier(
+        graph, ClassifierConfig(sparse_size_threshold=0)
+    )
+    sparse = HarmonicClassifier(
+        graph, ClassifierConfig(sparse_size_threshold=1)
+    )
+    labeled = {0: RiskLabel.NOT_RISKY, 1: RiskLabel.VERY_RISKY}
+    predictions = benchmark(sparse.predict, labeled)
+    reference = dense.predict(labeled)
+    # contract: the sparse path reproduces the dense solution
+    for node in (5, 100, 399):
+        assert predictions[node].score == pytest.approx(
+            reference[node].score, abs=1e-6
+        )
+
+
+def test_perf_full_owner_session(benchmark, population):
+    owner = population.owners[1]
+
+    def one_session():
+        return RiskLearningSession(
+            population.graph, owner.user_id, owner.as_oracle(), seed=SEED
+        ).run()
+
+    result = benchmark.pedantic(one_session, rounds=3, iterations=1)
+    assert result.num_strangers == len(
+        population.strangers_of(owner.user_id)
+    )

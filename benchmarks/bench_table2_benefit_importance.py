@@ -1,0 +1,31 @@
+"""E6 — Table II: mined importance of benefit items.
+
+Paper shape: photos are by far the most label-relevant benefit item
+(I1 for 21/47 owners, average importance 0.27 — roughly double the
+runner-up).
+"""
+
+from repro.experiments.report import render_importance_table
+from repro.experiments.tables import table2
+
+from .conftest import write_artifact
+
+
+def test_table2_benefit_importance(benchmark, npp_study):
+    table = benchmark(table2, npp_study)
+
+    # --- paper-shape assertions ---
+    # photo leads Table II in the paper; on a synthetic cohort a fraction
+    # of its size we accept top-2 (its visibility bit is very unbalanced,
+    # which makes the IGR estimate noisy at small n)
+    order = table.ordered_keys()
+    assert order.index("photo") <= 1
+    median_importance = sorted(table.average.values())[len(order) // 2]
+    assert table.average["photo"] > median_importance
+
+    write_artifact(
+        "table2",
+        render_importance_table(
+            "Table II — mined importance of benefits", table
+        ),
+    )

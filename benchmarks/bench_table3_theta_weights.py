@@ -1,0 +1,24 @@
+"""E7 — Table III: owner-given theta weights.
+
+Paper shape: the normalized cohort-average shares are tightly grouped in
+[0.13, 0.16], ordered hometown > friend > photo > location > education >
+wall ~ work.
+"""
+
+from repro.experiments.report import render_table3
+from repro.experiments.tables import table3
+from repro.types import BenefitItem
+
+from .conftest import write_artifact
+
+
+def test_table3_theta_weights(benchmark, npp_study):
+    thetas = benchmark(table3, npp_study)
+
+    # --- paper-shape assertions ---
+    assert abs(sum(thetas.values()) - 1.0) < 1e-9
+    for share in thetas.values():
+        assert 0.09 < share < 0.21  # tight grouping, as in the paper
+    assert thetas[BenefitItem.HOMETOWN] > thetas[BenefitItem.WORK]
+
+    write_artifact("table3", render_table3(thetas))

@@ -1,0 +1,27 @@
+"""E8 — Table IV: item visibility by stranger gender.
+
+Paper shape: female strangers show lower visibility on every item except
+photos, where the two genders are nearly equal (88 % vs 87 %).
+"""
+
+from repro.experiments.report import render_table4
+from repro.experiments.tables import table4
+from repro.types import BenefitItem, Gender
+
+from .conftest import write_artifact
+
+
+def test_table4_visibility_by_gender(benchmark, npp_study):
+    table = benchmark(table4, npp_study)
+
+    # --- paper-shape assertions ---
+    male, female = table[Gender.MALE], table[Gender.FEMALE]
+    stricter = sum(
+        1 for item in BenefitItem
+        if item is not BenefitItem.PHOTO and male[item] > female[item]
+    )
+    assert stricter >= 5  # females stricter on (almost) every item
+    assert abs(male[BenefitItem.PHOTO] - female[BenefitItem.PHOTO]) < 0.08
+    assert male[BenefitItem.PHOTO] > 0.75  # photos broadly visible
+
+    write_artifact("table4", render_table4(table))

@@ -1,0 +1,51 @@
+"""E21 — the similarity/benefit trade-off in owner judgments.
+
+Section II grounds the risk question in homophily versus heterophily;
+Section IV-D mines benefit patterns from the labels.  This bench splits
+every owner's judged strangers into NS/B quadrants and checks the
+directions: low-similarity strangers are judged substantially riskier
+(homophily), and within a similarity band, higher visibility (benefit)
+never makes strangers look riskier.
+"""
+
+from repro.analysis.tradeoff import (
+    QUADRANTS,
+    homophily_gap,
+    render_tradeoff,
+    tradeoff_quadrants,
+)
+from repro.types import RiskLabel
+
+from .conftest import write_artifact
+
+
+def test_tradeoff_quadrants(benchmark, npp_study):
+    def aggregate():
+        labels, sims, bens = {}, {}, {}
+        for run in npp_study.runs:
+            labels.update(run.owner.ground_truth)
+            sims.update(run.similarities)
+            bens.update(run.benefits)
+        return tradeoff_quadrants(labels, sims, bens)
+
+    quadrants = benchmark(aggregate)
+
+    # --- shape assertions ---
+    gap = homophily_gap(quadrants)
+    assert gap > 0.2  # homophily: distance breeds distrust
+
+    for similarity_side in ("low_similarity", "high_similarity"):
+        low_benefit = quadrants[(similarity_side, "low_benefit")]
+        high_benefit = quadrants[(similarity_side, "high_benefit")]
+        if low_benefit.count and high_benefit.count:
+            # visible strangers are never judged riskier on average
+            assert high_benefit.mean_label <= low_benefit.mean_label + 0.05
+
+    for quadrant in QUADRANTS:
+        assert quadrants[quadrant].count > 0
+
+    write_artifact(
+        "tradeoff_quadrants",
+        render_tradeoff(quadrants)
+        + f"\nhomophily gap (mean label, low - high similarity): {gap:.2f}",
+    )

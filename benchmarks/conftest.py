@@ -1,0 +1,58 @@
+"""Shared fixtures for the benchmark harness.
+
+The cohort and the two studies (NPP / NSP) are generated once per
+benchmark session; the individual benches time their own analysis step
+and write the rendered paper-style artifact to ``benchmarks/out/``.
+
+Scale knobs come from environment variables so the same harness serves a
+quick CI pass and a full-scale reproduction run:
+
+* ``REPRO_BENCH_OWNERS``    (default 10)
+* ``REPRO_BENCH_STRANGERS`` (default 300)
+* ``REPRO_BENCH_SEED``      (default 2012)
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import run_study
+from repro.synth import EgoNetConfig, generate_study_population
+
+OWNERS = int(os.environ.get("REPRO_BENCH_OWNERS", "10"))
+STRANGERS = int(os.environ.get("REPRO_BENCH_STRANGERS", "300"))
+SEED = int(os.environ.get("REPRO_BENCH_SEED", "2012"))
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+def write_artifact(name: str, text: str) -> None:
+    """Persist a rendered table/figure next to the benchmark results."""
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+    print("\n" + text)
+
+
+@pytest.fixture(scope="session")
+def population():
+    """The benchmark cohort (generated once)."""
+    return generate_study_population(
+        num_owners=OWNERS,
+        ego_config=EgoNetConfig(num_friends=40, num_strangers=STRANGERS),
+        seed=SEED,
+    )
+
+
+@pytest.fixture(scope="session")
+def npp_study(population):
+    """The paper's NPP study over the benchmark cohort."""
+    return run_study(population, pooling="npp", seed=SEED)
+
+
+@pytest.fixture(scope="session")
+def nsp_study(population):
+    """The NSP baseline study over the benchmark cohort."""
+    return run_study(population, pooling="nsp", seed=SEED)

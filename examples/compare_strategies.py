@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Compare pooling strategies and classifiers on one synthetic cohort.
+
+Reproduces the paper's Section IV-C comparison (network-and-profile pools
+versus network-only pools) and extends it with the classifier ablation
+the paper motivates but does not report: the graph-based harmonic
+classifier against weighted kNN and a majority-vote floor.
+
+Run:  python examples/compare_strategies.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments import headline_metrics, run_study
+from repro.experiments.report import render_table
+from repro.synth import EgoNetConfig, generate_study_population
+
+
+def main() -> None:
+    population = generate_study_population(
+        num_owners=4,
+        ego_config=EgoNetConfig(num_friends=40, num_strangers=250),
+        seed=99,
+    )
+    print(
+        f"cohort: {len(population.owners)} owners, "
+        f"{population.total_strangers} strangers\n"
+    )
+
+    rows = []
+    for pooling in ("npp", "nsp"):
+        for classifier in ("harmonic", "knn", "majority"):
+            study = run_study(
+                population, pooling=pooling, classifier=classifier, seed=99
+            )
+            metrics = headline_metrics(study)
+            rows.append(
+                (
+                    pooling,
+                    classifier,
+                    f"{metrics.exact_match_accuracy:.1%}",
+                    f"{metrics.holdout_accuracy:.1%}",
+                    f"{metrics.validation_rmse:.3f}",
+                    f"{metrics.mean_labels_per_owner:.0f}",
+                    f"{metrics.mean_rounds_to_stop:.2f}",
+                )
+            )
+
+    print(
+        render_table(
+            (
+                "pooling",
+                "classifier",
+                "validated acc",
+                "holdout acc",
+                "RMSE",
+                "labels/owner",
+                "rounds/pool",
+            ),
+            rows,
+        )
+    )
+    print(
+        "\nexpected shape (paper): npp beats nsp on accuracy and "
+        "stabilization; the similarity-graph classifiers (harmonic, knn) "
+        "clear the majority-vote floor by a wide margin."
+    )
+
+
+if __name__ == "__main__":
+    main()

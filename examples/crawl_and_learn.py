@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Crawl-and-learn: risk learning on a progressively discovered graph.
+
+The paper's Sight app could not download the social graph at once — it
+listened for friend interactions and discovered strangers over weeks
+("4,000 strangers can take up to 1 week ... the user can start to label
+and learn about the risk since the first day").
+
+This example simulates that deployment:
+
+1. generate one owner's full ego network (the hidden "real" Facebook);
+2. simulate the Sight crawl for 8 weeks;
+3. at several checkpoints, run the risk learner on the strangers known
+   *so far*, and score its labels against the owner's full judgment.
+
+The point the paper makes — learning works on a prefix of the stranger
+set — shows up as stable accuracy across checkpoints while coverage grows.
+
+Run:  python examples/crawl_and_learn.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import CallbackOracle, RiskLearningSession
+from repro.graph.ego import EgoNetwork
+from repro.synth import EgoNetConfig, generate_study_population, simulate_sight_crawl
+
+
+def main() -> None:
+    population = generate_study_population(
+        num_owners=1,
+        ego_config=EgoNetConfig(num_friends=50, num_strangers=400),
+        seed=13,
+    )
+    owner = population.owners[0]
+    graph = population.graph
+    ego = EgoNetwork(graph, owner.user_id)
+
+    crawl = simulate_sight_crawl(
+        ego,
+        days=56,
+        interactions_per_friend_per_day=0.35,
+        rng=random.Random(13),
+    )
+    curve = crawl.discovery_curve()
+    print(f"crawl simulation: {crawl.total_strangers} strangers in the wild")
+    for day in (1, 7, 14, 28, 56):
+        print(f"  day {day:>2}: {curve[day - 1]:>4} strangers discovered")
+
+    print("\nlearning on the discovered prefix at each checkpoint:")
+    print(f"{'day':>4}  {'known':>6}  {'labels':>7}  {'agreement':>9}")
+    for day in (7, 14, 28, 56):
+        known = crawl.discovered_by(day)
+        if len(known) < 10:
+            continue
+        # strangers not yet discovered are invisible: learn over `known`
+        session = RiskLearningSession(
+            graph, owner.user_id, CallbackOracle(
+                lambda query: owner.truth(query.stranger)
+            ), seed=day,
+        )
+        result = session.run(strangers=known)
+        final = result.final_labels()
+        agreement = sum(
+            1 for stranger, label in final.items()
+            if label is owner.truth(stranger)
+        ) / len(final)
+        print(
+            f"{day:>4}  {len(known):>6}  {result.labels_requested:>7}  "
+            f"{agreement:>9.1%}"
+        )
+
+    print(
+        "\ncoverage at day 56: "
+        f"{crawl.coverage:.1%} of the true stranger set"
+    )
+
+
+if __name__ == "__main__":
+    main()

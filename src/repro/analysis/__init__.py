@@ -1,0 +1,57 @@
+"""Analysis of risk labels: the machinery behind Tables I-V and Figure 7.
+
+* :mod:`~repro.analysis.entropy` — entropy, information gain, information
+  gain ratio;
+* :mod:`~repro.analysis.importance` — Definition 6 attribute importance
+  and its benefit-item variant (Tables I and II);
+* :mod:`~repro.analysis.visibility` — visibility cross-tabs by gender and
+  locale (Tables IV and V);
+* :mod:`~repro.analysis.label_stats` — label composition per network
+  similarity group (Figure 7).
+"""
+
+from .confusion import ConfusionMatrix
+from .dataset_stats import (
+    DatasetStatistics,
+    dataset_statistics,
+    render_dataset_statistics,
+)
+from .entropy import entropy, information_gain, information_gain_ratio
+from .importance import (
+    ImportanceRanking,
+    attribute_importance,
+    average_importance,
+    benefit_importance,
+    rank_counts,
+)
+from .label_stats import label_fractions_by_group, very_risky_fraction_by_group
+from .tradeoff import (
+    QuadrantStats,
+    homophily_gap,
+    render_tradeoff,
+    tradeoff_quadrants,
+)
+from .visibility import visibility_by_gender, visibility_by_locale
+
+__all__ = [
+    "ConfusionMatrix",
+    "DatasetStatistics",
+    "ImportanceRanking",
+    "dataset_statistics",
+    "render_dataset_statistics",
+    "attribute_importance",
+    "average_importance",
+    "benefit_importance",
+    "QuadrantStats",
+    "entropy",
+    "homophily_gap",
+    "information_gain",
+    "information_gain_ratio",
+    "label_fractions_by_group",
+    "rank_counts",
+    "render_tradeoff",
+    "tradeoff_quadrants",
+    "very_risky_fraction_by_group",
+    "visibility_by_gender",
+    "visibility_by_locale",
+]

@@ -1,0 +1,148 @@
+"""Confusion analysis for risk-label predictions.
+
+The paper stresses that prediction errors are *asymmetric* (Section
+III-C): "Higher label prediction poses no immediate threat to privacy; it
+only calls for more vigilance.  On the other hand, lower prediction can
+have the system assume that the owner is safe when there is a real
+privacy threat."
+
+:class:`ConfusionMatrix` therefore reports, besides the usual per-class
+counts, the **under-prediction rate** — the fraction of dangerous errors
+— separately from the benign over-predictions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from ..types import RiskLabel
+
+
+@dataclass
+class ConfusionMatrix:
+    """A 3x3 confusion matrix over the risk-label scale.
+
+    ``counts[(predicted, actual)]`` holds raw pair counts; rows/columns
+    are the integer label values 1..3.
+    """
+
+    counts: dict[tuple[int, int], int] = field(default_factory=dict)
+
+    @classmethod
+    def from_pairs(
+        cls, pairs: Iterable[tuple[RiskLabel | int, RiskLabel | int]]
+    ) -> "ConfusionMatrix":
+        """Build from ``(predicted, actual)`` pairs."""
+        matrix = cls()
+        for predicted, actual in pairs:
+            matrix.add(RiskLabel(int(predicted)), RiskLabel(int(actual)))
+        return matrix
+
+    @classmethod
+    def from_labelings(
+        cls,
+        predicted: Mapping[int, RiskLabel],
+        actual: Mapping[int, RiskLabel],
+    ) -> "ConfusionMatrix":
+        """Build from two labelings, over their common keys."""
+        matrix = cls()
+        for key in predicted.keys() & actual.keys():
+            matrix.add(predicted[key], actual[key])
+        return matrix
+
+    def add(self, predicted: RiskLabel, actual: RiskLabel) -> None:
+        """Count one prediction."""
+        key = (int(predicted), int(actual))
+        self.counts[key] = self.counts.get(key, 0) + 1
+
+    def count(self, predicted: RiskLabel, actual: RiskLabel) -> int:
+        """Pairs with the given predicted/actual combination."""
+        return self.counts.get((int(predicted), int(actual)), 0)
+
+    @property
+    def total(self) -> int:
+        """Number of counted pairs."""
+        return sum(self.counts.values())
+
+    @property
+    def accuracy(self) -> float:
+        """Exact-match fraction (0 on an empty matrix)."""
+        if self.total == 0:
+            return 0.0
+        correct = sum(
+            count
+            for (predicted, actual), count in self.counts.items()
+            if predicted == actual
+        )
+        return correct / self.total
+
+    @property
+    def underprediction_rate(self) -> float:
+        """Fraction of pairs predicted *less* risky than the owner says.
+
+        These are the paper's dangerous errors — the system declares a
+        stranger safer than they are.
+        """
+        if self.total == 0:
+            return 0.0
+        dangerous = sum(
+            count
+            for (predicted, actual), count in self.counts.items()
+            if predicted < actual
+        )
+        return dangerous / self.total
+
+    @property
+    def overprediction_rate(self) -> float:
+        """Fraction of pairs predicted *more* risky than the owner says.
+
+        Benign errors: they only "call for more vigilance"."""
+        if self.total == 0:
+            return 0.0
+        benign = sum(
+            count
+            for (predicted, actual), count in self.counts.items()
+            if predicted > actual
+        )
+        return benign / self.total
+
+    def recall(self, label: RiskLabel) -> float:
+        """Fraction of actual ``label`` strangers predicted as such."""
+        actual_total = sum(
+            count
+            for (_, actual), count in self.counts.items()
+            if actual == int(label)
+        )
+        if actual_total == 0:
+            return 0.0
+        return self.count(label, label) / actual_total
+
+    def precision(self, label: RiskLabel) -> float:
+        """Fraction of ``label`` predictions that were correct."""
+        predicted_total = sum(
+            count
+            for (predicted, _), count in self.counts.items()
+            if predicted == int(label)
+        )
+        if predicted_total == 0:
+            return 0.0
+        return self.count(label, label) / predicted_total
+
+    def render(self) -> str:
+        """A small text rendering (rows = predicted, columns = actual)."""
+        header = "pred\\actual  " + "  ".join(
+            f"{value:>5}" for value in RiskLabel.values()
+        )
+        lines = [header]
+        for predicted in RiskLabel:
+            row = [f"{int(predicted):>11}"]
+            for actual in RiskLabel:
+                row.append(f"{self.count(predicted, actual):>5}")
+            lines.append("  ".join(row))
+        lines.append(
+            f"accuracy {self.accuracy:.1%}  "
+            f"under-prediction (dangerous) {self.underprediction_rate:.1%}  "
+            f"over-prediction (benign) {self.overprediction_rate:.1%}"
+        )
+        return "\n".join(lines)

@@ -1,0 +1,117 @@
+"""Dataset characterization (the Section IV-A statistics).
+
+The paper introduces its dataset with a handful of aggregates: owner
+count and demographics, total stranger profiles, total labels, and the
+per-owner averages.  This module computes the same characterization for
+any :class:`~repro.synth.population.StudyPopulation`, so generated
+datasets can be documented the way the paper documents its crawl.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from ..graph.metrics import degree_statistics
+from ..synth.population import StudyPopulation
+from ..types import Gender, Locale, ProfileAttribute, RiskLabel
+
+
+@dataclass(frozen=True)
+class DatasetStatistics:
+    """Aggregates in the shape of Section IV-A."""
+
+    num_owners: int
+    owners_by_gender: dict[Gender, int]
+    owners_by_locale: dict[Locale, int]
+    total_strangers: int
+    mean_strangers_per_owner: float
+    stranger_gender_counts: dict[Gender, int]
+    stranger_locale_counts: dict[Locale, int]
+    label_counts: dict[RiskLabel, int]
+    num_users: int
+    num_friendships: int
+    mean_degree: float
+
+
+def dataset_statistics(population: StudyPopulation) -> DatasetStatistics:
+    """Characterize a generated cohort."""
+    owners_by_gender = Counter(owner.gender for owner in population.owners)
+    owners_by_locale = Counter(owner.locale for owner in population.owners)
+
+    stranger_genders: Counter = Counter()
+    stranger_locales: Counter = Counter()
+    label_counts: Counter = Counter()
+    total_strangers = 0
+    for owner in population.owners:
+        for stranger in population.strangers_of(owner.user_id):
+            total_strangers += 1
+            profile = population.graph.profile(stranger)
+            gender_value = profile.attribute(ProfileAttribute.GENDER)
+            if gender_value is not None:
+                try:
+                    stranger_genders[Gender(gender_value)] += 1
+                except ValueError:
+                    pass
+            locale_value = profile.attribute(ProfileAttribute.LOCALE)
+            if locale_value is not None:
+                try:
+                    stranger_locales[Locale(locale_value)] += 1
+                except ValueError:
+                    pass
+        for label in owner.ground_truth.values():
+            label_counts[label] += 1
+
+    degrees = degree_statistics(population.graph)
+    return DatasetStatistics(
+        num_owners=len(population.owners),
+        owners_by_gender={gender: owners_by_gender.get(gender, 0) for gender in Gender},
+        owners_by_locale=dict(owners_by_locale),
+        total_strangers=total_strangers,
+        mean_strangers_per_owner=(
+            total_strangers / len(population.owners)
+            if population.owners
+            else 0.0
+        ),
+        stranger_gender_counts={
+            gender: stranger_genders.get(gender, 0) for gender in Gender
+        },
+        stranger_locale_counts=dict(stranger_locales),
+        label_counts={label: label_counts.get(label, 0) for label in RiskLabel},
+        num_users=degrees.num_users,
+        num_friendships=degrees.num_friendships,
+        mean_degree=degrees.mean_degree,
+    )
+
+
+def render_dataset_statistics(stats: DatasetStatistics) -> str:
+    """Paper-style text block for a dataset (cf. Section IV-A)."""
+    gender_line = ", ".join(
+        f"{count} {gender.value}"
+        for gender, count in stats.owners_by_gender.items()
+    )
+    locale_line = ", ".join(
+        f"{count} {locale.value}"
+        for locale, count in sorted(
+            stats.owners_by_locale.items(), key=lambda pair: -pair[1]
+        )
+    )
+    label_total = sum(stats.label_counts.values()) or 1
+    label_line = ", ".join(
+        f"{label.name.lower().replace('_', ' ')} "
+        f"{count / label_total:.0%}"
+        for label, count in stats.label_counts.items()
+    )
+    return "\n".join(
+        [
+            "Dataset characterization (cf. Section IV-A)",
+            f"  owners: {stats.num_owners} ({gender_line})",
+            f"  owner locales: {locale_line}",
+            f"  stranger profiles: {stats.total_strangers} "
+            f"({stats.mean_strangers_per_owner:.0f} per owner)",
+            f"  graph: {stats.num_users} users, "
+            f"{stats.num_friendships} friendships "
+            f"(mean degree {stats.mean_degree:.1f})",
+            f"  ground-truth label mix: {label_line}",
+        ]
+    )

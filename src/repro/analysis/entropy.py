@@ -1,0 +1,82 @@
+"""Entropy, information gain, and information gain ratio.
+
+The paper uses information gain ratio (MacKay 2003, ref [20]) "to capture
+the importance of a variable": a profile attribute whose values sharply
+reduce the entropy of the owner's risk-label distribution carries more of
+the owner's decision rationale.
+
+All functions operate on plain sequences of hashable values, so they serve
+both profile attributes (categorical strings) and benefit visibilities
+(booleans).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Hashable, Sequence
+
+
+def entropy(values: Sequence[Hashable]) -> float:
+    """Shannon entropy (bits) of the empirical distribution of ``values``.
+
+    An empty sequence has zero entropy by convention.
+    """
+    total = len(values)
+    if total == 0:
+        return 0.0
+    counts = Counter(values)
+    result = 0.0
+    for count in counts.values():
+        probability = count / total
+        result -= probability * math.log2(probability)
+    return result
+
+
+def information_gain(
+    attribute_values: Sequence[Hashable],
+    labels: Sequence[Hashable],
+) -> float:
+    """Reduction of label entropy achieved by splitting on the attribute.
+
+    ``IG = H(L) - sum_v p(v) * H(L | v)``.
+    """
+    if len(attribute_values) != len(labels):
+        raise ValueError(
+            f"attribute_values ({len(attribute_values)}) and labels "
+            f"({len(labels)}) must have equal length"
+        )
+    base = entropy(labels)
+    total = len(labels)
+    if total == 0:
+        return 0.0
+    by_value: dict[Hashable, list[Hashable]] = {}
+    for value, label in zip(attribute_values, labels):
+        by_value.setdefault(value, []).append(label)
+    conditional = sum(
+        (len(group) / total) * entropy(group) for group in by_value.values()
+    )
+    return base - conditional
+
+
+def split_information(attribute_values: Sequence[Hashable]) -> float:
+    """The intrinsic value of the split: ``H`` of the attribute itself."""
+    return entropy(attribute_values)
+
+
+def information_gain_ratio(
+    attribute_values: Sequence[Hashable],
+    labels: Sequence[Hashable],
+) -> float:
+    """``IGR = IG / split_information`` (0 when the split is degenerate).
+
+    A single-valued attribute has zero split information and carries no
+    decision signal, so its ratio is defined as 0 rather than dividing by
+    zero.
+    """
+    split = split_information(attribute_values)
+    if split == 0.0:
+        return 0.0
+    gain = information_gain(attribute_values, labels)
+    # floating noise can push an effectively-zero gain slightly negative
+    return max(0.0, gain) / split

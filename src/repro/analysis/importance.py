@@ -1,0 +1,131 @@
+"""Attribute and benefit-item importance (Definition 6, Tables I and II).
+
+For one owner, the importance of a profile attribute is its information
+gain ratio against the owner's risk labels, normalized across attributes:
+
+``I_pai = IGR(pai) / sum_j IGR(paj)``
+
+Table I aggregates this per-owner quantity two ways: the average
+importance, and how often each attribute ranks first/second/third across
+owners.  Table II applies the identical definition to benefit items, with
+the attribute value replaced by the item's visibility bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from ..graph.profile import Profile
+from ..types import BenefitItem, ProfileAttribute, RiskLabel, UserId
+from .entropy import information_gain_ratio
+
+
+@dataclass(frozen=True)
+class ImportanceRanking:
+    """One owner's normalized importances, with ranking helpers."""
+
+    importances: Mapping[str, float]
+
+    def ranked(self) -> list[tuple[str, float]]:
+        """Keys sorted by importance, descending (ties by name)."""
+        return sorted(
+            self.importances.items(), key=lambda pair: (-pair[1], pair[0])
+        )
+
+    def rank_of(self, key: str) -> int:
+        """1-based rank of ``key`` (1 = most important)."""
+        order = [name for name, _ in self.ranked()]
+        return order.index(key) + 1
+
+
+def attribute_importance(
+    profiles: Mapping[UserId, Profile],
+    labels: Mapping[UserId, RiskLabel],
+    attributes: Sequence[ProfileAttribute] = ProfileAttribute.clustering_attributes(),
+) -> ImportanceRanking:
+    """Definition 6 over one owner's labeled strangers.
+
+    Strangers missing a given attribute are excluded from that attribute's
+    IGR computation (the paper computed statistics "on those available
+    user profiles").
+    """
+    ratios: dict[str, float] = {}
+    for attribute in attributes:
+        values = []
+        attribute_labels = []
+        for stranger, label in labels.items():
+            profile = profiles.get(stranger)
+            if profile is None:
+                continue
+            value = profile.attribute(attribute)
+            if value is None:
+                continue
+            values.append(value)
+            attribute_labels.append(int(label))
+        ratios[attribute.value] = information_gain_ratio(values, attribute_labels)
+    return ImportanceRanking(importances=_normalize(ratios))
+
+
+def benefit_importance(
+    visibility: Mapping[UserId, Mapping[BenefitItem, bool]],
+    labels: Mapping[UserId, RiskLabel],
+    items: Sequence[BenefitItem] = BenefitItem.all_items(),
+) -> ImportanceRanking:
+    """Table II's mined benefit importance.
+
+    "Whereas in similarity we have categorical item values such as
+    gender:male, in benefits we work with visibility values such as
+    photos:1" — so the attribute value fed to the IGR is the boolean
+    visibility bit of each item.
+    """
+    ratios: dict[str, float] = {}
+    for item in items:
+        values = []
+        item_labels = []
+        for stranger, label in labels.items():
+            bits = visibility.get(stranger)
+            if bits is None:
+                continue
+            values.append(bool(bits.get(item, False)))
+            item_labels.append(int(label))
+        ratios[item.value] = information_gain_ratio(values, item_labels)
+    return ImportanceRanking(importances=_normalize(ratios))
+
+
+def rank_counts(
+    rankings: Sequence[ImportanceRanking],
+) -> dict[str, dict[int, int]]:
+    """Aggregate per-owner rankings into Table I/II shape.
+
+    Returns ``{key: {rank: owner_count}}`` — e.g. Table I's "gender is the
+    most important item (I1) for 34 owners".
+    """
+    counts: dict[str, dict[int, int]] = {}
+    for ranking in rankings:
+        for rank, (key, _) in enumerate(ranking.ranked(), start=1):
+            counts.setdefault(key, {})[rank] = (
+                counts.setdefault(key, {}).get(rank, 0) + 1
+            )
+    return counts
+
+
+def average_importance(
+    rankings: Sequence[ImportanceRanking],
+) -> dict[str, float]:
+    """Mean normalized importance per key across owners."""
+    if not rankings:
+        return {}
+    totals: dict[str, float] = {}
+    for ranking in rankings:
+        for key, value in ranking.importances.items():
+            totals[key] = totals.get(key, 0.0) + value
+    return {key: total / len(rankings) for key, total in totals.items()}
+
+
+def _normalize(ratios: Mapping[str, float]) -> dict[str, float]:
+    total = sum(ratios.values())
+    if total <= 0:
+        uniform = 1.0 / len(ratios) if ratios else 0.0
+        return {key: uniform for key in ratios}
+    return {key: value / total for key, value in ratios.items()}

@@ -1,0 +1,52 @@
+"""Label composition per network similarity group (Figure 7).
+
+Figure 7 of the paper shows that "with increasing network similarity, the
+percentage of very risky labels in network similarity groups consistently
+decreases" — the homophily signature.  These helpers compute that series
+from any label assignment (owner ground truth or pipeline output).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..clustering.nsg import NetworkSimilarityGroup
+from ..types import RiskLabel, UserId
+
+
+def label_fractions_by_group(
+    groups: list[NetworkSimilarityGroup],
+    labels: Mapping[UserId, RiskLabel],
+) -> dict[int, dict[RiskLabel, float]]:
+    """Per-group label mix, keyed by group index.
+
+    Groups with no labeled members are omitted.  Members missing from
+    ``labels`` are skipped (e.g. strangers outside the labeled prefix).
+    """
+    result: dict[int, dict[RiskLabel, float]] = {}
+    for group in groups:
+        counts = {label: 0 for label in RiskLabel}
+        total = 0
+        for member in group.members:
+            label = labels.get(member)
+            if label is None:
+                continue
+            counts[label] += 1
+            total += 1
+        if total == 0:
+            continue
+        result[group.index] = {
+            label: count / total for label, count in counts.items()
+        }
+    return result
+
+
+def very_risky_fraction_by_group(
+    groups: list[NetworkSimilarityGroup],
+    labels: Mapping[UserId, RiskLabel],
+) -> dict[int, float]:
+    """The Figure 7 series: fraction of *very risky* labels per group."""
+    fractions = label_fractions_by_group(groups, labels)
+    return {
+        index: mix[RiskLabel.VERY_RISKY] for index, mix in fractions.items()
+    }

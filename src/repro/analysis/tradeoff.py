@@ -1,0 +1,145 @@
+"""The similarity/benefit trade-off behind the owner question.
+
+Section II frames the risk judgment as a tension between homophily
+(similar strangers feel safer) and heterophily (dissimilar strangers
+offer benefits).  This module quantifies how a label assignment resolves
+that tension: strangers are split into quadrants by their NS and B values
+(relative to the population medians), and each quadrant's label mix is
+reported.
+
+Expected shape under the planted attitudes (and, per the paper's
+discussion, under real owners): the high-similarity quadrants are safest;
+within a similarity band, more visible (higher-benefit) strangers skew
+slightly safer.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..types import RiskLabel, UserId
+
+#: Quadrant keys: (similarity side, benefit side).
+QUADRANTS = (
+    ("low_similarity", "low_benefit"),
+    ("low_similarity", "high_benefit"),
+    ("high_similarity", "low_benefit"),
+    ("high_similarity", "high_benefit"),
+)
+
+
+@dataclass(frozen=True)
+class QuadrantStats:
+    """Label statistics of one similarity/benefit quadrant."""
+
+    similarity_side: str
+    benefit_side: str
+    count: int
+    label_counts: dict[RiskLabel, int]
+
+    @property
+    def mean_label(self) -> float:
+        """Average numeric label (1 = safest, 3 = riskiest); 0 if empty."""
+        if self.count == 0:
+            return 0.0
+        return (
+            sum(int(label) * count for label, count in self.label_counts.items())
+            / self.count
+        )
+
+    @property
+    def very_risky_share(self) -> float:
+        """Fraction labeled very risky; 0 if empty."""
+        if self.count == 0:
+            return 0.0
+        return self.label_counts[RiskLabel.VERY_RISKY] / self.count
+
+
+def tradeoff_quadrants(
+    labels: Mapping[UserId, RiskLabel],
+    similarities: Mapping[UserId, float],
+    benefits: Mapping[UserId, float],
+) -> dict[tuple[str, str], QuadrantStats]:
+    """Split labeled strangers into NS/B quadrants (median splits).
+
+    Strangers missing from either metric map are skipped.  Returns every
+    quadrant (possibly with count 0) keyed by
+    ``(similarity_side, benefit_side)``.
+    """
+    rows = [
+        (stranger, similarities[stranger], benefits[stranger], label)
+        for stranger, label in labels.items()
+        if stranger in similarities and stranger in benefits
+    ]
+    if rows:
+        similarity_cut = statistics.median(row[1] for row in rows)
+        benefit_cut = statistics.median(row[2] for row in rows)
+    else:
+        similarity_cut = benefit_cut = 0.0
+
+    counts: dict[tuple[str, str], dict[RiskLabel, int]] = {
+        quadrant: {label: 0 for label in RiskLabel} for quadrant in QUADRANTS
+    }
+    for _, similarity, benefit, label in rows:
+        similarity_side = (
+            "high_similarity" if similarity > similarity_cut else "low_similarity"
+        )
+        benefit_side = "high_benefit" if benefit > benefit_cut else "low_benefit"
+        counts[(similarity_side, benefit_side)][label] += 1
+
+    return {
+        quadrant: QuadrantStats(
+            similarity_side=quadrant[0],
+            benefit_side=quadrant[1],
+            count=sum(label_counts.values()),
+            label_counts=label_counts,
+        )
+        for quadrant, label_counts in counts.items()
+    }
+
+
+def homophily_gap(
+    quadrants: Mapping[tuple[str, str], QuadrantStats],
+) -> float:
+    """Mean-label gap between low- and high-similarity strangers.
+
+    Positive values mean low-similarity strangers are judged riskier —
+    the homophily signature Figure 7 shows per group.
+    """
+    low = [
+        stats
+        for (similarity_side, _), stats in quadrants.items()
+        if similarity_side == "low_similarity" and stats.count
+    ]
+    high = [
+        stats
+        for (similarity_side, _), stats in quadrants.items()
+        if similarity_side == "high_similarity" and stats.count
+    ]
+    if not low or not high:
+        return 0.0
+    low_mean = sum(s.mean_label * s.count for s in low) / sum(s.count for s in low)
+    high_mean = sum(s.mean_label * s.count for s in high) / sum(
+        s.count for s in high
+    )
+    return low_mean - high_mean
+
+
+def render_tradeoff(
+    quadrants: Mapping[tuple[str, str], QuadrantStats],
+) -> str:
+    """A small text table of the quadrant statistics."""
+    lines = [
+        "Similarity/benefit trade-off (median splits)",
+        f"{'quadrant':<36}{'n':>6}  {'mean label':>10}  {'very risky':>10}",
+    ]
+    for quadrant in QUADRANTS:
+        stats = quadrants[quadrant]
+        name = f"{stats.similarity_side} / {stats.benefit_side}"
+        lines.append(
+            f"{name:<36}{stats.count:>6}  {stats.mean_label:>10.2f}  "
+            f"{stats.very_risky_share:>10.1%}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,73 @@
+"""Visibility cross-tabs: Tables IV and V.
+
+Both tables report, per benefit item, the fraction of stranger profiles
+whose item is visible to a friend-of-friend — broken down by stranger
+gender (Table IV) and stranger locale (Table V).  The functions here
+*measure* those fractions from profiles; the synthetic generator plants
+them, and the benchmarks verify the round trip.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..graph.profile import Profile
+from ..graph.visibility import STRANGER_DISTANCE
+from ..types import BenefitItem, Gender, Locale, ProfileAttribute
+
+
+def _visibility_rates(
+    profiles: list[Profile],
+) -> dict[BenefitItem, float]:
+    if not profiles:
+        return {item: 0.0 for item in BenefitItem}
+    rates = {}
+    for item in BenefitItem:
+        visible = sum(
+            1 for profile in profiles if profile.is_visible(item, STRANGER_DISTANCE)
+        )
+        rates[item] = visible / len(profiles)
+    return rates
+
+
+def visibility_by_gender(
+    profiles: Iterable[Profile],
+) -> dict[Gender, dict[BenefitItem, float]]:
+    """Table IV: per-item visibility split by stranger gender.
+
+    Profiles without a gender are excluded (as in the paper's "available
+    profiles" statistics).
+    """
+    buckets: dict[Gender, list[Profile]] = {gender: [] for gender in Gender}
+    for profile in profiles:
+        value = profile.attribute(ProfileAttribute.GENDER)
+        if value is None:
+            continue
+        try:
+            buckets[Gender(value)].append(profile)
+        except ValueError:
+            continue
+    return {
+        gender: _visibility_rates(bucket) for gender, bucket in buckets.items()
+    }
+
+
+def visibility_by_locale(
+    profiles: Iterable[Profile],
+    locales: tuple[Locale, ...] = Locale.table5_locales(),
+) -> dict[Locale, dict[BenefitItem, float]]:
+    """Table V: per-item visibility split by stranger locale."""
+    buckets: dict[Locale, list[Profile]] = {locale: [] for locale in locales}
+    for profile in profiles:
+        value = profile.attribute(ProfileAttribute.LOCALE)
+        if value is None:
+            continue
+        try:
+            locale = Locale(value)
+        except ValueError:
+            continue
+        if locale in buckets:
+            buckets[locale].append(profile)
+    return {
+        locale: _visibility_rates(bucket) for locale, bucket in buckets.items()
+    }

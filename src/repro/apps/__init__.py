@@ -1,0 +1,31 @@
+"""Applications built on risk labels (the paper's Section VI outlook).
+
+The paper closes by envisioning "a variety of applications for our risk
+labels ... such as privacy settings/friendships suggestion or label-based
+access control".  This package implements those applications on top of
+the learning pipeline's output:
+
+* :mod:`~repro.apps.access_control` — label-based access control: decide,
+  per profile item, which strangers may see it, and suggest privacy
+  settings consistent with the owner's risk labels;
+* :mod:`~repro.apps.suggestions` — friendship suggestion: rank strangers
+  by the homophily/heterophily trade-off (similarity + benefit) while
+  filtering out the risky ones.
+"""
+
+from .access_control import (
+    LabelBasedPolicy,
+    PrivacySuggestion,
+    suggest_privacy_settings,
+)
+from .report import render_owner_report
+from .suggestions import FriendSuggestion, suggest_friends
+
+__all__ = [
+    "FriendSuggestion",
+    "LabelBasedPolicy",
+    "PrivacySuggestion",
+    "render_owner_report",
+    "suggest_friends",
+    "suggest_privacy_settings",
+]

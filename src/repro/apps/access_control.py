@@ -1,0 +1,177 @@
+"""Label-based access control and privacy-setting suggestion.
+
+Two complementary tools envisioned by the paper's conclusions:
+
+* :class:`LabelBasedPolicy` answers the per-request question "may this
+  stranger see this item of mine?" from the stranger's risk label —
+  replacing Facebook's blanket friends-of-friends audience with a
+  risk-aware one;
+* :func:`suggest_privacy_settings` turns a stranger population's risk
+  profile into concrete setting recommendations: items currently exposed
+  to friends-of-friends get tightened when too large a share of the
+  owner's actual 2-hop audience is labeled risky.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from ..errors import ConfigError
+from ..graph.profile import Profile
+from ..types import BenefitItem, RiskLabel, UserId, VisibilityLevel
+
+
+def _default_thresholds() -> dict[BenefitItem, RiskLabel]:
+    """A sensible default: everyday items tolerate *risky*, sensitive
+    items (wall, photos, location) require *not risky*."""
+    return {
+        BenefitItem.WALL: RiskLabel.NOT_RISKY,
+        BenefitItem.PHOTO: RiskLabel.NOT_RISKY,
+        BenefitItem.LOCATION: RiskLabel.NOT_RISKY,
+        BenefitItem.FRIEND: RiskLabel.RISKY,
+        BenefitItem.EDUCATION: RiskLabel.RISKY,
+        BenefitItem.WORK: RiskLabel.RISKY,
+        BenefitItem.HOMETOWN: RiskLabel.RISKY,
+    }
+
+
+@dataclass(frozen=True)
+class LabelBasedPolicy:
+    """Per-item risk thresholds: the most-risky label still allowed.
+
+    A stranger may see an item exactly when their label does not exceed
+    the item's threshold.  ``VERY_RISKY`` thresholds make an item public
+    to all strangers; the :meth:`paranoid` policy locks everything to
+    ``NOT_RISKY``.
+    """
+
+    thresholds: dict[BenefitItem, RiskLabel] = field(
+        default_factory=_default_thresholds
+    )
+
+    def __post_init__(self) -> None:
+        for item in BenefitItem:
+            if item not in self.thresholds:
+                raise ConfigError(
+                    f"policy misses a threshold for item {item.value!r}"
+                )
+
+    @classmethod
+    def paranoid(cls) -> "LabelBasedPolicy":
+        """Only *not risky* strangers see anything."""
+        return cls({item: RiskLabel.NOT_RISKY for item in BenefitItem})
+
+    @classmethod
+    def permissive(cls) -> "LabelBasedPolicy":
+        """Everything visible to everyone but *very risky* strangers."""
+        return cls({item: RiskLabel.RISKY for item in BenefitItem})
+
+    def allows(self, label: RiskLabel, item: BenefitItem) -> bool:
+        """Whether a stranger with ``label`` may see ``item``."""
+        return int(label) <= int(self.thresholds[item])
+
+    def audience(
+        self,
+        labels: Mapping[UserId, RiskLabel],
+        item: BenefitItem,
+    ) -> frozenset[UserId]:
+        """All strangers the policy admits to ``item``."""
+        return frozenset(
+            stranger
+            for stranger, label in labels.items()
+            if self.allows(label, item)
+        )
+
+    def exposure_report(
+        self, labels: Mapping[UserId, RiskLabel]
+    ) -> dict[BenefitItem, float]:
+        """Fraction of strangers admitted per item (1.0 = everyone)."""
+        total = len(labels)
+        if total == 0:
+            return {item: 0.0 for item in BenefitItem}
+        return {
+            item: len(self.audience(labels, item)) / total
+            for item in BenefitItem
+        }
+
+
+@dataclass(frozen=True)
+class PrivacySuggestion:
+    """One recommended privacy-setting change with its rationale."""
+
+    item: BenefitItem
+    current: VisibilityLevel
+    suggested: VisibilityLevel
+    risky_share: float
+    rationale: str
+
+
+def suggest_privacy_settings(
+    owner_profile: Profile,
+    labels: Mapping[UserId, RiskLabel],
+    tighten_threshold: float = 0.25,
+    relax_threshold: float = 0.05,
+) -> list[PrivacySuggestion]:
+    """Suggest per-item privacy settings from the stranger risk profile.
+
+    For every item the owner currently exposes to friends-of-friends (or
+    wider), compute the share of strangers labeled *very risky*: above
+    ``tighten_threshold`` the item should move to friends-only.
+    Conversely an item locked to friends-only whose risky share is below
+    ``relax_threshold`` can safely widen to friends-of-friends —
+    mirroring the paper's position that not every stranger is a threat.
+
+    Returns suggestions sorted by risky share, highest first.
+    """
+    if not 0.0 <= relax_threshold <= tighten_threshold <= 1.0:
+        raise ConfigError(
+            "thresholds must satisfy 0 <= relax <= tighten <= 1, got "
+            f"relax={relax_threshold}, tighten={tighten_threshold}"
+        )
+    total = len(labels)
+    if total == 0:
+        return []
+    very_risky = sum(
+        1 for label in labels.values() if label is RiskLabel.VERY_RISKY
+    )
+    risky_share = very_risky / total
+
+    suggestions: list[PrivacySuggestion] = []
+    for item in BenefitItem:
+        current = owner_profile.privacy_level(item)
+        exposed_to_strangers = current.visible_at_distance(2)
+        if exposed_to_strangers and risky_share >= tighten_threshold:
+            suggestions.append(
+                PrivacySuggestion(
+                    item=item,
+                    current=current,
+                    suggested=VisibilityLevel.FRIENDS,
+                    risky_share=risky_share,
+                    rationale=(
+                        f"{risky_share:.0%} of your 2-hop contacts are "
+                        f"labeled very risky; {item.value} is currently "
+                        "visible to them"
+                    ),
+                )
+            )
+        elif (
+            not exposed_to_strangers
+            and current is VisibilityLevel.FRIENDS
+            and risky_share <= relax_threshold
+        ):
+            suggestions.append(
+                PrivacySuggestion(
+                    item=item,
+                    current=current,
+                    suggested=VisibilityLevel.FRIENDS_OF_FRIENDS,
+                    risky_share=risky_share,
+                    rationale=(
+                        f"only {risky_share:.0%} of your 2-hop contacts "
+                        f"are labeled very risky; {item.value} could be "
+                        "shared with friends of friends"
+                    ),
+                )
+            )
+    suggestions.sort(key=lambda s: (-s.risky_share, s.item.value))
+    return suggestions

@@ -1,0 +1,120 @@
+"""Per-owner risk reports: one readable document per learning session.
+
+A deployment's end product is not a dict of labels but something the
+owner can read and act on.  :func:`render_owner_report` assembles the
+session outcome, the label mix, the similarity/benefit trade-off, the
+access-control exposure, and concrete suggestions into one markdown-ish
+text document.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..analysis.tradeoff import render_tradeoff, tradeoff_quadrants
+from ..graph.profile import Profile
+from ..learning.results import SessionResult
+from ..types import BenefitItem, RiskLabel, UserId
+from .access_control import LabelBasedPolicy, suggest_privacy_settings
+from .suggestions import suggest_friends
+
+
+def render_owner_report(
+    result: SessionResult,
+    similarities: Mapping[UserId, float],
+    benefits: Mapping[UserId, float],
+    owner_profile: Profile | None = None,
+    policy: LabelBasedPolicy | None = None,
+    top_suggestions: int = 5,
+) -> str:
+    """Build the full risk report for one owner's session.
+
+    Parameters
+    ----------
+    result:
+        The finished learning session.
+    similarities, benefits:
+        ``NS`` and ``B`` per stranger (session by-products).
+    owner_profile:
+        When given, privacy-setting suggestions are included.
+    policy:
+        Access-control policy for the exposure section (default policy
+        when omitted).
+    top_suggestions:
+        How many friendship candidates to list.
+    """
+    labels = result.final_labels()
+    policy = policy or LabelBasedPolicy()
+    lines: list[str] = []
+
+    lines.append(f"# Risk report for owner {result.owner}")
+    lines.append("")
+    lines.append("## Session")
+    lines.append(
+        f"- strangers assessed: {result.num_strangers} across "
+        f"{result.num_pools} pools"
+    )
+    lines.append(
+        f"- owner questions answered: {result.labels_requested} "
+        f"({result.labels_requested / max(result.num_strangers, 1):.0%} "
+        "of strangers)"
+    )
+    if result.exact_match_accuracy is not None:
+        lines.append(
+            f"- validated prediction accuracy: "
+            f"{result.exact_match_accuracy:.0%}"
+        )
+    lines.append(
+        f"- pools converged: {result.converged_fraction:.0%} "
+        f"(mean {result.mean_rounds_to_stop:.1f} rounds)"
+    )
+
+    lines.append("")
+    lines.append("## Label mix")
+    total = len(labels) or 1
+    for label in RiskLabel:
+        count = sum(1 for value in labels.values() if value is label)
+        lines.append(
+            f"- {label.name.lower().replace('_', ' ')}: {count} "
+            f"({count / total:.0%})"
+        )
+
+    lines.append("")
+    lines.append("## " + render_tradeoff(
+        tradeoff_quadrants(labels, similarities, benefits)
+    ))
+
+    lines.append("")
+    lines.append("## Exposure under the access policy")
+    report = policy.exposure_report(labels)
+    for item in BenefitItem:
+        lines.append(
+            f"- {item.value}: visible to {report[item]:.0%} of your "
+            "2-hop audience"
+        )
+
+    if owner_profile is not None:
+        suggestions = suggest_privacy_settings(owner_profile, labels)
+        lines.append("")
+        lines.append("## Privacy-setting suggestions")
+        if not suggestions:
+            lines.append("- current settings match the audience risk profile")
+        for suggestion in suggestions:
+            lines.append(
+                f"- {suggestion.item.value}: {suggestion.current.name} -> "
+                f"{suggestion.suggested.name} ({suggestion.rationale})"
+            )
+
+    friends = suggest_friends(
+        labels, similarities, benefits, top_k=top_suggestions
+    )
+    lines.append("")
+    lines.append("## Friendship candidates (not risky only)")
+    if not friends:
+        lines.append("- none: no stranger was labeled not-risky")
+    for entry in friends:
+        lines.append(
+            f"- stranger #{entry.stranger}: score {entry.score:.3f} "
+            f"(similarity {entry.similarity:.2f}, benefit {entry.benefit:.2f})"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,87 @@
+"""Risk-aware friendship suggestion.
+
+New OSN relationships form overwhelmingly among 2-hop contacts (80 % on
+Facebook, per the paper's Section II), so the stranger set *is* the
+candidate pool for friend recommendation.  The paper's measure makes that
+recommendation risk-aware: rank candidates by the homophily/heterophily
+trade-off — similarity (people befriend similar others) plus benefit
+(dissimilar others offer new information) — but only among strangers
+whose predicted risk the owner tolerates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..errors import ConfigError
+from ..types import RiskLabel, UserId
+
+
+@dataclass(frozen=True)
+class FriendSuggestion:
+    """One ranked friendship candidate."""
+
+    stranger: UserId
+    score: float
+    similarity: float
+    benefit: float
+    label: RiskLabel
+
+
+def suggest_friends(
+    labels: Mapping[UserId, RiskLabel],
+    similarities: Mapping[UserId, float],
+    benefits: Mapping[UserId, float],
+    max_label: RiskLabel = RiskLabel.NOT_RISKY,
+    similarity_weight: float = 0.5,
+    top_k: int | None = 10,
+) -> list[FriendSuggestion]:
+    """Rank tolerable strangers by similarity/benefit desirability.
+
+    Parameters
+    ----------
+    labels:
+        Risk label per stranger (pipeline output or owner judgment).
+    similarities, benefits:
+        ``NS(o, s)`` and ``B(o, s)`` per stranger (session by-products).
+    max_label:
+        The riskiest label the owner tolerates in a suggestion.
+    similarity_weight:
+        Mix between homophily and heterophily: score =
+        ``w * similarity + (1 - w) * benefit``.
+    top_k:
+        Truncate to the best ``top_k`` (``None`` = all).
+
+    Returns
+    -------
+    list[FriendSuggestion]
+        Sorted by score descending (ties by stranger id for determinism).
+    """
+    if not 0.0 <= similarity_weight <= 1.0:
+        raise ConfigError(
+            f"similarity_weight must lie in [0, 1], got {similarity_weight}"
+        )
+    if top_k is not None and top_k < 1:
+        raise ConfigError(f"top_k must be >= 1 or None, got {top_k}")
+
+    candidates: list[FriendSuggestion] = []
+    for stranger, label in labels.items():
+        if int(label) > int(max_label):
+            continue
+        similarity = similarities.get(stranger, 0.0)
+        benefit = benefits.get(stranger, 0.0)
+        score = similarity_weight * similarity + (1 - similarity_weight) * benefit
+        candidates.append(
+            FriendSuggestion(
+                stranger=stranger,
+                score=score,
+                similarity=similarity,
+                benefit=benefit,
+                label=label,
+            )
+        )
+    candidates.sort(key=lambda s: (-s.score, s.stranger))
+    if top_k is not None:
+        candidates = candidates[:top_k]
+    return candidates

@@ -1,0 +1,5 @@
+"""The benefit measure ``B(o, s)`` of Section II."""
+
+from .model import BenefitModel, ThetaWeights
+
+__all__ = ["BenefitModel", "ThetaWeights"]

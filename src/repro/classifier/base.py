@@ -1,0 +1,87 @@
+"""Classifier protocol and prediction value type."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping, Protocol
+
+from ..types import RiskLabel, UserId
+from .graphs import SimilarityGraph
+
+
+@dataclass(frozen=True)
+class Prediction:
+    """A predicted risk label with its continuous evidence.
+
+    Attributes
+    ----------
+    label:
+        The discrete prediction (what exact-match accuracy scores).
+    score:
+        A continuous label estimate in [1, 3] — the class-mass expectation
+        for the harmonic classifier.  RMSE (Definition 4) and
+        classification change (Definition 5) both operate on labels, but
+        the score is exposed for analysis and tie-breaking.
+    masses:
+        Per-class probability mass, keyed by integer label value.
+    """
+
+    label: RiskLabel
+    score: float
+    masses: Mapping[int, float]
+
+    def __post_init__(self) -> None:
+        total = sum(self.masses.values())
+        if total > 0 and abs(total - 1.0) > 1e-6:
+            raise ValueError(f"class masses must sum to 1, got {total}")
+
+
+class PoolClassifier(Protocol):
+    """A classifier bound to one pool's similarity graph.
+
+    ``predict`` consumes the owner labels gathered so far and returns a
+    prediction for *every* unlabeled pool member.
+    """
+
+    def predict(
+        self, labeled: Mapping[UserId, RiskLabel]
+    ) -> dict[UserId, Prediction]:  # pragma: no cover - protocol signature
+        """Predict a label for every unlabeled pool member."""
+        ...
+
+
+#: Factory turning a pool's similarity graph into a classifier; the active
+#: learner is parameterized by one of these.
+ClassifierFactory = Callable[[SimilarityGraph], PoolClassifier]
+
+
+def uniform_masses() -> dict[int, float]:
+    """The maximally uncertain class-mass vector."""
+    values = RiskLabel.values()
+    return {value: 1.0 / len(values) for value in values}
+
+
+def masses_to_prediction(masses: Mapping[int, float]) -> Prediction:
+    """Build a :class:`Prediction` from class masses.
+
+    The discrete label is the argmax class (ties broken toward the lower —
+    i.e. safer-to-flag-later — label deterministically by value order is
+    avoided: ties break toward the *higher* label, because the paper notes
+    under-prediction is the dangerous error: "lower prediction can have the
+    system assume that the owner is safe when there is a real privacy
+    threat").
+    """
+    best_value = max(masses, key=lambda value: (masses[value], value))
+    expectation = sum(value * mass for value, mass in masses.items())
+    total = sum(masses.values())
+    if total > 0:
+        expectation /= total
+        normalized = {value: mass / total for value, mass in masses.items()}
+    else:
+        normalized = uniform_masses()
+        expectation = sum(v * m for v, m in normalized.items())
+    return Prediction(
+        label=RiskLabel(best_value),
+        score=expectation,
+        masses=normalized,
+    )

@@ -1,0 +1,170 @@
+"""Gaussian fields / harmonic function classifier (Zhu et al. 2003).
+
+The classifier minimizes the quadratic energy
+``E(f) = 1/2 * sum_ij w_ij (f_i - f_j)^2`` subject to ``f`` matching the
+owner labels on labeled nodes.  The minimizer is *harmonic*: each unlabeled
+node's value is the weighted average of its neighbors', which is also the
+absorption probability of the random walk the ICDE paper mentions
+("the classifier predicts similar labels for similar neighbors on the
+graph, by exploiting the random walk strategy").
+
+We solve the harmonic system one class at a time (one-vs-rest, one-hot
+anchor values), giving per-class masses for every unlabeled stranger:
+
+``f_u = (D_uu - W_uu)^{-1} W_ul f_l``
+
+Unlabeled nodes with no weight to the rest of the graph (possible after
+sparsification) fall back to the empirical distribution of the owner's
+labels — the least-commitment prior available.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from ..config import ClassifierConfig
+from ..errors import ClassifierError
+from ..types import RiskLabel, UserId
+from .base import Prediction, masses_to_prediction
+from .graphs import SimilarityGraph
+
+
+class HarmonicClassifier:
+    """Zhu/Ghahramani/Lafferty harmonic classifier over one pool.
+
+    Parameters
+    ----------
+    graph:
+        The pool's similarity graph (``PS()`` edge weights).
+    config:
+        Regularization (``epsilon`` added to the system diagonal keeps the
+        solve well-posed when unlabeled components are isolated).
+    """
+
+    def __init__(
+        self, graph: SimilarityGraph, config: ClassifierConfig | None = None
+    ) -> None:
+        self._graph = graph
+        self._config = config or ClassifierConfig()
+
+    @property
+    def graph(self) -> SimilarityGraph:
+        """The underlying similarity graph."""
+        return self._graph
+
+    def predict(
+        self, labeled: Mapping[UserId, RiskLabel]
+    ) -> dict[UserId, Prediction]:
+        """Predict labels for every unlabeled node.
+
+        Raises
+        ------
+        ClassifierError
+            If no labels are supplied, or a labeled id is not a pool node.
+        """
+        if not labeled:
+            raise ClassifierError("harmonic classifier needs at least one label")
+        nodes = self._graph.nodes
+        labeled_idx = []
+        for user_id in labeled:
+            labeled_idx.append(self._graph.index_of(user_id))
+        labeled_set = set(labeled_idx)
+        unlabeled_idx = [
+            position for position in range(len(nodes)) if position not in labeled_set
+        ]
+        if not unlabeled_idx:
+            return {}
+
+        masses = self._class_masses(labeled, labeled_idx, unlabeled_idx)
+        predictions: dict[UserId, Prediction] = {}
+        for row, position in enumerate(unlabeled_idx):
+            node_masses = {
+                value: float(masses[row, column])
+                for column, value in enumerate(RiskLabel.values())
+            }
+            predictions[nodes[position]] = masses_to_prediction(node_masses)
+        return predictions
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _class_masses(
+        self,
+        labeled: Mapping[UserId, RiskLabel],
+        labeled_idx: list[int],
+        unlabeled_idx: list[int],
+    ) -> np.ndarray:
+        weights = np.asarray(self._graph.weights)
+        w_uu = weights[np.ix_(unlabeled_idx, unlabeled_idx)]
+        w_ul = weights[np.ix_(unlabeled_idx, labeled_idx)]
+        degrees = w_uu.sum(axis=1) + w_ul.sum(axis=1)
+
+        label_values = RiskLabel.values()
+        anchor = np.zeros((len(labeled_idx), len(label_values)))
+        nodes = self._graph.nodes
+        for row, position in enumerate(labeled_idx):
+            value = int(labeled[nodes[position]])
+            anchor[row, label_values.index(value)] = 1.0
+
+        rhs = w_ul @ anchor
+        solution = self._solve(w_uu, degrees, rhs)
+
+        solution = np.clip(solution, 0.0, None)
+        row_sums = solution.sum(axis=1)
+        prior = self._label_prior(labeled)
+        for row in range(solution.shape[0]):
+            if row_sums[row] <= 1e-12:
+                solution[row] = prior
+            else:
+                solution[row] /= row_sums[row]
+        return solution
+
+    def _solve(
+        self, w_uu: np.ndarray, degrees: np.ndarray, rhs: np.ndarray
+    ) -> np.ndarray:
+        """Solve ``(D - W_uu) f = rhs``, sparse when it pays off.
+
+        Pools can hold thousands of strangers; once ``min_edge_weight``
+        sparsifies the similarity graph, a sparse factorization beats the
+        dense LU by a wide margin.  Density and size thresholds come from
+        the classifier config; the dense path is the fallback for
+        singular systems.
+        """
+        size = w_uu.shape[0]
+        use_sparse = (
+            self._config.sparse_size_threshold > 0
+            and size >= self._config.sparse_size_threshold
+            and np.count_nonzero(w_uu) / max(size * size, 1)
+            < self._config.sparse_density_threshold
+        )
+        if use_sparse:
+            import scipy.sparse as sparse
+            from scipy.sparse.linalg import spsolve
+
+            system = sparse.csr_matrix(
+                sparse.diags(degrees + self._config.epsilon)
+                - sparse.csr_matrix(w_uu)
+            )
+            try:
+                solution = spsolve(system, rhs)
+                if solution.ndim == 1:
+                    solution = solution.reshape(size, -1)
+                if np.all(np.isfinite(solution)):
+                    return np.asarray(solution)
+            except RuntimeError:
+                pass  # singular factorization: fall through to dense
+        system = np.diag(degrees + self._config.epsilon) - w_uu
+        try:
+            return np.linalg.solve(system, rhs)
+        except np.linalg.LinAlgError:
+            return np.linalg.lstsq(system, rhs, rcond=None)[0]
+
+    @staticmethod
+    def _label_prior(labeled: Mapping[UserId, RiskLabel]) -> np.ndarray:
+        values = RiskLabel.values()
+        counts = np.zeros(len(values))
+        for label in labeled.values():
+            counts[values.index(int(label))] += 1
+        return counts / counts.sum()

@@ -1,0 +1,42 @@
+"""Majority-vote baseline classifier.
+
+The weakest sensible baseline: ignore all structure and predict the
+distribution of the owner's labels so far for every unlabeled stranger.
+Serves as the floor in the classifier-ablation benchmark (E11).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..errors import ClassifierError
+from ..types import RiskLabel, UserId
+from .base import Prediction, masses_to_prediction
+from .graphs import SimilarityGraph
+
+
+class MajorityClassifier:
+    """Predicts the empirical label distribution for every unlabeled node."""
+
+    def __init__(self, graph: SimilarityGraph) -> None:
+        self._graph = graph
+
+    def predict(
+        self, labeled: Mapping[UserId, RiskLabel]
+    ) -> dict[UserId, Prediction]:
+        """Predict the majority label for every unlabeled node."""
+        if not labeled:
+            raise ClassifierError("majority classifier needs at least one label")
+        values = RiskLabel.values()
+        counts = {value: 0 for value in values}
+        for label in labeled.values():
+            counts[int(label)] += 1
+        total = sum(counts.values())
+        masses = {value: count / total for value, count in counts.items()}
+        prediction = masses_to_prediction(masses)
+        labeled_ids = set(labeled)
+        return {
+            node: prediction
+            for node in self._graph.nodes
+            if node not in labeled_ids
+        }

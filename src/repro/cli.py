@@ -1,0 +1,245 @@
+"""Command-line entry point: run the study and print paper-style output.
+
+Examples::
+
+    repro-study --owners 8 --strangers 200 --seed 7
+    repro-study --owners 8 --experiments fig4 fig7 table1 headline
+    python -m repro --owners 4 --strangers 120 --experiments headline
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .experiments import (
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    headline_metrics,
+    run_study,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+)
+from .experiments.report import (
+    render_figure4,
+    render_figure7,
+    render_headline,
+    render_importance_table,
+    render_round_series,
+    render_table3,
+    render_table4,
+    render_table5,
+)
+from .synth import EgoNetConfig, generate_study_population
+
+EXPERIMENTS = (
+    "dataset",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "headline",
+    "report",
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-study",
+        description=(
+            "Reproduce the ICDE 2012 privacy-risk experiments on a "
+            "synthetic cohort."
+        ),
+    )
+    parser.add_argument("--owners", type=int, default=8, help="cohort size")
+    parser.add_argument(
+        "--strangers", type=int, default=200, help="strangers per owner"
+    )
+    parser.add_argument(
+        "--friends", type=int, default=40, help="friends per owner"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="random seed")
+    parser.add_argument(
+        "--classifier",
+        choices=("harmonic", "knn", "majority"),
+        default="harmonic",
+        help="label classifier",
+    )
+    parser.add_argument(
+        "--topology",
+        choices=("communities", "small_world", "preferential"),
+        default="communities",
+        help="ego-network topology of the synthetic cohort",
+    )
+    parser.add_argument(
+        "--save-dataset",
+        metavar="PATH",
+        default=None,
+        help="write the generated cohort to a JSON dataset",
+    )
+    parser.add_argument(
+        "--load-dataset",
+        metavar="PATH",
+        default=None,
+        help="load the cohort from a JSON dataset instead of generating",
+    )
+    parser.add_argument(
+        "--experiments",
+        nargs="+",
+        choices=(*EXPERIMENTS, "all"),
+        default=["all"],
+        help="which artifacts to print",
+    )
+    parser.add_argument(
+        "--validate",
+        action="store_true",
+        help=(
+            "run the paper's shape checks on the study and exit non-zero "
+            "if any fails (forces both NPP and NSP studies)"
+        ),
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Run the CLI; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    chosen = (
+        list(EXPERIMENTS) if "all" in args.experiments else args.experiments
+    )
+
+    if args.load_dataset:
+        from .io.dataset import load_population
+
+        print(f"loading cohort from {args.load_dataset} ...", file=sys.stderr)
+        population = load_population(args.load_dataset)
+    else:
+        print(
+            f"generating cohort: {args.owners} owners x ~{args.strangers} "
+            f"strangers (seed {args.seed}, topology {args.topology}) ...",
+            file=sys.stderr,
+        )
+        population = generate_study_population(
+            num_owners=args.owners,
+            ego_config=EgoNetConfig(
+                num_friends=args.friends, num_strangers=args.strangers
+            ),
+            seed=args.seed,
+            topology=args.topology,
+        )
+    if args.save_dataset:
+        from .io.dataset import save_population
+
+        save_population(population, args.save_dataset)
+        print(f"dataset written to {args.save_dataset}", file=sys.stderr)
+
+    needs_npp = args.validate or bool(
+        set(chosen)
+        & {
+            "fig5", "fig6", "table1", "table2", "table3", "table4",
+            "table5", "headline", "report",
+        }
+    )
+    needs_nsp = args.validate or bool(set(chosen) & {"fig5", "fig6"})
+    npp = (
+        run_study(
+            population, pooling="npp", classifier=args.classifier, seed=args.seed
+        )
+        if needs_npp
+        else None
+    )
+    nsp = (
+        run_study(
+            population, pooling="nsp", classifier=args.classifier, seed=args.seed
+        )
+        if needs_nsp
+        else None
+    )
+
+    sections: list[str] = []
+    if "dataset" in chosen:
+        from .analysis.dataset_stats import (
+            dataset_statistics,
+            render_dataset_statistics,
+        )
+
+        sections.append(
+            render_dataset_statistics(dataset_statistics(population))
+        )
+    if "fig4" in chosen:
+        sections.append(render_figure4(figure4(population)))
+    if "fig5" in chosen:
+        sections.append(
+            render_round_series("Figure 5 — RMSE by round", figure5(npp, nsp))
+        )
+    if "fig6" in chosen:
+        sections.append(
+            render_round_series(
+                "Figure 6 — average unstabilized labels by round",
+                figure6(npp, nsp),
+            )
+        )
+    if "fig7" in chosen:
+        sections.append(render_figure7(figure7(population)))
+    if "table1" in chosen:
+        sections.append(
+            render_importance_table(
+                "Table I — profile attribute importance", table1(npp)
+            )
+        )
+    if "table2" in chosen:
+        sections.append(
+            render_importance_table(
+                "Table II — mined importance of benefits", table2(npp)
+            )
+        )
+    if "table3" in chosen:
+        sections.append(render_table3(table3(npp)))
+    if "table4" in chosen:
+        sections.append(render_table4(table4(npp)))
+    if "table5" in chosen:
+        sections.append(render_table5(table5(npp)))
+    if "headline" in chosen:
+        sections.append(render_headline(headline_metrics(npp)))
+    if "report" in chosen:
+        from .apps.report import render_owner_report
+
+        first = npp.runs[0]
+        sections.append(
+            render_owner_report(
+                first.result,
+                first.similarities,
+                first.benefits,
+                owner_profile=first.owner.profile,
+            )
+        )
+
+    if args.validate:
+        from .experiments import validate_reproduction
+
+        report = validate_reproduction(population, npp, nsp)
+        sections.append(
+            "Shape validation (paper's qualitative claims)\n"
+            + report.render()
+        )
+        print("\n\n".join(sections))
+        return 0 if report.all_passed else 1
+
+    print("\n\n".join(sections))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,26 @@
+"""Stranger pooling: network similarity groups, Squeezer, and pools.
+
+This package implements the sampling substrate of Section III-B:
+
+* Definition 1 — :func:`~repro.clustering.nsg.network_similarity_groups`;
+* Definition 2 — the weighted support similarity inside
+  :mod:`~repro.clustering.squeezer`;
+* Definition 3 — :func:`~repro.clustering.pools.build_pools` (the NPP
+  pools) and :func:`~repro.clustering.pools.build_network_only_pools`
+  (the NSP baseline of Section IV-C).
+"""
+
+from .nsg import NetworkSimilarityGroup, network_similarity_groups
+from .pools import StrangerPool, build_network_only_pools, build_pools
+from .squeezer import SqueezerCluster, cluster_similarity, squeezer
+
+__all__ = [
+    "NetworkSimilarityGroup",
+    "SqueezerCluster",
+    "StrangerPool",
+    "build_network_only_pools",
+    "build_pools",
+    "cluster_similarity",
+    "network_similarity_groups",
+    "squeezer",
+]

@@ -1,0 +1,88 @@
+"""Network similarity groups (Definition 1).
+
+Given the owner's stranger set and the similarity function ``NS()``, the
+strangers are partitioned into ``alpha`` equal-width bins over [0, 1]:
+group ``x`` holds strangers with ``(x-1)/alpha <= NS(o, s) < x/alpha``.
+A stranger with ``NS == 1.0`` (only possible in degenerate synthetic
+graphs) is placed in the top group so the partition stays total.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..errors import ClusteringError
+from ..types import UserId
+
+
+@dataclass(frozen=True)
+class NetworkSimilarityGroup:
+    """One bin of Definition 1.
+
+    Attributes
+    ----------
+    index:
+        1-based group index ``x`` (higher index = higher similarity).
+    lower, upper:
+        The half-open similarity interval ``[lower, upper)`` of the group.
+    members:
+        Stranger ids in this group, sorted for determinism.
+    """
+
+    index: int
+    lower: float
+    upper: float
+    members: tuple[UserId, ...]
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    def contains_similarity(self, value: float) -> bool:
+        """Whether ``value`` falls into this group's interval."""
+        if self.upper >= 1.0:
+            return self.lower <= value <= 1.0
+        return self.lower <= value < self.upper
+
+
+def network_similarity_groups(
+    similarities: Mapping[UserId, float],
+    alpha: int,
+) -> list[NetworkSimilarityGroup]:
+    """Partition strangers into ``alpha`` similarity bins (Definition 1).
+
+    Parameters
+    ----------
+    similarities:
+        ``NS(o, s)`` per stranger, each in [0, 1].
+    alpha:
+        Number of equal-width groups.
+
+    Returns
+    -------
+    list[NetworkSimilarityGroup]
+        Exactly ``alpha`` groups in ascending similarity order.  Empty
+        groups are included — Figure 4 of the paper plots group occupancy,
+        including the empty high-similarity groups.
+    """
+    if alpha < 1:
+        raise ClusteringError(f"alpha must be >= 1, got {alpha}")
+    buckets: list[list[UserId]] = [[] for _ in range(alpha)]
+    for stranger, value in similarities.items():
+        if not 0.0 <= value <= 1.0:
+            raise ClusteringError(
+                f"network similarity of stranger {stranger} out of range: {value}"
+            )
+        index = min(int(value * alpha), alpha - 1)
+        buckets[index].append(stranger)
+    groups = []
+    for position, bucket in enumerate(buckets):
+        groups.append(
+            NetworkSimilarityGroup(
+                index=position + 1,
+                lower=position / alpha,
+                upper=(position + 1) / alpha,
+                members=tuple(sorted(bucket)),
+            )
+        )
+    return groups

@@ -1,0 +1,60 @@
+"""Exception hierarchy for the library.
+
+Every error the library raises deliberately derives from :class:`ReproError`
+so callers can catch library failures with a single ``except`` clause while
+still letting programming errors (``TypeError`` and friends) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by the library."""
+
+
+class ConfigError(ReproError):
+    """An invalid configuration value was supplied."""
+
+
+class GraphError(ReproError):
+    """A social-graph operation failed (unknown user, self-edge, ...)."""
+
+
+class UnknownUserError(GraphError):
+    """The referenced user id does not exist in the graph."""
+
+    def __init__(self, user_id: int) -> None:
+        super().__init__(f"unknown user id: {user_id}")
+        self.user_id = user_id
+
+
+class ProfileError(ReproError):
+    """A profile is malformed or lacks a required attribute."""
+
+
+class SimilarityError(ReproError):
+    """A similarity measure could not be computed."""
+
+
+class ClusteringError(ReproError):
+    """Pool construction or Squeezer clustering failed."""
+
+
+class ClassifierError(ReproError):
+    """The label classifier could not produce predictions."""
+
+
+class NotFittedError(ClassifierError):
+    """Predictions were requested before the classifier saw labeled data."""
+
+
+class LearningError(ReproError):
+    """The active-learning loop entered an invalid state."""
+
+
+class OracleError(LearningError):
+    """The label oracle failed to answer or answered out of range."""
+
+
+class SerializationError(ReproError):
+    """An object could not be serialized or deserialized."""

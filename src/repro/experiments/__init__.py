@@ -1,0 +1,47 @@
+"""Experiment harness: regenerates every table and figure of the paper.
+
+* :mod:`~repro.experiments.study` — runs the full active-learning study
+  over a synthetic cohort (the counterpart of deploying Sight);
+* :mod:`~repro.experiments.figures` — Figures 4-7 data series;
+* :mod:`~repro.experiments.tables` — Tables I-V;
+* :mod:`~repro.experiments.headline` — the Section IV headline numbers;
+* :mod:`~repro.experiments.report` — paper-style text rendering.
+
+The mapping from experiment id to paper artifact lives in DESIGN.md
+(per-experiment index); measured-versus-paper results are recorded in
+EXPERIMENTS.md.
+"""
+
+from .curves import CurvePoint, learning_curve, render_learning_curve
+from .figures import figure4, figure5, figure6, figure7
+from .headline import HeadlineMetrics, headline_metrics
+from .longitudinal import Checkpoint, render_longitudinal, run_longitudinal
+from .study import OwnerRun, StudyResult, run_study
+from .tables import table1, table2, table3, table4, table5
+from .validate import ShapeCheck, ShapeReport, validate_reproduction
+
+__all__ = [
+    "Checkpoint",
+    "CurvePoint",
+    "HeadlineMetrics",
+    "OwnerRun",
+    "ShapeCheck",
+    "ShapeReport",
+    "StudyResult",
+    "validate_reproduction",
+    "figure4",
+    "learning_curve",
+    "render_learning_curve",
+    "figure5",
+    "figure6",
+    "figure7",
+    "headline_metrics",
+    "render_longitudinal",
+    "run_longitudinal",
+    "run_study",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+]

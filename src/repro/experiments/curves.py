@@ -1,0 +1,90 @@
+"""Learning curves: owner effort versus prediction quality.
+
+The system's whole value proposition is the exchange rate between owner
+questions and label quality.  :func:`learning_curve` extracts it from a
+finished study: after every answered question (cohort-wide, in round
+order), the cumulative validated accuracy so far.  The curve's tail is
+the headline accuracy; its slope shows how quickly the pipeline becomes
+useful — the "start labeling on day one" story in one series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..learning.accuracy import exact_match_fraction
+from .study import StudyResult
+
+
+@dataclass(frozen=True)
+class CurvePoint:
+    """Cumulative state after some number of owner labels."""
+
+    labels_spent: int
+    validated_pairs: int
+    validated_accuracy: float | None
+
+
+def learning_curve(
+    study: StudyResult, resolution: int = 20
+) -> list[CurvePoint]:
+    """The cohort's effort/accuracy curve.
+
+    Validation pairs are ordered by round index (the order the paper's
+    deployment produced them: every pool advances in parallel), then
+    sampled at ``resolution`` evenly spaced effort levels.
+    """
+    if resolution < 2:
+        raise ValueError(f"resolution must be >= 2, got {resolution}")
+    # (round_index, labels_in_round, pairs_in_round) per pool, merged
+    per_round: dict[int, tuple[int, list[tuple[int, int]]]] = {}
+    for run in study.runs:
+        for pool in run.result.pool_results:
+            for record in pool.rounds:
+                labels, pairs = per_round.get(record.round_index, (0, []))
+                per_round[record.round_index] = (
+                    labels + len(record.queried),
+                    pairs + list(record.validation_pairs),
+                )
+
+    cumulative_labels = 0
+    cumulative_pairs: list[tuple[int, int]] = []
+    trajectory: list[CurvePoint] = []
+    for round_index in sorted(per_round):
+        labels, pairs = per_round[round_index]
+        cumulative_labels += labels
+        cumulative_pairs.extend(pairs)
+        trajectory.append(
+            CurvePoint(
+                labels_spent=cumulative_labels,
+                validated_pairs=len(cumulative_pairs),
+                validated_accuracy=(
+                    exact_match_fraction(cumulative_pairs)
+                    if cumulative_pairs
+                    else None
+                ),
+            )
+        )
+    if len(trajectory) <= resolution:
+        return trajectory
+    step = (len(trajectory) - 1) / (resolution - 1)
+    return [trajectory[round(i * step)] for i in range(resolution)]
+
+
+def render_learning_curve(points: list[CurvePoint]) -> str:
+    """A small text table of the effort/accuracy curve."""
+    lines = [
+        "Learning curve — cumulative owner labels vs validated accuracy",
+        f"{'labels':>8}  {'validated pairs':>15}  {'accuracy':>9}",
+    ]
+    for point in points:
+        accuracy = (
+            f"{point.validated_accuracy:.1%}"
+            if point.validated_accuracy is not None
+            else "-"
+        )
+        lines.append(
+            f"{point.labels_spent:>8}  {point.validated_pairs:>15}  "
+            f"{accuracy:>9}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,115 @@
+"""Data series for Figures 4-7 of the paper.
+
+Each function returns plain dict/list series so callers can print them
+(see :mod:`~repro.experiments.report`), plot them, or assert on their
+shape (the benchmark suite does all three).
+"""
+
+from __future__ import annotations
+
+from ..clustering.nsg import network_similarity_groups
+from ..similarity.network import NetworkSimilarity
+from ..synth.population import StudyPopulation
+from ..analysis.label_stats import very_risky_fraction_by_group
+from .study import StudyResult
+
+
+def figure4(
+    population: StudyPopulation, alpha: int = 10
+) -> dict[int, int]:
+    """Figure 4: stranger count per network similarity group.
+
+    Aggregated over every owner in the population.  The paper's shape:
+    heavily skewed toward low-similarity groups, with the top groups
+    (NS > 0.6) empty.
+    """
+    measure = NetworkSimilarity()
+    counts = {index: 0 for index in range(1, alpha + 1)}
+    for owner in population.owners:
+        similarities = {
+            stranger: measure(population.graph, owner.user_id, stranger)
+            for stranger in population.strangers_of(owner.user_id)
+        }
+        for group in network_similarity_groups(similarities, alpha):
+            counts[group.index] += len(group.members)
+    return counts
+
+
+def _series_by_round(
+    study: StudyResult, extract
+) -> list[float]:
+    """Average a per-round quantity across every pool of every owner."""
+    totals: list[float] = []
+    counts: list[int] = []
+    for run in study.runs:
+        for pool_result in run.result.pool_results:
+            for record in pool_result.rounds:
+                value = extract(record)
+                if value is None:
+                    continue
+                index = record.round_index - 1
+                while len(totals) <= index:
+                    totals.append(0.0)
+                    counts.append(0)
+                totals[index] += value
+                counts[index] += 1
+    return [
+        total / count if count else 0.0
+        for total, count in zip(totals, counts)
+    ]
+
+
+def figure5(npp: StudyResult, nsp: StudyResult) -> dict[str, list[float]]:
+    """Figure 5: RMSE per round for NPP versus NSP pools.
+
+    The paper's shape: NPP's error drops faster and lower — profile
+    sub-clustering groups strangers the owner judges alike.
+    """
+    return {
+        "npp": _series_by_round(npp, lambda record: record.rmse),
+        "nsp": _series_by_round(nsp, lambda record: record.rmse),
+    }
+
+
+def figure6(npp: StudyResult, nsp: StudyResult) -> dict[str, list[float]]:
+    """Figure 6: average number of unstabilized labels per round.
+
+    The paper's shape: NPP stabilizes with fewer moving labels per round
+    than NSP.
+    """
+    return {
+        "npp": _series_by_round(npp, lambda record: float(len(record.unstabilized))),
+        "nsp": _series_by_round(nsp, lambda record: float(len(record.unstabilized))),
+    }
+
+
+def figure7(
+    population: StudyPopulation, alpha: int = 10
+) -> dict[int, float]:
+    """Figure 7: percentage of *very risky* labels per similarity group.
+
+    Uses the owners' ground-truth judgments (the paper uses owner-given
+    labels; the simulated owner's ground truth is exactly what they would
+    give).  The paper's shape: consistently decreasing with similarity.
+    """
+    measure = NetworkSimilarity()
+    aggregate_very_risky = {index: 0 for index in range(1, alpha + 1)}
+    aggregate_total = {index: 0 for index in range(1, alpha + 1)}
+    for owner in population.owners:
+        similarities = {
+            stranger: measure(population.graph, owner.user_id, stranger)
+            for stranger in population.strangers_of(owner.user_id)
+        }
+        groups = network_similarity_groups(similarities, alpha)
+        fractions = very_risky_fraction_by_group(groups, owner.ground_truth)
+        for group in groups:
+            if group.index in fractions:
+                aggregate_very_risky[group.index] += round(
+                    fractions[group.index] * len(group.members)
+                )
+                aggregate_total[group.index] += len(group.members)
+    return {
+        index: aggregate_very_risky[index] / aggregate_total[index]
+        for index in aggregate_total
+        if aggregate_total[index] > 0
+    }

@@ -1,0 +1,199 @@
+"""Paper-style text rendering of figures and tables.
+
+All renderers return strings (no printing), so the CLI, the examples and
+the benchmarks share one formatting path.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from ..types import BenefitItem, Gender, Locale, RiskLabel
+from .headline import HeadlineMetrics
+from .tables import ImportanceTable
+
+
+def render_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Align a simple text table."""
+    cells = [[str(value) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in cells:
+        for column, value in enumerate(row):
+            widths[column] = max(widths[column], len(value))
+    lines = [
+        "  ".join(header.ljust(widths[i]) for i, header in enumerate(headers)),
+        "  ".join("-" * width for width in widths),
+    ]
+    for row in cells:
+        lines.append(
+            "  ".join(value.ljust(widths[i]) for i, value in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def render_figure4(counts: Mapping[int, int]) -> str:
+    """Figure 4: stranger counts per network similarity group."""
+    total = sum(counts.values()) or 1
+    peak = max(counts.values(), default=0) or 1
+    rows = []
+    for index in sorted(counts):
+        count = counts[index]
+        bar = "#" * round(40 * count / peak)
+        rows.append((f"nsg{index}", count, f"{count / total:6.1%}", bar))
+    return "Figure 4 — stranger count per network similarity group\n" + render_table(
+        ("group", "strangers", "share", ""), rows
+    )
+
+
+def render_round_series(
+    title: str, series: Mapping[str, Sequence[float]], value_format: str = "{:.3f}"
+) -> str:
+    """Figures 5/6: one row per round, one column per pooling strategy."""
+    keys = list(series)
+    depth = max((len(values) for values in series.values()), default=0)
+    rows = []
+    for index in range(depth):
+        row: list[object] = [index + 1]
+        for key in keys:
+            values = series[key]
+            row.append(
+                value_format.format(values[index]) if index < len(values) else "-"
+            )
+        rows.append(row)
+    return f"{title}\n" + render_table(["round", *keys], rows)
+
+
+def render_figure7(fractions: Mapping[int, float]) -> str:
+    """Figure 7: percentage of very risky strangers per similarity group."""
+    rows = [
+        (f"nsg{index}", f"{fractions[index]:6.1%}")
+        for index in sorted(fractions)
+    ]
+    return (
+        "Figure 7 — percentage of very risky strangers per network "
+        "similarity group\n" + render_table(("group", "very risky"), rows)
+    )
+
+
+def render_importance_table(
+    title: str, table: ImportanceTable, num_ranks: int | None = None
+) -> str:
+    """Tables I/II: rank counts I1..In plus average importance."""
+    keys = table.ordered_keys()
+    ranks = num_ranks or len(keys)
+    headers = ["item", *[f"I{rank}" for rank in range(1, ranks + 1)], "Avg Imp."]
+    rows = []
+    for key in keys:
+        rows.append(
+            [
+                key,
+                *[table.owners_with_rank(key, rank) for rank in range(1, ranks + 1)],
+                f"{table.average[key]:.4f}",
+            ]
+        )
+    return f"{title}\n" + render_table(headers, rows)
+
+
+def render_table3(thetas: Mapping[BenefitItem, float]) -> str:
+    """Table III: average owner-given theta weights."""
+    rows = [
+        (item.value, f"{thetas[item]:.4f}")
+        for item in sorted(thetas, key=lambda item: -thetas[item])
+    ]
+    return "Table III — owner given theta weights\n" + render_table(
+        ("item", "average theta"), rows
+    )
+
+
+_ITEM_ORDER = (
+    BenefitItem.WALL,
+    BenefitItem.PHOTO,
+    BenefitItem.FRIEND,
+    BenefitItem.LOCATION,
+    BenefitItem.EDUCATION,
+    BenefitItem.WORK,
+    BenefitItem.HOMETOWN,
+)
+
+
+def render_table4(
+    visibility: Mapping[Gender, Mapping[BenefitItem, float]]
+) -> str:
+    """Table IV: item visibility by gender (paper column order)."""
+    headers = ["gender", *[item.value for item in _ITEM_ORDER]]
+    rows = []
+    for gender in (Gender.MALE, Gender.FEMALE):
+        row: list[object] = [gender.value]
+        row.extend(
+            f"{visibility[gender][item]:.0%}" for item in _ITEM_ORDER
+        )
+        rows.append(row)
+    return "Table IV — item visibility for different genders\n" + render_table(
+        headers, rows
+    )
+
+
+def render_table5(
+    visibility: Mapping[Locale, Mapping[BenefitItem, float]]
+) -> str:
+    """Table V: item visibility by locale (paper row order)."""
+    headers = ["locale", *[item.value for item in _ITEM_ORDER]]
+    rows = []
+    for locale in Locale.table5_locales():
+        if locale not in visibility:
+            continue
+        row: list[object] = [locale.value]
+        row.extend(
+            f"{visibility[locale][item]:.0%}" for item in _ITEM_ORDER
+        )
+        rows.append(row)
+    return (
+        "Table V — visibility of profile items for different locale "
+        "strangers\n" + render_table(headers, rows)
+    )
+
+
+def render_headline(metrics: HeadlineMetrics) -> str:
+    """The Section IV headline block."""
+    accuracy = (
+        f"{metrics.exact_match_accuracy:.2%}"
+        if metrics.exact_match_accuracy is not None
+        else "n/a"
+    )
+    rmse = (
+        f"{metrics.validation_rmse:.3f}"
+        if metrics.validation_rmse is not None
+        else "n/a"
+    )
+    holdout = (
+        f"{metrics.holdout_accuracy:.2%}"
+        if metrics.holdout_accuracy is not None
+        else "n/a"
+    )
+    rows = [
+        ("owners", metrics.num_owners),
+        ("strangers (total)", metrics.total_strangers),
+        ("owner labels (total)", metrics.total_labels),
+        ("strangers / owner", f"{metrics.mean_strangers_per_owner:.1f}"),
+        ("labels / owner", f"{metrics.mean_labels_per_owner:.1f}"),
+        ("exact-match accuracy (validated)", accuracy),
+        ("validation RMSE", rmse),
+        ("holdout accuracy (vs ground truth)", holdout),
+        ("mean rounds to stop", f"{metrics.mean_rounds_to_stop:.2f}"),
+        ("mean owner confidence", f"{metrics.mean_confidence:.2f}"),
+    ]
+    return "Headline metrics (Section IV)\n" + render_table(
+        ("metric", "value"), rows
+    )
+
+
+def render_label_distribution(counts: Mapping[RiskLabel, int]) -> str:
+    """A small label-mix table used by the examples."""
+    total = sum(counts.values()) or 1
+    rows = [
+        (label.name.lower().replace("_", " "), counts[label], f"{counts[label] / total:.1%}")
+        for label in RiskLabel
+    ]
+    return render_table(("label", "count", "share"), rows)

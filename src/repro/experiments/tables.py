@@ -1,0 +1,98 @@
+"""Tables I-V of the paper, computed from a study run.
+
+Every table is returned as plain data (dicts / dataclasses) and can be
+rendered paper-style by :mod:`~repro.experiments.report`.
+
+Tables I and II mine the *owners' own judgments*; the simulated owner's
+ground truth over every stranger is exactly that signal, in the limit of
+full labeling.  Tables IV and V are pure profile statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.importance import (
+    ImportanceRanking,
+    attribute_importance,
+    average_importance,
+    benefit_importance,
+    rank_counts,
+)
+from ..analysis.visibility import visibility_by_gender, visibility_by_locale
+from ..graph.profile import Profile
+from ..types import BenefitItem, Gender, Locale
+from .study import StudyResult
+
+
+@dataclass(frozen=True)
+class ImportanceTable:
+    """Tables I and II share this shape: rank counts + average importance.
+
+    ``rank_counts[key][rank]`` is the number of owners for whom ``key``
+    was the rank-th most important item (the Ii columns of the paper's
+    tables); ``average[key]`` is the mean normalized importance.
+    """
+
+    rank_counts: dict[str, dict[int, int]]
+    average: dict[str, float]
+
+    def ordered_keys(self) -> list[str]:
+        """Keys sorted by average importance, descending."""
+        return sorted(self.average, key=lambda key: -self.average[key])
+
+    def owners_with_rank(self, key: str, rank: int) -> int:
+        """How many owners put ``key`` at the given 1-based rank."""
+        return self.rank_counts.get(key, {}).get(rank, 0)
+
+
+def table1(study: StudyResult) -> ImportanceTable:
+    """Table I: profile attribute importance (gender / locale / last name)."""
+    rankings: list[ImportanceRanking] = []
+    for run in study.runs:
+        rankings.append(
+            attribute_importance(run.profiles, run.owner.ground_truth)
+        )
+    return ImportanceTable(
+        rank_counts=rank_counts(rankings),
+        average=average_importance(rankings),
+    )
+
+
+def table2(study: StudyResult) -> ImportanceTable:
+    """Table II: mined importance of benefit items (visibility bits)."""
+    rankings = [
+        benefit_importance(run.visibility, run.owner.ground_truth)
+        for run in study.runs
+    ]
+    return ImportanceTable(
+        rank_counts=rank_counts(rankings),
+        average=average_importance(rankings),
+    )
+
+
+def table3(study: StudyResult) -> dict[BenefitItem, float]:
+    """Table III: cohort-average owner-given theta weights (normalized)."""
+    totals = {item: 0.0 for item in BenefitItem}
+    for run in study.runs:
+        normalized = run.owner.thetas.normalized()
+        for item, weight in normalized.items():
+            totals[item] += weight
+    return {item: total / study.num_owners for item, total in totals.items()}
+
+
+def table4(study: StudyResult) -> dict[Gender, dict[BenefitItem, float]]:
+    """Table IV: item visibility by stranger gender."""
+    return visibility_by_gender(_all_stranger_profiles(study))
+
+
+def table5(study: StudyResult) -> dict[Locale, dict[BenefitItem, float]]:
+    """Table V: item visibility by stranger locale."""
+    return visibility_by_locale(_all_stranger_profiles(study))
+
+
+def _all_stranger_profiles(study: StudyResult) -> list[Profile]:
+    profiles: list[Profile] = []
+    for run in study.runs:
+        profiles.extend(run.profiles.values())
+    return profiles

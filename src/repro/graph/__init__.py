@@ -1,0 +1,37 @@
+"""Social-graph substrate: profiles, the friendship graph, and ego views.
+
+This package provides everything the risk pipeline needs from an OSN:
+
+* :class:`~repro.graph.profile.Profile` — categorical attributes plus
+  per-item privacy settings;
+* :class:`~repro.graph.social_graph.SocialGraph` — an undirected friendship
+  graph with profile storage and mutual-friend queries;
+* :class:`~repro.graph.ego.EgoNetwork` — the owner-centric view that yields
+  the *stranger* set (2-hop contacts, Section II of the paper);
+* :mod:`~repro.graph.metrics` — structural helpers (densities, components);
+* :mod:`~repro.graph.visibility` — resolution of the visibility bit
+  ``V_s(i, o)`` from privacy settings and graph distance.
+"""
+
+from .ego import EgoNetwork
+from .metrics import (
+    degree_statistics,
+    edge_count_within,
+    induced_components,
+    induced_density,
+)
+from .profile import Profile
+from .social_graph import SocialGraph
+from .visibility import item_visibility, visible_items
+
+__all__ = [
+    "EgoNetwork",
+    "Profile",
+    "SocialGraph",
+    "degree_statistics",
+    "edge_count_within",
+    "induced_components",
+    "induced_density",
+    "item_visibility",
+    "visible_items",
+]

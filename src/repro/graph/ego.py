@@ -1,0 +1,90 @@
+"""Owner-centric ego view: friends and *strangers* (2-hop contacts).
+
+The paper restricts risk estimation to second-level contacts: "given a
+social network user, hereafter owner, we compute risk levels for those users
+that are connected to a friend of owner's friends" (Section II).  The ego
+view materializes that stranger set once and exposes the owner-relative
+queries the rest of the pipeline needs.
+"""
+
+from __future__ import annotations
+
+from ..errors import GraphError
+from ..types import UserId
+from .profile import Profile
+from .social_graph import SocialGraph
+
+
+class EgoNetwork:
+    """Snapshot of the social graph from one owner's perspective.
+
+    The snapshot is computed eagerly at construction.  If the underlying
+    graph changes (the paper stresses that stranger sets are dynamic),
+    construct a fresh :class:`EgoNetwork` — that is exactly what the active
+    learner's on-the-fly sampling is designed around.
+    """
+
+    def __init__(self, graph: SocialGraph, owner: UserId) -> None:
+        if owner not in graph:
+            raise GraphError(f"owner {owner} is not in the graph")
+        self._graph = graph
+        self._owner = owner
+        self._friends = graph.friends(owner)
+        self._strangers = graph.two_hop_neighbors(owner)
+
+    @property
+    def graph(self) -> SocialGraph:
+        """The underlying social graph."""
+        return self._graph
+
+    @property
+    def owner(self) -> UserId:
+        """The owner's user id."""
+        return self._owner
+
+    @property
+    def owner_profile(self) -> Profile:
+        """The owner's profile."""
+        return self._graph.profile(self._owner)
+
+    @property
+    def friends(self) -> frozenset[UserId]:
+        """Direct friends of the owner."""
+        return self._friends
+
+    @property
+    def strangers(self) -> frozenset[UserId]:
+        """Second-level contacts — the candidates for risk labeling."""
+        return self._strangers
+
+    def is_stranger(self, user_id: UserId) -> bool:
+        """Whether ``user_id`` is a stranger of this owner."""
+        return user_id in self._strangers
+
+    def stranger_profiles(self) -> dict[UserId, Profile]:
+        """Profiles of every stranger, keyed by user id."""
+        return {
+            stranger: self._graph.profile(stranger)
+            for stranger in self._strangers
+        }
+
+    def mutual_friends(self, stranger: UserId) -> frozenset[UserId]:
+        """Mutual friends of owner and ``stranger``.
+
+        For a stranger these are never empty by construction: a 2-hop
+        contact is reachable through at least one shared friend.
+        """
+        return self._graph.mutual_friends(self._owner, stranger)
+
+    def connecting_friends(self) -> dict[UserId, frozenset[UserId]]:
+        """For every stranger, the friends that connect them to the owner."""
+        return {
+            stranger: self.mutual_friends(stranger)
+            for stranger in self._strangers
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"EgoNetwork(owner={self._owner}, friends={len(self._friends)}, "
+            f"strangers={len(self._strangers)})"
+        )

@@ -1,0 +1,99 @@
+"""Structural helpers over :class:`~repro.graph.social_graph.SocialGraph`.
+
+These are the small graph-theoretic quantities the similarity measures and
+the experiment analysis need: induced-subgraph densities (the *cohesion* of
+a stranger's mutual-friend community), connected components within a node
+subset, and degree statistics for dataset characterization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..types import UserId
+from .social_graph import SocialGraph
+
+
+def edge_count_within(graph: SocialGraph, nodes: Iterable[UserId]) -> int:
+    """Number of edges in the subgraph induced by ``nodes``."""
+    return graph.edges_within(nodes)
+
+
+def induced_density(graph: SocialGraph, nodes: Iterable[UserId]) -> float:
+    """Edge density of the subgraph induced by ``nodes``.
+
+    Density is ``edges / possible_edges``; subsets of size < 2 have density
+    0 by convention (a lone mutual friend provides no cohesion signal).
+    """
+    node_list = list(set(nodes))
+    size = len(node_list)
+    if size < 2:
+        return 0.0
+    possible = size * (size - 1) / 2
+    return edge_count_within(graph, node_list) / possible
+
+
+def induced_components(
+    graph: SocialGraph, nodes: Iterable[UserId]
+) -> list[frozenset[UserId]]:
+    """Connected components of the subgraph induced by ``nodes``.
+
+    Used to characterize how a stranger's mutual friends cluster around the
+    owner — a single large component signals one dense community, many
+    singletons signal scattered acquaintances.
+    """
+    remaining = set(nodes)
+    components: list[frozenset[UserId]] = []
+    while remaining:
+        seed = next(iter(remaining))
+        component = {seed}
+        frontier = {seed}
+        while frontier:
+            next_frontier: set[UserId] = set()
+            for node in frontier:
+                next_frontier.update(graph.friends(node) & remaining)
+            next_frontier -= component
+            component.update(next_frontier)
+            frontier = next_frontier
+        components.append(frozenset(component))
+        remaining -= component
+    components.sort(key=len, reverse=True)
+    return components
+
+
+@dataclass(frozen=True)
+class DegreeStatistics:
+    """Summary of a graph's degree distribution."""
+
+    num_users: int
+    num_friendships: int
+    min_degree: int
+    max_degree: int
+    mean_degree: float
+
+    @property
+    def density(self) -> float:
+        """Global edge density of the graph."""
+        if self.num_users < 2:
+            return 0.0
+        possible = self.num_users * (self.num_users - 1) / 2
+        return self.num_friendships / possible
+
+
+def degree_statistics(graph: SocialGraph) -> DegreeStatistics:
+    """Compute :class:`DegreeStatistics` for ``graph``.
+
+    An empty graph yields all-zero statistics rather than raising, so
+    dataset reports stay total.
+    """
+    degrees = [graph.degree(user) for user in graph.users()]
+    if not degrees:
+        return DegreeStatistics(0, 0, 0, 0, 0.0)
+    return DegreeStatistics(
+        num_users=graph.num_users,
+        num_friendships=graph.num_friendships,
+        min_degree=min(degrees),
+        max_degree=max(degrees),
+        mean_degree=sum(degrees) / len(degrees),
+    )

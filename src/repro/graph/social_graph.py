@@ -1,0 +1,218 @@
+"""The undirected friendship graph with attached profiles.
+
+:class:`SocialGraph` is the substrate every other package builds on.  It is
+a thin, fast adjacency-set structure rather than a networkx wrapper: the
+pipeline's hot loops (mutual-friend queries during pool construction, 2-hop
+expansion per owner) only need set intersections, and keeping storage
+explicit makes serialization and property-based testing straightforward.
+A :meth:`to_networkx` escape hatch exists for analysis and visualization.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import networkx as nx
+
+from ..errors import GraphError, UnknownUserError
+from ..types import UserId
+from .profile import Profile
+
+
+class SocialGraph:
+    """An undirected social graph whose nodes carry :class:`Profile` data.
+
+    Users must be added before edges referencing them; self-friendships are
+    rejected.  All mutating operations keep the adjacency symmetric, which
+    the test suite verifies property-based.
+    """
+
+    def __init__(self) -> None:
+        self._adjacency: dict[UserId, set[UserId]] = {}
+        self._profiles: dict[UserId, Profile] = {}
+        self._edge_count = 0
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_user(self, profile: Profile) -> None:
+        """Register a user.  Re-adding an id replaces its profile only."""
+        user_id = profile.user_id
+        if user_id not in self._adjacency:
+            self._adjacency[user_id] = set()
+        self._profiles[user_id] = profile
+
+    def add_friendship(self, a: UserId, b: UserId) -> None:
+        """Create the undirected edge ``{a, b}``.
+
+        Raises
+        ------
+        GraphError
+            If ``a == b`` (self-friendships are meaningless in OSNs).
+        UnknownUserError
+            If either endpoint was never added.
+        """
+        if a == b:
+            raise GraphError(f"self-friendship rejected for user {a}")
+        self._require_user(a)
+        self._require_user(b)
+        if b not in self._adjacency[a]:
+            self._adjacency[a].add(b)
+            self._adjacency[b].add(a)
+            self._edge_count += 1
+
+    def remove_friendship(self, a: UserId, b: UserId) -> None:
+        """Remove the edge ``{a, b}`` if present (no-op otherwise)."""
+        self._require_user(a)
+        self._require_user(b)
+        if b in self._adjacency[a]:
+            self._adjacency[a].discard(b)
+            self._adjacency[b].discard(a)
+            self._edge_count -= 1
+
+    @classmethod
+    def from_edges(
+        cls,
+        profiles: Iterable[Profile],
+        edges: Iterable[tuple[UserId, UserId]],
+    ) -> "SocialGraph":
+        """Build a graph from a profile iterable and an edge iterable."""
+        graph = cls()
+        for profile in profiles:
+            graph.add_user(profile)
+        for a, b in edges:
+            graph.add_friendship(a, b)
+        return graph
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def __contains__(self, user_id: UserId) -> bool:
+        return user_id in self._adjacency
+
+    def __len__(self) -> int:
+        return len(self._adjacency)
+
+    def users(self) -> Iterator[UserId]:
+        """Iterate over every user id."""
+        return iter(self._adjacency)
+
+    @property
+    def num_users(self) -> int:
+        """Number of registered users."""
+        return len(self._adjacency)
+
+    @property
+    def num_friendships(self) -> int:
+        """Number of undirected edges."""
+        return self._edge_count
+
+    def profile(self, user_id: UserId) -> Profile:
+        """Profile of ``user_id``; raises :class:`UnknownUserError`."""
+        self._require_user(user_id)
+        return self._profiles[user_id]
+
+    def profiles(self, user_ids: Iterable[UserId]) -> list[Profile]:
+        """Profiles of the given users, preserving order."""
+        return [self.profile(user_id) for user_id in user_ids]
+
+    def friends(self, user_id: UserId) -> frozenset[UserId]:
+        """The friend set of ``user_id`` as an immutable snapshot."""
+        self._require_user(user_id)
+        return frozenset(self._adjacency[user_id])
+
+    def degree(self, user_id: UserId) -> int:
+        """Number of friends of ``user_id``."""
+        self._require_user(user_id)
+        return len(self._adjacency[user_id])
+
+    def are_friends(self, a: UserId, b: UserId) -> bool:
+        """Whether the edge ``{a, b}`` exists."""
+        self._require_user(a)
+        self._require_user(b)
+        return b in self._adjacency[a]
+
+    def mutual_friends(self, a: UserId, b: UserId) -> frozenset[UserId]:
+        """Users friends with both ``a`` and ``b``.
+
+        Mutual friends are the backbone of the network similarity measure:
+        both their count and the edges among them matter (Section III-B).
+        """
+        self._require_user(a)
+        self._require_user(b)
+        smaller, larger = sorted(
+            (self._adjacency[a], self._adjacency[b]), key=len
+        )
+        return frozenset(smaller & larger)
+
+    def two_hop_neighbors(self, user_id: UserId) -> frozenset[UserId]:
+        """Users at graph distance exactly 2 from ``user_id``.
+
+        These are the paper's *strangers*: contacts of friends who are not
+        themselves friends (and not the user).
+        """
+        self._require_user(user_id)
+        direct = self._adjacency[user_id]
+        second: set[UserId] = set()
+        for friend in direct:
+            second.update(self._adjacency[friend])
+        second.discard(user_id)
+        second -= direct
+        return frozenset(second)
+
+    def distance(self, a: UserId, b: UserId, cutoff: int = 4) -> int | None:
+        """Shortest-path distance between ``a`` and ``b`` up to ``cutoff``.
+
+        Returns ``None`` when the distance exceeds ``cutoff`` (or the users
+        are disconnected).  BFS with a cutoff keeps visibility resolution
+        cheap — the pipeline only ever needs distances 0..2.
+        """
+        self._require_user(a)
+        self._require_user(b)
+        if a == b:
+            return 0
+        frontier = {a}
+        seen = {a}
+        for depth in range(1, cutoff + 1):
+            next_frontier: set[UserId] = set()
+            for node in frontier:
+                next_frontier.update(self._adjacency[node])
+            next_frontier -= seen
+            if b in next_frontier:
+                return depth
+            if not next_frontier:
+                return None
+            seen.update(next_frontier)
+            frontier = next_frontier
+        return None
+
+    def edges(self) -> Iterator[tuple[UserId, UserId]]:
+        """Iterate over undirected edges once each, as ``(min, max)``."""
+        for user_id, neighbors in self._adjacency.items():
+            for neighbor in neighbors:
+                if user_id < neighbor:
+                    yield (user_id, neighbor)
+
+    def edges_within(self, nodes: Iterable[UserId]) -> int:
+        """Count edges of the subgraph induced by ``nodes``."""
+        node_set = set(nodes)
+        count = 0
+        for node in node_set:
+            self._require_user(node)
+            count += len(self._adjacency[node] & node_set)
+        return count // 2
+
+    def to_networkx(self) -> nx.Graph:
+        """Export to a :class:`networkx.Graph` (profiles as node data)."""
+        exported = nx.Graph()
+        for user_id in self._adjacency:
+            exported.add_node(user_id, profile=self._profiles[user_id])
+        exported.add_edges_from(self.edges())
+        return exported
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _require_user(self, user_id: UserId) -> None:
+        if user_id not in self._adjacency:
+            raise UnknownUserError(user_id)

@@ -1,0 +1,98 @@
+"""Anonymization of social-graph datasets before sharing.
+
+A paper about privacy risk should not itself leak identities when its
+datasets are exported.  :func:`anonymize_graph` produces a shareable copy
+of a graph:
+
+* user ids are replaced by salted-hash pseudonyms (stable within one
+  export, unlinkable across exports with different salts);
+* direct identifiers (last name) are dropped;
+* quasi-identifiers can be kept (they drive the algorithms) or dropped
+  via ``keep_attributes``;
+* privacy settings are preserved — they are the object of study.
+
+This is deliberately *pseudonymization plus attribute suppression*, not a
+formal guarantee: graph structure itself can re-identify users (the
+de-anonymization literature the paper's related work touches).  The
+docstring of the module is explicit about that limit so downstream users
+do not over-trust the export.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from ..errors import SerializationError
+from ..graph.profile import Profile
+from ..graph.social_graph import SocialGraph
+from ..types import ProfileAttribute, UserId
+
+#: Attributes kept by default: the quasi-identifiers the pipeline's
+#: measures actually consume.  Last name — a direct identifier — is out.
+DEFAULT_KEPT_ATTRIBUTES: tuple[ProfileAttribute, ...] = (
+    ProfileAttribute.GENDER,
+    ProfileAttribute.LOCALE,
+    ProfileAttribute.HOMETOWN,
+    ProfileAttribute.EDUCATION,
+    ProfileAttribute.WORK,
+    ProfileAttribute.LOCATION,
+)
+
+
+def pseudonym(user_id: UserId, salt: str) -> int:
+    """Stable salted pseudonym for a user id (63-bit int)."""
+    digest = hashlib.sha256(f"{salt}:{user_id}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") >> 1
+
+
+def anonymize_graph(
+    graph: SocialGraph,
+    salt: str,
+    keep_attributes: tuple[ProfileAttribute, ...] = DEFAULT_KEPT_ATTRIBUTES,
+) -> tuple[SocialGraph, dict[UserId, int]]:
+    """Produce an anonymized copy of ``graph``.
+
+    Parameters
+    ----------
+    graph:
+        The source graph (unchanged).
+    salt:
+        Secret salt for the pseudonym hash.  An empty salt is rejected —
+        unsalted hashes of small integer ids are trivially reversible.
+    keep_attributes:
+        Attributes to retain on the anonymized profiles.
+
+    Returns
+    -------
+    (anonymized_graph, mapping)
+        The new graph and the original-id → pseudonym mapping (keep the
+        mapping private; it is returned so the data owner can join
+        results back).
+    """
+    if not salt:
+        raise SerializationError("anonymization requires a non-empty salt")
+    mapping: dict[UserId, int] = {}
+    for user_id in graph.users():
+        alias = pseudonym(user_id, salt)
+        if alias in mapping.values():  # pragma: no cover - 2^-63 event
+            raise SerializationError("pseudonym collision; change the salt")
+        mapping[user_id] = alias
+
+    anonymized = SocialGraph()
+    kept = set(keep_attributes) - {ProfileAttribute.LAST_NAME}
+    for user_id in graph.users():
+        source = graph.profile(user_id)
+        anonymized.add_user(
+            Profile(
+                user_id=mapping[user_id],
+                attributes={
+                    attribute: value
+                    for attribute, value in source.attributes.items()
+                    if attribute in kept
+                },
+                privacy=dict(source.privacy),
+            )
+        )
+    for a, b in graph.edges():
+        anonymized.add_friendship(mapping[a], mapping[b])
+    return anonymized, mapping

@@ -1,0 +1,55 @@
+"""One-way export of study results for logging and comparison.
+
+A study export captures the headline metrics plus a per-owner summary —
+enough to diff two runs (different seeds, configs, branches) without
+re-running anything.  Exports are plain JSON documents.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from ..experiments.headline import headline_metrics
+from ..experiments.study import StudyResult
+from .serialization import session_result_to_dict
+
+
+def study_result_to_dict(study: StudyResult) -> dict[str, Any]:
+    """Serialize a study to a JSON-ready dict."""
+    metrics = headline_metrics(study)
+    return {
+        "pooling": study.pooling,
+        "classifier": study.classifier,
+        "headline": {
+            "num_owners": metrics.num_owners,
+            "total_strangers": metrics.total_strangers,
+            "total_labels": metrics.total_labels,
+            "mean_labels_per_owner": metrics.mean_labels_per_owner,
+            "exact_match_accuracy": metrics.exact_match_accuracy,
+            "validation_rmse": metrics.validation_rmse,
+            "holdout_accuracy": metrics.holdout_accuracy,
+            "mean_rounds_to_stop": metrics.mean_rounds_to_stop,
+            "mean_confidence": metrics.mean_confidence,
+        },
+        "owners": [
+            {
+                "owner": run.owner.user_id,
+                "gender": run.owner.gender.value,
+                "locale": run.owner.locale.value,
+                "confidence": run.owner.confidence,
+                "holdout_accuracy": run.holdout_accuracy,
+                "session": session_result_to_dict(run.result),
+            }
+            for run in study.runs
+        ],
+    }
+
+
+def save_study(study: StudyResult, path: str | Path) -> None:
+    """Write a study export to ``path`` as JSON."""
+    Path(path).write_text(
+        json.dumps(study_result_to_dict(study), indent=2, sort_keys=True),
+        encoding="utf-8",
+    )

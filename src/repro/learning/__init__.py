@@ -1,0 +1,75 @@
+"""The risk learning process (Section III) — the paper's core contribution.
+
+The pipeline, per owner:
+
+1. compute ``NS(o, s)`` and ``B(o, s)`` for every stranger;
+2. build pools (Definition 3) — delegated to :mod:`repro.clustering`;
+3. per pool, run rounds of active learning
+   (:class:`~repro.learning.pool_learner.PoolLearner`): sample a few
+   unlabeled strangers, ask the owner (:mod:`~repro.learning.oracle`),
+   predict the rest (:mod:`repro.classifier`), measure accuracy
+   (Definition 4) and stabilization (Definition 5), and stop per
+   Section III-D;
+4. aggregate everything into a
+   :class:`~repro.learning.results.SessionResult`.
+
+:class:`~repro.learning.session.RiskLearningSession` wires all of it.
+"""
+
+from .accuracy import exact_match_fraction, root_mean_square_error
+from .incremental import IncrementalResult, continue_session, gathered_labels
+from .interactive import TerminalOracle
+from .mining import (
+    AdaptiveSessionResult,
+    mine_attribute_weights,
+    mine_theta_weights,
+    run_adaptive_session,
+)
+from .oracle import (
+    CallbackOracle,
+    LabelOracle,
+    LabelQuery,
+    OracleStats,
+    RecordingOracle,
+    ScriptedOracle,
+)
+from .pool_learner import PoolLearner
+from .question import render_question
+from .results import PoolResult, RoundRecord, SessionResult
+from .sampling import RandomSampler, Sampler, UncertaintySampler
+from .session import RiskLearningSession
+from .stabilization import change_threshold, is_stabilized, unstabilized_strangers
+from .stopping import StoppingCondition, StopReason
+
+__all__ = [
+    "AdaptiveSessionResult",
+    "CallbackOracle",
+    "IncrementalResult",
+    "LabelOracle",
+    "LabelQuery",
+    "OracleStats",
+    "continue_session",
+    "exact_match_fraction",
+    "gathered_labels",
+    "mine_attribute_weights",
+    "mine_theta_weights",
+    "run_adaptive_session",
+    "PoolLearner",
+    "PoolResult",
+    "RandomSampler",
+    "RecordingOracle",
+    "RiskLearningSession",
+    "RoundRecord",
+    "Sampler",
+    "ScriptedOracle",
+    "SessionResult",
+    "StopReason",
+    "StoppingCondition",
+    "TerminalOracle",
+    "UncertaintySampler",
+    "change_threshold",
+    "is_stabilized",
+    "render_question",
+    "root_mean_square_error",
+    "unstabilized_strangers",
+]

@@ -1,0 +1,57 @@
+"""Prediction accuracy: the RMSE of Definition 4.
+
+In each round the learner asks the owner to label strangers whose labels
+were *predicted* in the previous round; the root mean square error between
+those predictions and the owner's answers estimates accuracy without a
+held-out set.  With labels in [1, 3] the error lives in [0, 2]; the paper's
+stopping rule demands RMSE < 0.5.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+from ..errors import LearningError
+from ..types import RiskLabel
+
+
+def root_mean_square_error(
+    pairs: Iterable[tuple[RiskLabel | int | float, RiskLabel | int | float]],
+) -> float:
+    """RMSE over ``(predicted, owner)`` pairs (Definition 4).
+
+    Raises
+    ------
+    LearningError
+        On an empty pair set — an RMSE of "nothing" would silently satisfy
+        any threshold.
+    """
+    total = 0.0
+    count = 0
+    for predicted, actual in pairs:
+        difference = float(actual) - float(predicted)
+        total += difference * difference
+        count += 1
+    if count == 0:
+        raise LearningError("RMSE of an empty validation set is undefined")
+    return math.sqrt(total / count)
+
+
+def exact_match_fraction(
+    pairs: Iterable[tuple[RiskLabel | int, RiskLabel | int]],
+) -> float:
+    """Fraction of predictions that exactly match the owner label.
+
+    This is the paper's headline metric ("83,36% of predicted labels
+    exactly match the owner labels").  Returns 0.0 on an empty set.
+    """
+    matches = 0
+    count = 0
+    for predicted, actual in pairs:
+        if int(predicted) == int(actual):
+            matches += 1
+        count += 1
+    if count == 0:
+        return 0.0
+    return matches / count

@@ -1,0 +1,69 @@
+"""A terminal-based owner oracle: the library's Sight-extension stand-in.
+
+The paper's owners answered through a Chrome extension rendering the
+Section III-A question.  :class:`TerminalOracle` is the equivalent for
+CLI deployments: it renders the exact question (similarity and benefit on
+the 0-100 scale) and validates the 1/2/3 answer, re-prompting on garbage.
+
+IO is injected (``input_fn`` / ``print_fn``) so the oracle is fully
+testable and embeddable in other frontends.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..errors import OracleError
+from ..types import RiskLabel
+from .oracle import LabelQuery
+from .question import render_question
+
+_PROMPT = "your answer [1=not risky, 2=risky, 3=very risky]: "
+
+
+class TerminalOracle:
+    """Asks the human at the terminal for each risk label.
+
+    Parameters
+    ----------
+    input_fn, print_fn:
+        IO hooks; default to the builtins.
+    max_attempts:
+        Invalid answers tolerated per query before giving up with
+        :class:`~repro.errors.OracleError` (so a broken stdin cannot spin
+        forever).
+    """
+
+    def __init__(
+        self,
+        input_fn: Callable[[str], str] = input,
+        print_fn: Callable[[str], None] = print,
+        max_attempts: int = 5,
+    ) -> None:
+        if max_attempts < 1:
+            raise OracleError("max_attempts must be >= 1")
+        self._input = input_fn
+        self._print = print_fn
+        self._max_attempts = max_attempts
+        self._asked = 0
+
+    @property
+    def questions_asked(self) -> int:
+        """How many queries have been answered so far."""
+        return self._asked
+
+    def label(self, query: LabelQuery) -> RiskLabel:
+        """Render the question and collect a validated 1/2/3 answer."""
+        self._print("")
+        self._print(render_question(query))
+        for _ in range(self._max_attempts):
+            raw = self._input(_PROMPT).strip()
+            if raw in {"1", "2", "3"}:
+                self._asked += 1
+                return RiskLabel(int(raw))
+            self._print(
+                "please answer 1 (not risky), 2 (risky) or 3 (very risky)"
+            )
+        raise OracleError(
+            f"no valid answer after {self._max_attempts} attempts"
+        )

@@ -1,0 +1,183 @@
+"""Parameter mining: learning the pipeline's knobs from owner labels.
+
+The paper's conclusions propose "to develop techniques to mine from the
+data most of the values for the parameters on which our learning process
+relies", and Section IV-D itself observes that "for some benefit items it
+is better to use system suggested weights".  This module implements that
+direction:
+
+* :func:`mine_attribute_weights` — Squeezer clustering weights from the
+  owner's labels via Definition 6 (information gain ratio), replacing the
+  fixed Table I cohort averages with owner-specific values;
+* :func:`mine_theta_weights` — system-suggested benefit weights from the
+  mined item importance (Table II's signal), which the Sight UI can offer
+  instead of asking for thetas upfront;
+* :func:`run_adaptive_session` — a two-phase session: a pilot run gathers
+  labels with the default configuration, weights are mined from them, and
+  the full run uses the owner-specific pooling.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..analysis.importance import attribute_importance, benefit_importance
+from ..benefits.model import ThetaWeights
+from ..config import PipelineConfig, PoolingConfig
+from ..errors import LearningError
+from ..graph.profile import Profile
+from ..graph.social_graph import SocialGraph
+from ..graph.visibility import stranger_visibility_vector
+from ..types import BenefitItem, ProfileAttribute, RiskLabel, UserId
+from .oracle import LabelOracle
+from .results import SessionResult
+from .session import RiskLearningSession
+
+#: Mined weights are floored here so that no clustering attribute is
+#: silenced entirely by a small pilot sample.
+_WEIGHT_FLOOR = 0.02
+
+
+def mine_attribute_weights(
+    profiles: Mapping[UserId, Profile],
+    labels: Mapping[UserId, RiskLabel],
+    attributes: tuple[ProfileAttribute, ...] = ProfileAttribute.clustering_attributes(),
+) -> dict[ProfileAttribute, float]:
+    """Owner-specific Squeezer weights from labeled strangers.
+
+    The weight of each attribute is its normalized information gain ratio
+    against the owner's labels (Definition 6), floored and re-normalized.
+
+    Raises
+    ------
+    LearningError
+        Without any labels there is nothing to mine from.
+    """
+    if not labels:
+        raise LearningError("cannot mine attribute weights from zero labels")
+    ranking = attribute_importance(profiles, labels, attributes)
+    raw = {
+        attribute: max(ranking.importances[attribute.value], _WEIGHT_FLOOR)
+        for attribute in attributes
+    }
+    total = sum(raw.values())
+    return {attribute: weight / total for attribute, weight in raw.items()}
+
+
+def mine_theta_weights(
+    visibility: Mapping[UserId, Mapping[BenefitItem, bool]],
+    labels: Mapping[UserId, RiskLabel],
+) -> ThetaWeights:
+    """System-suggested benefit weights from mined item importance.
+
+    Items whose visibility carries more of the owner's decision signal
+    get proportionally larger thetas; an owner who never reacts to any
+    item gets uniform suggestions.
+    """
+    if not labels:
+        raise LearningError("cannot mine theta weights from zero labels")
+    ranking = benefit_importance(visibility, labels)
+    raw = {
+        item: max(ranking.importances[item.value], _WEIGHT_FLOOR)
+        for item in BenefitItem
+    }
+    peak = max(raw.values())
+    # scale into (0, 1] so the most informative item gets full weight
+    return ThetaWeights({item: weight / peak for item, weight in raw.items()})
+
+
+@dataclass(frozen=True)
+class AdaptiveSessionResult:
+    """Outcome of a two-phase adaptive run."""
+
+    pilot: SessionResult
+    mined_weights: dict[ProfileAttribute, float]
+    suggested_thetas: ThetaWeights
+    final: SessionResult
+
+    @property
+    def total_labels(self) -> int:
+        """Owner labels spent across both phases.
+
+        The oracle is consistent, so strangers asked in the pilot answer
+        identically in the final phase; a deployment would cache those
+        answers, which is the number reported here (union of queried
+        strangers, counted once).
+        """
+        pilot_asked = {
+            stranger
+            for pool in self.pilot.pool_results
+            for stranger in pool.owner_labels
+        }
+        final_asked = {
+            stranger
+            for pool in self.final.pool_results
+            for stranger in pool.owner_labels
+        }
+        return len(pilot_asked | final_asked)
+
+
+def run_adaptive_session(
+    graph: SocialGraph,
+    owner: UserId,
+    oracle: LabelOracle,
+    config: PipelineConfig | None = None,
+    pilot_fraction: float = 0.25,
+    seed: int | None = None,
+) -> AdaptiveSessionResult:
+    """Two-phase risk learning with mined pooling weights.
+
+    Phase 1 runs the standard session over a random ``pilot_fraction`` of
+    the stranger set with the default (paper Table I) weights.  The
+    labels it gathers are mined into owner-specific attribute weights and
+    suggested thetas.  Phase 2 re-pools the *full* stranger set with the
+    mined weights and runs to convergence.
+    """
+    if not 0.0 < pilot_fraction <= 1.0:
+        raise LearningError(
+            f"pilot_fraction must lie in (0, 1], got {pilot_fraction}"
+        )
+    base = config or PipelineConfig()
+
+    pilot_session = RiskLearningSession(
+        graph, owner, oracle, config=base, seed=seed
+    )
+    strangers = sorted(pilot_session.ego.strangers)
+    import random as _random
+
+    rng = _random.Random(seed)
+    pilot_size = max(1, round(len(strangers) * pilot_fraction))
+    pilot_set = frozenset(rng.sample(strangers, pilot_size))
+    pilot_result = pilot_session.run(strangers=pilot_set)
+
+    # mine from the pilot's owner-given labels only (predictions would
+    # leak the classifier's own bias into the weights)
+    pilot_labels: dict[UserId, RiskLabel] = {}
+    for pool in pilot_result.pool_results:
+        pilot_labels.update(pool.owner_labels)
+    profiles = pilot_session.ego.stranger_profiles()
+    mined = mine_attribute_weights(profiles, pilot_labels)
+    visibility = {
+        stranger: stranger_visibility_vector(graph, owner, stranger)
+        for stranger in pilot_labels
+    }
+    thetas = mine_theta_weights(visibility, pilot_labels)
+
+    adapted_pooling = dataclasses.replace(
+        base.pooling,
+        attributes=tuple(mined),
+        attribute_weights=tuple(mined.values()),
+    )
+    adapted = dataclasses.replace(base, pooling=adapted_pooling)
+    final_session = RiskLearningSession(
+        graph, owner, oracle, config=adapted, seed=seed
+    )
+    final_result = final_session.run()
+    return AdaptiveSessionResult(
+        pilot=pilot_result,
+        mined_weights=mined,
+        suggested_thetas=thetas,
+        final=final_result,
+    )

@@ -1,0 +1,147 @@
+"""Label oracles: how the learner asks the owner for risk judgments.
+
+In the paper the oracle is a human answering the Section III-A question
+through the Sight Chrome extension.  Here an oracle is anything satisfying
+:class:`LabelOracle`; the library ships
+
+* :class:`CallbackOracle` — wraps a plain function (this is how interactive
+  frontends and the simulated owners plug in);
+* :class:`ScriptedOracle` — answers from a fixed mapping (tests, replays);
+* :class:`RecordingOracle` — decorator tracking every query/answer pair,
+  used by the experiment harness to count owner effort.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Protocol
+
+from ..errors import OracleError
+from ..types import RiskLabel, UserId
+
+
+@dataclass(frozen=True)
+class LabelQuery:
+    """One request for an owner judgment.
+
+    Carries exactly the information the Section III-A question presents:
+    who the stranger is, how similar they are to the owner, and how much
+    benefit their currently-visible profile provides.
+    """
+
+    stranger: UserId
+    similarity: float
+    benefit: float
+    stranger_name: str | None = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.similarity <= 1.0:
+            raise OracleError(
+                f"similarity must lie in [0, 1], got {self.similarity}"
+            )
+        if not 0.0 <= self.benefit <= 1.0:
+            raise OracleError(f"benefit must lie in [0, 1], got {self.benefit}")
+
+
+class LabelOracle(Protocol):
+    """Anything that can answer a :class:`LabelQuery` with a risk label."""
+
+    def label(self, query: LabelQuery) -> RiskLabel:  # pragma: no cover
+        """Answer one risk-label query."""
+        ...
+
+
+def _validate_label(raw: object, stranger: UserId) -> RiskLabel:
+    if isinstance(raw, RiskLabel):
+        return raw
+    if isinstance(raw, int) and raw in RiskLabel.values():
+        return RiskLabel(raw)
+    raise OracleError(
+        f"oracle returned invalid label {raw!r} for stranger {stranger}; "
+        f"valid labels are {RiskLabel.values()}"
+    )
+
+
+class CallbackOracle:
+    """Adapts a ``query -> label`` function to the oracle protocol."""
+
+    def __init__(self, callback: Callable[[LabelQuery], RiskLabel | int]) -> None:
+        self._callback = callback
+
+    def label(self, query: LabelQuery) -> RiskLabel:
+        """Delegate to the callback, validating its answer."""
+        return _validate_label(self._callback(query), query.stranger)
+
+
+class ScriptedOracle:
+    """Answers from a fixed stranger-to-label mapping.
+
+    Parameters
+    ----------
+    answers:
+        The script.
+    default:
+        Label for strangers outside the script; when omitted, unknown
+        strangers raise :class:`~repro.errors.OracleError`.
+    """
+
+    def __init__(
+        self,
+        answers: Mapping[UserId, RiskLabel | int],
+        default: RiskLabel | None = None,
+    ) -> None:
+        self._answers = {
+            stranger: _validate_label(label, stranger)
+            for stranger, label in answers.items()
+        }
+        self._default = default
+
+    def label(self, query: LabelQuery) -> RiskLabel:
+        """Answer from the script (or the default)."""
+        if query.stranger in self._answers:
+            return self._answers[query.stranger]
+        if self._default is not None:
+            return self._default
+        raise OracleError(f"no scripted answer for stranger {query.stranger}")
+
+
+@dataclass
+class OracleStats:
+    """Aggregate owner-effort numbers for one oracle."""
+
+    queries: int = 0
+    label_counts: dict[int, int] = field(
+        default_factory=lambda: {value: 0 for value in RiskLabel.values()}
+    )
+
+    def record(self, label: RiskLabel) -> None:
+        """Count one answered query."""
+        self.queries += 1
+        self.label_counts[int(label)] += 1
+
+
+class RecordingOracle:
+    """Wraps another oracle and records every query/answer pair."""
+
+    def __init__(self, inner: LabelOracle) -> None:
+        self._inner = inner
+        self._history: list[tuple[LabelQuery, RiskLabel]] = []
+        self._stats = OracleStats()
+
+    @property
+    def history(self) -> tuple[tuple[LabelQuery, RiskLabel], ...]:
+        """Every (query, answer) pair in order."""
+        return tuple(self._history)
+
+    @property
+    def stats(self) -> OracleStats:
+        """Aggregate effort statistics."""
+        return self._stats
+
+    def label(self, query: LabelQuery) -> RiskLabel:
+        """Answer via the wrapped oracle, recording the exchange."""
+        answer = self._inner.label(query)
+        answer = _validate_label(answer, query.stranger)
+        self._history.append((query, answer))
+        self._stats.record(answer)
+        return answer

@@ -1,0 +1,38 @@
+"""Rendering of the owner question (Section III-A).
+
+The exact wording matters to the paper's design: the question explains that
+risk should be judged *given* the displayed similarity and benefit values,
+and that benefits may grow after friending.  Interactive frontends (and the
+CLI example) render queries through this function so the phrasing stays
+faithful.
+"""
+
+from __future__ import annotations
+
+from .oracle import LabelQuery
+
+_TEMPLATE = (
+    "You and {name} are {similarity}/100 similar and he/she provides you "
+    "{benefit}/100 benefits in terms of information you are allowed to see "
+    "now on his/her profile. Do you think it might be risky to establish a "
+    "relationship with {name}? Please respond by considering how much you "
+    "are similar to {name} and that, after you become friends of him/her, "
+    "benefits might increase as you might be allowed to see more resources "
+    "in addition to his/her profile, e.g., his/her posts, photos, if "
+    "privacy settings allow you.\n"
+    "  [1] not risky   [2] risky   [3] very risky"
+)
+
+
+def render_question(query: LabelQuery) -> str:
+    """The Section III-A question for one stranger.
+
+    Similarity and benefit are presented on the 0-100 scale the Sight
+    extension used.
+    """
+    name = query.stranger_name or f"stranger #{query.stranger}"
+    return _TEMPLATE.format(
+        name=name,
+        similarity=round(query.similarity * 100),
+        benefit=round(query.benefit * 100),
+    )

@@ -1,0 +1,181 @@
+"""Result records produced by the learning loops.
+
+Three layers, mirroring the pipeline:
+
+* :class:`RoundRecord` — one active-learning round in one pool;
+* :class:`PoolResult` — a finished pool: its rounds, final labels for every
+  member, and why the loop stopped;
+* :class:`SessionResult` — one owner's full run across all pools, with the
+  aggregates the paper reports (validation accuracy, rounds to
+  stabilization, labels spent).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from ..errors import LearningError
+from ..types import RiskLabel, UserId
+from .accuracy import exact_match_fraction, root_mean_square_error
+from .stopping import StopReason
+
+
+@dataclass(frozen=True)
+class RoundRecord:
+    """Everything observed during one round of one pool's loop.
+
+    Attributes
+    ----------
+    round_index:
+        1-based round counter.
+    queried:
+        Strangers the owner was asked about this round.
+    answers:
+        The owner's labels for ``queried``.
+    validation_pairs:
+        ``(predicted_last_round, owner_label)`` pairs for strangers that
+        had a prediction before being queried — the material of
+        Definition 4.
+    rmse:
+        RMSE over ``validation_pairs`` (``None`` when there were none).
+    predicted_scores:
+        Continuous label estimates for strangers still unlabeled after
+        this round.
+    predicted_labels:
+        Discrete labels corresponding to ``predicted_scores``.
+    unstabilized:
+        Strangers whose prediction moved by at least the confidence
+        tolerance since the previous round.
+    stabilized:
+        Whether this round showed no classification change.
+    """
+
+    round_index: int
+    queried: tuple[UserId, ...]
+    answers: Mapping[UserId, RiskLabel]
+    validation_pairs: tuple[tuple[int, int], ...]
+    rmse: float | None
+    predicted_scores: Mapping[UserId, float]
+    predicted_labels: Mapping[UserId, RiskLabel]
+    unstabilized: frozenset[UserId]
+    stabilized: bool
+
+
+@dataclass(frozen=True)
+class PoolResult:
+    """Outcome of one pool's active-learning loop."""
+
+    pool_id: str
+    nsg_index: int
+    rounds: tuple[RoundRecord, ...]
+    owner_labels: Mapping[UserId, RiskLabel]
+    predicted_labels: Mapping[UserId, RiskLabel]
+    stop_reason: StopReason
+
+    @property
+    def num_rounds(self) -> int:
+        """Rounds executed."""
+        return len(self.rounds)
+
+    @property
+    def labels_requested(self) -> int:
+        """Owner labels spent on this pool."""
+        return len(self.owner_labels)
+
+    @property
+    def final_labels(self) -> dict[UserId, RiskLabel]:
+        """Label for *every* pool member: owner-given where available,
+        predicted otherwise."""
+        labels = dict(self.predicted_labels)
+        labels.update(self.owner_labels)
+        return labels
+
+    def validation_pairs(self) -> list[tuple[int, int]]:
+        """All (predicted, owner) validation pairs across rounds."""
+        pairs: list[tuple[int, int]] = []
+        for record in self.rounds:
+            pairs.extend(record.validation_pairs)
+        return pairs
+
+    @property
+    def converged(self) -> bool:
+        """Whether the Section III-D criteria were met."""
+        return self.stop_reason is StopReason.CONVERGED
+
+
+@dataclass(frozen=True)
+class SessionResult:
+    """One owner's full risk-learning run."""
+
+    owner: UserId
+    pool_results: tuple[PoolResult, ...]
+    confidence: float
+
+    def __post_init__(self) -> None:
+        if not self.pool_results:
+            raise LearningError("a session must contain at least one pool result")
+
+    @property
+    def num_pools(self) -> int:
+        """Pools the stranger set was split into."""
+        return len(self.pool_results)
+
+    @property
+    def num_strangers(self) -> int:
+        """Strangers covered across all pools."""
+        return sum(
+            len(result.final_labels) for result in self.pool_results
+        )
+
+    @property
+    def labels_requested(self) -> int:
+        """Total owner labels spent."""
+        return sum(result.labels_requested for result in self.pool_results)
+
+    def final_labels(self) -> dict[UserId, RiskLabel]:
+        """Risk label for every stranger of the owner."""
+        labels: dict[UserId, RiskLabel] = {}
+        for result in self.pool_results:
+            labels.update(result.final_labels)
+        return labels
+
+    def validation_pairs(self) -> list[tuple[int, int]]:
+        """All (predicted, owner) validation pairs across all pools."""
+        pairs: list[tuple[int, int]] = []
+        for result in self.pool_results:
+            pairs.extend(result.validation_pairs())
+        return pairs
+
+    @property
+    def validation_rmse(self) -> float | None:
+        """Session-level RMSE over every validation pair."""
+        pairs = self.validation_pairs()
+        if not pairs:
+            return None
+        return root_mean_square_error(pairs)
+
+    @property
+    def exact_match_accuracy(self) -> float | None:
+        """Fraction of validated predictions matching the owner exactly.
+
+        This is the paper's headline metric, measured the paper's way:
+        only predictions later validated by an owner label count.
+        """
+        pairs = self.validation_pairs()
+        if not pairs:
+            return None
+        return exact_match_fraction(pairs)
+
+    @property
+    def mean_rounds_to_stop(self) -> float:
+        """Average rounds per pool (the paper reports ~3.29)."""
+        return sum(result.num_rounds for result in self.pool_results) / len(
+            self.pool_results
+        )
+
+    @property
+    def converged_fraction(self) -> float:
+        """Fraction of pools that met the Section III-D criteria."""
+        converged = sum(1 for result in self.pool_results if result.converged)
+        return converged / len(self.pool_results)

@@ -1,0 +1,306 @@
+"""The full per-owner risk learning session.
+
+:class:`RiskLearningSession` wires every stage of Figure 1 of the paper:
+similarity and benefit computation, pool construction, one active-learning
+loop per pool, and aggregation into a
+:class:`~repro.learning.results.SessionResult`.
+
+Typical use::
+
+    session = RiskLearningSession(graph, owner, oracle)
+    result = session.run()
+    labels = result.final_labels()   # a RiskLabel for every stranger
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Literal, Mapping
+
+from ..benefits.model import BenefitModel
+from ..classifier.base import ClassifierFactory
+from ..classifier.graphs import SimilarityGraph
+from ..classifier.harmonic import HarmonicClassifier
+from ..classifier.knn import KnnClassifier
+from ..classifier.majority import MajorityClassifier
+from ..clustering.pools import StrangerPool, build_network_only_pools, build_pools
+from ..config import PipelineConfig
+from ..errors import LearningError
+from ..graph.ego import EgoNetwork
+from ..graph.social_graph import SocialGraph
+from ..similarity.network import NetworkSimilarity
+from ..similarity.profile import ProfileSimilarity
+from ..types import ProfileAttribute, RiskLabel, UserId
+from .oracle import LabelOracle
+from .pool_learner import PoolLearner
+from .results import PoolResult, SessionResult
+from .sampling import Sampler
+
+#: Names accepted by the ``classifier`` shorthand.
+CLASSIFIER_NAMES = ("harmonic", "knn", "majority")
+
+#: Default attribute weights for the classifier's PS() edge weights.  The
+#: paper notes that per-item weights "help us in catching the relevance of
+#: some profile items over the others"; the clustering attributes (which
+#: Table I shows carry the owner's rationale) get the larger shares.
+DEFAULT_EDGE_WEIGHTS: dict[ProfileAttribute, float] = {
+    ProfileAttribute.GENDER: 0.30,
+    ProfileAttribute.LOCALE: 0.25,
+    ProfileAttribute.LAST_NAME: 0.09,
+    ProfileAttribute.HOMETOWN: 0.09,
+    ProfileAttribute.EDUCATION: 0.09,
+    ProfileAttribute.WORK: 0.09,
+    ProfileAttribute.LOCATION: 0.09,
+}
+
+#: Pooling strategies: the paper's NPP pools or the NSP baseline.
+PoolingStrategy = Literal["npp", "nsp"]
+
+
+class RiskLearningSession:
+    """End-to-end risk learning for one owner.
+
+    Parameters
+    ----------
+    graph:
+        The social graph.
+    owner:
+        The owner's user id.
+    oracle:
+        Answers the owner's risk-label queries.
+    config:
+        Full pipeline configuration (paper defaults when omitted).
+    classifier:
+        Either one of ``"harmonic"`` (the paper's choice), ``"knn"``,
+        ``"majority"``, or a custom
+        :class:`~repro.classifier.base.ClassifierFactory`.
+    pooling:
+        ``"npp"`` for network-and-profile pools (Definition 3) or
+        ``"nsp"`` for network-only pools (the Section IV-C baseline).
+    benefit_model:
+        Owner's benefit measure; defaults to Table III thetas.
+    sampler:
+        In-pool sampling strategy override.
+    seed:
+        Seed for the session RNG (falls back to ``config.learning.seed``).
+    edge_similarity_wrapper:
+        Optional hook wrapping the per-pool ``PS()`` measure before edge
+        weights are computed — e.g.
+        ``lambda ps: VisibilityAugmentedSimilarity(ps, mix=0.3)`` for the
+        visibility-augmented extension.  ``None`` keeps the paper's
+        edge weights.
+    """
+
+    def __init__(
+        self,
+        graph: SocialGraph,
+        owner: UserId,
+        oracle: LabelOracle,
+        config: PipelineConfig | None = None,
+        classifier: str | ClassifierFactory = "harmonic",
+        pooling: PoolingStrategy = "npp",
+        benefit_model: BenefitModel | None = None,
+        sampler: Sampler | None = None,
+        seed: int | None = None,
+        edge_similarity_wrapper=None,
+        network_similarity=None,
+    ) -> None:
+        self._graph = graph
+        self._owner = owner
+        self._oracle = oracle
+        self._config = config or PipelineConfig()
+        self._classifier_factory = self._resolve_classifier(classifier)
+        if pooling not in ("npp", "nsp"):
+            raise LearningError(f"unknown pooling strategy {pooling!r}")
+        self._pooling: PoolingStrategy = pooling
+        self._benefit_model = benefit_model or BenefitModel()
+        self._sampler = sampler
+        self._seed = seed if seed is not None else self._config.learning.seed
+        self._edge_similarity_wrapper = edge_similarity_wrapper
+        #: Optional NS() override (any SimilarityMeasure); ``None`` uses
+        #: the default reconstruction with the session's config.
+        self._network_similarity = network_similarity
+        self._ego = EgoNetwork(graph, owner)
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def ego(self) -> EgoNetwork:
+        """The owner's ego view (friends / strangers)."""
+        return self._ego
+
+    @property
+    def config(self) -> PipelineConfig:
+        """The active configuration."""
+        return self._config
+
+    # ------------------------------------------------------------------
+    # pipeline
+    # ------------------------------------------------------------------
+    def compute_similarities(self) -> dict[UserId, float]:
+        """``NS(owner, s)`` for every stranger."""
+        if self._network_similarity is not None:
+            return {
+                stranger: self._network_similarity(
+                    self._graph, self._owner, stranger
+                )
+                for stranger in self._ego.strangers
+            }
+        measure = NetworkSimilarity(self._config.network_similarity)
+        return measure.for_strangers(self._graph, self._owner, self._ego.strangers)
+
+    def compute_benefits(self) -> dict[UserId, float]:
+        """``B(owner, s)`` for every stranger."""
+        return self._benefit_model.for_strangers(
+            self._graph, self._owner, self._ego.strangers
+        )
+
+    def build_pools(
+        self, similarities: Mapping[UserId, float] | None = None
+    ) -> list[StrangerPool]:
+        """Construct the stranger pools per the session's strategy."""
+        if similarities is None:
+            similarities = self.compute_similarities()
+        if self._pooling == "nsp":
+            return build_network_only_pools(similarities, self._config.pooling)
+        return build_pools(
+            similarities, self._ego.stranger_profiles(), self._config.pooling
+        )
+
+    def run(
+        self,
+        strangers: frozenset[UserId] | set[UserId] | None = None,
+        initial_labels: Mapping[UserId, RiskLabel] | None = None,
+    ) -> SessionResult:
+        """Run the full session: pools, loops, aggregation.
+
+        Parameters
+        ----------
+        strangers:
+            Optional subset of the owner's strangers to learn over.  The
+            Sight crawler discovers strangers progressively; passing the
+            discovered prefix runs the paper's start-labeling-on-day-one
+            workflow.  Ids outside the owner's stranger set raise.
+        initial_labels:
+            Owner labels already gathered (e.g. by a previous session on
+            an earlier snapshot of the graph).  They seed each pool's
+            labeled set without new oracle queries — the warm start used
+            by :mod:`repro.learning.incremental`.
+
+        Raises
+        ------
+        LearningError
+            If the owner has no strangers (nothing to learn about), or
+            the subset contains non-strangers.
+        """
+        if strangers is None:
+            target = self._ego.strangers
+        else:
+            unknown = set(strangers) - self._ego.strangers
+            if unknown:
+                raise LearningError(
+                    f"not strangers of owner {self._owner}: "
+                    f"{sorted(unknown)[:5]}"
+                )
+            target = frozenset(strangers)
+        if not target:
+            raise LearningError(
+                f"owner {self._owner} has no strangers; nothing to learn"
+            )
+        similarities = {
+            stranger: value
+            for stranger, value in self.compute_similarities().items()
+            if stranger in target
+        }
+        benefits = self.compute_benefits()
+        pools = self.build_pools(similarities)
+        rng = random.Random(self._seed)
+
+        pool_results: list[PoolResult] = []
+        for pool in pools:
+            pool_results.append(
+                self._run_pool(
+                    pool, similarities, benefits, rng, initial_labels
+                )
+            )
+        return SessionResult(
+            owner=self._owner,
+            pool_results=tuple(pool_results),
+            confidence=self._config.learning.confidence,
+        )
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _run_pool(
+        self,
+        pool: StrangerPool,
+        similarities: Mapping[UserId, float],
+        benefits: Mapping[UserId, float],
+        rng: random.Random,
+        initial_labels: Mapping[UserId, RiskLabel] | None = None,
+    ) -> PoolResult:
+        profiles = self._graph.profiles(pool.members)
+        # Edge weights use PS() built on the pool's own profiles — "the
+        # frequency of the item values in the data set (i.e., the profiles
+        # in the considered pool)" (Section III-C).
+        pool_similarity = ProfileSimilarity(
+            profiles,
+            attributes=tuple(ProfileAttribute),
+            weights=DEFAULT_EDGE_WEIGHTS,
+            config=self._config.profile_similarity,
+        )
+        edge_similarity = (
+            self._edge_similarity_wrapper(pool_similarity)
+            if self._edge_similarity_wrapper is not None
+            else pool_similarity
+        )
+        similarity_graph = SimilarityGraph.from_profiles(
+            profiles,
+            edge_similarity,
+            min_edge_weight=self._config.classifier.min_edge_weight,
+            sharpening=self._config.classifier.edge_sharpening,
+        )
+        classifier = self._classifier_factory(similarity_graph)
+        learner = PoolLearner(
+            pool_id=pool.pool_id,
+            nsg_index=pool.nsg_index,
+            members=pool.members,
+            classifier=classifier,
+            oracle=self._oracle,
+            config=self._config.learning,
+            similarities=similarities,
+            benefits=benefits,
+            names=self._display_names(profiles),
+            sampler=self._sampler,
+            rng=rng,
+            initial_labels=initial_labels,
+        )
+        return learner.run()
+
+    @staticmethod
+    def _display_names(profiles) -> dict[UserId, str]:
+        """Human-readable query names, as the Sight UI would show them."""
+        names = {}
+        for profile in profiles:
+            last_name = profile.attribute(ProfileAttribute.LAST_NAME)
+            if last_name:
+                names[profile.user_id] = f"{last_name} (#{profile.user_id})"
+        return names
+
+    def _resolve_classifier(
+        self, classifier: str | ClassifierFactory
+    ) -> ClassifierFactory:
+        if callable(classifier):
+            return classifier
+        if classifier == "harmonic":
+            return lambda graph: HarmonicClassifier(graph, self._config.classifier)
+        if classifier == "knn":
+            return lambda graph: KnnClassifier(graph, self._config.classifier)
+        if classifier == "majority":
+            return lambda graph: MajorityClassifier(graph)
+        raise LearningError(
+            f"unknown classifier {classifier!r}; expected one of "
+            f"{CLASSIFIER_NAMES} or a factory"
+        )

@@ -1,0 +1,95 @@
+"""The combined stopping condition of Section III-D.
+
+"We stop the risk learning process when risk labels are predicted with a
+good accuracy (i.e., RMSE between owner given and predicted labels has to
+be less than 0.5) and for at least n rounds there should be no
+classification changes with a confidence c selected by the owner."
+
+:class:`StoppingCondition` tracks both criteria across rounds; the pool
+learner feeds it one observation per round and stops on the first round
+where both hold (or on its own exhaustion/budget guards).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..config import LearningConfig
+
+
+class StopReason(enum.Enum):
+    """Why a pool's learning loop ended."""
+
+    #: Both criteria of Section III-D held: RMSE below threshold and no
+    #: classification change for ``n`` consecutive rounds.
+    CONVERGED = "converged"
+    #: Every stranger in the pool ended up owner-labeled.
+    EXHAUSTED = "exhausted"
+    #: The hard round cap was reached without convergence.
+    MAX_ROUNDS = "max_rounds"
+
+
+@dataclass
+class StoppingCondition:
+    """Stateful tracker of the combined stopping rule.
+
+    Call :meth:`observe` once per round; it returns ``True`` when the loop
+    should stop because both criteria are satisfied.
+    """
+
+    config: LearningConfig
+    _consecutive_stable: int = field(default=0, init=False)
+    _last_rmse: float | None = field(default=None, init=False)
+
+    def observe(self, rmse: float | None, stabilized: bool) -> bool:
+        """Record one round's accuracy and stabilization outcome.
+
+        Parameters
+        ----------
+        rmse:
+            The round's validation RMSE, or ``None`` when no validation
+            pairs existed (first round, or nothing to compare).  A missing
+            RMSE keeps the last observed value — stabilization may still
+            progress, but convergence requires having *seen* a good RMSE.
+        stabilized:
+            Whether this round showed no classification change.
+        """
+        if rmse is not None:
+            self._last_rmse = rmse
+        if stabilized:
+            self._consecutive_stable += 1
+        else:
+            self._consecutive_stable = 0
+        return self.satisfied
+
+    @property
+    def satisfied(self) -> bool:
+        """Whether the configured stopping criteria currently hold.
+
+        The paper's rule is ``"combined"`` (both criteria); the
+        single-criterion modes exist for the stopping-rule ablation
+        (DESIGN.md §5): ``"accuracy"`` ignores stabilization,
+        ``"stabilization"`` ignores the RMSE bound.
+        """
+        accuracy_ok = (
+            self._last_rmse is not None
+            and self._last_rmse < self.config.rmse_threshold
+        )
+        stability_ok = self._consecutive_stable >= self.config.stable_rounds
+        mode = self.config.stopping_mode
+        if mode == "accuracy":
+            return accuracy_ok
+        if mode == "stabilization":
+            return stability_ok
+        return accuracy_ok and stability_ok
+
+    @property
+    def consecutive_stable_rounds(self) -> int:
+        """Rounds without classification change, counted consecutively."""
+        return self._consecutive_stable
+
+    @property
+    def last_rmse(self) -> float | None:
+        """Most recent validation RMSE, if any."""
+        return self._last_rmse

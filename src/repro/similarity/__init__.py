@@ -1,0 +1,26 @@
+"""Similarity measures: the ``NS()`` and ``PS()`` functions of ref [9].
+
+The paper delegates both measures to Akcora, Carminati & Ferrari, "Network
+and profile based measures for user similarities on social networks"
+(IEEE IRI 2011).  That paper is not bundled here, so both measures are
+*reconstructions* that preserve every property the ICDE paper relies on —
+see the module docstrings of :mod:`~repro.similarity.network` and
+:mod:`~repro.similarity.profile` and the substitution table in DESIGN.md.
+"""
+
+from .augmented import VisibilityAugmentedSimilarity, visibility_agreement
+from .network import ClusteredNetworkSimilarity, NetworkSimilarity
+from .profile import ProfileSimilarity
+from .registry import SimilarityMeasure, available_measures, get_measure, register_measure
+
+__all__ = [
+    "ClusteredNetworkSimilarity",
+    "NetworkSimilarity",
+    "ProfileSimilarity",
+    "VisibilityAugmentedSimilarity",
+    "visibility_agreement",
+    "SimilarityMeasure",
+    "available_measures",
+    "get_measure",
+    "register_measure",
+]

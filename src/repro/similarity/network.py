@@ -1,0 +1,144 @@
+"""Network similarity ``NS(o, s)`` — reconstruction of ref [9].
+
+What the ICDE paper states about ``NS()`` (Section III-B):
+
+* it returns a value in ``[0, 1]``;
+* "unlike existing similarity measures which only consider mutual friends
+  of the owner and a stranger, the measure works by also considering the
+  connections among mutual friends";
+* "if the stranger is connected to a dense community around the owner, the
+  measure returns a higher similarity value";
+* empirically (Figure 4) most strangers score low and none exceeded 0.6,
+  with some strangers having "more than 40 mutual friends".
+
+The reconstruction multiplies two interpretable factors:
+
+``count_factor = m / (m + kappa)``
+    a saturating function of the mutual-friend count ``m`` — more mutual
+    friends always help, with diminishing returns;
+
+``cohesion_factor = floor + (1 - floor) * density``
+    where ``density`` is the edge density of the subgraph induced by the
+    mutual friends — a stranger whose mutual friends form a dense community
+    around the owner scores strictly higher than one with the same number
+    of scattered mutual friends.
+
+With the defaults (``kappa = 5``, ``floor = 0.5``) a stranger with 40
+mutual friends at moderate cohesion lands near 0.6 — reproducing the
+paper's empirical ceiling without any hard cap.
+"""
+
+from __future__ import annotations
+
+from ..config import NetworkSimilarityConfig
+from ..errors import SimilarityError
+from ..graph.metrics import induced_density
+from ..graph.social_graph import SocialGraph
+from ..types import UserId
+
+
+class NetworkSimilarity:
+    """Callable computing ``NS(o, s)`` over a social graph.
+
+    Parameters
+    ----------
+    config:
+        Saturation and cohesion parameters; paper-calibrated defaults.
+    """
+
+    def __init__(self, config: NetworkSimilarityConfig | None = None) -> None:
+        self._config = config or NetworkSimilarityConfig()
+
+    @property
+    def config(self) -> NetworkSimilarityConfig:
+        """The active configuration."""
+        return self._config
+
+    def __call__(self, graph: SocialGraph, owner: UserId, other: UserId) -> float:
+        """Compute ``NS(owner, other)`` in [0, 1].
+
+        Raises
+        ------
+        SimilarityError
+            If owner and other are the same user (similarity with oneself
+            is undefined in the paper's setting).
+        """
+        if owner == other:
+            raise SimilarityError("network similarity of a user with itself is undefined")
+        mutual = graph.mutual_friends(owner, other)
+        count = len(mutual)
+        if count == 0:
+            return 0.0
+        count_factor = count / (count + self._config.kappa)
+        density = induced_density(graph, mutual)
+        floor = self._config.cohesion_floor
+        cohesion_factor = floor + (1.0 - floor) * density
+        return count_factor * cohesion_factor
+
+    def for_strangers(
+        self, graph: SocialGraph, owner: UserId, strangers: frozenset[UserId] | set[UserId]
+    ) -> dict[UserId, float]:
+        """``NS(owner, s)`` for every stranger ``s``.
+
+        A convenience used by pool construction (Definition 1), where the
+        whole stranger set is scored at once.
+        """
+        return {
+            stranger: self(graph, owner, stranger) for stranger in strangers
+        }
+
+
+class ClusteredNetworkSimilarity:
+    """Alternative ``NS()`` reconstruction: explicit mutual-friend clusters.
+
+    The IRI 2011 abstract describes grouping a stranger's mutual friends
+    into *clusters*: a stranger reached through one large interconnected
+    cluster is closer to the owner's community than one reached through
+    the same number of scattered acquaintances.  This variant makes that
+    explicit:
+
+    ``S = sum over components C of |C| ** gamma``,  ``NS = S / (S + kappa)``
+
+    where components are the connected components of the mutual-friend
+    subgraph and ``gamma > 1`` rewards large clusters supralinearly.  It
+    shares the default measure's qualitative properties (bounded,
+    monotone in mutual friends, cohesion-sensitive) with a different
+    functional form — the NS-variant ablation (E20) measures how much the
+    pipeline's results depend on the choice.
+    """
+
+    def __init__(self, gamma: float = 1.5, kappa: float = 8.0) -> None:
+        if gamma < 1.0:
+            raise SimilarityError(f"gamma must be >= 1, got {gamma}")
+        if kappa <= 0.0:
+            raise SimilarityError(f"kappa must be positive, got {kappa}")
+        self._gamma = gamma
+        self._kappa = kappa
+
+    def __call__(self, graph: SocialGraph, owner: UserId, other: UserId) -> float:
+        """Compute the clustered ``NS(owner, other)`` in [0, 1)."""
+        if owner == other:
+            raise SimilarityError(
+                "network similarity of a user with itself is undefined"
+            )
+        mutual = graph.mutual_friends(owner, other)
+        if not mutual:
+            return 0.0
+        from ..graph.metrics import induced_components
+
+        strength = sum(
+            len(component) ** self._gamma
+            for component in induced_components(graph, mutual)
+        )
+        return strength / (strength + self._kappa)
+
+    def for_strangers(
+        self,
+        graph: SocialGraph,
+        owner: UserId,
+        strangers: frozenset[UserId] | set[UserId],
+    ) -> dict[UserId, float]:
+        """Clustered ``NS(owner, s)`` for every stranger ``s``."""
+        return {
+            stranger: self(graph, owner, stranger) for stranger in strangers
+        }

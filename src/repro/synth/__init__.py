@@ -1,0 +1,51 @@
+"""Synthetic OSN substrate — the stand-in for the paper's Facebook data.
+
+The paper's evaluation ran a Facebook application ("Sight") over 47 real
+owners, 172,091 stranger profiles and 4,013 owner labels.  That data is
+not available (and would not be shareable), so this package generates a
+population with the same *published marginals*:
+
+* owner demographics of Section IV-A (32 male / 15 female; locales
+  TR/IT/US/IN/PL);
+* per-item visibility rates by gender and locale calibrated to Tables IV
+  and V;
+* a heavily skewed network-similarity distribution (Figure 4);
+* per-owner ground-truth *risk attitudes* whose structure mirrors what the
+  paper mines (gender the dominant attribute, Table I; homophily: higher
+  network similarity ⇒ lower risk, Figure 7).
+
+Crucially the attitudes are *planted*, so the experiments must recover
+them through the actual pipeline — the reproduction tests the algorithms,
+not the generator.
+"""
+
+from .crawler import CrawlSimulation, simulate_sight_crawl
+from .events import InteractionEvent, InteractionKind, crawl_from_events, generate_event_stream
+from .graphs import EgoNetConfig, generate_ego_network
+from .owners import RiskAttitude, SimulatedOwner
+from .population import StudyConfig, StudyPopulation, generate_study_population
+from .profiles import ProfileGenerator, ProfileGeneratorConfig
+from .topologies import TOPOLOGIES, generate_preferential_ego, generate_small_world_ego
+from .visibility import VisibilitySampler
+
+__all__ = [
+    "CrawlSimulation",
+    "EgoNetConfig",
+    "InteractionEvent",
+    "InteractionKind",
+    "crawl_from_events",
+    "generate_event_stream",
+    "ProfileGenerator",
+    "ProfileGeneratorConfig",
+    "RiskAttitude",
+    "SimulatedOwner",
+    "StudyConfig",
+    "StudyPopulation",
+    "TOPOLOGIES",
+    "VisibilitySampler",
+    "generate_ego_network",
+    "generate_preferential_ego",
+    "generate_small_world_ego",
+    "generate_study_population",
+    "simulate_sight_crawl",
+]

@@ -1,0 +1,132 @@
+"""Interaction-event streams: the raw material of the Sight crawl.
+
+The paper's app could not query the graph directly: "we listen owner
+profile to see friends' interactions (e.g., tagging, posting) and, once a
+friend of friend is found, we query Facebook for its mutual
+friends/proﬁle information" (Section IV-A).
+
+This module generates that observable layer explicitly: a stream of
+:class:`InteractionEvent` records (posts, tags, comments) between friends
+and their contacts, from which :func:`crawl_from_events` derives stranger
+discovery — a more faithful Sight simulation than rate-based thinning,
+and a substrate for interaction-level experiments.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..graph.ego import EgoNetwork
+from ..types import UserId
+from .crawler import CrawlSimulation, DiscoveryEvent
+
+
+class InteractionKind(enum.Enum):
+    """The observable interaction types Sight listened for."""
+
+    POST = "post"
+    TAG = "tag"
+    COMMENT = "comment"
+
+
+#: Relative frequency of each interaction kind (posts dominate feeds).
+_KIND_WEIGHTS = {
+    InteractionKind.POST: 0.5,
+    InteractionKind.COMMENT: 0.35,
+    InteractionKind.TAG: 0.15,
+}
+
+
+@dataclass(frozen=True)
+class InteractionEvent:
+    """One observed interaction between a friend and a contact.
+
+    ``actor`` is always one of the owner's friends (only their activity
+    is visible to the listener); ``target`` is whoever they interacted
+    with — possibly a stranger, possibly another friend.
+    """
+
+    day: int
+    kind: InteractionKind
+    actor: UserId
+    target: UserId
+
+
+def generate_event_stream(
+    ego: EgoNetwork,
+    days: int,
+    interactions_per_friend_per_day: float = 0.4,
+    rng: random.Random | None = None,
+) -> list[InteractionEvent]:
+    """Simulate the interactions visible from the owner's feed.
+
+    Each day every friend produces a small random number of interactions
+    with uniformly chosen contacts (their own friends).  Interactions
+    with the owner are skipped — they reveal nothing new.
+    """
+    rng = rng or random.Random()
+    graph = ego.graph
+    kinds = list(_KIND_WEIGHTS)
+    weights = [_KIND_WEIGHTS[kind] for kind in kinds]
+    events: list[InteractionEvent] = []
+    friends = sorted(ego.friends)
+    contacts = {
+        friend: sorted(graph.friends(friend) - {ego.owner})
+        for friend in friends
+    }
+    for day in range(1, days + 1):
+        for friend in friends:
+            pool = contacts[friend]
+            if not pool:
+                continue
+            expected = interactions_per_friend_per_day
+            while expected > 0:
+                if rng.random() < min(expected, 1.0):
+                    events.append(
+                        InteractionEvent(
+                            day=day,
+                            kind=rng.choices(kinds, weights=weights, k=1)[0],
+                            actor=friend,
+                            target=rng.choice(pool),
+                        )
+                    )
+                expected -= 1.0
+    return events
+
+
+def crawl_from_events(
+    ego: EgoNetwork,
+    events: Iterable[InteractionEvent],
+    days: int,
+) -> CrawlSimulation:
+    """Derive the Sight crawl from an interaction stream.
+
+    A stranger is *discovered* the first time they appear as the target
+    of a visible interaction.  Events targeting friends (or users outside
+    the 2-hop set) reveal nothing and are skipped — exactly the filter
+    the real app applied before querying the API.
+    """
+    discovered: set[UserId] = set()
+    discoveries: list[DiscoveryEvent] = []
+    for event in sorted(events, key=lambda e: e.day):
+        if event.target in discovered:
+            continue
+        if not ego.is_stranger(event.target):
+            continue
+        discovered.add(event.target)
+        discoveries.append(
+            DiscoveryEvent(
+                day=event.day,
+                stranger=event.target,
+                via_friend=event.actor,
+            )
+        )
+    return CrawlSimulation(
+        owner=ego.owner,
+        events=tuple(discoveries),
+        days=days,
+        total_strangers=len(ego.strangers),
+    )

@@ -1,0 +1,200 @@
+"""Ego-network generation: one owner, their friends, their strangers.
+
+The generator mirrors how real stranger sets arise (Section II of the
+paper): friends cluster into communities, and strangers attach to one
+community through a handful of mutual friends.  The mutual-friend count is
+drawn from a heavy-tailed distribution — most strangers share one or two
+friends with the owner, a few share dozens — which is what produces the
+skewed network-similarity histogram of Figure 4.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from ..graph.social_graph import SocialGraph
+from ..types import Locale, UserId
+from .profiles import CommunityFlavor, ProfileGenerator
+
+
+@dataclass(frozen=True)
+class EgoNetConfig:
+    """Shape of one generated ego network.
+
+    ``friend_density`` is the probability of an edge between two friends in
+    the same community — it directly drives the cohesion factor of the
+    ``NS()`` measure.  ``owner_locale_affinity`` is the probability a
+    community shares the owner's locale (the rest get random locales,
+    ensuring Table V sees all locales).
+    """
+
+    num_friends: int = 40
+    num_strangers: int = 150
+    num_communities: int = 5
+    friend_density: float = 0.35
+    owner_locale_affinity: float = 0.6
+    stranger_stranger_density: float = 0.02
+
+    def __post_init__(self) -> None:
+        if self.num_friends < 2:
+            raise ConfigError("num_friends must be >= 2")
+        if self.num_strangers < 1:
+            raise ConfigError("num_strangers must be >= 1")
+        if not 1 <= self.num_communities <= self.num_friends:
+            raise ConfigError(
+                "num_communities must lie in [1, num_friends]"
+            )
+        for name, value in (
+            ("friend_density", self.friend_density),
+            ("owner_locale_affinity", self.owner_locale_affinity),
+            ("stranger_stranger_density", self.stranger_stranger_density),
+        ):
+            if not 0.0 <= value <= 1.0:
+                raise ConfigError(f"{name} must lie in [0, 1], got {value}")
+
+
+@dataclass(frozen=True)
+class EgoNetHandle:
+    """Ids of the pieces of one generated ego network."""
+
+    owner: UserId
+    friends: tuple[UserId, ...]
+    strangers: tuple[UserId, ...]
+    communities: tuple[tuple[UserId, ...], ...]
+
+
+def sample_mutual_friend_count(rng: random.Random, ceiling: int) -> int:
+    """Heavy-tailed mutual-friend count for one stranger.
+
+    Calibrated to the paper's observations: the bulk of strangers are
+    weakly connected, yet "some strangers can have more than 40 mutual
+    friends with an owner".
+    """
+    roll = rng.random()
+    if roll < 0.55:
+        count = 1
+    elif roll < 0.80:
+        count = 2
+    elif roll < 0.92:
+        count = rng.randint(3, 5)
+    elif roll < 0.98:
+        count = rng.randint(6, 12)
+    else:
+        count = rng.randint(13, 45)
+    return max(1, min(count, ceiling))
+
+
+def generate_ego_network(
+    graph: SocialGraph,
+    owner: UserId,
+    rng: random.Random,
+    profiles: ProfileGenerator,
+    config: EgoNetConfig | None = None,
+    next_id: int | None = None,
+    owner_locale: Locale | None = None,
+) -> EgoNetHandle:
+    """Grow one owner's ego network inside ``graph``.
+
+    The owner must already exist in ``graph`` (with their profile); this
+    function adds friends and strangers with ids starting at ``next_id``
+    (default: one past the current maximum id).
+
+    Returns a handle with the generated ids, which the study builder uses
+    to attach ground-truth labels.
+    """
+    cfg = config or EgoNetConfig()
+    if next_id is None:
+        next_id = max(graph.users(), default=0) + 1
+    locale = owner_locale or _locale_of(graph, owner, rng)
+
+    # --- friend communities -------------------------------------------
+    flavors: list[CommunityFlavor] = []
+    for _ in range(cfg.num_communities):
+        if rng.random() < cfg.owner_locale_affinity:
+            flavors.append(profiles.sample_flavor(locale))
+        else:
+            flavors.append(profiles.sample_flavor())
+
+    community_sizes = _split_sizes(cfg.num_friends, cfg.num_communities, rng)
+    communities: list[list[UserId]] = []
+    friends: list[UserId] = []
+    for flavor, size in zip(flavors, community_sizes):
+        members: list[UserId] = []
+        for _ in range(size):
+            profile = profiles.sample_profile(next_id, flavor)
+            graph.add_user(profile)
+            graph.add_friendship(owner, next_id)
+            members.append(next_id)
+            friends.append(next_id)
+            next_id += 1
+        # intra-community friend edges give NS its cohesion signal
+        for position, a in enumerate(members):
+            for b in members[position + 1 :]:
+                if rng.random() < cfg.friend_density:
+                    graph.add_friendship(a, b)
+        communities.append(members)
+
+    # --- strangers -----------------------------------------------------
+    strangers: list[UserId] = []
+    community_strangers: list[list[UserId]] = [[] for _ in communities]
+    for _ in range(cfg.num_strangers):
+        community_index = rng.randrange(len(communities))
+        community = communities[community_index]
+        flavor = flavors[community_index]
+        count = sample_mutual_friend_count(rng, len(community))
+        anchors = rng.sample(community, count)
+        profile = profiles.sample_profile(next_id, flavor)
+        graph.add_user(profile)
+        for anchor in anchors:
+            graph.add_friendship(next_id, anchor)
+        community_strangers[community_index].append(next_id)
+        strangers.append(next_id)
+        next_id += 1
+
+    # stranger-stranger edges inside a community (do not affect NS with
+    # the owner, but make the substrate less artificial)
+    for members in community_strangers:
+        for position, a in enumerate(members):
+            for b in members[position + 1 :]:
+                if rng.random() < cfg.stranger_stranger_density:
+                    graph.add_friendship(a, b)
+
+    return EgoNetHandle(
+        owner=owner,
+        friends=tuple(friends),
+        strangers=tuple(strangers),
+        communities=tuple(tuple(members) for members in communities),
+    )
+
+
+def _split_sizes(total: int, parts: int, rng: random.Random) -> list[int]:
+    """Split ``total`` into ``parts`` positive sizes, mildly uneven."""
+    if parts == 1:
+        return [total]
+    weights = [rng.uniform(0.5, 1.5) for _ in range(parts)]
+    weight_sum = sum(weights)
+    sizes = [max(1, round(total * weight / weight_sum)) for weight in weights]
+    # fix rounding drift while keeping every part >= 1
+    drift = total - sum(sizes)
+    index = 0
+    while drift != 0:
+        step = 1 if drift > 0 else -1
+        if sizes[index % parts] + step >= 1:
+            sizes[index % parts] += step
+            drift -= step
+        index += 1
+    return sizes
+
+
+def _locale_of(graph: SocialGraph, owner: UserId, rng: random.Random) -> Locale:
+    from ..types import ProfileAttribute
+
+    value = graph.profile(owner).attribute(ProfileAttribute.LOCALE)
+    if value is None:
+        return rng.choice(list(Locale))
+    try:
+        return Locale(value)
+    except ValueError:
+        return rng.choice(list(Locale))

@@ -1,0 +1,143 @@
+"""Locale-aware categorical value pools for the profile generator.
+
+Last names, hometowns, schools and employers per locale.  The pools are
+deliberately Zipf-ish in use (the generator draws with decaying weights) so
+that value-frequency effects — the mismatch term of ``PS()``, Squeezer
+supports, information gain ratios — have realistic skew to work with.
+"""
+
+from __future__ import annotations
+
+from ..types import Locale
+
+#: Common last names per locale.  Order matters: the generator draws with
+#: weights decaying by rank, so earlier names are more frequent.
+LAST_NAMES: dict[Locale, tuple[str, ...]] = {
+    Locale.TR: (
+        "yilmaz", "kaya", "demir", "celik", "sahin", "yildiz", "ozturk",
+        "aydin", "arslan", "dogan", "kilic", "aslan", "cetin", "kara",
+        "koc", "kurt", "ozdemir", "simsek", "polat", "erdogan",
+    ),
+    Locale.DE: (
+        "mueller", "schmidt", "schneider", "fischer", "weber", "meyer",
+        "wagner", "becker", "schulz", "hoffmann", "koch", "bauer",
+        "richter", "klein", "wolf", "schroeder", "neumann", "schwarz",
+    ),
+    Locale.US: (
+        "smith", "johnson", "williams", "brown", "jones", "garcia",
+        "miller", "davis", "rodriguez", "martinez", "hernandez", "lopez",
+        "gonzalez", "wilson", "anderson", "thomas", "taylor", "moore",
+    ),
+    Locale.IT: (
+        "rossi", "russo", "ferrari", "esposito", "bianchi", "romano",
+        "colombo", "ricci", "marino", "greco", "bruno", "gallo",
+        "conti", "deluca", "mancini", "costa", "giordano", "rizzo",
+    ),
+    Locale.GB: (
+        "smith", "jones", "taylor", "brown", "williams", "wilson",
+        "johnson", "davies", "robinson", "wright", "thompson", "evans",
+        "walker", "white", "roberts", "green", "hall", "wood",
+    ),
+    Locale.ES: (
+        "garcia", "gonzalez", "rodriguez", "fernandez", "lopez",
+        "martinez", "sanchez", "perez", "gomez", "martin", "jimenez",
+        "ruiz", "hernandez", "diaz", "moreno", "alvarez", "munoz",
+    ),
+    Locale.PL: (
+        "nowak", "kowalski", "wisniewski", "wojcik", "kowalczyk",
+        "kaminski", "lewandowski", "zielinski", "szymanski", "wozniak",
+        "dabrowski", "kozlowski", "jankowski", "mazur", "krawczyk",
+    ),
+    Locale.IN: (
+        "sharma", "verma", "gupta", "singh", "kumar", "patel", "mehta",
+        "reddy", "nair", "iyer", "das", "joshi", "shah", "rao",
+    ),
+}
+
+#: Hometowns per locale, again most-common first.
+HOMETOWNS: dict[Locale, tuple[str, ...]] = {
+    Locale.TR: (
+        "istanbul", "ankara", "izmir", "bursa", "antalya", "adana",
+        "konya", "gaziantep", "trabzon", "eskisehir",
+    ),
+    Locale.DE: (
+        "berlin", "hamburg", "munich", "cologne", "frankfurt",
+        "stuttgart", "dusseldorf", "leipzig", "dresden",
+    ),
+    Locale.US: (
+        "new york", "los angeles", "chicago", "houston", "phoenix",
+        "philadelphia", "san antonio", "san diego", "dallas", "austin",
+    ),
+    Locale.IT: (
+        "rome", "milan", "naples", "turin", "palermo", "genoa",
+        "bologna", "florence", "varese", "verona",
+    ),
+    Locale.GB: (
+        "london", "birmingham", "manchester", "glasgow", "liverpool",
+        "leeds", "sheffield", "edinburgh", "bristol",
+    ),
+    Locale.ES: (
+        "madrid", "barcelona", "valencia", "seville", "zaragoza",
+        "malaga", "murcia", "bilbao", "granada",
+    ),
+    Locale.PL: (
+        "warsaw", "krakow", "lodz", "wroclaw", "poznan", "gdansk",
+        "szczecin", "lublin", "katowice",
+    ),
+    Locale.IN: (
+        "mumbai", "delhi", "bangalore", "hyderabad", "chennai",
+        "kolkata", "pune", "ahmedabad",
+    ),
+}
+
+#: Education institutions per locale.
+SCHOOLS: dict[Locale, tuple[str, ...]] = {
+    Locale.TR: (
+        "bogazici university", "itu", "metu", "bilkent", "ege university",
+        "hacettepe", "ankara university",
+    ),
+    Locale.DE: (
+        "tu munich", "heidelberg", "humboldt", "rwth aachen",
+        "tu berlin", "lmu munich",
+    ),
+    Locale.US: (
+        "state university", "community college", "uc berkeley", "mit",
+        "university of texas", "nyu", "ucla",
+    ),
+    Locale.IT: (
+        "university of insubria", "politecnico di milano", "sapienza",
+        "university of bologna", "university of padua", "bocconi",
+    ),
+    Locale.GB: (
+        "university of manchester", "ucl", "oxford", "cambridge",
+        "university of edinburgh", "kings college",
+    ),
+    Locale.ES: (
+        "complutense", "university of barcelona", "upm",
+        "university of valencia", "university of seville",
+    ),
+    Locale.PL: (
+        "university of warsaw", "jagiellonian", "warsaw tech",
+        "adam mickiewicz", "wroclaw tech",
+    ),
+    Locale.IN: (
+        "iit bombay", "iit delhi", "university of delhi", "anna university",
+        "bits pilani",
+    ),
+}
+
+#: Employers per locale (generic categories keep the pools comparable).
+EMPLOYERS: dict[Locale, tuple[str, ...]] = {
+    locale: (
+        "student", "software company", "bank", "retail", "university",
+        "hospital", "government", "self-employed", "media", "telecom",
+    )
+    for locale in Locale
+}
+
+
+def zipf_weights(count: int, exponent: float = 1.0) -> list[float]:
+    """Rank-based Zipf weights for drawing from an ordered value pool."""
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+    return [1.0 / (rank ** exponent) for rank in range(1, count + 1)]

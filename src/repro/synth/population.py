@@ -1,0 +1,228 @@
+"""Study population: the synthetic counterpart of the paper's 47 owners.
+
+Section IV-A describes the cohort: 47 Facebook users (32 male, 15 female,
+aged 18-35; 17 from Turkey, 5 from Italy, 9 from the USA, 1 from India,
+7 from Poland — the rest unreported), 172,091 stranger profiles, 4,013
+labels, on average 3,661 strangers and 86 labels per owner.
+
+:func:`generate_study_population` builds a cohort with those demographic
+quotas (scaled to the requested owner count) and configurable ego-network
+sizes.  The default stranger count per owner is far below 3,661 to keep
+test runs quick; the benchmark harness scales it up.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..errors import ConfigError
+from ..graph.social_graph import SocialGraph
+from ..graph.visibility import stranger_visibility_vector
+from ..similarity.network import NetworkSimilarity
+from ..types import Gender, Locale, ProfileAttribute, UserId
+from .graphs import EgoNetConfig, EgoNetHandle, generate_ego_network
+from .owners import (
+    SimulatedOwner,
+    sample_archetype_attitude,
+    sample_confidence,
+    sample_thetas,
+)
+from .profiles import ProfileGenerator, ProfileGeneratorConfig
+
+#: Owner locale quotas from Section IV-A (TR 17, IT 5, US 9, IN 1, PL 7 of
+#: 47; the unreported 8 are spread over the remaining Table V locales so
+#: every locale row has data).
+_LOCALE_QUOTAS: tuple[tuple[Locale, int], ...] = (
+    (Locale.TR, 17),
+    (Locale.US, 9),
+    (Locale.PL, 7),
+    (Locale.IT, 5),
+    (Locale.DE, 3),
+    (Locale.GB, 3),
+    (Locale.ES, 2),
+    (Locale.IN, 1),
+)
+
+#: Gender quota: 32 male / 15 female of 47.
+_MALE_FRACTION = 32 / 47
+
+
+@dataclass(frozen=True)
+class StudyConfig:
+    """Cohort shape.
+
+    ``num_owners`` defaults to the paper's 47; ``ego`` controls each
+    owner's network size.  Ego networks are generated disjoint (one
+    component per owner): the pipeline treats owners independently, so a
+    shared world would add cost without changing any measured quantity.
+    """
+
+    num_owners: int = 47
+    ego: EgoNetConfig = field(default_factory=EgoNetConfig)
+    profiles: ProfileGeneratorConfig = field(default_factory=ProfileGeneratorConfig)
+    seed: int = 0
+    #: Ego-network generator: "communities" (default, the paper-shaped
+    #: model) or a key of :data:`repro.synth.topologies.TOPOLOGIES`.
+    topology: str = "communities"
+    #: Risk-attitude family of the cohort (see
+    #: :data:`repro.synth.owners.ARCHETYPES`).
+    archetype: str = "balanced"
+
+    def __post_init__(self) -> None:
+        if self.num_owners < 1:
+            raise ConfigError("num_owners must be >= 1")
+        from .owners import ARCHETYPES
+        from .topologies import TOPOLOGIES
+
+        if self.topology != "communities" and self.topology not in TOPOLOGIES:
+            raise ConfigError(
+                f"unknown topology {self.topology!r}; expected 'communities' "
+                f"or one of {sorted(TOPOLOGIES)}"
+            )
+        if self.archetype not in ARCHETYPES:
+            raise ConfigError(
+                f"unknown archetype {self.archetype!r}; expected one of "
+                f"{ARCHETYPES}"
+            )
+
+
+@dataclass
+class StudyPopulation:
+    """A generated cohort: one graph, many instrumented owners."""
+
+    graph: SocialGraph
+    owners: tuple[SimulatedOwner, ...]
+    handles: dict[UserId, EgoNetHandle]
+    config: StudyConfig
+
+    def owner_by_id(self, user_id: UserId) -> SimulatedOwner:
+        """Look an owner up by id."""
+        for owner in self.owners:
+            if owner.user_id == user_id:
+                return owner
+        raise KeyError(f"no owner with id {user_id}")
+
+    def strangers_of(self, user_id: UserId) -> tuple[UserId, ...]:
+        """The generated stranger ids of one owner."""
+        return self.handles[user_id].strangers
+
+    @property
+    def total_strangers(self) -> int:
+        """Stranger profiles across the cohort (paper: 172,091)."""
+        return sum(len(handle.strangers) for handle in self.handles.values())
+
+
+def owner_demographics(num_owners: int) -> list[tuple[Gender, Locale]]:
+    """Deterministic (gender, locale) assignments honoring the quotas."""
+    total_quota = sum(count for _, count in _LOCALE_QUOTAS)
+    locales: list[Locale] = []
+    for locale, count in _LOCALE_QUOTAS:
+        scaled = round(count * num_owners / total_quota)
+        locales.extend([locale] * scaled)
+    # rounding drift: pad with the most common locale, trim from the end
+    while len(locales) < num_owners:
+        locales.append(_LOCALE_QUOTAS[0][0])
+    locales = locales[:num_owners]
+
+    num_males = round(num_owners * _MALE_FRACTION)
+    genders = [Gender.MALE] * num_males + [Gender.FEMALE] * (
+        num_owners - num_males
+    )
+    # interleave deterministically so genders spread across locales
+    assignments = []
+    for index in range(num_owners):
+        assignments.append((genders[index], locales[index]))
+    return assignments
+
+
+def generate_study_population(
+    num_owners: int = 47,
+    ego_config: EgoNetConfig | None = None,
+    profile_config: ProfileGeneratorConfig | None = None,
+    seed: int = 0,
+    topology: str = "communities",
+    archetype: str = "balanced",
+) -> StudyPopulation:
+    """Generate the full synthetic cohort.
+
+    Every owner gets: a demographic slot, a profile, a disjoint ego
+    network, a sampled risk attitude, theta weights, a stopping
+    confidence, and ground-truth labels for all their strangers (the
+    attitude applied to each stranger's profile, network similarity and
+    visibility, plus noise).
+
+    ``topology`` selects the ego-network generator: the default
+    community model, or one of the alternatives in
+    :mod:`repro.synth.topologies` (robustness experiments).
+    """
+    config = StudyConfig(
+        num_owners=num_owners,
+        ego=ego_config or EgoNetConfig(),
+        profiles=profile_config or ProfileGeneratorConfig(),
+        seed=seed,
+        topology=topology,
+        archetype=archetype,
+    )
+    if topology == "communities":
+        ego_generator = generate_ego_network
+    else:
+        from .topologies import TOPOLOGIES
+
+        ego_generator = TOPOLOGIES[topology]
+    rng = random.Random(seed)
+    graph = SocialGraph()
+    generator = ProfileGenerator(rng, config.profiles)
+    ns_measure = NetworkSimilarity()
+
+    owners: list[SimulatedOwner] = []
+    handles: dict[UserId, EgoNetHandle] = {}
+    next_id = 1
+    for gender, locale in owner_demographics(num_owners):
+        owner_id = next_id
+        next_id += 1
+        flavor = generator.sample_flavor(locale)
+        profile = generator.sample_profile(owner_id, flavor, gender=gender)
+        graph.add_user(profile)
+
+        handle = ego_generator(
+            graph,
+            owner_id,
+            rng,
+            generator,
+            config=config.ego,
+            next_id=next_id,
+            owner_locale=locale,
+        )
+        next_id = max(graph.users()) + 1
+        handles[owner_id] = handle
+
+        attitude = sample_archetype_attitude(
+            config.archetype,
+            rng,
+            owner_locale=locale,
+            owner_last_name=profile.attribute(ProfileAttribute.LAST_NAME),
+        )
+        ground_truth = {}
+        for stranger in handle.strangers:
+            similarity = ns_measure(graph, owner_id, stranger)
+            visibility = stranger_visibility_vector(graph, owner_id, stranger)
+            ground_truth[stranger] = attitude.judge(
+                graph.profile(stranger), similarity, visibility, rng
+            )
+        owners.append(
+            SimulatedOwner(
+                user_id=owner_id,
+                profile=profile,
+                attitude=attitude,
+                thetas=sample_thetas(rng),
+                confidence=sample_confidence(rng),
+                ground_truth=ground_truth,
+            )
+        )
+    return StudyPopulation(
+        graph=graph,
+        owners=tuple(owners),
+        handles=handles,
+        config=config,
+    )

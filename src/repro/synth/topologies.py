@@ -1,0 +1,189 @@
+"""Alternative ego-network topologies (extension, Section VI outlook).
+
+The paper plans "to extend our tests ... to data sets coming from
+different social networks".  Different OSNs have differently shaped
+friend neighborhoods, so this module provides two generators beyond the
+default community model of :mod:`~repro.synth.graphs`:
+
+* :func:`generate_small_world_ego` — the friend set is a Watts-Strogatz
+  ring (high clustering, short paths): a "village" network where
+  everybody's friends know each other;
+* :func:`generate_preferential_ego` — strangers attach to friends by
+  preferential attachment (Barabási-Albert flavor): a "hub" network where
+  a few popular friends mediate most 2-hop contacts.
+
+Both produce the same :class:`~repro.synth.graphs.EgoNetHandle` as the
+default generator, so the whole pipeline — and the robustness benchmark
+(E15) — runs unchanged on top of them.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..graph.social_graph import SocialGraph
+from ..types import Locale, UserId
+from .graphs import EgoNetConfig, EgoNetHandle, sample_mutual_friend_count
+from .profiles import ProfileGenerator
+
+
+def _add_friends(
+    graph: SocialGraph,
+    owner: UserId,
+    rng: random.Random,
+    profiles: ProfileGenerator,
+    config: EgoNetConfig,
+    next_id: int,
+    locale: Locale,
+) -> tuple[list[UserId], int]:
+    flavor = profiles.sample_flavor(locale)
+    friends: list[UserId] = []
+    for _ in range(config.num_friends):
+        graph.add_user(profiles.sample_profile(next_id, flavor))
+        graph.add_friendship(owner, next_id)
+        friends.append(next_id)
+        next_id += 1
+    return friends, next_id
+
+
+def _add_strangers(
+    graph: SocialGraph,
+    rng: random.Random,
+    profiles: ProfileGenerator,
+    config: EgoNetConfig,
+    next_id: int,
+    locale: Locale,
+    anchor_chooser,
+) -> tuple[list[UserId], int]:
+    flavor = profiles.sample_flavor(locale)
+    strangers: list[UserId] = []
+    for _ in range(config.num_strangers):
+        anchors = anchor_chooser(rng)
+        graph.add_user(profiles.sample_profile(next_id, flavor))
+        for anchor in anchors:
+            graph.add_friendship(next_id, anchor)
+        strangers.append(next_id)
+        next_id += 1
+    return strangers, next_id
+
+
+def generate_small_world_ego(
+    graph: SocialGraph,
+    owner: UserId,
+    rng: random.Random,
+    profiles: ProfileGenerator,
+    config: EgoNetConfig | None = None,
+    next_id: int | None = None,
+    owner_locale: Locale | None = None,
+) -> EgoNetHandle:
+    """Watts-Strogatz-style ego network.
+
+    Friends form a ring lattice (each connected to ``k`` neighbors on
+    each side) with a small rewiring probability; strangers attach to a
+    contiguous arc of the ring, so their mutual friends are themselves
+    tightly interconnected — the high-cohesion end of the ``NS()``
+    measure's range.
+    """
+    cfg = config or EgoNetConfig()
+    if next_id is None:
+        next_id = max(graph.users(), default=0) + 1
+    locale = owner_locale or rng.choice(list(Locale))
+
+    friends, next_id = _add_friends(
+        graph, owner, rng, profiles, cfg, next_id, locale
+    )
+    ring = len(friends)
+    k = max(1, round(cfg.friend_density * 6))
+    rewire = 0.1
+    for position, friend in enumerate(friends):
+        for offset in range(1, k + 1):
+            neighbor = friends[(position + offset) % ring]
+            if friend == neighbor:
+                continue
+            if rng.random() < rewire:
+                neighbor = rng.choice(friends)
+                if neighbor == friend:
+                    continue
+            graph.add_friendship(friend, neighbor)
+
+    def arc_anchors(chooser_rng: random.Random) -> list[UserId]:
+        count = sample_mutual_friend_count(chooser_rng, ring)
+        start = chooser_rng.randrange(ring)
+        return [friends[(start + step) % ring] for step in range(count)]
+
+    strangers, next_id = _add_strangers(
+        graph, rng, profiles, cfg, next_id, locale, arc_anchors
+    )
+    return EgoNetHandle(
+        owner=owner,
+        friends=tuple(friends),
+        strangers=tuple(strangers),
+        communities=(tuple(friends),),
+    )
+
+
+def generate_preferential_ego(
+    graph: SocialGraph,
+    owner: UserId,
+    rng: random.Random,
+    profiles: ProfileGenerator,
+    config: EgoNetConfig | None = None,
+    next_id: int | None = None,
+    owner_locale: Locale | None = None,
+) -> EgoNetHandle:
+    """Preferential-attachment ego network.
+
+    Friend-friend edges and stranger anchors are both drawn proportional
+    to current degree, concentrating 2-hop connectivity on a few hub
+    friends — the low-cohesion, high-count end of ``NS()``'s behaviour.
+    """
+    cfg = config or EgoNetConfig()
+    if next_id is None:
+        next_id = max(graph.users(), default=0) + 1
+    locale = owner_locale or rng.choice(list(Locale))
+
+    friends, next_id = _add_friends(
+        graph, owner, rng, profiles, cfg, next_id, locale
+    )
+    # degree-proportional friend-friend wiring
+    target_edges = round(
+        cfg.friend_density * len(friends) * (len(friends) - 1) / 4
+    )
+    weights = {friend: 1 for friend in friends}
+    for _ in range(target_edges):
+        a = rng.choices(friends, weights=[weights[f] for f in friends])[0]
+        b = rng.choices(friends, weights=[weights[f] for f in friends])[0]
+        if a == b:
+            continue
+        graph.add_friendship(a, b)
+        weights[a] += 1
+        weights[b] += 1
+
+    def hub_anchors(chooser_rng: random.Random) -> list[UserId]:
+        count = sample_mutual_friend_count(chooser_rng, len(friends))
+        chosen: set[UserId] = set()
+        while len(chosen) < count:
+            chosen.add(
+                chooser_rng.choices(
+                    friends, weights=[weights[f] for f in friends]
+                )[0]
+            )
+        return sorted(chosen)
+
+    strangers, next_id = _add_strangers(
+        graph, rng, profiles, cfg, next_id, locale, hub_anchors
+    )
+    return EgoNetHandle(
+        owner=owner,
+        friends=tuple(friends),
+        strangers=tuple(strangers),
+        communities=(tuple(friends),),
+    )
+
+
+#: Registry of ego-network generators by topology name; the default
+#: community model lives in :mod:`~repro.synth.graphs`.
+TOPOLOGIES = {
+    "small_world": generate_small_world_ego,
+    "preferential": generate_preferential_ego,
+}

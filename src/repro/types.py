@@ -1,0 +1,193 @@
+"""Core value types shared across the library.
+
+The paper ("Privacy in Social Networks: How Risky is Your Social Graph?",
+ICDE 2012) works with three kinds of values:
+
+* **risk labels** — the owner's judgment on a stranger, restricted to the
+  three-point scale *not risky* (1), *risky* (2), *very risky* (3)
+  (Section III-A);
+* **categorical profile attributes** — the Squeezer clustering and the
+  importance analysis of Section IV use ``gender``, ``last name`` and
+  ``locale``; the similarity measures may also consult the richer attribute
+  set (hometown, education, work, location);
+* **benefit items** — the seven profile areas whose visibility defines the
+  benefit measure of Section II (wall, photos, friends, location, education,
+  work, hometown; see Tables II-V).
+
+Everything here is a plain enum or alias so that the rest of the library can
+be explicit about what it accepts and returns.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable
+
+#: Identifier of a social-network user.  Plain ints keep graph storage cheap.
+UserId = int
+
+
+class RiskLabel(enum.IntEnum):
+    """The three-point risk scale offered to owners (Section III-A).
+
+    The paper deliberately avoids a continuous [0, 1] scale: "we give them
+    only three options for risk labels, namely very risky=3, risky=2, and
+    not risky=1".
+    """
+
+    NOT_RISKY = 1
+    RISKY = 2
+    VERY_RISKY = 3
+
+    @classmethod
+    def minimum(cls) -> "RiskLabel":
+        """Lower bound of the label range (``Lmin`` in Definition 5)."""
+        return cls.NOT_RISKY
+
+    @classmethod
+    def maximum(cls) -> "RiskLabel":
+        """Upper bound of the label range (``Lmax`` in Definition 5)."""
+        return cls.VERY_RISKY
+
+    @classmethod
+    def span(cls) -> int:
+        """``Lmax - Lmin``; the label range width used by Definition 5."""
+        return int(cls.maximum()) - int(cls.minimum())
+
+    @classmethod
+    def from_score(cls, score: float) -> "RiskLabel":
+        """Snap a continuous score to the nearest valid label.
+
+        Classifiers internally produce real-valued label estimates; the paper
+        reports exact-match accuracy against the discrete scale, so scores
+        are rounded half-up and clamped into [1, 3].
+        """
+        snapped = int(round(score))
+        snapped = max(int(cls.minimum()), min(int(cls.maximum()), snapped))
+        return cls(snapped)
+
+    @classmethod
+    def values(cls) -> tuple[int, ...]:
+        """All valid integer label values, ascending."""
+        return tuple(int(label) for label in cls)
+
+
+class Gender(str, enum.Enum):
+    """Binary gender attribute as used in the paper's Facebook dataset."""
+
+    MALE = "male"
+    FEMALE = "female"
+
+
+class Locale(str, enum.Enum):
+    """Facebook interface locales observed in the paper's dataset.
+
+    Table V reports visibility for seven stranger locales; the owner cohort
+    additionally includes India (Section IV-A).
+    """
+
+    TR = "TR"
+    DE = "DE"
+    US = "US"
+    IT = "IT"
+    GB = "GB"
+    ES = "ES"
+    PL = "PL"
+    IN = "IN"
+
+    @classmethod
+    def table5_locales(cls) -> tuple["Locale", ...]:
+        """The seven locales of Table V, in the paper's row order."""
+        return (cls.TR, cls.DE, cls.US, cls.IT, cls.GB, cls.ES, cls.PL)
+
+
+class ProfileAttribute(str, enum.Enum):
+    """Categorical profile attributes.
+
+    ``GENDER``, ``LOCALE`` and ``LAST_NAME`` are the three attributes the
+    paper clusters on with Squeezer (Section IV-D); the remaining attributes
+    enrich profile similarity and the synthetic generator.
+    """
+
+    GENDER = "gender"
+    LOCALE = "locale"
+    LAST_NAME = "last_name"
+    HOMETOWN = "hometown"
+    EDUCATION = "education"
+    WORK = "work"
+    LOCATION = "location"
+
+    @classmethod
+    def clustering_attributes(cls) -> tuple["ProfileAttribute", ...]:
+        """The attributes used for Squeezer clustering in the paper."""
+        return (cls.GENDER, cls.LOCALE, cls.LAST_NAME)
+
+
+class BenefitItem(str, enum.Enum):
+    """Profile areas whose visibility constitutes a benefit (Section II).
+
+    The order matches Table III's row order (owner-given theta weights).
+    """
+
+    HOMETOWN = "hometown"
+    FRIEND = "friend"
+    PHOTO = "photo"
+    LOCATION = "location"
+    EDUCATION = "education"
+    WALL = "wall"
+    WORK = "work"
+
+    @classmethod
+    def all_items(cls) -> tuple["BenefitItem", ...]:
+        """Every benefit item, in declaration order."""
+        return tuple(cls)
+
+
+class VisibilityLevel(enum.IntEnum):
+    """Audience of a profile item, ordered from most open to most closed.
+
+    The paper's visibility bit ``V_s(i, o)`` is 1 exactly when the owner —
+    a friend-of-friend, i.e. at graph distance 2 — can currently see item
+    ``i``.  We model the underlying privacy setting explicitly so the
+    synthetic generator can mirror Facebook-style audiences and so the
+    visibility tables (IV and V) are derived rather than hard-coded.
+    """
+
+    PUBLIC = 0
+    FRIENDS_OF_FRIENDS = 1
+    FRIENDS = 2
+    PRIVATE = 3
+
+    def visible_at_distance(self, distance: int) -> bool:
+        """Whether a viewer at the given graph distance can see the item.
+
+        Distance 0 is the profile holder, 1 a direct friend, 2 a friend of
+        friend, and anything above 2 an unrelated user.
+        """
+        if distance < 0:
+            raise ValueError(f"distance must be non-negative, got {distance}")
+        if distance == 0:
+            return True
+        if self is VisibilityLevel.PUBLIC:
+            return True
+        if self is VisibilityLevel.FRIENDS_OF_FRIENDS:
+            return distance <= 2
+        if self is VisibilityLevel.FRIENDS:
+            return distance <= 1
+        return False
+
+
+def mean(values: Iterable[float]) -> float:
+    """Arithmetic mean of a non-empty iterable of floats.
+
+    A tiny local helper so value-type modules need no numpy import; raises
+    ``ValueError`` on empty input instead of returning NaN.
+    """
+    total = 0.0
+    count = 0
+    for value in values:
+        total += value
+        count += 1
+    if count == 0:
+        raise ValueError("mean() of empty iterable")
+    return total / count

@@ -1,0 +1,83 @@
+"""Tests for the confusion matrix and asymmetric-error rates."""
+
+import pytest
+
+from repro.analysis.confusion import ConfusionMatrix
+from repro.types import RiskLabel
+
+PAIRS = [
+    (1, 1), (1, 1),       # correct not-risky
+    (2, 2),               # correct risky
+    (3, 3),               # correct very risky
+    (1, 3),               # dangerous: predicted safe, actually very risky
+    (3, 1),               # benign: over-flagged
+    (2, 3),               # dangerous
+    (3, 2),               # benign
+]
+
+
+class TestConfusionMatrix:
+    def matrix(self):
+        return ConfusionMatrix.from_pairs(PAIRS)
+
+    def test_total(self):
+        assert self.matrix().total == 8
+
+    def test_accuracy(self):
+        assert self.matrix().accuracy == pytest.approx(0.5)
+
+    def test_underprediction_rate_counts_dangerous_errors(self):
+        assert self.matrix().underprediction_rate == pytest.approx(0.25)
+
+    def test_overprediction_rate_counts_benign_errors(self):
+        assert self.matrix().overprediction_rate == pytest.approx(0.25)
+
+    def test_rates_partition_errors(self):
+        matrix = self.matrix()
+        assert (
+            matrix.accuracy
+            + matrix.underprediction_rate
+            + matrix.overprediction_rate
+        ) == pytest.approx(1.0)
+
+    def test_recall(self):
+        matrix = self.matrix()
+        # actual VERY_RISKY: (3,3), (1,3), (2,3) -> 1 correct of 3
+        assert matrix.recall(RiskLabel.VERY_RISKY) == pytest.approx(1 / 3)
+
+    def test_precision(self):
+        matrix = self.matrix()
+        # predicted VERY_RISKY: (3,3), (3,1), (3,2) -> 1 correct of 3
+        assert matrix.precision(RiskLabel.VERY_RISKY) == pytest.approx(1 / 3)
+
+    def test_empty_matrix(self):
+        matrix = ConfusionMatrix()
+        assert matrix.accuracy == 0.0
+        assert matrix.underprediction_rate == 0.0
+        assert matrix.recall(RiskLabel.RISKY) == 0.0
+        assert matrix.precision(RiskLabel.RISKY) == 0.0
+
+    def test_from_labelings_uses_common_keys(self):
+        predicted = {1: RiskLabel.RISKY, 2: RiskLabel.NOT_RISKY}
+        actual = {1: RiskLabel.RISKY, 3: RiskLabel.VERY_RISKY}
+        matrix = ConfusionMatrix.from_labelings(predicted, actual)
+        assert matrix.total == 1
+        assert matrix.accuracy == 1.0
+
+    def test_render_contains_rates(self):
+        text = self.matrix().render()
+        assert "dangerous" in text
+        assert "benign" in text
+
+    def test_pipeline_confusion(self, npp_study):
+        """End-to-end: predictions vs ground truth for one owner run."""
+        run = npp_study.runs[0]
+        predicted = run.result.final_labels()
+        matrix = ConfusionMatrix.from_labelings(
+            predicted, run.owner.ground_truth
+        )
+        assert matrix.total == len(predicted)
+        assert matrix.accuracy > 0.5
+        # the tie-break toward higher risk keeps dangerous errors at or
+        # below the benign ones on a reasonably trained run
+        assert matrix.underprediction_rate <= matrix.overprediction_rate + 0.15

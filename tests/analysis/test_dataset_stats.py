@@ -1,0 +1,57 @@
+"""Tests for dataset characterization."""
+
+import pytest
+
+from repro.analysis.dataset_stats import (
+    dataset_statistics,
+    render_dataset_statistics,
+)
+from repro.types import Gender, RiskLabel
+
+
+class TestDatasetStatistics:
+    def test_counts_match_population(self, population):
+        stats = dataset_statistics(population)
+        assert stats.num_owners == len(population.owners)
+        assert stats.total_strangers == population.total_strangers
+        assert stats.mean_strangers_per_owner == pytest.approx(
+            population.total_strangers / len(population.owners)
+        )
+
+    def test_gender_quota_respected(self, population):
+        stats = dataset_statistics(population)
+        assert sum(stats.owners_by_gender.values()) == stats.num_owners
+        assert stats.owners_by_gender[Gender.MALE] >= stats.owners_by_gender[
+            Gender.FEMALE
+        ]
+
+    def test_label_counts_cover_all_ground_truth(self, population):
+        stats = dataset_statistics(population)
+        expected = sum(
+            len(owner.ground_truth) for owner in population.owners
+        )
+        assert sum(stats.label_counts.values()) == expected
+        assert set(stats.label_counts) == set(RiskLabel)
+
+    def test_graph_aggregates(self, population):
+        stats = dataset_statistics(population)
+        assert stats.num_users == population.graph.num_users
+        assert stats.num_friendships == population.graph.num_friendships
+        assert stats.mean_degree > 0
+
+    def test_stranger_demographics_bounded(self, population):
+        stats = dataset_statistics(population)
+        assert (
+            sum(stats.stranger_gender_counts.values())
+            <= stats.total_strangers
+        )
+        assert (
+            sum(stats.stranger_locale_counts.values())
+            <= stats.total_strangers
+        )
+
+    def test_render_contains_key_lines(self, population):
+        text = render_dataset_statistics(dataset_statistics(population))
+        assert "owners:" in text
+        assert "stranger profiles:" in text
+        assert "label mix" in text

@@ -1,0 +1,86 @@
+"""Tests for entropy and information gain ratio."""
+
+import math
+
+import pytest
+
+from repro.analysis.entropy import (
+    entropy,
+    information_gain,
+    information_gain_ratio,
+    split_information,
+)
+
+
+class TestEntropy:
+    def test_uniform_binary_is_one_bit(self):
+        assert entropy(["a", "b"]) == pytest.approx(1.0)
+
+    def test_pure_distribution_zero(self):
+        assert entropy(["a", "a", "a"]) == 0.0
+
+    def test_empty_sequence_zero(self):
+        assert entropy([]) == 0.0
+
+    def test_uniform_three_way(self):
+        assert entropy([1, 2, 3]) == pytest.approx(math.log2(3))
+
+    def test_skew_lowers_entropy(self):
+        assert entropy(["a", "a", "a", "b"]) < entropy(["a", "a", "b", "b"])
+
+
+class TestInformationGain:
+    def test_perfectly_predictive_attribute(self):
+        values = ["m", "m", "f", "f"]
+        labels = [3, 3, 1, 1]
+        assert information_gain(values, labels) == pytest.approx(1.0)
+
+    def test_uninformative_attribute(self):
+        values = ["m", "f", "m", "f"]
+        labels = [3, 3, 1, 1]
+        assert information_gain(values, labels) == pytest.approx(0.0)
+
+    def test_constant_attribute_zero_gain(self):
+        assert information_gain(["x"] * 4, [1, 2, 3, 1]) == pytest.approx(0.0)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            information_gain(["a"], [1, 2])
+
+    def test_empty_inputs(self):
+        assert information_gain([], []) == 0.0
+
+    def test_gain_bounded_by_label_entropy(self):
+        values = ["a", "b", "c", "a", "b", "c"]
+        labels = [1, 2, 3, 1, 2, 2]
+        assert information_gain(values, labels) <= entropy(labels) + 1e-12
+
+
+class TestInformationGainRatio:
+    def test_perfect_binary_split_ratio_one(self):
+        values = ["m", "m", "f", "f"]
+        labels = [3, 3, 1, 1]
+        assert information_gain_ratio(values, labels) == pytest.approx(1.0)
+
+    def test_constant_attribute_ratio_zero(self):
+        assert information_gain_ratio(["x"] * 4, [1, 2, 3, 1]) == 0.0
+
+    def test_ratio_penalizes_high_cardinality(self):
+        """A many-valued attribute with the same gain gets a lower ratio."""
+        labels = [1, 1, 2, 2]
+        binary = information_gain_ratio(["a", "a", "b", "b"], labels)
+        quaternary = information_gain_ratio(["a", "b", "c", "d"], labels)
+        assert binary > quaternary
+
+    def test_ratio_non_negative(self):
+        import random
+
+        rng = random.Random(0)
+        for _ in range(20):
+            values = [rng.choice("abc") for _ in range(30)]
+            labels = [rng.choice((1, 2, 3)) for _ in range(30)]
+            assert information_gain_ratio(values, labels) >= 0.0
+
+    def test_split_information_is_attribute_entropy(self):
+        values = ["a", "a", "b", "b"]
+        assert split_information(values) == entropy(values)

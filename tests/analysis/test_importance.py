@@ -1,0 +1,115 @@
+"""Tests for attribute/benefit importance (Definition 6)."""
+
+import pytest
+
+from repro.analysis.importance import (
+    ImportanceRanking,
+    attribute_importance,
+    average_importance,
+    benefit_importance,
+    rank_counts,
+)
+from repro.types import BenefitItem, ProfileAttribute, RiskLabel
+
+from ..conftest import make_profile
+
+
+def planted_dataset():
+    """Labels determined by gender; locale half-informative; name random."""
+    profiles = {}
+    labels = {}
+    names = ["a", "b", "c", "d", "e"]
+    for uid in range(40):
+        gender = "male" if uid % 2 else "female"
+        locale = "US" if uid % 4 < 2 else "TR"
+        # uid % 5 decorrelates the name from gender (uid % 2)
+        profiles[uid] = make_profile(
+            uid, gender=gender, locale=locale, last_name=names[uid % 5]
+        )
+        labels[uid] = (
+            RiskLabel.VERY_RISKY if gender == "male" else RiskLabel.NOT_RISKY
+        )
+    return profiles, labels
+
+
+class TestAttributeImportance:
+    def test_planted_gender_signal_recovered(self):
+        profiles, labels = planted_dataset()
+        ranking = attribute_importance(profiles, labels)
+        assert ranking.rank_of("gender") == 1
+        assert ranking.importances["gender"] > 0.9
+
+    def test_importances_normalized(self):
+        profiles, labels = planted_dataset()
+        ranking = attribute_importance(profiles, labels)
+        assert sum(ranking.importances.values()) == pytest.approx(1.0)
+
+    def test_missing_attributes_skipped(self):
+        from repro.graph.profile import Profile
+
+        profiles = {
+            1: Profile(user_id=1, attributes={ProfileAttribute.GENDER: "male"}),
+            2: Profile(user_id=2, attributes={ProfileAttribute.GENDER: "female"}),
+        }
+        labels = {1: RiskLabel.VERY_RISKY, 2: RiskLabel.NOT_RISKY}
+        ranking = attribute_importance(profiles, labels)
+        assert ranking.importances["gender"] == pytest.approx(1.0)
+
+    def test_all_uninformative_gives_uniform(self):
+        profiles = {uid: make_profile(uid) for uid in range(10)}
+        labels = {uid: RiskLabel.RISKY for uid in range(10)}
+        ranking = attribute_importance(profiles, labels)
+        values = list(ranking.importances.values())
+        assert all(value == pytest.approx(values[0]) for value in values)
+
+
+class TestBenefitImportance:
+    def test_planted_photo_signal_recovered(self):
+        visibility = {}
+        labels = {}
+        for uid in range(40):
+            photo_visible = uid % 2 == 0
+            visibility[uid] = {
+                item: (photo_visible if item is BenefitItem.PHOTO else uid % 3 == 0)
+                for item in BenefitItem
+            }
+            labels[uid] = (
+                RiskLabel.NOT_RISKY if photo_visible else RiskLabel.VERY_RISKY
+            )
+        ranking = benefit_importance(visibility, labels)
+        assert ranking.rank_of("photo") == 1
+
+    def test_strangers_without_visibility_skipped(self):
+        visibility = {1: {BenefitItem.PHOTO: True}}
+        labels = {1: RiskLabel.RISKY, 2: RiskLabel.NOT_RISKY}
+        ranking = benefit_importance(visibility, labels)
+        assert set(ranking.importances) == {
+            item.value for item in BenefitItem
+        }
+
+
+class TestAggregation:
+    def rankings(self):
+        return [
+            ImportanceRanking({"gender": 0.6, "locale": 0.3, "last_name": 0.1}),
+            ImportanceRanking({"gender": 0.5, "locale": 0.4, "last_name": 0.1}),
+            ImportanceRanking({"gender": 0.2, "locale": 0.7, "last_name": 0.1}),
+        ]
+
+    def test_rank_counts(self):
+        counts = rank_counts(self.rankings())
+        assert counts["gender"][1] == 2
+        assert counts["locale"][1] == 1
+        assert counts["last_name"][3] == 3
+
+    def test_average_importance(self):
+        averages = average_importance(self.rankings())
+        assert averages["gender"] == pytest.approx(1.3 / 3)
+
+    def test_empty_rankings(self):
+        assert average_importance([]) == {}
+        assert rank_counts([]) == {}
+
+    def test_ranked_breaks_ties_by_name(self):
+        ranking = ImportanceRanking({"b": 0.5, "a": 0.5})
+        assert [name for name, _ in ranking.ranked()] == ["a", "b"]

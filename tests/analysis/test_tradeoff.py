@@ -1,0 +1,76 @@
+"""Tests for the similarity/benefit trade-off analysis."""
+
+import pytest
+
+from repro.analysis.tradeoff import (
+    QUADRANTS,
+    homophily_gap,
+    render_tradeoff,
+    tradeoff_quadrants,
+)
+from repro.types import RiskLabel
+
+
+def planted():
+    """High-similarity strangers safe, low-similarity risky."""
+    labels, sims, bens = {}, {}, {}
+    for uid in range(40):
+        high_similarity = uid % 2 == 0
+        high_benefit = uid % 4 < 2
+        sims[uid] = 0.4 if high_similarity else 0.05
+        bens[uid] = 0.3 if high_benefit else 0.05
+        labels[uid] = (
+            RiskLabel.NOT_RISKY if high_similarity else RiskLabel.VERY_RISKY
+        )
+    return labels, sims, bens
+
+
+class TestQuadrants:
+    def test_every_quadrant_reported(self):
+        labels, sims, bens = planted()
+        quadrants = tradeoff_quadrants(labels, sims, bens)
+        assert set(quadrants) == set(QUADRANTS)
+
+    def test_counts_partition_population(self):
+        labels, sims, bens = planted()
+        quadrants = tradeoff_quadrants(labels, sims, bens)
+        assert sum(stats.count for stats in quadrants.values()) == 40
+
+    def test_planted_homophily_recovered(self):
+        labels, sims, bens = planted()
+        quadrants = tradeoff_quadrants(labels, sims, bens)
+        for (similarity_side, _), stats in quadrants.items():
+            if stats.count == 0:
+                continue
+            if similarity_side == "high_similarity":
+                assert stats.mean_label == pytest.approx(1.0)
+            else:
+                assert stats.mean_label == pytest.approx(3.0)
+
+    def test_homophily_gap_positive_for_planted(self):
+        labels, sims, bens = planted()
+        assert homophily_gap(tradeoff_quadrants(labels, sims, bens)) == pytest.approx(2.0)
+
+    def test_missing_metrics_skipped(self):
+        labels = {1: RiskLabel.RISKY, 2: RiskLabel.RISKY}
+        quadrants = tradeoff_quadrants(labels, {1: 0.5}, {1: 0.5})
+        assert sum(stats.count for stats in quadrants.values()) == 1
+
+    def test_empty_input(self):
+        quadrants = tradeoff_quadrants({}, {}, {})
+        assert all(stats.count == 0 for stats in quadrants.values())
+        assert homophily_gap(quadrants) == 0.0
+
+    def test_render(self):
+        labels, sims, bens = planted()
+        text = render_tradeoff(tradeoff_quadrants(labels, sims, bens))
+        assert "high_similarity" in text
+        assert "very risky" in text
+
+    def test_pipeline_homophily_gap_positive(self, npp_study):
+        """The real study shows the planted homophily."""
+        run = npp_study.runs[0]
+        quadrants = tradeoff_quadrants(
+            run.owner.ground_truth, run.similarities, run.benefits
+        )
+        assert homophily_gap(quadrants) > 0.2

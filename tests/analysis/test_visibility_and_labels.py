@@ -1,0 +1,99 @@
+"""Tests for visibility cross-tabs and label statistics."""
+
+import pytest
+
+from repro.analysis.label_stats import (
+    label_fractions_by_group,
+    very_risky_fraction_by_group,
+)
+from repro.analysis.visibility import visibility_by_gender, visibility_by_locale
+from repro.clustering.nsg import network_similarity_groups
+from repro.types import BenefitItem, Gender, Locale, RiskLabel
+
+from ..conftest import make_profile
+
+
+class TestVisibilityByGender:
+    def test_rates_computed_per_gender(self):
+        profiles = [
+            make_profile(1, gender="male", visible=(BenefitItem.PHOTO,)),
+            make_profile(2, gender="male", visible=()),
+            make_profile(3, gender="female", visible=(BenefitItem.PHOTO,)),
+        ]
+        table = visibility_by_gender(profiles)
+        assert table[Gender.MALE][BenefitItem.PHOTO] == pytest.approx(0.5)
+        assert table[Gender.FEMALE][BenefitItem.PHOTO] == pytest.approx(1.0)
+        assert table[Gender.MALE][BenefitItem.WALL] == 0.0
+
+    def test_genderless_profiles_excluded(self):
+        from repro.graph.profile import Profile
+
+        table = visibility_by_gender([Profile(user_id=1)])
+        assert table[Gender.MALE][BenefitItem.PHOTO] == 0.0
+
+    def test_empty_population(self):
+        table = visibility_by_gender([])
+        assert set(table) == set(Gender)
+
+
+class TestVisibilityByLocale:
+    def test_rates_computed_per_locale(self):
+        profiles = [
+            make_profile(1, locale="TR", visible=(BenefitItem.WALL,)),
+            make_profile(2, locale="TR", visible=()),
+            make_profile(3, locale="IT", visible=(BenefitItem.WALL,)),
+        ]
+        table = visibility_by_locale(profiles)
+        assert table[Locale.TR][BenefitItem.WALL] == pytest.approx(0.5)
+        assert table[Locale.IT][BenefitItem.WALL] == pytest.approx(1.0)
+
+    def test_unknown_locale_values_ignored(self):
+        profiles = [make_profile(1, locale="XX")]
+        table = visibility_by_locale(profiles)
+        assert all(
+            rate == 0.0 for row in table.values() for rate in row.values()
+        )
+
+    def test_non_table5_locales_excluded_by_default(self):
+        profiles = [make_profile(1, locale="IN", visible=(BenefitItem.WALL,))]
+        table = visibility_by_locale(profiles)
+        assert Locale.IN not in table
+
+
+class TestLabelStats:
+    def groups_and_labels(self):
+        similarities = {1: 0.05, 2: 0.08, 3: 0.15, 4: 0.55}
+        groups = network_similarity_groups(similarities, alpha=10)
+        labels = {
+            1: RiskLabel.VERY_RISKY,
+            2: RiskLabel.NOT_RISKY,
+            3: RiskLabel.VERY_RISKY,
+            4: RiskLabel.NOT_RISKY,
+        }
+        return groups, labels
+
+    def test_fractions_sum_to_one_per_group(self):
+        groups, labels = self.groups_and_labels()
+        fractions = label_fractions_by_group(groups, labels)
+        for mix in fractions.values():
+            assert sum(mix.values()) == pytest.approx(1.0)
+
+    def test_very_risky_series(self):
+        groups, labels = self.groups_and_labels()
+        series = very_risky_fraction_by_group(groups, labels)
+        assert series[1] == pytest.approx(0.5)
+        assert series[2] == pytest.approx(1.0)
+        assert series[6] == 0.0
+
+    def test_empty_groups_omitted(self):
+        groups, labels = self.groups_and_labels()
+        series = very_risky_fraction_by_group(groups, labels)
+        assert 9 not in series
+
+    def test_unlabeled_members_skipped(self):
+        similarities = {1: 0.05, 2: 0.05}
+        groups = network_similarity_groups(similarities, alpha=10)
+        series = very_risky_fraction_by_group(
+            groups, {1: RiskLabel.VERY_RISKY}
+        )
+        assert series[1] == pytest.approx(1.0)

@@ -1,0 +1,125 @@
+"""Tests for label-based access control and privacy suggestions."""
+
+import pytest
+
+from repro.apps.access_control import (
+    LabelBasedPolicy,
+    suggest_privacy_settings,
+)
+from repro.errors import ConfigError
+from repro.graph.profile import Profile
+from repro.types import BenefitItem, RiskLabel, VisibilityLevel
+
+from ..conftest import make_profile
+
+LABELS = {
+    1: RiskLabel.NOT_RISKY,
+    2: RiskLabel.RISKY,
+    3: RiskLabel.VERY_RISKY,
+    4: RiskLabel.NOT_RISKY,
+}
+
+
+class TestLabelBasedPolicy:
+    def test_default_policy_gates_sensitive_items(self):
+        policy = LabelBasedPolicy()
+        assert policy.allows(RiskLabel.NOT_RISKY, BenefitItem.PHOTO)
+        assert not policy.allows(RiskLabel.RISKY, BenefitItem.PHOTO)
+        assert policy.allows(RiskLabel.RISKY, BenefitItem.EDUCATION)
+        assert not policy.allows(RiskLabel.VERY_RISKY, BenefitItem.EDUCATION)
+
+    def test_paranoid_policy(self):
+        policy = LabelBasedPolicy.paranoid()
+        for item in BenefitItem:
+            assert policy.allows(RiskLabel.NOT_RISKY, item)
+            assert not policy.allows(RiskLabel.RISKY, item)
+
+    def test_permissive_policy(self):
+        policy = LabelBasedPolicy.permissive()
+        for item in BenefitItem:
+            assert policy.allows(RiskLabel.RISKY, item)
+            assert not policy.allows(RiskLabel.VERY_RISKY, item)
+
+    def test_incomplete_thresholds_rejected(self):
+        with pytest.raises(ConfigError):
+            LabelBasedPolicy({BenefitItem.WALL: RiskLabel.RISKY})
+
+    def test_audience(self):
+        policy = LabelBasedPolicy.permissive()
+        audience = policy.audience(LABELS, BenefitItem.WALL)
+        assert audience == frozenset({1, 2, 4})
+
+    def test_exposure_report(self):
+        policy = LabelBasedPolicy.paranoid()
+        report = policy.exposure_report(LABELS)
+        for item in BenefitItem:
+            assert report[item] == pytest.approx(0.5)  # 2 of 4 not risky
+
+    def test_exposure_report_empty_labels(self):
+        report = LabelBasedPolicy().exposure_report({})
+        assert all(value == 0.0 for value in report.values())
+
+
+class TestPrivacySuggestions:
+    def exposed_profile(self):
+        return Profile(
+            user_id=0,
+            privacy={
+                item: VisibilityLevel.FRIENDS_OF_FRIENDS
+                for item in BenefitItem
+            },
+        )
+
+    def locked_profile(self):
+        return Profile(
+            user_id=0,
+            privacy={item: VisibilityLevel.FRIENDS for item in BenefitItem},
+        )
+
+    def test_risky_audience_triggers_tightening(self):
+        labels = {uid: RiskLabel.VERY_RISKY for uid in range(10)}
+        suggestions = suggest_privacy_settings(self.exposed_profile(), labels)
+        assert len(suggestions) == len(BenefitItem)
+        for suggestion in suggestions:
+            assert suggestion.suggested is VisibilityLevel.FRIENDS
+            assert suggestion.risky_share == pytest.approx(1.0)
+            assert "very risky" in suggestion.rationale
+
+    def test_safe_audience_triggers_relaxing(self):
+        labels = {uid: RiskLabel.NOT_RISKY for uid in range(10)}
+        suggestions = suggest_privacy_settings(self.locked_profile(), labels)
+        assert suggestions
+        for suggestion in suggestions:
+            assert suggestion.suggested is VisibilityLevel.FRIENDS_OF_FRIENDS
+
+    def test_middle_ground_suggests_nothing(self):
+        labels = {0: RiskLabel.VERY_RISKY, **{u: RiskLabel.NOT_RISKY for u in range(1, 10)}}
+        # risky share 10%: above relax (5%), below tighten (25%)
+        assert suggest_privacy_settings(self.exposed_profile(), labels) == []
+        assert suggest_privacy_settings(self.locked_profile(), labels) == []
+
+    def test_empty_labels_suggest_nothing(self):
+        assert suggest_privacy_settings(self.exposed_profile(), {}) == []
+
+    def test_invalid_thresholds_rejected(self):
+        with pytest.raises(ConfigError):
+            suggest_privacy_settings(
+                self.exposed_profile(),
+                {1: RiskLabel.RISKY},
+                tighten_threshold=0.1,
+                relax_threshold=0.5,
+            )
+
+    def test_private_items_never_relaxed(self):
+        profile = Profile(
+            user_id=0,
+            privacy={item: VisibilityLevel.PRIVATE for item in BenefitItem},
+        )
+        labels = {uid: RiskLabel.NOT_RISKY for uid in range(10)}
+        assert suggest_privacy_settings(profile, labels) == []
+
+    def test_suggestions_sorted_by_risk(self):
+        labels = {uid: RiskLabel.VERY_RISKY for uid in range(4)}
+        suggestions = suggest_privacy_settings(self.exposed_profile(), labels)
+        shares = [s.risky_share for s in suggestions]
+        assert shares == sorted(shares, reverse=True)

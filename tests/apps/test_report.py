@@ -1,0 +1,58 @@
+"""Tests for the per-owner risk report."""
+
+import pytest
+
+from repro.apps.report import render_owner_report
+
+
+@pytest.fixture()
+def report(npp_study):
+    run = npp_study.runs[0]
+    return render_owner_report(
+        run.result,
+        run.similarities,
+        run.benefits,
+        owner_profile=run.owner.profile,
+    ), run
+
+
+class TestOwnerReport:
+    def test_report_has_all_sections(self, report):
+        text, _ = report
+        for heading in (
+            "# Risk report",
+            "## Session",
+            "## Label mix",
+            "## Exposure",
+            "## Privacy-setting suggestions",
+            "## Friendship candidates",
+        ):
+            assert heading in text
+
+    def test_counts_match_session(self, report):
+        text, run = report
+        assert f"strangers assessed: {run.result.num_strangers}" in text
+        assert str(run.result.labels_requested) in text
+
+    def test_tradeoff_section_included(self, report):
+        text, _ = report
+        assert "trade-off" in text
+
+    def test_without_owner_profile_skips_privacy(self, npp_study):
+        run = npp_study.runs[0]
+        text = render_owner_report(
+            run.result, run.similarities, run.benefits
+        )
+        assert "Privacy-setting suggestions" not in text
+        assert "Friendship candidates" in text
+
+    def test_top_suggestions_limit(self, npp_study):
+        run = npp_study.runs[0]
+        text = render_owner_report(
+            run.result, run.similarities, run.benefits, top_suggestions=2
+        )
+        candidate_lines = [
+            line for line in text.splitlines()
+            if line.startswith("- stranger #")
+        ]
+        assert len(candidate_lines) <= 2

@@ -1,0 +1,70 @@
+"""Tests for risk-aware friendship suggestion."""
+
+import pytest
+
+from repro.apps.suggestions import suggest_friends
+from repro.errors import ConfigError
+from repro.types import RiskLabel
+
+LABELS = {
+    1: RiskLabel.NOT_RISKY,
+    2: RiskLabel.NOT_RISKY,
+    3: RiskLabel.RISKY,
+    4: RiskLabel.VERY_RISKY,
+}
+SIMS = {1: 0.5, 2: 0.1, 3: 0.9, 4: 0.9}
+BENS = {1: 0.2, 2: 0.8, 3: 0.9, 4: 0.9}
+
+
+class TestSuggestFriends:
+    def test_risky_strangers_filtered_out(self):
+        suggestions = suggest_friends(LABELS, SIMS, BENS)
+        assert {s.stranger for s in suggestions} == {1, 2}
+
+    def test_max_label_widens_candidate_set(self):
+        suggestions = suggest_friends(LABELS, SIMS, BENS, max_label=RiskLabel.RISKY)
+        assert {s.stranger for s in suggestions} == {1, 2, 3}
+
+    def test_ranked_by_mixed_score(self):
+        suggestions = suggest_friends(LABELS, SIMS, BENS, similarity_weight=0.5)
+        # stranger 2: 0.5*0.1+0.5*0.8 = 0.45 > stranger 1: 0.35
+        assert [s.stranger for s in suggestions] == [2, 1]
+
+    def test_similarity_weight_extremes(self):
+        homophile = suggest_friends(LABELS, SIMS, BENS, similarity_weight=1.0)
+        heterophile = suggest_friends(LABELS, SIMS, BENS, similarity_weight=0.0)
+        assert homophile[0].stranger == 1  # highest similarity among safe
+        assert heterophile[0].stranger == 2  # highest benefit among safe
+
+    def test_top_k_truncates(self):
+        suggestions = suggest_friends(LABELS, SIMS, BENS, top_k=1)
+        assert len(suggestions) == 1
+
+    def test_top_k_none_returns_all(self):
+        suggestions = suggest_friends(LABELS, SIMS, BENS, top_k=None)
+        assert len(suggestions) == 2
+
+    def test_missing_metrics_default_to_zero(self):
+        suggestions = suggest_friends(
+            {7: RiskLabel.NOT_RISKY}, {}, {}, top_k=None
+        )
+        assert suggestions[0].score == 0.0
+
+    def test_deterministic_tie_break(self):
+        labels = {5: RiskLabel.NOT_RISKY, 3: RiskLabel.NOT_RISKY}
+        sims = {5: 0.4, 3: 0.4}
+        bens = {5: 0.4, 3: 0.4}
+        suggestions = suggest_friends(labels, sims, bens, top_k=None)
+        assert [s.stranger for s in suggestions] == [3, 5]
+
+    @pytest.mark.parametrize("weight", [-0.1, 1.1])
+    def test_invalid_weight_rejected(self, weight):
+        with pytest.raises(ConfigError):
+            suggest_friends(LABELS, SIMS, BENS, similarity_weight=weight)
+
+    def test_invalid_top_k_rejected(self):
+        with pytest.raises(ConfigError):
+            suggest_friends(LABELS, SIMS, BENS, top_k=0)
+
+    def test_empty_labels(self):
+        assert suggest_friends({}, {}, {}) == []

@@ -1,0 +1,149 @@
+"""Tests for the Gaussian fields / harmonic function classifier."""
+
+import numpy as np
+import pytest
+
+from repro.classifier.graphs import SimilarityGraph
+from repro.classifier.harmonic import HarmonicClassifier
+from repro.errors import ClassifierError
+from repro.types import RiskLabel
+
+
+def graph_from(weights, nodes=None):
+    weights = np.asarray(weights, dtype=float)
+    nodes = nodes or list(range(weights.shape[0]))
+    return SimilarityGraph(nodes, weights)
+
+
+class TestBasics:
+    def test_requires_labels(self):
+        graph = graph_from([[0.0, 1.0], [1.0, 0.0]])
+        with pytest.raises(ClassifierError):
+            HarmonicClassifier(graph).predict({})
+
+    def test_unknown_labeled_node_rejected(self):
+        graph = graph_from([[0.0, 1.0], [1.0, 0.0]])
+        with pytest.raises(ClassifierError):
+            HarmonicClassifier(graph).predict({99: RiskLabel.RISKY})
+
+    def test_all_labeled_returns_empty(self):
+        graph = graph_from([[0.0, 1.0], [1.0, 0.0]])
+        predictions = HarmonicClassifier(graph).predict(
+            {0: RiskLabel.RISKY, 1: RiskLabel.NOT_RISKY}
+        )
+        assert predictions == {}
+
+    def test_predicts_every_unlabeled_node(self):
+        size = 6
+        graph = graph_from(np.ones((size, size)) - np.eye(size))
+        predictions = HarmonicClassifier(graph).predict({0: RiskLabel.RISKY})
+        assert set(predictions) == set(range(1, size))
+
+
+class TestHarmonicProperties:
+    def test_single_label_propagates_everywhere(self):
+        graph = graph_from(np.ones((4, 4)) - np.eye(4))
+        predictions = HarmonicClassifier(graph).predict({0: RiskLabel.VERY_RISKY})
+        for prediction in predictions.values():
+            assert prediction.label is RiskLabel.VERY_RISKY
+            assert prediction.masses[3] == pytest.approx(1.0)
+
+    def test_two_cluster_separation(self):
+        """Two dense blocks with a weak bridge: each block follows its
+        labeled anchor."""
+        weights = np.array(
+            [
+                [0.0, 1.0, 0.0, 0.01],
+                [1.0, 0.0, 0.01, 0.0],
+                [0.0, 0.01, 0.0, 1.0],
+                [0.01, 0.0, 1.0, 0.0],
+            ]
+        )
+        graph = graph_from(weights)
+        predictions = HarmonicClassifier(graph).predict(
+            {0: RiskLabel.NOT_RISKY, 2: RiskLabel.VERY_RISKY}
+        )
+        assert predictions[1].label is RiskLabel.NOT_RISKY
+        assert predictions[3].label is RiskLabel.VERY_RISKY
+
+    def test_scores_lie_in_label_hull(self):
+        rng = np.random.default_rng(0)
+        size = 10
+        weights = rng.random((size, size))
+        weights = (weights + weights.T) / 2
+        np.fill_diagonal(weights, 0.0)
+        graph = graph_from(weights)
+        predictions = HarmonicClassifier(graph).predict(
+            {0: RiskLabel.NOT_RISKY, 1: RiskLabel.RISKY}
+        )
+        for prediction in predictions.values():
+            assert 1.0 <= prediction.score <= 2.0 + 1e-9
+
+    def test_masses_sum_to_one(self):
+        graph = graph_from(np.ones((5, 5)) - np.eye(5))
+        predictions = HarmonicClassifier(graph).predict(
+            {0: RiskLabel.RISKY, 1: RiskLabel.VERY_RISKY}
+        )
+        for prediction in predictions.values():
+            assert sum(prediction.masses.values()) == pytest.approx(1.0)
+
+    def test_equidistant_node_gets_mixed_masses(self):
+        weights = np.array(
+            [
+                [0.0, 0.0, 1.0],
+                [0.0, 0.0, 1.0],
+                [1.0, 1.0, 0.0],
+            ]
+        )
+        graph = graph_from(weights)
+        predictions = HarmonicClassifier(graph).predict(
+            {0: RiskLabel.NOT_RISKY, 1: RiskLabel.VERY_RISKY}
+        )
+        masses = predictions[2].masses
+        assert masses[1] == pytest.approx(0.5, abs=1e-6)
+        assert masses[3] == pytest.approx(0.5, abs=1e-6)
+        assert predictions[2].score == pytest.approx(2.0, abs=1e-6)
+
+    def test_isolated_node_falls_back_to_label_prior(self):
+        weights = np.array(
+            [
+                [0.0, 1.0, 0.0],
+                [1.0, 0.0, 0.0],
+                [0.0, 0.0, 0.0],
+            ]
+        )
+        graph = graph_from(weights)
+        predictions = HarmonicClassifier(graph).predict(
+            {0: RiskLabel.VERY_RISKY}
+        )
+        isolated = predictions[2]
+        assert isolated.masses[3] == pytest.approx(1.0)
+
+    def test_closer_anchor_dominates(self):
+        weights = np.array(
+            [
+                [0.0, 0.0, 0.9],
+                [0.0, 0.0, 0.1],
+                [0.9, 0.1, 0.0],
+            ]
+        )
+        graph = graph_from(weights)
+        predictions = HarmonicClassifier(graph).predict(
+            {0: RiskLabel.NOT_RISKY, 1: RiskLabel.VERY_RISKY}
+        )
+        assert predictions[2].label is RiskLabel.NOT_RISKY
+
+    def test_tie_breaks_toward_higher_risk(self):
+        """The paper: under-prediction is the dangerous error."""
+        weights = np.array(
+            [
+                [0.0, 0.0, 0.5],
+                [0.0, 0.0, 0.5],
+                [0.5, 0.5, 0.0],
+            ]
+        )
+        graph = graph_from(weights)
+        predictions = HarmonicClassifier(graph).predict(
+            {0: RiskLabel.NOT_RISKY, 1: RiskLabel.VERY_RISKY}
+        )
+        assert predictions[2].label is RiskLabel.VERY_RISKY

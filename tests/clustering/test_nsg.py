@@ -1,0 +1,70 @@
+"""Tests for network similarity groups (Definition 1)."""
+
+import pytest
+
+from repro.clustering.nsg import network_similarity_groups
+from repro.errors import ClusteringError
+
+
+class TestGrouping:
+    def test_returns_alpha_groups(self):
+        groups = network_similarity_groups({1: 0.05}, alpha=10)
+        assert len(groups) == 10
+
+    def test_bin_assignment(self):
+        similarities = {1: 0.05, 2: 0.15, 3: 0.95}
+        groups = network_similarity_groups(similarities, alpha=10)
+        assert groups[0].members == (1,)
+        assert groups[1].members == (2,)
+        assert groups[9].members == (3,)
+
+    def test_boundary_value_goes_to_upper_bin(self):
+        groups = network_similarity_groups({1: 0.1}, alpha=10)
+        assert groups[1].members == (1,)
+
+    def test_similarity_one_lands_in_top_group(self):
+        groups = network_similarity_groups({1: 1.0}, alpha=10)
+        assert groups[-1].members == (1,)
+
+    def test_zero_lands_in_bottom_group(self):
+        groups = network_similarity_groups({1: 0.0}, alpha=10)
+        assert groups[0].members == (1,)
+
+    def test_partition_is_total_and_disjoint(self):
+        similarities = {uid: uid / 100 for uid in range(100)}
+        groups = network_similarity_groups(similarities, alpha=7)
+        seen = []
+        for group in groups:
+            seen.extend(group.members)
+        assert sorted(seen) == sorted(similarities)
+
+    def test_groups_expose_bounds(self):
+        groups = network_similarity_groups({}, alpha=4)
+        assert groups[0].lower == 0.0
+        assert groups[0].upper == 0.25
+        assert groups[3].upper == 1.0
+
+    def test_contains_similarity(self):
+        groups = network_similarity_groups({}, alpha=4)
+        assert groups[0].contains_similarity(0.1)
+        assert not groups[0].contains_similarity(0.25)
+        assert groups[3].contains_similarity(1.0)
+
+    def test_members_sorted(self):
+        groups = network_similarity_groups({5: 0.0, 1: 0.0, 3: 0.0}, alpha=2)
+        assert groups[0].members == (1, 3, 5)
+
+    def test_len_of_group(self):
+        groups = network_similarity_groups({1: 0.0, 2: 0.0}, alpha=2)
+        assert len(groups[0]) == 2
+
+
+class TestValidation:
+    def test_alpha_below_one_rejected(self):
+        with pytest.raises(ClusteringError):
+            network_similarity_groups({}, alpha=0)
+
+    @pytest.mark.parametrize("value", [-0.1, 1.1])
+    def test_out_of_range_similarity_rejected(self, value):
+        with pytest.raises(ClusteringError):
+            network_similarity_groups({1: value}, alpha=10)

@@ -1,0 +1,118 @@
+"""Tests for pool construction (Definition 3)."""
+
+import random
+
+import pytest
+
+from repro.clustering.pools import (
+    StrangerPool,
+    build_network_only_pools,
+    build_pools,
+)
+from repro.config import PoolingConfig
+from repro.errors import ClusteringError
+
+from ..conftest import make_profile
+
+
+def make_inputs(count=60, seed=0):
+    rng = random.Random(seed)
+    similarities = {uid: rng.random() * 0.6 for uid in range(count)}
+    profiles = {
+        uid: make_profile(
+            uid,
+            gender=rng.choice(("male", "female")),
+            locale=rng.choice(("US", "TR", "IT")),
+            last_name=rng.choice(("smith", "kaya", "rossi")),
+        )
+        for uid in range(count)
+    }
+    return similarities, profiles
+
+
+class TestStrangerPool:
+    def test_empty_pool_rejected(self):
+        with pytest.raises(ClusteringError):
+            StrangerPool(pool_id="x", nsg_index=1, cluster_index=0, members=())
+
+    def test_contains_and_len(self):
+        pool = StrangerPool(
+            pool_id="x", nsg_index=1, cluster_index=0, members=(1, 2)
+        )
+        assert 1 in pool
+        assert 3 not in pool
+        assert len(pool) == 2
+
+
+class TestNetworkOnlyPools:
+    def test_pools_partition_strangers(self):
+        similarities, _ = make_inputs()
+        pools = build_network_only_pools(similarities)
+        members = [uid for pool in pools for uid in pool.members]
+        assert sorted(members) == sorted(similarities)
+
+    def test_no_empty_pools(self):
+        similarities, _ = make_inputs()
+        for pool in build_network_only_pools(similarities):
+            assert len(pool) > 0
+
+    def test_one_pool_per_occupied_group(self):
+        similarities = {1: 0.05, 2: 0.07, 3: 0.55}
+        pools = build_network_only_pools(similarities)
+        assert len(pools) == 2
+        assert {pool.nsg_index for pool in pools} == {1, 6}
+
+
+class TestNppPools:
+    def test_pools_partition_strangers(self):
+        similarities, profiles = make_inputs()
+        pools = build_pools(similarities, profiles)
+        members = [uid for pool in pools for uid in pool.members]
+        assert sorted(members) == sorted(similarities)
+
+    def test_pool_ids_unique(self):
+        similarities, profiles = make_inputs()
+        pools = build_pools(similarities, profiles)
+        ids = [pool.pool_id for pool in pools]
+        assert len(set(ids)) == len(ids)
+
+    def test_npp_refines_nsp(self):
+        """Every NPP pool must live inside a single similarity group."""
+        similarities, profiles = make_inputs()
+        config = PoolingConfig(min_pool_size=1)
+        npp = build_pools(similarities, profiles, config)
+        nsp = build_network_only_pools(similarities, config)
+        nsp_by_index = {pool.nsg_index: set(pool.members) for pool in nsp}
+        for pool in npp:
+            assert set(pool.members) <= nsp_by_index[pool.nsg_index]
+
+    def test_npp_makes_at_least_as_many_pools(self):
+        similarities, profiles = make_inputs()
+        config = PoolingConfig(min_pool_size=1)
+        assert len(build_pools(similarities, profiles, config)) >= len(
+            build_network_only_pools(similarities, config)
+        )
+
+    def test_min_pool_size_merges_small_clusters(self):
+        similarities, profiles = make_inputs(count=80)
+        loose = build_pools(
+            similarities, profiles, PoolingConfig(min_pool_size=1)
+        )
+        merged = build_pools(
+            similarities, profiles, PoolingConfig(min_pool_size=8)
+        )
+        assert len(merged) <= len(loose)
+        # merging must preserve the partition
+        members = [uid for pool in merged for uid in pool.members]
+        assert sorted(members) == sorted(similarities)
+
+    def test_single_stranger(self):
+        similarities = {7: 0.3}
+        profiles = {7: make_profile(7)}
+        pools = build_pools(similarities, profiles)
+        assert len(pools) == 1
+        assert pools[0].members == (7,)
+
+    def test_empty_input_gives_no_pools(self):
+        assert build_pools({}, {}) == []
+        assert build_network_only_pools({}) == []

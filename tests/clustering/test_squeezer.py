@@ -1,0 +1,186 @@
+"""Tests for the Squeezer clustering algorithm (Definition 2)."""
+
+import pytest
+
+from repro.clustering.squeezer import (
+    MISSING,
+    SqueezerCluster,
+    cluster_similarity,
+    squeezer,
+)
+from repro.errors import ClusteringError
+from repro.types import ProfileAttribute
+
+from ..conftest import make_profile
+
+ATTRS = ProfileAttribute.clustering_attributes()
+UNIFORM = {attr: 1 / 3 for attr in ATTRS}
+
+
+class TestClusterSimilarity:
+    def test_identical_candidate_scores_one(self):
+        cluster = SqueezerCluster(attributes=ATTRS)
+        values = {
+            ProfileAttribute.GENDER: "male",
+            ProfileAttribute.LOCALE: "US",
+            ProfileAttribute.LAST_NAME: "smith",
+        }
+        cluster.add(1, values)
+        assert cluster_similarity(cluster, values, UNIFORM) == pytest.approx(1.0)
+
+    def test_disjoint_candidate_scores_zero(self):
+        cluster = SqueezerCluster(attributes=ATTRS)
+        cluster.add(
+            1,
+            {
+                ProfileAttribute.GENDER: "male",
+                ProfileAttribute.LOCALE: "US",
+                ProfileAttribute.LAST_NAME: "smith",
+            },
+        )
+        other = {
+            ProfileAttribute.GENDER: "female",
+            ProfileAttribute.LOCALE: "TR",
+            ProfileAttribute.LAST_NAME: "kaya",
+        }
+        assert cluster_similarity(cluster, other, UNIFORM) == 0.0
+
+    def test_partial_agreement_is_support_fraction(self):
+        cluster = SqueezerCluster(attributes=ATTRS)
+        for uid, gender in ((1, "male"), (2, "male"), (3, "female")):
+            cluster.add(
+                uid,
+                {
+                    ProfileAttribute.GENDER: gender,
+                    ProfileAttribute.LOCALE: "US",
+                    ProfileAttribute.LAST_NAME: "smith",
+                },
+            )
+        candidate = {
+            ProfileAttribute.GENDER: "female",
+            ProfileAttribute.LOCALE: "US",
+            ProfileAttribute.LAST_NAME: "jones",
+        }
+        # gender: 1/3 agreement, locale: 3/3, last name: 0/3
+        expected = (1 / 3) * (1 / 3) + (1 / 3) * 1.0
+        assert cluster_similarity(cluster, candidate, UNIFORM) == pytest.approx(
+            expected
+        )
+
+    def test_empty_cluster_rejected(self):
+        cluster = SqueezerCluster(attributes=ATTRS)
+        with pytest.raises(ClusteringError):
+            cluster_similarity(cluster, {}, UNIFORM)
+
+
+class TestSqueezer:
+    def test_identical_profiles_form_one_cluster(self):
+        profiles = [make_profile(uid) for uid in range(6)]
+        clusters = squeezer(profiles, threshold=0.4)
+        assert len(clusters) == 1
+        assert sorted(clusters[0].members) == list(range(6))
+
+    def test_distinct_profiles_split(self):
+        profiles = [
+            make_profile(1, gender="male", locale="US", last_name="smith"),
+            make_profile(2, gender="female", locale="TR", last_name="kaya"),
+        ]
+        clusters = squeezer(profiles, threshold=0.4)
+        assert len(clusters) == 2
+
+    def test_clusters_partition_input(self):
+        import random
+
+        rng = random.Random(0)
+        profiles = [
+            make_profile(
+                uid,
+                gender=rng.choice(("male", "female")),
+                locale=rng.choice(("US", "TR")),
+                last_name=rng.choice(("smith", "kaya", "jones")),
+            )
+            for uid in range(40)
+        ]
+        clusters = squeezer(profiles, threshold=0.5)
+        members = [uid for cluster in clusters for uid in cluster.members]
+        assert sorted(members) == list(range(40))
+
+    def test_high_threshold_makes_more_clusters(self):
+        import random
+
+        rng = random.Random(1)
+        profiles = [
+            make_profile(
+                uid,
+                gender=rng.choice(("male", "female")),
+                locale=rng.choice(("US", "TR")),
+            )
+            for uid in range(30)
+        ]
+        low = squeezer(profiles, threshold=0.2)
+        high = squeezer(profiles, threshold=0.95)
+        assert len(high) >= len(low)
+
+    def test_weights_control_grouping(self):
+        profiles = [
+            make_profile(1, gender="male", locale="US"),
+            make_profile(2, gender="male", locale="TR"),
+        ]
+        gender_only = squeezer(
+            profiles,
+            threshold=0.5,
+            weights={
+                ProfileAttribute.GENDER: 1.0,
+                ProfileAttribute.LOCALE: 0.0,
+                ProfileAttribute.LAST_NAME: 0.0,
+            },
+        )
+        locale_only = squeezer(
+            profiles,
+            threshold=0.5,
+            weights={
+                ProfileAttribute.GENDER: 0.0,
+                ProfileAttribute.LOCALE: 1.0,
+                ProfileAttribute.LAST_NAME: 0.0,
+            },
+        )
+        assert len(gender_only) == 1
+        assert len(locale_only) == 2
+
+    def test_missing_attribute_is_its_own_category(self):
+        from repro.graph.profile import Profile
+
+        blanks = [Profile(user_id=uid) for uid in range(4)]
+        clusters = squeezer(blanks, threshold=0.4)
+        assert len(clusters) == 1
+
+    def test_missing_sentinel_value(self):
+        assert MISSING == "<missing>"
+
+    def test_explicit_order_respected(self):
+        profiles = [
+            make_profile(1, gender="male"),
+            make_profile(2, gender="female"),
+        ]
+        clusters = squeezer(profiles, threshold=0.4, order=[2, 1])
+        assert clusters[0].members[0] == 2
+
+    def test_unknown_order_id_rejected(self):
+        with pytest.raises(ClusteringError):
+            squeezer([make_profile(1)], threshold=0.4, order=[99])
+
+    @pytest.mark.parametrize("threshold", [0.0, 1.5])
+    def test_invalid_threshold_rejected(self, threshold):
+        with pytest.raises(ClusteringError):
+            squeezer([make_profile(1)], threshold=threshold)
+
+    def test_bad_weights_rejected(self):
+        with pytest.raises(ClusteringError):
+            squeezer(
+                [make_profile(1)],
+                threshold=0.4,
+                weights={ProfileAttribute.GENDER: 1.0},
+            )
+
+    def test_empty_input_yields_no_clusters(self):
+        assert squeezer([], threshold=0.4) == []

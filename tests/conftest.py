@@ -1,0 +1,149 @@
+"""Shared fixtures for the test suite.
+
+Expensive fixtures (the study population, study runs) are session-scoped:
+many test modules read them, none mutates them.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.graph.profile import Profile
+from repro.graph.social_graph import SocialGraph
+from repro.synth import EgoNetConfig, generate_study_population
+from repro.types import (
+    BenefitItem,
+    Gender,
+    Locale,
+    ProfileAttribute,
+    VisibilityLevel,
+)
+
+
+def make_profile(
+    user_id: int,
+    gender: str = "male",
+    locale: str = "US",
+    last_name: str = "smith",
+    visible: tuple[BenefitItem, ...] = (),
+    **extra: str,
+) -> Profile:
+    """Concise profile factory used across the suite."""
+    attributes = {
+        ProfileAttribute.GENDER: gender,
+        ProfileAttribute.LOCALE: locale,
+        ProfileAttribute.LAST_NAME: last_name,
+    }
+    for key, value in extra.items():
+        attributes[ProfileAttribute(key)] = value
+    privacy = {
+        item: (
+            VisibilityLevel.FRIENDS_OF_FRIENDS
+            if item in visible
+            else VisibilityLevel.FRIENDS
+        )
+        for item in BenefitItem
+    }
+    return Profile(user_id=user_id, attributes=attributes, privacy=privacy)
+
+
+def make_ego_graph(
+    num_friends: int = 5,
+    num_strangers: int = 12,
+    seed: int = 0,
+) -> tuple[SocialGraph, int]:
+    """A small hand-rolled ego graph: owner 0, friends, strangers.
+
+    Strangers attach to 1-3 friends; friend-friend edges give the NS
+    measure some cohesion to chew on.  Returns (graph, owner_id).
+    """
+    rng = random.Random(seed)
+    genders = ("male", "female")
+    locales = ("US", "TR", "IT")
+    names = ("smith", "kaya", "rossi", "jones", "demir")
+    profiles = [
+        make_profile(
+            uid,
+            gender=rng.choice(genders),
+            locale=rng.choice(locales),
+            last_name=rng.choice(names),
+            visible=tuple(
+                item for item in BenefitItem if rng.random() < 0.5
+            ),
+        )
+        for uid in range(1 + num_friends + num_strangers)
+    ]
+    graph = SocialGraph.from_edges(profiles, [])
+    friends = list(range(1, 1 + num_friends))
+    strangers = list(range(1 + num_friends, 1 + num_friends + num_strangers))
+    for friend in friends:
+        graph.add_friendship(0, friend)
+    for a_index, a in enumerate(friends):
+        for b in friends[a_index + 1 :]:
+            if rng.random() < 0.4:
+                graph.add_friendship(a, b)
+    for stranger in strangers:
+        for anchor in rng.sample(friends, rng.randint(1, min(3, num_friends))):
+            graph.add_friendship(stranger, anchor)
+    return graph, 0
+
+
+@pytest.fixture
+def ego_graph() -> tuple[SocialGraph, int]:
+    """A fresh small ego graph per test."""
+    return make_ego_graph()
+
+
+@pytest.fixture(scope="session")
+def population():
+    """A small but realistic study population (expensive; read-only)."""
+    return generate_study_population(
+        num_owners=4,
+        ego_config=EgoNetConfig(num_friends=30, num_strangers=150),
+        seed=101,
+    )
+
+
+@pytest.fixture(scope="session")
+def big_population():
+    """A larger cohort used by the experiment-shape tests (read-only)."""
+    return generate_study_population(
+        num_owners=8,
+        ego_config=EgoNetConfig(num_friends=40, num_strangers=250),
+        seed=202,
+    )
+
+
+@pytest.fixture(scope="session")
+def npp_study(population):
+    """One NPP study over the small population (read-only)."""
+    from repro.experiments import run_study
+
+    return run_study(population, pooling="npp", seed=5)
+
+
+@pytest.fixture(scope="session")
+def nsp_study(population):
+    """One NSP study over the small population (read-only)."""
+    from repro.experiments import run_study
+
+    return run_study(population, pooling="nsp", seed=5)
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A seeded RNG."""
+    return random.Random(12345)
+
+
+# re-export the factories as fixtures for tests that prefer injection
+@pytest.fixture
+def profile_factory():
+    """The :func:`make_profile` factory."""
+    return make_profile
+
+
+GENDERS = (Gender.MALE, Gender.FEMALE)
+LOCALES = tuple(Locale)

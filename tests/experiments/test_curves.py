@@ -1,0 +1,51 @@
+"""Tests for the effort/accuracy learning curve."""
+
+import pytest
+
+from repro.experiments.curves import (
+    CurvePoint,
+    learning_curve,
+    render_learning_curve,
+)
+
+
+class TestLearningCurve:
+    def test_curve_is_monotone_in_effort(self, npp_study):
+        points = learning_curve(npp_study)
+        labels = [point.labels_spent for point in points]
+        assert labels == sorted(labels)
+        pairs = [point.validated_pairs for point in points]
+        assert pairs == sorted(pairs)
+
+    def test_final_point_matches_study_totals(self, npp_study):
+        points = learning_curve(npp_study, resolution=1000)
+        final = points[-1]
+        assert final.labels_spent == npp_study.total_labels
+        assert final.validated_accuracy == pytest.approx(
+            npp_study.exact_match_accuracy
+        )
+
+    def test_resolution_caps_points(self, npp_study):
+        points = learning_curve(npp_study, resolution=5)
+        assert len(points) <= 5
+
+    def test_accuracy_improves_from_early_to_late(self, npp_study):
+        """The pipeline's value: later predictions validate better than
+        the very first batch."""
+        points = [
+            point for point in learning_curve(npp_study, resolution=50)
+            if point.validated_accuracy is not None
+        ]
+        assert len(points) >= 3
+        early = points[0].validated_accuracy
+        late = points[-1].validated_accuracy
+        assert late >= early - 0.05
+
+    def test_invalid_resolution_rejected(self, npp_study):
+        with pytest.raises(ValueError):
+            learning_curve(npp_study, resolution=1)
+
+    def test_render(self, npp_study):
+        text = render_learning_curve(learning_curve(npp_study))
+        assert "Learning curve" in text
+        assert "labels" in text

@@ -1,0 +1,95 @@
+"""Shape tests for the Figure 4-7 series — the paper's qualitative claims."""
+
+import pytest
+
+from repro.experiments.figures import figure4, figure5, figure6, figure7
+
+
+class TestFigure4:
+    def test_counts_cover_all_groups(self, population):
+        counts = figure4(population)
+        assert set(counts) == set(range(1, 11))
+
+    def test_total_matches_population(self, population):
+        counts = figure4(population)
+        assert sum(counts.values()) == population.total_strangers
+
+    def test_skewed_toward_low_similarity(self, population):
+        """Paper: most strangers are weakly connected with owners."""
+        counts = figure4(population)
+        assert counts[1] == max(counts.values())
+        low = counts[1] + counts[2]
+        assert low > sum(counts.values()) / 2
+
+    def test_no_stranger_above_point_six(self, population):
+        """Paper: no stranger has network similarity greater than 0.6."""
+        counts = figure4(population)
+        assert all(counts[index] == 0 for index in (8, 9, 10))
+
+
+class TestFigure5:
+    def test_series_present_for_both_strategies(self, npp_study, nsp_study):
+        series = figure5(npp_study, nsp_study)
+        assert set(series) == {"npp", "nsp"}
+        assert series["npp"]
+        assert series["nsp"]
+
+    def test_npp_error_lower_in_early_rounds(self, npp_study, nsp_study):
+        """Paper: NPP shows better RMSE than NSP.
+
+        The comparison uses rounds 2-4, where (nearly) every pool is still
+        alive; later rounds average over the few hardest surviving pools
+        and are dominated by noise in a small test cohort.
+        """
+        series = figure5(npp_study, nsp_study)
+        depth = min(len(series["npp"]), len(series["nsp"]), 4)
+        npp_mean = sum(series["npp"][1:depth]) / max(depth - 1, 1)
+        nsp_mean = sum(series["nsp"][1:depth]) / max(depth - 1, 1)
+        assert npp_mean <= nsp_mean
+
+    def test_npp_overall_accuracy_at_least_nsp(self, npp_study, nsp_study):
+        assert (
+            npp_study.exact_match_accuracy >= nsp_study.exact_match_accuracy
+        )
+
+    def test_rmse_bounded(self, npp_study, nsp_study):
+        series = figure5(npp_study, nsp_study)
+        for values in series.values():
+            assert all(0.0 <= value <= 2.0 for value in values)
+
+
+class TestFigure6:
+    def test_npp_stabilizes_with_fewer_moving_labels(self, npp_study, nsp_study):
+        """Paper: NPP has fewer unstabilized labels per round than NSP."""
+        series = figure6(npp_study, nsp_study)
+        npp_total = sum(series["npp"])
+        nsp_total = sum(series["nsp"])
+        assert npp_total < nsp_total
+
+    def test_counts_non_negative(self, npp_study, nsp_study):
+        series = figure6(npp_study, nsp_study)
+        for values in series.values():
+            assert all(value >= 0.0 for value in values)
+
+    def test_unstabilized_decreasing_overall(self, npp_study, nsp_study):
+        series = figure6(npp_study, nsp_study)
+        values = series["nsp"]
+        if len(values) >= 3:
+            assert values[-1] <= values[0]
+
+
+class TestFigure7:
+    def test_very_risky_fraction_decreases(self, big_population):
+        """Paper: very-risky percentage consistently decreases with
+        network similarity."""
+        series = figure7(big_population)
+        indices = sorted(series)
+        # compare the populated low groups pairwise, tolerating tiny
+        # non-monotonic wiggles in sparsely populated top groups
+        assert series[indices[0]] > series[indices[-1]]
+        first_three = [series[i] for i in indices[:3]]
+        assert first_three == sorted(first_three, reverse=True)
+
+    def test_fractions_are_probabilities(self, big_population):
+        for value in figure7(big_population).values():
+            assert 0.0 <= value <= 1.0

@@ -1,0 +1,103 @@
+"""Tests for headline metrics and the text renderers."""
+
+import pytest
+
+from repro.experiments.figures import figure4, figure5, figure6, figure7
+from repro.experiments.headline import headline_metrics
+from repro.experiments.report import (
+    render_figure4,
+    render_figure7,
+    render_headline,
+    render_importance_table,
+    render_label_distribution,
+    render_round_series,
+    render_table,
+    render_table3,
+    render_table4,
+    render_table5,
+)
+from repro.experiments.tables import table1, table2, table3, table4, table5
+from repro.types import RiskLabel
+
+
+class TestHeadline:
+    def test_metrics_consistent_with_study(self, npp_study):
+        metrics = headline_metrics(npp_study)
+        assert metrics.num_owners == npp_study.num_owners
+        assert metrics.total_labels == npp_study.total_labels
+        assert metrics.total_strangers == npp_study.total_strangers
+
+    def test_accuracy_in_reasonable_band(self, npp_study):
+        """The paper reports 83.38 %; the synthetic substrate should land
+        in the same neighborhood (we assert a generous band)."""
+        metrics = headline_metrics(npp_study)
+        assert metrics.exact_match_accuracy > 0.6
+        assert metrics.holdout_accuracy > 0.65
+
+    def test_label_efficiency_below_one(self, npp_study):
+        metrics = headline_metrics(npp_study)
+        assert 0.0 < metrics.label_efficiency() < 1.0
+
+    def test_mean_rounds_near_paper(self, npp_study):
+        """Paper: labels prediction stabilizes in about 3 rounds."""
+        metrics = headline_metrics(npp_study)
+        assert 1.0 <= metrics.mean_rounds_to_stop <= 8.0
+
+    def test_rmse_reported(self, npp_study):
+        metrics = headline_metrics(npp_study)
+        assert 0.0 <= metrics.validation_rmse <= 2.0
+
+
+class TestRenderers:
+    def test_render_table_aligns_columns(self):
+        text = render_table(("a", "bb"), [(1, 2), (33, 44)])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+
+    def test_render_figure4(self, population):
+        text = render_figure4(figure4(population))
+        assert "nsg1" in text
+        assert "Figure 4" in text
+
+    def test_render_round_series(self, npp_study, nsp_study):
+        text = render_round_series("Figure 5", figure5(npp_study, nsp_study))
+        assert "round" in text
+        assert "npp" in text and "nsp" in text
+
+    def test_render_figure6_series(self, npp_study, nsp_study):
+        text = render_round_series("Figure 6", figure6(npp_study, nsp_study))
+        assert "Figure 6" in text
+
+    def test_render_figure7(self, population):
+        text = render_figure7(figure7(population))
+        assert "%" in text
+
+    def test_render_importance_tables(self, npp_study):
+        text1 = render_importance_table("Table I", table1(npp_study))
+        text2 = render_importance_table("Table II", table2(npp_study))
+        assert "gender" in text1
+        assert "photo" in text2
+        assert "I1" in text1
+
+    def test_render_table3(self, npp_study):
+        assert "theta" in render_table3(table3(npp_study))
+
+    def test_render_table4(self, npp_study):
+        text = render_table4(table4(npp_study))
+        assert "male" in text and "female" in text
+
+    def test_render_table5(self, npp_study):
+        text = render_table5(table5(npp_study))
+        assert "TR" in text or "US" in text
+
+    def test_render_headline(self, npp_study):
+        text = render_headline(headline_metrics(npp_study))
+        assert "exact-match" in text
+
+    def test_render_label_distribution(self):
+        text = render_label_distribution(
+            {RiskLabel.NOT_RISKY: 5, RiskLabel.RISKY: 3, RiskLabel.VERY_RISKY: 2}
+        )
+        assert "very risky" in text
+        assert "50.0%" in text

@@ -1,0 +1,85 @@
+"""Tests for the longitudinal deployment driver."""
+
+import pytest
+
+from repro.experiments.longitudinal import render_longitudinal, run_longitudinal
+
+
+@pytest.fixture(scope="module")
+def deployment(population):
+    owner = population.owners[0]
+    history = run_longitudinal(
+        population.graph,
+        owner.user_id,
+        owner.as_oracle(),
+        checkpoints=(7, 14, 28, 56),
+        truth=owner.truth,
+        seed=17,
+    )
+    return history, owner
+
+
+class TestLongitudinal:
+    def test_checkpoints_progress(self, deployment):
+        history, _ = deployment
+        assert len(history) >= 3
+        known = [checkpoint.strangers_known for checkpoint in history]
+        assert known == sorted(known)
+
+    def test_coverage_rises(self, deployment):
+        history, _ = deployment
+        coverage = [checkpoint.coverage for checkpoint in history]
+        assert coverage[-1] > coverage[0]
+        assert all(0.0 < value <= 1.0 for value in coverage)
+
+    def test_first_checkpoint_is_cold_start(self, deployment):
+        history, _ = deployment
+        assert history[0].reused_labels == 0
+        assert history[0].new_queries > 0
+
+    def test_later_checkpoints_reuse_labels(self, deployment):
+        history, _ = deployment
+        for checkpoint in history[1:]:
+            assert checkpoint.reused_labels > 0
+
+    def test_each_checkpoint_covers_its_prefix(self, deployment):
+        history, _ = deployment
+        for checkpoint in history:
+            assert (
+                len(checkpoint.result.final_labels())
+                == checkpoint.strangers_known
+            )
+
+    def test_agreement_measured_and_high(self, deployment):
+        history, _ = deployment
+        for checkpoint in history:
+            assert checkpoint.agreement is not None
+            assert checkpoint.agreement > 0.6
+
+    def test_render(self, deployment):
+        history, _ = deployment
+        text = render_longitudinal(history)
+        assert "Longitudinal deployment" in text
+        assert "day" in text
+
+    def test_invalid_checkpoints_rejected(self, population):
+        owner = population.owners[0]
+        with pytest.raises(ValueError):
+            run_longitudinal(
+                population.graph,
+                owner.user_id,
+                owner.as_oracle(),
+                checkpoints=(14, 7),
+            )
+
+    def test_without_truth_agreement_is_none(self, population):
+        owner = population.owners[1]
+        history = run_longitudinal(
+            population.graph,
+            owner.user_id,
+            owner.as_oracle(),
+            checkpoints=(14, 28),
+            seed=18,
+        )
+        for checkpoint in history:
+            assert checkpoint.agreement is None

@@ -1,0 +1,62 @@
+"""Edge-case tests for the text renderers."""
+
+from repro.experiments.report import (
+    render_figure4,
+    render_round_series,
+    render_table,
+)
+from repro.types import Gender
+
+
+class TestRenderTableEdges:
+    def test_empty_rows(self):
+        text = render_table(("a", "b"), [])
+        lines = text.splitlines()
+        assert len(lines) == 2  # header + rule only
+
+    def test_single_cell(self):
+        text = render_table(("only",), [("x",)])
+        assert "only" in text and "x" in text
+
+    def test_wide_values_stretch_columns(self):
+        text = render_table(("h",), [("a-very-long-value",)])
+        header, rule, row = text.splitlines()
+        assert len(rule) >= len("a-very-long-value")
+
+
+class TestRenderSeriesEdges:
+    def test_empty_series(self):
+        text = render_round_series("T", {"npp": [], "nsp": []})
+        assert text.startswith("T")
+        assert "round" in text
+
+    def test_uneven_series_padded_with_dash(self):
+        text = render_round_series("T", {"a": [1.0, 2.0], "b": [1.0]})
+        assert "-" in text.splitlines()[-1]
+
+    def test_custom_format(self):
+        text = render_round_series("T", {"a": [0.123456]}, value_format="{:.1f}")
+        assert "0.1" in text
+
+
+class TestRenderFigure4Edges:
+    def test_all_zero_counts(self):
+        text = render_figure4({1: 0, 2: 0})
+        assert "nsg1" in text
+
+    def test_share_column_sums(self):
+        text = render_figure4({1: 3, 2: 1})
+        assert "75.0%" in text
+        assert "25.0%" in text
+
+
+class TestGenderEnumRendering:
+    def test_table4_requires_both_genders(self):
+        from repro.experiments.report import render_table4
+        from repro.types import BenefitItem
+
+        table = {
+            gender: {item: 0.5 for item in BenefitItem} for gender in Gender
+        }
+        text = render_table4(table)
+        assert "male" in text and "female" in text

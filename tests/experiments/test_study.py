@@ -1,0 +1,61 @@
+"""Tests for the study runner."""
+
+import pytest
+
+from repro.experiments.study import run_study
+from repro.types import RiskLabel
+
+
+class TestStudyRunner:
+    def test_one_run_per_owner(self, npp_study, population):
+        assert npp_study.num_owners == len(population.owners)
+
+    def test_every_stranger_labeled(self, npp_study, population):
+        for run in npp_study.runs:
+            strangers = set(population.strangers_of(run.owner.user_id))
+            assert set(run.result.final_labels()) == strangers
+
+    def test_labels_are_fewer_than_strangers(self, npp_study):
+        assert npp_study.total_labels < npp_study.total_strangers
+
+    def test_accuracy_metrics_available(self, npp_study):
+        assert npp_study.exact_match_accuracy is not None
+        assert 0.0 <= npp_study.exact_match_accuracy <= 1.0
+        assert npp_study.holdout_accuracy is not None
+
+    def test_owner_confidence_respected(self, npp_study):
+        for run in npp_study.runs:
+            assert run.result.confidence == pytest.approx(run.owner.confidence)
+
+    def test_similarity_and_benefit_maps_cover_strangers(self, npp_study, population):
+        for run in npp_study.runs:
+            strangers = set(population.strangers_of(run.owner.user_id))
+            assert set(run.similarities) == strangers
+            assert set(run.benefits) == strangers
+            assert set(run.visibility) == strangers
+            assert set(run.profiles) == strangers
+
+    def test_ground_truth_pooling(self, npp_study):
+        labels = npp_study.all_ground_truth()
+        assert len(labels) == npp_study.total_strangers
+        assert all(isinstance(label, RiskLabel) for label in labels.values())
+
+    def test_owner_labels_match_ground_truth(self, npp_study):
+        """The simulated owner must answer exactly its ground truth."""
+        for run in npp_study.runs:
+            for pool in run.result.pool_results:
+                for stranger, label in pool.owner_labels.items():
+                    assert label is run.owner.truth(stranger)
+
+    def test_nsp_study_covers_same_strangers(self, npp_study, nsp_study):
+        assert nsp_study.total_strangers == npp_study.total_strangers
+
+    def test_classifier_option(self, population):
+        study = run_study(population, classifier="majority", seed=1)
+        assert study.classifier == "majority"
+        assert study.exact_match_accuracy is not None
+
+    def test_fixed_confidence_option(self, population):
+        study = run_study(population, seed=1, use_owner_confidence=False)
+        for run in study.runs:
+            assert run.result.confidence == pytest.approx(80.0)

@@ -1,0 +1,122 @@
+"""Shape tests for Tables I-V — the paper's mined regularities."""
+
+import pytest
+
+from repro.experiments.tables import table1, table2, table3, table4, table5
+from repro.types import BenefitItem, Gender, Locale
+
+
+class TestTable1:
+    def test_gender_most_important_on_average(self, npp_study):
+        """Paper: gender has the biggest average weight."""
+        table = table1(npp_study)
+        assert table.ordered_keys()[0] == "gender"
+
+    def test_last_name_least_important(self, npp_study):
+        table = table1(npp_study)
+        assert table.average["last_name"] < table.average["gender"]
+
+    def test_gender_is_i1_for_most_owners(self, npp_study):
+        """Paper: gender is I1 for 34 of 47 owners (~72 %)."""
+        table = table1(npp_study)
+        gender_first = table.owners_with_rank("gender", 1)
+        assert gender_first >= npp_study.num_owners / 2
+
+    def test_averages_normalized(self, npp_study):
+        table = table1(npp_study)
+        assert sum(table.average.values()) == pytest.approx(1.0)
+
+
+class TestTable2:
+    def test_photo_among_top_benefit_items(self, npp_study):
+        """Paper: photos are the most important beneft item."""
+        table = table2(npp_study)
+        assert table.ordered_keys().index("photo") <= 1
+
+    def test_wall_and_location_near_bottom(self, npp_study):
+        table = table2(npp_study)
+        order = table.ordered_keys()
+        assert order.index("wall") >= 3 or order.index("location") >= 3
+
+    def test_every_item_present(self, npp_study):
+        table = table2(npp_study)
+        assert set(table.average) == {item.value for item in BenefitItem}
+
+
+class TestTable3:
+    def test_thetas_normalized_shares(self, npp_study):
+        thetas = table3(npp_study)
+        assert sum(thetas.values()) == pytest.approx(1.0)
+
+    def test_shares_near_paper_range(self, npp_study):
+        """Paper's Table III values all lie in [0.13, 0.16]."""
+        for share in table3(npp_study).values():
+            assert 0.08 < share < 0.22
+
+    def test_hometown_beats_work_on_average(self, big_population):
+        """The planted theta means preserve Table III's ordering ends."""
+        from repro.experiments.study import run_study
+
+        study = run_study(big_population, seed=0)
+        thetas = table3(study)
+        assert thetas[BenefitItem.HOMETOWN] > thetas[BenefitItem.WORK]
+
+
+class TestTable4:
+    def test_both_genders_reported(self, npp_study):
+        table = table4(npp_study)
+        assert set(table) == set(Gender)
+
+    def test_females_stricter_overall(self, npp_study):
+        """Paper: female strangers show lower visibility values."""
+        table = table4(npp_study)
+        male_mean = sum(table[Gender.MALE].values()) / len(BenefitItem)
+        female_mean = sum(table[Gender.FEMALE].values()) / len(BenefitItem)
+        assert male_mean > female_mean
+
+    def test_photos_similar_across_genders(self, npp_study):
+        """Paper: photo visibility is 88 % vs 87 % — nearly equal."""
+        table = table4(npp_study)
+        gap = abs(
+            table[Gender.MALE][BenefitItem.PHOTO]
+            - table[Gender.FEMALE][BenefitItem.PHOTO]
+        )
+        assert gap < 0.1
+
+
+class TestTable5:
+    def test_table5_locales_reported(self, npp_study):
+        table = table5(npp_study)
+        assert set(table) <= set(Locale.table5_locales())
+
+    def test_photos_most_visible_in_populated_locales(self, npp_study):
+        """Only locales with a meaningful sample are held to the claim;
+        a locale with a dozen strangers is sampling noise."""
+        from collections import Counter
+
+        from repro.types import ProfileAttribute
+
+        locale_counts = Counter(
+            profile.attribute(ProfileAttribute.LOCALE)
+            for run in npp_study.runs
+            for profile in run.profiles.values()
+        )
+        table = table5(npp_study)
+        checked = 0
+        for locale, row in table.items():
+            if locale_counts.get(locale.value, 0) < 60:
+                continue
+            assert row[BenefitItem.PHOTO] == max(row.values())
+            checked += 1
+        assert checked >= 1
+
+    def test_work_among_least_visible(self, npp_study):
+        """Paper: work has the lowest visibility among items."""
+        table = table5(npp_study)
+        populated = [
+            row for row in table.values() if sum(row.values()) > 0
+        ]
+        assert populated
+        work_mean = sum(row[BenefitItem.WORK] for row in populated) / len(populated)
+        photo_mean = sum(row[BenefitItem.PHOTO] for row in populated) / len(populated)
+        assert work_mean < photo_mean / 2

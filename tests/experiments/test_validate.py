@@ -1,0 +1,60 @@
+"""Tests for the shape-validation API."""
+
+import pytest
+
+from repro.experiments.validate import (
+    ShapeCheck,
+    ShapeReport,
+    check_figure4_shape,
+    check_headline_band,
+    validate_reproduction,
+)
+
+
+class TestShapeTypes:
+    def test_check_render(self):
+        check = ShapeCheck(claim="x", passed=True, detail="y")
+        assert check.render() == "[PASS] x — y"
+        failed = ShapeCheck(claim="x", passed=False, detail="y")
+        assert failed.render().startswith("[FAIL]")
+
+    def test_report_aggregation(self):
+        report = ShapeReport(
+            checks=(
+                ShapeCheck("a", True, ""),
+                ShapeCheck("b", False, ""),
+            )
+        )
+        assert not report.all_passed
+        assert len(report.failures) == 1
+        assert "[FAIL] b" in report.render()
+
+
+class TestValidation:
+    def test_full_reproduction_validates(self, population, npp_study, nsp_study):
+        report = validate_reproduction(population, npp_study, nsp_study)
+        assert report.all_passed, report.render()
+        assert len(report.checks) == 9
+
+    def test_without_nsp_skips_comparisons(self, population, npp_study):
+        report = validate_reproduction(population, npp_study)
+        assert len(report.checks) == 7
+        claims = [check.claim for check in report.checks]
+        assert not any("figure5" in claim for claim in claims)
+
+    def test_individual_checks_pass(self, population, npp_study):
+        assert check_figure4_shape(population).passed
+        assert check_headline_band(npp_study).passed
+
+    def test_checks_fail_on_degenerate_input(self, population):
+        """A majority-only study on a tiny population may fail checks —
+        the checks must *report* rather than crash."""
+        from repro.experiments import run_study
+
+        degenerate = run_study(population, classifier="majority", seed=1)
+        report = validate_reproduction(population, degenerate)
+        # every check ran and produced a verdict
+        assert len(report.checks) == 7
+        for check in report.checks:
+            assert isinstance(check.passed, bool)
+            assert check.detail

@@ -1,0 +1,79 @@
+"""Tests for the ego-network view."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.ego import EgoNetwork
+from repro.graph.social_graph import SocialGraph
+
+from ..conftest import make_ego_graph, make_profile
+
+
+class TestEgoNetwork:
+    def test_friends_and_strangers_partition(self, ego_graph):
+        graph, owner = ego_graph
+        ego = EgoNetwork(graph, owner)
+        assert owner not in ego.friends
+        assert owner not in ego.strangers
+        assert not (ego.friends & ego.strangers)
+
+    def test_strangers_are_exactly_two_hops(self, ego_graph):
+        graph, owner = ego_graph
+        ego = EgoNetwork(graph, owner)
+        for stranger in ego.strangers:
+            assert graph.distance(owner, stranger) == 2
+
+    def test_every_stranger_has_a_mutual_friend(self, ego_graph):
+        graph, owner = ego_graph
+        ego = EgoNetwork(graph, owner)
+        for stranger in ego.strangers:
+            assert ego.mutual_friends(stranger)
+
+    def test_unknown_owner_rejected(self):
+        graph = SocialGraph()
+        with pytest.raises(GraphError):
+            EgoNetwork(graph, 1)
+
+    def test_is_stranger(self, ego_graph):
+        graph, owner = ego_graph
+        ego = EgoNetwork(graph, owner)
+        some_stranger = next(iter(ego.strangers))
+        some_friend = next(iter(ego.friends))
+        assert ego.is_stranger(some_stranger)
+        assert not ego.is_stranger(some_friend)
+
+    def test_stranger_profiles_cover_all_strangers(self, ego_graph):
+        graph, owner = ego_graph
+        ego = EgoNetwork(graph, owner)
+        profiles = ego.stranger_profiles()
+        assert set(profiles) == set(ego.strangers)
+        for user_id, profile in profiles.items():
+            assert profile.user_id == user_id
+
+    def test_connecting_friends_subset_of_friends(self, ego_graph):
+        graph, owner = ego_graph
+        ego = EgoNetwork(graph, owner)
+        for connectors in ego.connecting_friends().values():
+            assert connectors <= ego.friends
+
+    def test_snapshot_semantics(self):
+        graph = SocialGraph.from_edges(
+            [make_profile(i) for i in range(3)], [(0, 1), (1, 2)]
+        )
+        ego = EgoNetwork(graph, 0)
+        assert ego.strangers == frozenset({2})
+        graph.add_friendship(0, 2)  # graph changes after the snapshot
+        assert ego.strangers == frozenset({2})  # snapshot unchanged
+        assert EgoNetwork(graph, 0).strangers == frozenset()
+
+    def test_owner_profile(self, ego_graph):
+        graph, owner = ego_graph
+        ego = EgoNetwork(graph, owner)
+        assert ego.owner_profile.user_id == owner
+
+    def test_repr_mentions_counts(self, ego_graph):
+        graph, owner = ego_graph
+        ego = EgoNetwork(graph, owner)
+        text = repr(ego)
+        assert str(len(ego.friends)) in text
+        assert str(len(ego.strangers)) in text

@@ -1,0 +1,89 @@
+"""Tests for graph metrics."""
+
+import pytest
+
+from repro.graph.metrics import (
+    degree_statistics,
+    edge_count_within,
+    induced_components,
+    induced_density,
+)
+from repro.graph.social_graph import SocialGraph
+
+from ..conftest import make_profile
+
+
+def build(edges, count=6):
+    graph = SocialGraph()
+    for uid in range(count):
+        graph.add_user(make_profile(uid))
+    for a, b in edges:
+        graph.add_friendship(a, b)
+    return graph
+
+
+class TestDensity:
+    def test_full_triangle_density_one(self):
+        graph = build([(0, 1), (1, 2), (0, 2)])
+        assert induced_density(graph, {0, 1, 2}) == pytest.approx(1.0)
+
+    def test_no_edges_density_zero(self):
+        graph = build([])
+        assert induced_density(graph, {0, 1, 2}) == 0.0
+
+    def test_single_node_density_zero_by_convention(self):
+        graph = build([])
+        assert induced_density(graph, {0}) == 0.0
+
+    def test_partial_density(self):
+        graph = build([(0, 1)])
+        assert induced_density(graph, {0, 1, 2}) == pytest.approx(1 / 3)
+
+    def test_duplicate_nodes_deduplicated(self):
+        graph = build([(0, 1)])
+        assert induced_density(graph, [0, 1, 1, 0]) == pytest.approx(1.0)
+
+
+class TestEdgeCount:
+    def test_counts_only_internal_edges(self):
+        graph = build([(0, 1), (1, 2), (3, 4)])
+        assert edge_count_within(graph, {0, 1, 2}) == 2
+
+
+class TestComponents:
+    def test_components_of_split_set(self):
+        graph = build([(0, 1), (2, 3)])
+        components = induced_components(graph, {0, 1, 2, 3, 4})
+        sizes = sorted(len(component) for component in components)
+        assert sizes == [1, 2, 2]
+
+    def test_components_sorted_largest_first(self):
+        graph = build([(0, 1), (1, 2)])
+        components = induced_components(graph, {0, 1, 2, 3})
+        assert len(components[0]) == 3
+
+    def test_external_edges_ignored(self):
+        graph = build([(0, 5), (5, 1)])  # 0 and 1 connect only through 5
+        components = induced_components(graph, {0, 1})
+        assert len(components) == 2
+
+    def test_empty_set(self):
+        graph = build([])
+        assert induced_components(graph, set()) == []
+
+
+class TestDegreeStatistics:
+    def test_empty_graph(self):
+        stats = degree_statistics(SocialGraph())
+        assert stats.num_users == 0
+        assert stats.density == 0.0
+
+    def test_statistics_values(self):
+        graph = build([(0, 1), (0, 2), (0, 3)], count=4)
+        stats = degree_statistics(graph)
+        assert stats.num_users == 4
+        assert stats.num_friendships == 3
+        assert stats.max_degree == 3
+        assert stats.min_degree == 1
+        assert stats.mean_degree == pytest.approx(1.5)
+        assert stats.density == pytest.approx(0.5)

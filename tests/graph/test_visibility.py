@@ -1,0 +1,74 @@
+"""Tests for visibility resolution (V_s(i, o))."""
+
+from repro.graph.social_graph import SocialGraph
+from repro.graph.visibility import (
+    STRANGER_DISTANCE,
+    item_visibility,
+    stranger_visibility_vector,
+    visible_items,
+)
+from repro.types import BenefitItem, VisibilityLevel
+
+from ..conftest import make_profile
+
+
+def chain_graph():
+    """0 - 1 - 2 - 3 chain; node 2 has one FOF-visible item."""
+    profiles = [make_profile(i) for i in range(4)]
+    profiles[2] = make_profile(2, visible=(BenefitItem.PHOTO,))
+    graph = SocialGraph.from_edges(profiles, [(0, 1), (1, 2), (2, 3)])
+    return graph
+
+
+class TestItemVisibility:
+    def test_friend_of_friend_sees_fof_item(self):
+        graph = chain_graph()
+        assert item_visibility(graph, 0, 2, BenefitItem.PHOTO)
+
+    def test_friend_of_friend_blocked_from_friends_item(self):
+        graph = chain_graph()
+        assert not item_visibility(graph, 0, 2, BenefitItem.WALL)
+
+    def test_direct_friend_sees_friends_item(self):
+        graph = chain_graph()
+        assert item_visibility(graph, 1, 2, BenefitItem.WALL)
+
+    def test_disconnected_viewer_sees_only_public(self):
+        profiles = [
+            make_profile(0),
+            Profile := make_profile(1, visible=(BenefitItem.PHOTO,)),
+        ]
+        del Profile
+        graph = SocialGraph.from_edges(profiles, [])
+        assert not item_visibility(graph, 0, 1, BenefitItem.PHOTO)
+
+    def test_public_item_visible_to_disconnected(self):
+        from repro.graph.profile import Profile
+
+        holder = Profile(
+            user_id=1, privacy={BenefitItem.PHOTO: VisibilityLevel.PUBLIC}
+        )
+        graph = SocialGraph.from_edges([make_profile(0), holder], [])
+        assert item_visibility(graph, 0, 1, BenefitItem.PHOTO)
+
+
+class TestVisibleItems:
+    def test_visible_items_at_distance_two(self):
+        graph = chain_graph()
+        assert visible_items(graph, 0, 2) == (BenefitItem.PHOTO,)
+
+    def test_visible_items_at_distance_one(self):
+        graph = chain_graph()
+        assert set(visible_items(graph, 1, 2)) == set(BenefitItem)
+
+
+class TestStrangerVector:
+    def test_vector_matches_distance_two_semantics(self):
+        graph = chain_graph()
+        vector = stranger_visibility_vector(graph, 0, 2)
+        assert vector[BenefitItem.PHOTO] is True
+        assert vector[BenefitItem.WALL] is False
+        assert set(vector) == set(BenefitItem)
+
+    def test_stranger_distance_constant(self):
+        assert STRANGER_DISTANCE == 2

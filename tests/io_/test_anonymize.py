@@ -1,0 +1,92 @@
+"""Tests for graph anonymization."""
+
+import pytest
+
+from repro.errors import SerializationError
+from repro.io.anonymize import anonymize_graph, pseudonym
+from repro.types import ProfileAttribute
+
+from ..conftest import make_ego_graph
+
+
+class TestPseudonym:
+    def test_stable_for_same_salt(self):
+        assert pseudonym(42, "s3cret") == pseudonym(42, "s3cret")
+
+    def test_differs_across_salts(self):
+        assert pseudonym(42, "a") != pseudonym(42, "b")
+
+    def test_differs_across_users(self):
+        assert pseudonym(1, "s") != pseudonym(2, "s")
+
+    def test_fits_in_63_bits(self):
+        assert 0 <= pseudonym(7, "s") < 2 ** 63
+
+
+class TestAnonymizeGraph:
+    def build(self):
+        graph, owner = make_ego_graph(num_friends=5, num_strangers=15, seed=91)
+        return graph, owner
+
+    def test_structure_preserved(self):
+        graph, _ = self.build()
+        anonymized, mapping = anonymize_graph(graph, "salt")
+        assert anonymized.num_users == graph.num_users
+        assert anonymized.num_friendships == graph.num_friendships
+        for a, b in graph.edges():
+            assert anonymized.are_friends(mapping[a], mapping[b])
+
+    def test_last_names_stripped(self):
+        graph, _ = self.build()
+        anonymized, mapping = anonymize_graph(graph, "salt")
+        for alias in mapping.values():
+            profile = anonymized.profile(alias)
+            assert profile.attribute(ProfileAttribute.LAST_NAME) is None
+
+    def test_last_name_stripped_even_if_requested(self):
+        graph, _ = self.build()
+        anonymized, mapping = anonymize_graph(
+            graph, "salt", keep_attributes=(ProfileAttribute.LAST_NAME,)
+        )
+        for alias in mapping.values():
+            assert not anonymized.profile(alias).attributes
+
+    def test_quasi_identifiers_kept_by_default(self):
+        graph, owner = self.build()
+        anonymized, mapping = anonymize_graph(graph, "salt")
+        original = graph.profile(owner)
+        exported = anonymized.profile(mapping[owner])
+        assert exported.attribute(ProfileAttribute.GENDER) == original.attribute(
+            ProfileAttribute.GENDER
+        )
+
+    def test_privacy_settings_preserved(self):
+        graph, owner = self.build()
+        anonymized, mapping = anonymize_graph(graph, "salt")
+        assert (
+            anonymized.profile(mapping[owner]).privacy
+            == graph.profile(owner).privacy
+        )
+
+    def test_original_ids_absent(self):
+        graph, _ = self.build()
+        anonymized, _ = anonymize_graph(graph, "salt")
+        original_ids = set(graph.users())
+        assert not (original_ids & set(anonymized.users()))
+
+    def test_empty_salt_rejected(self):
+        graph, _ = self.build()
+        with pytest.raises(SerializationError):
+            anonymize_graph(graph, "")
+
+    def test_pipeline_runs_on_anonymized_graph(self):
+        """The anonymized export still supports the full pipeline."""
+        from repro.learning.session import RiskLearningSession
+        from ..learning.test_session import similarity_oracle
+
+        graph, owner = self.build()
+        anonymized, mapping = anonymize_graph(graph, "salt")
+        result = RiskLearningSession(
+            anonymized, mapping[owner], similarity_oracle(), seed=91
+        ).run()
+        assert result.num_strangers == len(graph.two_hop_neighbors(owner))

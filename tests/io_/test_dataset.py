@@ -1,0 +1,120 @@
+"""Tests for full-population dataset serialization."""
+
+import pytest
+
+from repro.errors import SerializationError
+from repro.io.dataset import (
+    load_population,
+    population_from_json,
+    population_to_json,
+    save_population,
+)
+from repro.synth import EgoNetConfig, generate_study_population
+
+
+@pytest.fixture(scope="module")
+def small_population():
+    return generate_study_population(
+        num_owners=2,
+        ego_config=EgoNetConfig(num_friends=10, num_strangers=25),
+        seed=55,
+    )
+
+
+class TestRoundTrip:
+    def test_graph_preserved(self, small_population):
+        restored = population_from_json(population_to_json(small_population))
+        assert restored.graph.num_users == small_population.graph.num_users
+        assert (
+            restored.graph.num_friendships
+            == small_population.graph.num_friendships
+        )
+
+    def test_owners_preserved(self, small_population):
+        restored = population_from_json(population_to_json(small_population))
+        assert len(restored.owners) == len(small_population.owners)
+        for left, right in zip(small_population.owners, restored.owners):
+            assert left.user_id == right.user_id
+            assert left.ground_truth == right.ground_truth
+            assert left.confidence == pytest.approx(right.confidence)
+            assert left.thetas.weights == pytest.approx(right.thetas.weights)
+
+    def test_attitudes_preserved(self, small_population):
+        restored = population_from_json(population_to_json(small_population))
+        for left, right in zip(small_population.owners, restored.owners):
+            assert left.attitude.risky_gender is right.attitude.risky_gender
+            assert left.attitude.owner_locale is right.attitude.owner_locale
+            assert left.attitude.gender_weight == pytest.approx(
+                right.attitude.gender_weight
+            )
+            assert dict(left.attitude.item_sensitivities) == pytest.approx(
+                dict(right.attitude.item_sensitivities)
+            )
+
+    def test_handles_preserved(self, small_population):
+        restored = population_from_json(population_to_json(small_population))
+        assert restored.handles.keys() == small_population.handles.keys()
+        for key, handle in small_population.handles.items():
+            assert restored.handles[key] == handle
+
+    def test_config_preserved(self, small_population):
+        restored = population_from_json(population_to_json(small_population))
+        assert restored.config.seed == small_population.config.seed
+        assert restored.config.ego == small_population.config.ego
+        assert restored.config.topology == small_population.config.topology
+        assert restored.config.archetype == small_population.config.archetype
+
+    def test_archetype_round_trip(self):
+        from repro.synth import EgoNetConfig, generate_study_population
+
+        population = generate_study_population(
+            num_owners=1,
+            ego_config=EgoNetConfig(num_friends=8, num_strangers=15),
+            seed=3,
+            archetype="paranoid",
+        )
+        restored = population_from_json(population_to_json(population))
+        assert restored.config.archetype == "paranoid"
+
+    def test_restored_population_runs_the_pipeline(self, small_population):
+        from repro.experiments import run_study
+
+        restored = population_from_json(population_to_json(small_population))
+        study = run_study(restored, seed=3)
+        reference = run_study(small_population, seed=3)
+        assert study.total_labels == reference.total_labels
+        assert study.exact_match_accuracy == pytest.approx(
+            reference.exact_match_accuracy
+        )
+
+    def test_file_round_trip(self, small_population, tmp_path):
+        path = tmp_path / "dataset.json"
+        save_population(small_population, path)
+        restored = load_population(path)
+        assert restored.total_strangers == small_population.total_strangers
+
+
+class TestMalformedInput:
+    def test_invalid_json_rejected(self):
+        with pytest.raises(SerializationError):
+            population_from_json("nope")
+
+    def test_wrong_version_rejected(self):
+        with pytest.raises(SerializationError):
+            population_from_json('{"version": 9}')
+
+    def test_malformed_owner_rejected(self, small_population):
+        import json
+
+        document = json.loads(population_to_json(small_population))
+        document["owners"][0]["attitude"]["risky_gender"] = "robot"
+        with pytest.raises(SerializationError):
+            population_from_json(json.dumps(document))
+
+    def test_malformed_handle_rejected(self, small_population):
+        import json
+
+        document = json.loads(population_to_json(small_population))
+        document["handles"][0]["friends"] = ["not-an-id"]
+        with pytest.raises(SerializationError):
+            population_from_json(json.dumps(document))

@@ -1,0 +1,39 @@
+"""Tests for study-result export."""
+
+import json
+
+import pytest
+
+from repro.io.study_io import save_study, study_result_to_dict
+
+
+class TestStudyExport:
+    def test_export_shape(self, npp_study):
+        document = study_result_to_dict(npp_study)
+        assert document["pooling"] == "npp"
+        assert document["classifier"] == "harmonic"
+        assert len(document["owners"]) == npp_study.num_owners
+
+    def test_headline_numbers_match(self, npp_study):
+        document = study_result_to_dict(npp_study)
+        headline = document["headline"]
+        assert headline["total_labels"] == npp_study.total_labels
+        assert headline["exact_match_accuracy"] == pytest.approx(
+            npp_study.exact_match_accuracy
+        )
+
+    def test_owner_summaries(self, npp_study):
+        document = study_result_to_dict(npp_study)
+        first = document["owners"][0]
+        run = npp_study.runs[0]
+        assert first["owner"] == run.owner.user_id
+        assert first["session"]["labels_requested"] == run.result.labels_requested
+
+    def test_json_serializable(self, npp_study):
+        json.dumps(study_result_to_dict(npp_study))
+
+    def test_save_to_file(self, npp_study, tmp_path):
+        path = tmp_path / "study.json"
+        save_study(npp_study, path)
+        restored = json.loads(path.read_text())
+        assert restored["headline"]["num_owners"] == npp_study.num_owners

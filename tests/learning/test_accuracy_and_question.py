@@ -1,0 +1,72 @@
+"""Tests for RMSE (Definition 4), exact match, and question rendering."""
+
+import pytest
+
+from repro.errors import LearningError
+from repro.learning.accuracy import exact_match_fraction, root_mean_square_error
+from repro.learning.oracle import LabelQuery
+from repro.learning.question import render_question
+from repro.types import RiskLabel
+
+
+class TestRmse:
+    def test_perfect_predictions(self):
+        assert root_mean_square_error([(1, 1), (2, 2), (3, 3)]) == 0.0
+
+    def test_single_off_by_one(self):
+        assert root_mean_square_error([(1, 2)]) == pytest.approx(1.0)
+
+    def test_maximal_error_is_two(self):
+        assert root_mean_square_error([(1, 3), (3, 1)]) == pytest.approx(2.0)
+
+    def test_mixed_errors(self):
+        # errors: 0, 1 -> sqrt(1/2)
+        value = root_mean_square_error([(2, 2), (2, 3)])
+        assert value == pytest.approx(0.7071, abs=1e-4)
+
+    def test_accepts_risk_labels(self):
+        pairs = [(RiskLabel.RISKY, RiskLabel.VERY_RISKY)]
+        assert root_mean_square_error(pairs) == pytest.approx(1.0)
+
+    def test_empty_set_rejected(self):
+        with pytest.raises(LearningError):
+            root_mean_square_error([])
+
+    def test_bounded_by_label_span(self):
+        import itertools
+
+        values = (1, 2, 3)
+        for pairs in itertools.product(values, repeat=2):
+            assert 0.0 <= root_mean_square_error([pairs]) <= 2.0
+
+
+class TestExactMatch:
+    def test_all_match(self):
+        assert exact_match_fraction([(1, 1), (3, 3)]) == 1.0
+
+    def test_half_match(self):
+        assert exact_match_fraction([(1, 1), (1, 2)]) == 0.5
+
+    def test_empty_is_zero(self):
+        assert exact_match_fraction([]) == 0.0
+
+
+class TestQuestion:
+    def test_question_shows_percentages(self):
+        query = LabelQuery(
+            stranger=5, similarity=0.42, benefit=0.73, stranger_name="Ada"
+        )
+        text = render_question(query)
+        assert "42/100" in text
+        assert "73/100" in text
+        assert "Ada" in text
+
+    def test_question_falls_back_to_id(self):
+        query = LabelQuery(stranger=5, similarity=0.0, benefit=0.0)
+        assert "stranger #5" in render_question(query)
+
+    def test_question_offers_three_options(self):
+        query = LabelQuery(stranger=5, similarity=0.5, benefit=0.5)
+        text = render_question(query)
+        for option in ("[1] not risky", "[2] risky", "[3] very risky"):
+            assert option in text

@@ -1,0 +1,99 @@
+"""Tests for incremental re-learning on a changed graph."""
+
+import random
+
+import pytest
+
+from repro.learning.incremental import continue_session, gathered_labels
+from repro.learning.session import RiskLearningSession
+from repro.types import RiskLabel
+
+from ..conftest import make_ego_graph, make_profile
+from .test_session import similarity_oracle
+
+
+def grow_graph(graph, owner, count, seed):
+    """Attach ``count`` new strangers to existing friends."""
+    rng = random.Random(seed)
+    friends = sorted(graph.friends(owner))
+    next_id = max(graph.users()) + 1
+    new_ids = []
+    for _ in range(count):
+        graph.add_user(make_profile(
+            next_id,
+            gender=rng.choice(("male", "female")),
+            locale=rng.choice(("US", "TR", "IT")),
+        ))
+        for anchor in rng.sample(friends, rng.randint(1, min(3, len(friends)))):
+            graph.add_friendship(next_id, anchor)
+        new_ids.append(next_id)
+        next_id += 1
+    return new_ids
+
+
+class TestGatheredLabels:
+    def test_collects_owner_labels_across_pools(self):
+        graph, owner = make_ego_graph(num_friends=6, num_strangers=25, seed=41)
+        result = RiskLearningSession(graph, owner, similarity_oracle(), seed=41).run()
+        labels = gathered_labels(result)
+        assert labels
+        assert len(labels) == result.labels_requested
+        assert all(isinstance(v, RiskLabel) for v in labels.values())
+
+
+class TestContinueSession:
+    def test_update_covers_old_and_new_strangers(self):
+        graph, owner = make_ego_graph(num_friends=8, num_strangers=40, seed=42)
+        first = RiskLearningSession(graph, owner, similarity_oracle(), seed=42).run()
+        new_ids = grow_graph(graph, owner, 20, seed=43)
+
+        update = continue_session(
+            graph, owner, similarity_oracle(), first, seed=43
+        )
+        final = update.result.final_labels()
+        assert set(new_ids) <= set(final)
+        assert set(final) == graph.two_hop_neighbors(owner)
+
+    def test_reused_labels_are_not_requeried(self):
+        graph, owner = make_ego_graph(num_friends=8, num_strangers=40, seed=44)
+        first = RiskLearningSession(graph, owner, similarity_oracle(), seed=44).run()
+        previously_labeled = set(gathered_labels(first))
+        grow_graph(graph, owner, 15, seed=45)
+
+        from repro.learning.oracle import RecordingOracle
+
+        spy = RecordingOracle(similarity_oracle())
+        update = continue_session(graph, owner, spy, first, seed=45)
+        asked = {query.stranger for query, _ in spy.history}
+        assert not (asked & previously_labeled)
+        assert update.reused_labels == len(previously_labeled)
+        assert update.new_queries == len(asked)
+
+    def test_incremental_cheaper_than_cold_rerun(self):
+        graph, owner = make_ego_graph(num_friends=8, num_strangers=50, seed=46)
+        first = RiskLearningSession(graph, owner, similarity_oracle(), seed=46).run()
+        grow_graph(graph, owner, 25, seed=47)
+
+        update = continue_session(graph, owner, similarity_oracle(), first, seed=48)
+        cold = RiskLearningSession(graph, owner, similarity_oracle(), seed=48).run()
+        assert update.new_queries < cold.labels_requested
+
+    def test_departed_strangers_dropped(self):
+        """A stranger who becomes a friend leaves the label set."""
+        graph, owner = make_ego_graph(num_friends=6, num_strangers=30, seed=49)
+        first = RiskLearningSession(graph, owner, similarity_oracle(), seed=49).run()
+        promoted = next(iter(gathered_labels(first)))
+        graph.add_friendship(owner, promoted)
+
+        update = continue_session(graph, owner, similarity_oracle(), first, seed=50)
+        assert promoted not in update.result.final_labels()
+
+    def test_total_known_labels_accounting(self):
+        graph, owner = make_ego_graph(num_friends=6, num_strangers=30, seed=51)
+        first = RiskLearningSession(graph, owner, similarity_oracle(), seed=51).run()
+        grow_graph(graph, owner, 10, seed=52)
+        update = continue_session(graph, owner, similarity_oracle(), first, seed=53)
+        assert (
+            update.total_known_labels
+            == update.reused_labels + update.new_queries
+        )

@@ -1,0 +1,77 @@
+"""Tests for the terminal oracle."""
+
+import pytest
+
+from repro.errors import OracleError
+from repro.learning.interactive import TerminalOracle
+from repro.learning.oracle import LabelQuery
+from repro.types import RiskLabel
+
+
+def query(name="Ada"):
+    return LabelQuery(
+        stranger=9, similarity=0.42, benefit=0.2, stranger_name=name
+    )
+
+
+class ScriptedIO:
+    """Feeds scripted answers and records everything printed."""
+
+    def __init__(self, answers):
+        self.answers = list(answers)
+        self.printed: list[str] = []
+
+    def input(self, prompt):
+        return self.answers.pop(0)
+
+    def print(self, text):
+        self.printed.append(text)
+
+
+class TestTerminalOracle:
+    def test_valid_answer_returned(self):
+        io = ScriptedIO(["2"])
+        oracle = TerminalOracle(input_fn=io.input, print_fn=io.print)
+        assert oracle.label(query()) is RiskLabel.RISKY
+        assert oracle.questions_asked == 1
+
+    def test_question_rendered_with_name_and_values(self):
+        io = ScriptedIO(["1"])
+        oracle = TerminalOracle(input_fn=io.input, print_fn=io.print)
+        oracle.label(query())
+        rendered = "\n".join(io.printed)
+        assert "Ada" in rendered
+        assert "42/100" in rendered
+
+    def test_invalid_answers_reprompted(self):
+        io = ScriptedIO(["maybe", "4", " 3 "])
+        oracle = TerminalOracle(input_fn=io.input, print_fn=io.print)
+        assert oracle.label(query()) is RiskLabel.VERY_RISKY
+        assert any("please answer" in line for line in io.printed)
+
+    def test_gives_up_after_max_attempts(self):
+        io = ScriptedIO(["x"] * 10)
+        oracle = TerminalOracle(
+            input_fn=io.input, print_fn=io.print, max_attempts=3
+        )
+        with pytest.raises(OracleError):
+            oracle.label(query())
+
+    def test_invalid_max_attempts_rejected(self):
+        with pytest.raises(OracleError):
+            TerminalOracle(max_attempts=0)
+
+    def test_session_integration(self):
+        """Drive a real session through the terminal oracle."""
+        from repro.learning.session import RiskLearningSession
+
+        from ..conftest import make_ego_graph
+
+        graph, owner = make_ego_graph(num_friends=5, num_strangers=15, seed=71)
+        io = ScriptedIO(["2"] * 100)
+        oracle = TerminalOracle(input_fn=io.input, print_fn=io.print)
+        result = RiskLearningSession(graph, owner, oracle, seed=71).run()
+        assert result.num_strangers == 15
+        assert oracle.questions_asked == result.labels_requested
+        # the session supplies display names built from profiles
+        assert any("(#" in line for line in io.printed)

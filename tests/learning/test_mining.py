@@ -1,0 +1,126 @@
+"""Tests for parameter mining (the Section VI direction)."""
+
+import pytest
+
+from repro.errors import LearningError
+from repro.learning.mining import (
+    mine_attribute_weights,
+    mine_theta_weights,
+    run_adaptive_session,
+)
+from repro.types import BenefitItem, ProfileAttribute, RiskLabel
+
+from ..conftest import make_profile
+
+
+def gender_driven_dataset():
+    profiles = {}
+    labels = {}
+    names = ["a", "b", "c", "d", "e"]
+    for uid in range(30):
+        gender = "male" if uid % 2 else "female"
+        profiles[uid] = make_profile(
+            uid,
+            gender=gender,
+            locale=("US" if uid % 3 else "TR"),
+            last_name=names[uid % 5],
+        )
+        labels[uid] = (
+            RiskLabel.VERY_RISKY if gender == "male" else RiskLabel.NOT_RISKY
+        )
+    return profiles, labels
+
+
+class TestMineAttributeWeights:
+    def test_planted_signal_dominates(self):
+        profiles, labels = gender_driven_dataset()
+        weights = mine_attribute_weights(profiles, labels)
+        assert weights[ProfileAttribute.GENDER] == max(weights.values())
+        assert sum(weights.values()) == pytest.approx(1.0)
+
+    def test_floor_keeps_every_attribute_alive(self):
+        profiles, labels = gender_driven_dataset()
+        weights = mine_attribute_weights(profiles, labels)
+        for weight in weights.values():
+            assert weight > 0.0
+
+    def test_zero_labels_rejected(self):
+        with pytest.raises(LearningError):
+            mine_attribute_weights({}, {})
+
+
+class TestMineThetaWeights:
+    def test_informative_item_gets_top_theta(self):
+        visibility = {}
+        labels = {}
+        for uid in range(30):
+            photo = uid % 2 == 0
+            visibility[uid] = {
+                item: (photo if item is BenefitItem.PHOTO else uid % 3 == 0)
+                for item in BenefitItem
+            }
+            labels[uid] = (
+                RiskLabel.NOT_RISKY if photo else RiskLabel.VERY_RISKY
+            )
+        thetas = mine_theta_weights(visibility, labels)
+        assert thetas[BenefitItem.PHOTO] == pytest.approx(1.0)
+        for item in BenefitItem:
+            assert 0.0 < thetas[item] <= 1.0
+
+    def test_zero_labels_rejected(self):
+        with pytest.raises(LearningError):
+            mine_theta_weights({}, {})
+
+
+class TestAdaptiveSession:
+    def test_two_phase_run(self, population):
+        owner = population.owners[0]
+        result = run_adaptive_session(
+            population.graph,
+            owner.user_id,
+            owner.as_oracle(),
+            pilot_fraction=0.3,
+            seed=4,
+        )
+        strangers = set(population.strangers_of(owner.user_id))
+        assert set(result.final.final_labels()) == strangers
+        # the pilot covered roughly a third of the strangers
+        assert result.pilot.num_strangers == round(len(strangers) * 0.3)
+        assert sum(result.mined_weights.values()) == pytest.approx(1.0)
+        assert result.total_labels > 0
+
+    def test_mined_weights_recover_planted_dominance(self, population):
+        """Most synthetic owners are gender-driven; mining should find it."""
+        gender_dominant = 0
+        for owner in population.owners:
+            result = run_adaptive_session(
+                population.graph,
+                owner.user_id,
+                owner.as_oracle(),
+                pilot_fraction=0.4,
+                seed=11,
+            )
+            ordered = sorted(
+                result.mined_weights, key=result.mined_weights.get, reverse=True
+            )
+            if ordered[0] is ProfileAttribute.GENDER:
+                gender_dominant += 1
+        assert gender_dominant >= len(population.owners) / 2
+
+    def test_invalid_pilot_fraction_rejected(self, population):
+        owner = population.owners[0]
+        with pytest.raises(LearningError):
+            run_adaptive_session(
+                population.graph,
+                owner.user_id,
+                owner.as_oracle(),
+                pilot_fraction=0.0,
+            )
+
+    def test_suggested_thetas_valid(self, population):
+        owner = population.owners[0]
+        result = run_adaptive_session(
+            population.graph, owner.user_id, owner.as_oracle(), seed=4
+        )
+        normalized = result.suggested_thetas.normalized()
+        assert sum(normalized.values()) == pytest.approx(1.0)

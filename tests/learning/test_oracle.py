@@ -1,0 +1,86 @@
+"""Tests for label oracles."""
+
+import pytest
+
+from repro.errors import OracleError
+from repro.learning.oracle import (
+    CallbackOracle,
+    LabelQuery,
+    RecordingOracle,
+    ScriptedOracle,
+)
+from repro.types import RiskLabel
+
+
+def query(stranger=1, similarity=0.3, benefit=0.4):
+    return LabelQuery(stranger=stranger, similarity=similarity, benefit=benefit)
+
+
+class TestLabelQuery:
+    def test_valid_query(self):
+        q = query()
+        assert q.stranger == 1
+
+    @pytest.mark.parametrize("similarity", [-0.1, 1.1])
+    def test_similarity_range(self, similarity):
+        with pytest.raises(OracleError):
+            LabelQuery(stranger=1, similarity=similarity, benefit=0.0)
+
+    @pytest.mark.parametrize("benefit", [-0.1, 1.1])
+    def test_benefit_range(self, benefit):
+        with pytest.raises(OracleError):
+            LabelQuery(stranger=1, similarity=0.0, benefit=benefit)
+
+
+class TestCallbackOracle:
+    def test_returns_label(self):
+        oracle = CallbackOracle(lambda q: RiskLabel.RISKY)
+        assert oracle.label(query()) is RiskLabel.RISKY
+
+    def test_accepts_plain_int(self):
+        oracle = CallbackOracle(lambda q: 3)
+        assert oracle.label(query()) is RiskLabel.VERY_RISKY
+
+    @pytest.mark.parametrize("bad", [0, 4, "risky", None, 2.5])
+    def test_invalid_answers_rejected(self, bad):
+        oracle = CallbackOracle(lambda q: bad)
+        with pytest.raises(OracleError):
+            oracle.label(query())
+
+
+class TestScriptedOracle:
+    def test_answers_from_script(self):
+        oracle = ScriptedOracle({1: RiskLabel.VERY_RISKY, 2: 1})
+        assert oracle.label(query(stranger=1)) is RiskLabel.VERY_RISKY
+        assert oracle.label(query(stranger=2)) is RiskLabel.NOT_RISKY
+
+    def test_unknown_stranger_raises_without_default(self):
+        oracle = ScriptedOracle({})
+        with pytest.raises(OracleError):
+            oracle.label(query(stranger=9))
+
+    def test_default_answer(self):
+        oracle = ScriptedOracle({}, default=RiskLabel.RISKY)
+        assert oracle.label(query(stranger=9)) is RiskLabel.RISKY
+
+    def test_invalid_script_value_rejected_at_construction(self):
+        with pytest.raises(OracleError):
+            ScriptedOracle({1: 7})
+
+
+class TestRecordingOracle:
+    def test_records_history_and_stats(self):
+        inner = ScriptedOracle({1: 2, 2: 3})
+        oracle = RecordingOracle(inner)
+        oracle.label(query(stranger=1))
+        oracle.label(query(stranger=2))
+        assert oracle.stats.queries == 2
+        assert oracle.stats.label_counts[2] == 1
+        assert oracle.stats.label_counts[3] == 1
+        assert [q.stranger for q, _ in oracle.history] == [1, 2]
+
+    def test_propagates_inner_errors(self):
+        oracle = RecordingOracle(ScriptedOracle({}))
+        with pytest.raises(OracleError):
+            oracle.label(query())
+        assert oracle.stats.queries == 0

@@ -1,0 +1,147 @@
+"""Tests for the per-pool active-learning loop."""
+
+import numpy as np
+import pytest
+
+from repro.classifier.graphs import SimilarityGraph
+from repro.classifier.harmonic import HarmonicClassifier
+from repro.config import LearningConfig
+from repro.errors import LearningError
+from repro.learning.oracle import ScriptedOracle
+from repro.learning.pool_learner import PoolLearner
+from repro.learning.stopping import StopReason
+from repro.types import RiskLabel
+
+
+def homogeneous_pool(size=20, label=RiskLabel.RISKY, config=None):
+    """A pool whose members are all identical and identically labeled."""
+    nodes = list(range(size))
+    weights = np.ones((size, size)) - np.eye(size)
+    graph = SimilarityGraph(nodes, weights)
+    oracle = ScriptedOracle({node: label for node in nodes})
+    return PoolLearner(
+        pool_id="p",
+        nsg_index=1,
+        members=tuple(nodes),
+        classifier=HarmonicClassifier(graph),
+        oracle=oracle,
+        config=config or LearningConfig(seed=0),
+    )
+
+
+class TestConvergence:
+    def test_homogeneous_pool_converges_quickly(self):
+        result = homogeneous_pool().run()
+        assert result.stop_reason is StopReason.CONVERGED
+        # 3 rounds: first predictions, then 2 stable validated rounds
+        assert result.num_rounds <= 4
+        assert result.labels_requested <= 12
+
+    def test_final_labels_cover_every_member(self):
+        result = homogeneous_pool().run()
+        assert set(result.final_labels) == set(range(20))
+
+    def test_all_predictions_correct_for_homogeneous_pool(self):
+        result = homogeneous_pool().run()
+        for label in result.final_labels.values():
+            assert label is RiskLabel.RISKY
+
+    def test_rmse_zero_on_validated_rounds(self):
+        result = homogeneous_pool().run()
+        for record in result.rounds:
+            if record.rmse is not None:
+                assert record.rmse == 0.0
+
+
+class TestExhaustion:
+    def test_tiny_pool_exhausts(self):
+        nodes = [0, 1]
+        graph = SimilarityGraph(nodes, np.ones((2, 2)) - np.eye(2))
+        learner = PoolLearner(
+            pool_id="tiny",
+            nsg_index=1,
+            members=(0, 1),
+            classifier=HarmonicClassifier(graph),
+            oracle=ScriptedOracle({0: 1, 1: 2}),
+            config=LearningConfig(labels_per_round=3, seed=0),
+        )
+        result = learner.run()
+        assert result.stop_reason is StopReason.EXHAUSTED
+        assert result.labels_requested == 2
+        assert result.predicted_labels == {}
+        assert set(result.owner_labels) == {0, 1}
+
+    def test_owner_labels_override_predictions_in_final(self):
+        result = homogeneous_pool().run()
+        for stranger, label in result.owner_labels.items():
+            assert result.final_labels[stranger] is label
+
+
+class TestMaxRounds:
+    def test_adversarial_oracle_hits_round_cap(self):
+        """An oracle alternating labels never satisfies the RMSE bound."""
+        size = 60
+        nodes = list(range(size))
+        graph = SimilarityGraph(nodes, np.ones((size, size)) - np.eye(size))
+        answers = {
+            node: (RiskLabel.NOT_RISKY if node % 2 else RiskLabel.VERY_RISKY)
+            for node in nodes
+        }
+        learner = PoolLearner(
+            pool_id="adv",
+            nsg_index=1,
+            members=tuple(nodes),
+            classifier=HarmonicClassifier(graph),
+            oracle=ScriptedOracle(answers),
+            config=LearningConfig(max_rounds=5, seed=0),
+        )
+        result = learner.run()
+        assert result.stop_reason is StopReason.MAX_ROUNDS
+        assert result.num_rounds == 5
+
+
+class TestRecords:
+    def test_round_indices_sequential(self):
+        result = homogeneous_pool().run()
+        assert [record.round_index for record in result.rounds] == list(
+            range(1, result.num_rounds + 1)
+        )
+
+    def test_first_round_has_no_validation_pairs(self):
+        result = homogeneous_pool().run()
+        assert result.rounds[0].validation_pairs == ()
+        assert result.rounds[0].rmse is None
+
+    def test_later_rounds_validate_previous_predictions(self):
+        result = homogeneous_pool().run()
+        assert any(record.validation_pairs for record in result.rounds[1:])
+
+    def test_first_round_not_stabilized(self):
+        result = homogeneous_pool().run()
+        assert not result.rounds[0].stabilized
+
+    def test_queried_strangers_leave_unlabeled_set(self):
+        result = homogeneous_pool().run()
+        seen: set[int] = set()
+        for record in result.rounds:
+            assert not (set(record.queried) & seen)
+            seen.update(record.queried)
+            assert not (set(record.predicted_labels) & seen)
+
+    def test_empty_pool_rejected(self):
+        graph = SimilarityGraph([], np.zeros((0, 0)))
+        with pytest.raises(LearningError):
+            PoolLearner(
+                pool_id="x",
+                nsg_index=1,
+                members=(),
+                classifier=HarmonicClassifier(graph),
+                oracle=ScriptedOracle({}),
+            )
+
+    def test_deterministic_given_seed(self):
+        first = homogeneous_pool(config=LearningConfig(seed=9)).run()
+        second = homogeneous_pool(config=LearningConfig(seed=9)).run()
+        assert [r.queried for r in first.rounds] == [
+            r.queried for r in second.rounds
+        ]

@@ -1,0 +1,122 @@
+"""Tests for result aggregation arithmetic."""
+
+import pytest
+
+from repro.errors import LearningError
+from repro.learning.results import PoolResult, RoundRecord, SessionResult
+from repro.learning.stopping import StopReason
+from repro.types import RiskLabel
+
+
+def record(round_index=1, pairs=(), rmse=None, stabilized=False):
+    return RoundRecord(
+        round_index=round_index,
+        queried=(),
+        answers={},
+        validation_pairs=tuple(pairs),
+        rmse=rmse,
+        predicted_scores={},
+        predicted_labels={},
+        unstabilized=frozenset(),
+        stabilized=stabilized,
+    )
+
+
+def pool_result(
+    pool_id="p1",
+    owner_labels=None,
+    predicted_labels=None,
+    rounds=(),
+    stop_reason=StopReason.CONVERGED,
+):
+    return PoolResult(
+        pool_id=pool_id,
+        nsg_index=1,
+        rounds=tuple(rounds),
+        owner_labels=owner_labels or {},
+        predicted_labels=predicted_labels or {},
+        stop_reason=stop_reason,
+    )
+
+
+class TestPoolResult:
+    def test_final_labels_prefers_owner_labels(self):
+        result = pool_result(
+            owner_labels={1: RiskLabel.VERY_RISKY},
+            predicted_labels={1: RiskLabel.NOT_RISKY, 2: RiskLabel.RISKY},
+        )
+        final = result.final_labels
+        assert final[1] is RiskLabel.VERY_RISKY
+        assert final[2] is RiskLabel.RISKY
+
+    def test_labels_requested(self):
+        result = pool_result(owner_labels={1: RiskLabel.RISKY, 2: RiskLabel.RISKY})
+        assert result.labels_requested == 2
+
+    def test_validation_pairs_concatenated(self):
+        result = pool_result(
+            rounds=[
+                record(1, pairs=[(1, 1)]),
+                record(2, pairs=[(2, 3), (3, 3)]),
+            ]
+        )
+        assert result.validation_pairs() == [(1, 1), (2, 3), (3, 3)]
+
+    def test_converged_flag(self):
+        assert pool_result(stop_reason=StopReason.CONVERGED).converged
+        assert not pool_result(stop_reason=StopReason.MAX_ROUNDS).converged
+
+
+class TestSessionResult:
+    def session(self):
+        pools = (
+            pool_result(
+                "a",
+                owner_labels={1: RiskLabel.RISKY},
+                predicted_labels={2: RiskLabel.RISKY},
+                rounds=[record(1), record(2, pairs=[(2, 2)], rmse=0.0)],
+            ),
+            pool_result(
+                "b",
+                owner_labels={3: RiskLabel.NOT_RISKY},
+                predicted_labels={4: RiskLabel.VERY_RISKY},
+                rounds=[record(1, pairs=[(1, 3)])],
+                stop_reason=StopReason.MAX_ROUNDS,
+            ),
+        )
+        return SessionResult(owner=0, pool_results=pools, confidence=80.0)
+
+    def test_counts(self):
+        session = self.session()
+        assert session.num_pools == 2
+        assert session.num_strangers == 4
+        assert session.labels_requested == 2
+
+    def test_final_labels_merge_pools(self):
+        assert set(self.session().final_labels()) == {1, 2, 3, 4}
+
+    def test_validation_rmse(self):
+        # pairs: (2,2) and (1,3) -> sqrt((0 + 4)/2)
+        assert self.session().validation_rmse == pytest.approx(2.0 ** 0.5)
+
+    def test_exact_match_accuracy(self):
+        assert self.session().exact_match_accuracy == pytest.approx(0.5)
+
+    def test_mean_rounds(self):
+        assert self.session().mean_rounds_to_stop == pytest.approx(1.5)
+
+    def test_converged_fraction(self):
+        assert self.session().converged_fraction == pytest.approx(0.5)
+
+    def test_empty_session_rejected(self):
+        with pytest.raises(LearningError):
+            SessionResult(owner=0, pool_results=(), confidence=80.0)
+
+    def test_no_pairs_means_none_metrics(self):
+        session = SessionResult(
+            owner=0,
+            pool_results=(pool_result(rounds=[record(1)]),),
+            confidence=80.0,
+        )
+        assert session.validation_rmse is None
+        assert session.exact_match_accuracy is None

@@ -1,0 +1,54 @@
+"""Tests for running a session over a stranger subset (crawl prefixes)."""
+
+import pytest
+
+from repro.errors import LearningError
+from repro.learning.session import RiskLearningSession
+
+from ..conftest import make_ego_graph
+from .test_session import similarity_oracle
+
+
+class TestSubsetRun:
+    def test_subset_covers_exactly_the_subset(self):
+        graph, owner = make_ego_graph(num_friends=6, num_strangers=30, seed=21)
+        session = RiskLearningSession(graph, owner, similarity_oracle(), seed=21)
+        subset = frozenset(sorted(session.ego.strangers)[:12])
+        result = session.run(strangers=subset)
+        assert set(result.final_labels()) == subset
+
+    def test_full_run_equals_none_subset(self):
+        graph, owner = make_ego_graph(num_friends=6, num_strangers=20, seed=22)
+        first = RiskLearningSession(graph, owner, similarity_oracle(), seed=22).run()
+        session = RiskLearningSession(graph, owner, similarity_oracle(), seed=22)
+        second = session.run(strangers=session.ego.strangers)
+        assert first.final_labels() == second.final_labels()
+
+    def test_non_stranger_in_subset_rejected(self):
+        graph, owner = make_ego_graph(seed=23)
+        session = RiskLearningSession(graph, owner, similarity_oracle())
+        some_friend = next(iter(session.ego.friends))
+        with pytest.raises(LearningError):
+            session.run(strangers={some_friend})
+
+    def test_empty_subset_rejected(self):
+        graph, owner = make_ego_graph(seed=24)
+        session = RiskLearningSession(graph, owner, similarity_oracle())
+        with pytest.raises(LearningError):
+            session.run(strangers=frozenset())
+
+    def test_growing_prefixes_stay_consistent(self):
+        """Each prefix run labels exactly its prefix; labels are valid."""
+        from repro.types import RiskLabel
+
+        graph, owner = make_ego_graph(num_friends=8, num_strangers=40, seed=25)
+        session = RiskLearningSession(graph, owner, similarity_oracle(), seed=25)
+        ordered = sorted(session.ego.strangers)
+        for prefix_size in (10, 25, 40):
+            prefix = frozenset(ordered[:prefix_size])
+            result = RiskLearningSession(
+                graph, owner, similarity_oracle(), seed=prefix_size
+            ).run(strangers=prefix)
+            labels = result.final_labels()
+            assert set(labels) == prefix
+            assert all(isinstance(v, RiskLabel) for v in labels.values())

@@ -1,0 +1,111 @@
+"""Tests for classification change (Definition 5) and the stopping rule."""
+
+import pytest
+
+from repro.config import LearningConfig
+from repro.errors import LearningError
+from repro.learning.stabilization import (
+    change_threshold,
+    is_stabilized,
+    unstabilized_strangers,
+)
+from repro.learning.stopping import StoppingCondition, StopReason
+
+
+class TestChangeThreshold:
+    def test_full_confidence_means_zero_tolerance(self):
+        assert change_threshold(100.0) == 0.0
+
+    def test_zero_confidence_tolerates_full_span(self):
+        assert change_threshold(0.0) == pytest.approx(2.0)
+
+    def test_paper_average_confidence(self):
+        # c ~ 80 -> tolerance 0.4: any whole-label flip destabilizes
+        assert change_threshold(80.0) == pytest.approx(0.4)
+
+    @pytest.mark.parametrize("confidence", [-1.0, 101.0])
+    def test_range_validated(self, confidence):
+        with pytest.raises(LearningError):
+            change_threshold(confidence)
+
+
+class TestUnstabilized:
+    def test_unchanged_predictions_are_stable(self):
+        previous = {1: 2.0, 2: 1.5}
+        assert is_stabilized(previous, dict(previous), confidence=80.0)
+
+    def test_label_flip_destabilizes(self):
+        previous = {1: 1.0}
+        current = {1: 2.0}
+        assert unstabilized_strangers(previous, current, 80.0) == frozenset({1})
+
+    def test_small_drift_tolerated(self):
+        previous = {1: 1.0}
+        current = {1: 1.3}
+        assert is_stabilized(previous, current, confidence=80.0)
+
+    def test_full_confidence_flags_any_change(self):
+        previous = {1: 1.0}
+        current = {1: 1.0001}
+        assert not is_stabilized(previous, current, confidence=100.0)
+
+    def test_only_common_strangers_compared(self):
+        previous = {1: 1.0, 2: 3.0}
+        current = {1: 1.0, 3: 2.0}  # 2 was labeled in between; 3 is new
+        assert unstabilized_strangers(previous, current, 80.0) == frozenset()
+
+    def test_empty_mappings_are_stable(self):
+        assert is_stabilized({}, {}, confidence=80.0)
+
+
+class TestStoppingCondition:
+    def config(self, **overrides):
+        defaults = dict(rmse_threshold=0.5, stable_rounds=2)
+        defaults.update(overrides)
+        return LearningConfig(**defaults)
+
+    def test_requires_both_criteria(self):
+        condition = StoppingCondition(self.config())
+        assert not condition.observe(rmse=0.2, stabilized=True)  # 1 stable
+        assert condition.observe(rmse=0.2, stabilized=True)  # 2 stable
+
+    def test_good_rmse_alone_insufficient(self):
+        condition = StoppingCondition(self.config())
+        assert not condition.observe(rmse=0.0, stabilized=False)
+        assert not condition.observe(rmse=0.0, stabilized=False)
+
+    def test_stability_alone_insufficient(self):
+        condition = StoppingCondition(self.config())
+        assert not condition.observe(rmse=1.5, stabilized=True)
+        assert not condition.observe(rmse=1.5, stabilized=True)
+
+    def test_instability_resets_streak(self):
+        condition = StoppingCondition(self.config())
+        condition.observe(rmse=0.1, stabilized=True)
+        condition.observe(rmse=0.1, stabilized=False)
+        assert condition.consecutive_stable_rounds == 0
+        assert not condition.observe(rmse=0.1, stabilized=True)
+        assert condition.observe(rmse=0.1, stabilized=True)
+
+    def test_missing_rmse_keeps_last_value(self):
+        condition = StoppingCondition(self.config())
+        condition.observe(rmse=0.3, stabilized=True)
+        assert condition.observe(rmse=None, stabilized=True)
+        assert condition.last_rmse == 0.3
+
+    def test_never_seen_rmse_blocks_convergence(self):
+        condition = StoppingCondition(self.config())
+        condition.observe(rmse=None, stabilized=True)
+        assert not condition.observe(rmse=None, stabilized=True)
+
+    def test_threshold_is_strict(self):
+        condition = StoppingCondition(self.config())
+        condition.observe(rmse=0.5, stabilized=True)  # not < 0.5
+        assert not condition.observe(rmse=0.5, stabilized=True)
+
+    def test_stop_reasons_enum(self):
+        assert {reason.value for reason in StopReason} == {
+            "converged",
+            "exhausted",
+            "max_rounds",
+        }

@@ -1,0 +1,72 @@
+"""Tests for the stopping-rule ablation modes."""
+
+import pytest
+
+from repro.config import LearningConfig
+from repro.errors import ConfigError
+from repro.learning.stopping import StoppingCondition
+
+
+class TestStoppingModes:
+    def test_accuracy_mode_ignores_stability(self):
+        condition = StoppingCondition(
+            LearningConfig(stopping_mode="accuracy")
+        )
+        assert condition.observe(rmse=0.1, stabilized=False)
+
+    def test_stabilization_mode_ignores_rmse(self):
+        condition = StoppingCondition(
+            LearningConfig(stopping_mode="stabilization")
+        )
+        assert not condition.observe(rmse=1.9, stabilized=True)
+        assert condition.observe(rmse=1.9, stabilized=True)
+
+    def test_combined_requires_both(self):
+        condition = StoppingCondition(LearningConfig(stopping_mode="combined"))
+        condition.observe(rmse=0.1, stabilized=True)
+        assert condition.observe(rmse=0.1, stabilized=True)
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ConfigError):
+            LearningConfig(stopping_mode="vibes")
+
+    def test_accuracy_mode_never_stops_without_rmse(self):
+        condition = StoppingCondition(
+            LearningConfig(stopping_mode="accuracy")
+        )
+        for _ in range(5):
+            assert not condition.observe(rmse=None, stabilized=True)
+
+    def test_modes_change_label_spend(self):
+        """End-to-end: stabilization-only stops earlier (fewer labels)
+        than the combined rule on the same pool."""
+        import numpy as np
+
+        from repro.classifier.graphs import SimilarityGraph
+        from repro.classifier.harmonic import HarmonicClassifier
+        from repro.learning.oracle import ScriptedOracle
+        from repro.learning.pool_learner import PoolLearner
+        from repro.types import RiskLabel
+
+        size = 30
+        nodes = list(range(size))
+        weights = np.ones((size, size)) - np.eye(size)
+        # labels mostly RISKY with some noise: stabilization happens
+        # before the RMSE criterion is reliably met
+        answers = {
+            node: (RiskLabel.VERY_RISKY if node % 7 == 0 else RiskLabel.RISKY)
+            for node in nodes
+        }
+
+        def spend(mode: str) -> int:
+            learner = PoolLearner(
+                pool_id="p",
+                nsg_index=1,
+                members=tuple(nodes),
+                classifier=HarmonicClassifier(SimilarityGraph(nodes, weights)),
+                oracle=ScriptedOracle(answers),
+                config=LearningConfig(stopping_mode=mode, seed=5),
+            )
+            return learner.run().labels_requested
+
+        assert spend("stabilization") <= spend("combined")

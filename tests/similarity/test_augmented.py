@@ -1,0 +1,109 @@
+"""Tests for the visibility-augmented similarity extension."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimilarityError
+from repro.similarity.augmented import (
+    VisibilityAugmentedSimilarity,
+    visibility_agreement,
+)
+from repro.similarity.profile import ProfileSimilarity
+from repro.types import BenefitItem
+
+from ..conftest import make_profile
+
+
+def profiles_pair():
+    left = make_profile(1, visible=(BenefitItem.PHOTO, BenefitItem.WALL))
+    right = make_profile(2, visible=(BenefitItem.PHOTO,))
+    return left, right
+
+
+class TestVisibilityAgreement:
+    def test_identical_visibility_scores_one(self):
+        left = make_profile(1, visible=(BenefitItem.PHOTO,))
+        right = make_profile(2, visible=(BenefitItem.PHOTO,))
+        assert visibility_agreement(left, right) == pytest.approx(1.0)
+
+    def test_one_item_differs(self):
+        left, right = profiles_pair()
+        assert visibility_agreement(left, right) == pytest.approx(6 / 7)
+
+    def test_opposite_visibility(self):
+        left = make_profile(1, visible=tuple(BenefitItem))
+        right = make_profile(2, visible=())
+        assert visibility_agreement(left, right) == 0.0
+
+    def test_symmetric(self):
+        left, right = profiles_pair()
+        assert visibility_agreement(left, right) == visibility_agreement(
+            right, left
+        )
+
+
+class TestAugmentedSimilarity:
+    def build(self, mix=0.3):
+        left, right = profiles_pair()
+        base = ProfileSimilarity([left, right])
+        return left, right, base, VisibilityAugmentedSimilarity(base, mix=mix)
+
+    def test_mix_zero_reduces_to_ps(self):
+        left, right, base, augmented = self.build(mix=0.0)
+        assert augmented(left, right) == pytest.approx(base(left, right))
+
+    def test_mix_one_is_pure_agreement(self):
+        left, right, _, augmented = self.build(mix=1.0)
+        assert augmented(left, right) == pytest.approx(6 / 7)
+
+    def test_result_bounded(self):
+        left, right, _, augmented = self.build()
+        assert 0.0 <= augmented(left, right) <= 1.0
+
+    @pytest.mark.parametrize("mix", [-0.1, 1.1])
+    def test_invalid_mix_rejected(self, mix):
+        base = ProfileSimilarity([make_profile(1)])
+        with pytest.raises(SimilarityError):
+            VisibilityAugmentedSimilarity(base, mix=mix)
+
+    def test_pairwise_matrix_matches_calls(self):
+        import random
+
+        rng = random.Random(0)
+        profiles = [
+            make_profile(
+                uid,
+                gender=rng.choice(("male", "female")),
+                visible=tuple(
+                    item for item in BenefitItem if rng.random() < 0.5
+                ),
+            )
+            for uid in range(8)
+        ]
+        base = ProfileSimilarity(profiles)
+        augmented = VisibilityAugmentedSimilarity(base, mix=0.4)
+        matrix = augmented.pairwise_matrix(profiles)
+        for row in range(8):
+            for column in range(8):
+                assert matrix[row, column] == pytest.approx(
+                    augmented(profiles[row], profiles[column])
+                )
+        assert np.allclose(matrix, matrix.T)
+
+    def test_session_integration(self):
+        from repro.learning.session import RiskLearningSession
+        from ..conftest import make_ego_graph
+        from ..learning.test_session import similarity_oracle
+
+        graph, owner = make_ego_graph(num_friends=6, num_strangers=25, seed=31)
+        session = RiskLearningSession(
+            graph,
+            owner,
+            similarity_oracle(),
+            seed=31,
+            edge_similarity_wrapper=lambda base: VisibilityAugmentedSimilarity(
+                base, mix=0.3
+            ),
+        )
+        result = session.run()
+        assert set(result.final_labels()) == set(session.ego.strangers)

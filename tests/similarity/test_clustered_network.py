@@ -1,0 +1,74 @@
+"""Tests for the cluster-explicit NS() variant."""
+
+import pytest
+
+from repro.errors import SimilarityError
+from repro.similarity.network import ClusteredNetworkSimilarity
+
+from ..conftest import make_profile
+from .test_network import star_graph
+
+
+class TestClusteredNetworkSimilarity:
+    def test_zero_without_mutual_friends(self):
+        graph = star_graph(0)
+        assert ClusteredNetworkSimilarity()(graph, 0, 1) == 0.0
+
+    def test_bounded(self):
+        for count in (1, 5, 20, 40):
+            graph = star_graph(count, mutual_edges=count - 1)
+            value = ClusteredNetworkSimilarity()(graph, 0, 1)
+            assert 0.0 <= value < 1.0
+
+    def test_monotone_in_mutual_friends(self):
+        measure = ClusteredNetworkSimilarity()
+        values = [measure(star_graph(count), 0, 1) for count in (1, 3, 8, 20)]
+        assert values == sorted(values)
+
+    def test_one_big_cluster_beats_scattered_singletons(self):
+        """The defining property: 6 interconnected mutual friends score
+        higher than 6 isolated ones."""
+        measure = ClusteredNetworkSimilarity()
+        scattered = measure(star_graph(6, mutual_edges=0), 0, 1)
+        clustered = measure(star_graph(6, mutual_edges=5), 0, 1)
+        assert clustered > scattered
+
+    def test_gamma_one_ignores_clustering(self):
+        measure = ClusteredNetworkSimilarity(gamma=1.0)
+        scattered = measure(star_graph(6, mutual_edges=0), 0, 1)
+        clustered = measure(star_graph(6, mutual_edges=5), 0, 1)
+        assert scattered == pytest.approx(clustered)
+
+    def test_self_similarity_rejected(self):
+        with pytest.raises(SimilarityError):
+            ClusteredNetworkSimilarity()(star_graph(1), 0, 0)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(SimilarityError):
+            ClusteredNetworkSimilarity(gamma=0.5)
+        with pytest.raises(SimilarityError):
+            ClusteredNetworkSimilarity(kappa=0.0)
+
+    def test_registered_in_registry(self):
+        from repro.similarity.registry import get_measure
+
+        measure = get_measure("ns_clustered")
+        assert measure(star_graph(3), 0, 1) > 0.0
+
+    def test_session_accepts_variant(self):
+        from repro.learning.session import RiskLearningSession
+        from ..conftest import make_ego_graph
+        from ..learning.test_session import similarity_oracle
+
+        graph, owner = make_ego_graph(num_friends=6, num_strangers=20, seed=81)
+        session = RiskLearningSession(
+            graph,
+            owner,
+            similarity_oracle(),
+            seed=81,
+            network_similarity=ClusteredNetworkSimilarity(),
+        )
+        result = session.run()
+        assert result.num_strangers == 20
+        for value in session.compute_similarities().values():
+            assert 0.0 <= value < 1.0

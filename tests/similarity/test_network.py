@@ -1,0 +1,94 @@
+"""Tests for the reconstructed NS() measure."""
+
+import pytest
+
+from repro.config import NetworkSimilarityConfig
+from repro.errors import SimilarityError
+from repro.graph.social_graph import SocialGraph
+from repro.similarity.network import NetworkSimilarity
+
+from ..conftest import make_profile
+
+
+def star_graph(mutual_count: int, mutual_edges: int = 0) -> SocialGraph:
+    """Owner 0 and stranger 1 share ``mutual_count`` friends; the first
+    ``mutual_edges`` consecutive mutual-friend pairs are connected."""
+    graph = SocialGraph()
+    graph.add_user(make_profile(0))
+    graph.add_user(make_profile(1))
+    mutuals = list(range(2, 2 + mutual_count))
+    for friend in mutuals:
+        graph.add_user(make_profile(friend))
+        graph.add_friendship(0, friend)
+        graph.add_friendship(1, friend)
+    added = 0
+    for index in range(len(mutuals) - 1):
+        if added >= mutual_edges:
+            break
+        graph.add_friendship(mutuals[index], mutuals[index + 1])
+        added += 1
+    return graph
+
+
+class TestBasicProperties:
+    def test_zero_without_mutual_friends(self):
+        graph = star_graph(0)
+        assert NetworkSimilarity()(graph, 0, 1) == 0.0
+
+    def test_self_similarity_rejected(self):
+        graph = star_graph(1)
+        with pytest.raises(SimilarityError):
+            NetworkSimilarity()(graph, 0, 0)
+
+    @pytest.mark.parametrize("count", [1, 3, 10, 40])
+    def test_range(self, count):
+        graph = star_graph(count, mutual_edges=count - 1)
+        value = NetworkSimilarity()(graph, 0, 1)
+        assert 0.0 <= value <= 1.0
+
+    def test_symmetric(self):
+        graph = star_graph(4, mutual_edges=2)
+        measure = NetworkSimilarity()
+        assert measure(graph, 0, 1) == pytest.approx(measure(graph, 1, 0))
+
+
+class TestMonotonicity:
+    def test_more_mutual_friends_more_similar(self):
+        measure = NetworkSimilarity()
+        values = [
+            measure(star_graph(count), 0, 1) for count in (1, 2, 5, 10, 40)
+        ]
+        assert values == sorted(values)
+        assert len(set(values)) == len(values)
+
+    def test_denser_mutual_community_more_similar(self):
+        measure = NetworkSimilarity()
+        sparse = measure(star_graph(6, mutual_edges=0), 0, 1)
+        dense = measure(star_graph(6, mutual_edges=5), 0, 1)
+        assert dense > sparse
+
+    def test_forty_mutual_friends_lands_near_paper_ceiling(self):
+        """The paper observed no NS above 0.6 with <= ~40+ mutual friends."""
+        measure = NetworkSimilarity()
+        value = measure(star_graph(40, mutual_edges=15), 0, 1)
+        assert 0.4 < value < 0.7
+
+
+class TestConfiguration:
+    def test_kappa_controls_saturation(self):
+        graph = star_graph(5)
+        fast = NetworkSimilarity(NetworkSimilarityConfig(kappa=1.0))
+        slow = NetworkSimilarity(NetworkSimilarityConfig(kappa=20.0))
+        assert fast(graph, 0, 1) > slow(graph, 0, 1)
+
+    def test_cohesion_floor_zero_zeroes_scattered_strangers(self):
+        graph = star_graph(1)
+        measure = NetworkSimilarity(
+            NetworkSimilarityConfig(cohesion_floor=0.0)
+        )
+        assert measure(graph, 0, 1) == 0.0
+
+    def test_for_strangers_covers_input(self):
+        graph = star_graph(3)
+        values = NetworkSimilarity().for_strangers(graph, 0, {1})
+        assert set(values) == {1}

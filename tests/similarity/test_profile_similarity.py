@@ -1,0 +1,166 @@
+"""Tests for the reconstructed PS() measure."""
+
+import numpy as np
+import pytest
+
+from repro.config import ProfileSimilarityConfig
+from repro.graph.profile import Profile
+from repro.similarity.profile import ProfileSimilarity
+from repro.types import ProfileAttribute
+
+from ..conftest import make_profile
+
+
+def build_measure(profiles, **kwargs):
+    return ProfileSimilarity(profiles, **kwargs)
+
+
+class TestAttributeSimilarity:
+    def test_identical_values_score_one(self):
+        profiles = [make_profile(1), make_profile(2)]
+        measure = build_measure(profiles)
+        assert measure.attribute_similarity(
+            ProfileAttribute.GENDER, "male", "male"
+        ) == pytest.approx(1.0)
+
+    def test_mismatch_is_nonzero_for_seen_values(self):
+        profiles = [make_profile(1, gender="male"), make_profile(2, gender="female")]
+        measure = build_measure(profiles)
+        value = measure.attribute_similarity(
+            ProfileAttribute.GENDER, "male", "female"
+        )
+        assert 0.0 < value < 1.0
+
+    def test_mismatch_below_identical(self):
+        profiles = [make_profile(i, gender="male") for i in range(9)]
+        profiles.append(make_profile(9, gender="female"))
+        measure = build_measure(profiles)
+        mismatch = measure.attribute_similarity(
+            ProfileAttribute.GENDER, "male", "female"
+        )
+        assert mismatch < 1.0
+
+    def test_common_value_mismatch_scores_higher_than_rare(self):
+        profiles = (
+            [make_profile(i, last_name="smith") for i in range(8)]
+            + [make_profile(8, last_name="jones")]
+            + [make_profile(9, last_name="garcia")]
+        )
+        measure = build_measure(profiles)
+        common = measure.attribute_similarity(
+            ProfileAttribute.LAST_NAME, "smith", "jones"
+        )
+        rare = measure.attribute_similarity(
+            ProfileAttribute.LAST_NAME, "jones", "garcia"
+        )
+        assert common > rare
+
+    def test_missing_value_skips_attribute(self):
+        profiles = [make_profile(1), make_profile(2)]
+        measure = build_measure(profiles)
+        assert (
+            measure.attribute_similarity(ProfileAttribute.HOMETOWN, None, "x")
+            is None
+        )
+
+    def test_mismatch_scale_dampens(self):
+        profiles = [make_profile(1, gender="male"), make_profile(2, gender="female")]
+        full = build_measure(profiles)
+        damped = build_measure(
+            profiles, config=ProfileSimilarityConfig(mismatch_scale=0.1)
+        )
+        assert damped.attribute_similarity(
+            ProfileAttribute.GENDER, "male", "female"
+        ) < full.attribute_similarity(ProfileAttribute.GENDER, "male", "female")
+
+
+class TestPairSimilarity:
+    def test_identical_profiles_score_one(self):
+        profiles = [make_profile(1), make_profile(2)]
+        measure = build_measure(profiles)
+        assert measure(profiles[0], profiles[1]) == pytest.approx(1.0)
+
+    def test_result_in_unit_interval(self):
+        profiles = [
+            make_profile(1, gender="male", locale="US", last_name="smith"),
+            make_profile(2, gender="female", locale="TR", last_name="kaya"),
+        ]
+        measure = build_measure(profiles)
+        value = measure(profiles[0], profiles[1])
+        assert 0.0 <= value <= 1.0
+
+    def test_no_common_attributes_scores_zero(self):
+        left = Profile(user_id=1, attributes={ProfileAttribute.GENDER: "male"})
+        right = Profile(
+            user_id=2, attributes={ProfileAttribute.LOCALE: "US"}
+        )
+        measure = build_measure([left, right])
+        assert measure(left, right) == 0.0
+
+    def test_weights_shift_result(self):
+        left = make_profile(1, gender="male", locale="US")
+        right = make_profile(2, gender="male", locale="TR")
+        population = [left, right]
+        gender_heavy = build_measure(
+            population,
+            attributes=(ProfileAttribute.GENDER, ProfileAttribute.LOCALE),
+            weights={ProfileAttribute.GENDER: 0.9, ProfileAttribute.LOCALE: 0.1},
+        )
+        locale_heavy = build_measure(
+            population,
+            attributes=(ProfileAttribute.GENDER, ProfileAttribute.LOCALE),
+            weights={ProfileAttribute.GENDER: 0.1, ProfileAttribute.LOCALE: 0.9},
+        )
+        assert gender_heavy(left, right) > locale_heavy(left, right)
+
+    def test_missing_weights_rejected(self):
+        with pytest.raises(ValueError):
+            build_measure(
+                [make_profile(1)],
+                attributes=(ProfileAttribute.GENDER,),
+                weights={ProfileAttribute.LOCALE: 1.0},
+            )
+
+    def test_empty_attributes_rejected(self):
+        with pytest.raises(ValueError):
+            build_measure([make_profile(1)], attributes=())
+
+    def test_unseen_value_frequency_zero(self):
+        measure = build_measure([make_profile(1, locale="US")])
+        assert measure.frequency(ProfileAttribute.LOCALE, "XX") == 0.0
+
+
+class TestPairwiseMatrix:
+    def test_matrix_matches_pairwise_calls(self):
+        import random
+
+        rng = random.Random(3)
+        profiles = [
+            make_profile(
+                uid,
+                gender=rng.choice(("male", "female")),
+                locale=rng.choice(("US", "TR", "IT")),
+                last_name=rng.choice(("smith", "kaya")),
+            )
+            for uid in range(12)
+        ]
+        measure = build_measure(profiles)
+        matrix = measure.pairwise_matrix(profiles)
+        for row in range(12):
+            for column in range(12):
+                expected = measure(profiles[row], profiles[column])
+                assert matrix[row, column] == pytest.approx(expected)
+
+    def test_matrix_symmetric(self):
+        profiles = [make_profile(uid, locale="US") for uid in range(5)]
+        matrix = build_measure(profiles).pairwise_matrix(profiles)
+        assert np.allclose(matrix, matrix.T)
+
+    def test_matrix_handles_missing_attributes(self):
+        profiles = [
+            Profile(user_id=1, attributes={ProfileAttribute.GENDER: "male"}),
+            Profile(user_id=2, attributes={}),
+        ]
+        matrix = build_measure(profiles).pairwise_matrix(profiles)
+        assert matrix[0, 1] == 0.0
+        assert matrix[1, 1] == 0.0  # nothing filled: no self evidence

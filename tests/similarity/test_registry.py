@@ -1,0 +1,78 @@
+"""Tests for the similarity registry and its built-in baselines."""
+
+import pytest
+
+from repro.errors import SimilarityError
+from repro.graph.social_graph import SocialGraph
+from repro.similarity.registry import (
+    available_measures,
+    get_measure,
+    register_measure,
+)
+
+from ..conftest import make_profile
+
+
+def small_graph():
+    graph = SocialGraph()
+    for uid in range(5):
+        graph.add_user(make_profile(uid))
+    graph.add_friendship(0, 2)
+    graph.add_friendship(1, 2)
+    graph.add_friendship(0, 3)
+    graph.add_friendship(1, 3)
+    graph.add_friendship(0, 4)
+    return graph
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        names = available_measures()
+        assert "ns" in names
+        assert "mutual_fraction" in names
+        assert "jaccard" in names
+
+    def test_unknown_measure_raises(self):
+        with pytest.raises(SimilarityError):
+            get_measure("nope")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(SimilarityError):
+            register_measure("ns", lambda graph, a, b: 0.0)
+
+    def test_custom_registration_roundtrip(self):
+        name = "test-only-measure"
+        if name not in available_measures():
+            register_measure(name, lambda graph, a, b: 0.25)
+        assert get_measure(name)(small_graph(), 0, 1) == 0.25
+
+
+class TestBaselines:
+    def test_mutual_fraction(self):
+        graph = small_graph()
+        measure = get_measure("mutual_fraction")
+        # owner 0 has 3 friends, stranger 1 has 2; mutuals {2, 3}
+        assert measure(graph, 0, 1) == pytest.approx(1.0)
+
+    def test_mutual_fraction_zero_without_mutuals(self):
+        graph = SocialGraph()
+        for uid in range(2):
+            graph.add_user(make_profile(uid))
+        assert get_measure("mutual_fraction")(graph, 0, 1) == 0.0
+
+    def test_jaccard(self):
+        graph = small_graph()
+        # friends(0) = {2,3,4}, friends(1) = {2,3} -> 2/3
+        assert get_measure("jaccard")(graph, 0, 1) == pytest.approx(2 / 3)
+
+    def test_jaccard_isolated_pair_zero(self):
+        graph = SocialGraph()
+        for uid in range(2):
+            graph.add_user(make_profile(uid))
+        assert get_measure("jaccard")(graph, 0, 1) == 0.0
+
+    def test_all_baselines_bounded(self):
+        graph = small_graph()
+        for name in available_measures():
+            value = get_measure(name)(graph, 0, 1)
+            assert 0.0 <= value <= 1.0

@@ -1,0 +1,76 @@
+"""Tests for owner-attitude archetypes."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigError, OracleError
+from repro.synth import EgoNetConfig, generate_study_population
+from repro.synth.owners import ARCHETYPES, sample_archetype_attitude
+from repro.types import Locale, RiskLabel
+
+
+class TestArchetypeSampling:
+    def test_all_archetypes_sample_valid_attitudes(self):
+        rng = random.Random(0)
+        for archetype in ARCHETYPES:
+            attitude = sample_archetype_attitude(archetype, rng, Locale.US)
+            assert attitude.threshold_risky < attitude.threshold_very_risky
+
+    def test_unknown_archetype_rejected(self):
+        with pytest.raises(OracleError):
+            sample_archetype_attitude("vibes", random.Random(0), Locale.US)
+
+    def test_balanced_is_the_default_sampler_family(self):
+        rng = random.Random(1)
+        attitude = sample_archetype_attitude("balanced", rng, Locale.US)
+        assert 0.40 <= attitude.threshold_risky <= 0.52
+
+    def test_paranoid_thresholds_low(self):
+        rng = random.Random(2)
+        attitude = sample_archetype_attitude("paranoid", rng, Locale.US)
+        assert attitude.threshold_risky < 0.3
+
+    def test_relaxed_thresholds_high(self):
+        rng = random.Random(3)
+        attitude = sample_archetype_attitude("relaxed", rng, Locale.US)
+        assert attitude.threshold_very_risky > 0.85
+
+    def test_heterophile_weighs_visibility_over_network(self):
+        rng = random.Random(4)
+        balanced = sample_archetype_attitude("balanced", rng, Locale.US)
+        heterophile = sample_archetype_attitude("heterophile", rng, Locale.US)
+        assert heterophile.network_weight < balanced.network_weight
+        assert sum(heterophile.item_sensitivities.values()) > sum(
+            balanced.item_sensitivities.values()
+        )
+
+
+class TestArchetypePopulations:
+    def small(self, archetype):
+        return generate_study_population(
+            num_owners=2,
+            ego_config=EgoNetConfig(num_friends=20, num_strangers=80),
+            seed=10,
+            archetype=archetype,
+        )
+
+    def test_paranoid_cohort_skews_risky(self):
+        population = self.small("paranoid")
+        counts = {label: 0 for label in RiskLabel}
+        for owner in population.owners:
+            for label, count in owner.label_distribution().items():
+                counts[label] += count
+        assert counts[RiskLabel.VERY_RISKY] > counts[RiskLabel.NOT_RISKY]
+
+    def test_relaxed_cohort_skews_safe(self):
+        population = self.small("relaxed")
+        counts = {label: 0 for label in RiskLabel}
+        for owner in population.owners:
+            for label, count in owner.label_distribution().items():
+                counts[label] += count
+        assert counts[RiskLabel.NOT_RISKY] > counts[RiskLabel.VERY_RISKY]
+
+    def test_unknown_archetype_rejected(self):
+        with pytest.raises(ConfigError):
+            generate_study_population(num_owners=1, archetype="vibes")

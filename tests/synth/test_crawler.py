@@ -1,0 +1,76 @@
+"""Tests for the Sight crawl simulator."""
+
+import random
+
+from repro.graph.ego import EgoNetwork
+from repro.synth.crawler import simulate_sight_crawl
+
+from ..conftest import make_ego_graph
+
+
+def crawl(days=30, rate=0.4, seed=0):
+    graph, owner = make_ego_graph(num_friends=8, num_strangers=40, seed=seed)
+    ego = EgoNetwork(graph, owner)
+    return ego, simulate_sight_crawl(
+        ego,
+        days=days,
+        interactions_per_friend_per_day=rate,
+        rng=random.Random(seed),
+    )
+
+
+class TestCrawl:
+    def test_discovery_is_cumulative(self):
+        _, simulation = crawl()
+        curve = simulation.discovery_curve()
+        assert curve == sorted(curve)
+        assert len(curve) == simulation.days
+
+    def test_only_real_strangers_discovered(self):
+        ego, simulation = crawl()
+        assert simulation.discovered_by(simulation.days) <= ego.strangers
+
+    def test_each_stranger_discovered_once(self):
+        _, simulation = crawl()
+        strangers = [event.stranger for event in simulation.events]
+        assert len(strangers) == len(set(strangers))
+
+    def test_via_friend_is_adjacent(self):
+        ego, simulation = crawl()
+        for event in simulation.events:
+            assert ego.graph.are_friends(event.stranger, event.via_friend)
+
+    def test_long_crawl_reaches_high_coverage(self):
+        _, simulation = crawl(days=90, rate=0.8)
+        assert simulation.coverage > 0.95
+
+    def test_short_crawl_partial_coverage(self):
+        _, simulation = crawl(days=1, rate=0.2)
+        assert simulation.coverage < 1.0
+
+    def test_saturating_curve(self):
+        """Early days discover more than equally-long late windows."""
+        _, simulation = crawl(days=40, rate=0.5)
+        curve = simulation.discovery_curve()
+        first_window = curve[9]
+        last_window = curve[39] - curve[29]
+        assert first_window >= last_window
+
+    def test_deterministic_given_rng(self):
+        _, first = crawl(seed=5)
+        _, second = crawl(seed=5)
+        assert first.events == second.events
+
+    def test_coverage_of_empty_stranger_set(self):
+        from repro.graph.social_graph import SocialGraph
+
+        from ..conftest import make_profile
+
+        graph = SocialGraph()
+        graph.add_user(make_profile(0))
+        graph.add_user(make_profile(1))
+        graph.add_friendship(0, 1)
+        ego = EgoNetwork(graph, 0)
+        simulation = simulate_sight_crawl(ego, days=3, rng=random.Random(0))
+        assert simulation.coverage == 1.0
+        assert simulation.events == ()

@@ -1,0 +1,96 @@
+"""Tests for interaction-event streams and event-driven crawling."""
+
+import random
+
+from repro.graph.ego import EgoNetwork
+from repro.synth.events import (
+    InteractionKind,
+    crawl_from_events,
+    generate_event_stream,
+)
+
+from ..conftest import make_ego_graph
+
+
+def build(days=30, rate=0.5, seed=0):
+    graph, owner = make_ego_graph(num_friends=8, num_strangers=40, seed=seed)
+    ego = EgoNetwork(graph, owner)
+    events = generate_event_stream(
+        ego, days=days, interactions_per_friend_per_day=rate,
+        rng=random.Random(seed),
+    )
+    return ego, events
+
+
+class TestEventStream:
+    def test_actors_are_friends(self):
+        ego, events = build()
+        for event in events:
+            assert event.actor in ego.friends
+
+    def test_targets_are_actor_contacts(self):
+        ego, events = build()
+        for event in events:
+            assert ego.graph.are_friends(event.actor, event.target)
+
+    def test_owner_never_targeted(self):
+        ego, events = build()
+        assert all(event.target != ego.owner for event in events)
+
+    def test_days_in_range(self):
+        _, events = build(days=10)
+        assert all(1 <= event.day <= 10 for event in events)
+
+    def test_all_kinds_appear_in_long_streams(self):
+        _, events = build(days=60, rate=1.0)
+        kinds = {event.kind for event in events}
+        assert kinds == set(InteractionKind)
+
+    def test_deterministic(self):
+        _, first = build(seed=3)
+        _, second = build(seed=3)
+        assert first == second
+
+    def test_rate_scales_volume(self):
+        _, sparse = build(rate=0.1, seed=4)
+        _, busy = build(rate=1.0, seed=4)
+        assert len(busy) > len(sparse)
+
+
+class TestEventDrivenCrawl:
+    def test_discoveries_are_strangers(self):
+        ego, events = build()
+        crawl = crawl_from_events(ego, events, days=30)
+        assert crawl.discovered_by(30) <= ego.strangers
+
+    def test_each_stranger_discovered_once(self):
+        ego, events = build()
+        crawl = crawl_from_events(ego, events, days=30)
+        strangers = [event.stranger for event in crawl.events]
+        assert len(strangers) == len(set(strangers))
+
+    def test_discovery_day_matches_first_interaction(self):
+        ego, events = build()
+        crawl = crawl_from_events(ego, events, days=30)
+        first_seen = {}
+        for event in sorted(events, key=lambda e: e.day):
+            if ego.is_stranger(event.target) and event.target not in first_seen:
+                first_seen[event.target] = event.day
+        for discovery in crawl.events:
+            assert discovery.day == first_seen[discovery.stranger]
+
+    def test_busy_feed_reaches_high_coverage(self):
+        ego, events = build(days=90, rate=1.0)
+        crawl = crawl_from_events(ego, events, days=90)
+        assert crawl.coverage > 0.9
+
+    def test_friend_interactions_ignored(self):
+        """Events targeting friends must not produce discoveries."""
+        ego, events = build()
+        friend_targets = [
+            event for event in events if event.target in ego.friends
+        ]
+        crawl = crawl_from_events(ego, events, days=30)
+        discovered = {event.stranger for event in crawl.events}
+        for event in friend_targets:
+            assert event.target not in discovered

@@ -1,0 +1,116 @@
+"""Tests for the ego-network generator."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.graph.ego import EgoNetwork
+from repro.graph.social_graph import SocialGraph
+from repro.synth.graphs import (
+    EgoNetConfig,
+    generate_ego_network,
+    sample_mutual_friend_count,
+)
+from repro.synth.profiles import ProfileGenerator
+from repro.types import Locale
+
+from ..conftest import make_profile
+
+
+def generate(seed=0, **config):
+    rng = random.Random(seed)
+    graph = SocialGraph()
+    graph.add_user(make_profile(0, locale="TR"))
+    handle = generate_ego_network(
+        graph,
+        0,
+        rng,
+        ProfileGenerator(rng),
+        config=EgoNetConfig(**config) if config else EgoNetConfig(),
+        owner_locale=Locale.TR,
+    )
+    return graph, handle
+
+
+class TestEgoNetConfig:
+    def test_defaults_valid(self):
+        EgoNetConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_friends": 1},
+            {"num_strangers": 0},
+            {"num_communities": 0},
+            {"num_friends": 5, "num_communities": 6},
+            {"friend_density": 1.5},
+            {"owner_locale_affinity": -0.1},
+        ],
+    )
+    def test_invalid_configs_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            EgoNetConfig(**kwargs)
+
+
+class TestGeneratedStructure:
+    def test_counts_match_config(self):
+        graph, handle = generate(num_friends=20, num_strangers=60)
+        assert len(handle.friends) == 20
+        assert len(handle.strangers) == 60
+
+    def test_generated_strangers_are_exactly_the_two_hop_set(self):
+        graph, handle = generate(num_friends=15, num_strangers=40, seed=1)
+        ego = EgoNetwork(graph, 0)
+        assert set(handle.strangers) == set(ego.strangers)
+        assert set(handle.friends) == set(ego.friends)
+
+    def test_communities_partition_friends(self):
+        graph, handle = generate(num_friends=18, num_communities=4, seed=2)
+        members = [f for community in handle.communities for f in community]
+        assert sorted(members) == sorted(handle.friends)
+
+    def test_mutual_friend_counts_heavy_tailed(self):
+        graph, handle = generate(num_friends=30, num_strangers=300, seed=3)
+        counts = [
+            len(graph.mutual_friends(0, stranger))
+            for stranger in handle.strangers
+        ]
+        singles = sum(1 for count in counts if count <= 2)
+        assert singles / len(counts) > 0.5  # bulk weakly connected
+        assert max(counts) >= 5  # some strongly connected
+
+    def test_next_id_respected(self):
+        rng = random.Random(4)
+        graph = SocialGraph()
+        graph.add_user(make_profile(100, locale="US"))
+        handle = generate_ego_network(
+            graph,
+            100,
+            rng,
+            ProfileGenerator(rng),
+            config=EgoNetConfig(num_friends=5, num_strangers=5),
+            next_id=500,
+        )
+        assert min(handle.friends) >= 500
+
+    def test_deterministic_given_seed(self):
+        _, first = generate(seed=5, num_friends=10, num_strangers=20)
+        _, second = generate(seed=5, num_friends=10, num_strangers=20)
+        assert first == second
+
+
+class TestMutualFriendSampler:
+    def test_bounded_by_ceiling(self):
+        rng = random.Random(0)
+        for _ in range(200):
+            assert 1 <= sample_mutual_friend_count(rng, 4) <= 4
+
+    def test_distribution_shape(self):
+        rng = random.Random(1)
+        draws = [sample_mutual_friend_count(rng, 50) for _ in range(5000)]
+        ones = sum(1 for draw in draws if draw == 1)
+        big = sum(1 for draw in draws if draw >= 13)
+        assert 0.45 < ones / len(draws) < 0.65
+        assert 0.005 < big / len(draws) < 0.05
+        assert max(draws) <= 45

@@ -1,0 +1,176 @@
+"""Tests for simulated owners and risk attitudes."""
+
+import random
+
+import pytest
+
+from repro.errors import OracleError
+from repro.learning.oracle import LabelQuery
+from repro.synth.owners import (
+    RiskAttitude,
+    SimulatedOwner,
+    sample_confidence,
+    sample_thetas,
+)
+from repro.types import BenefitItem, Gender, Locale, RiskLabel
+
+from ..conftest import make_profile
+
+
+def attitude(**overrides) -> RiskAttitude:
+    defaults = dict(
+        owner_locale=Locale.US,
+        risky_gender=Gender.MALE,
+        network_weight=0.5,
+        gender_weight=0.3,
+        locale_weight=0.15,
+        lastname_weight=0.02,
+        familiar_lastnames=frozenset({"smith"}),
+        item_sensitivities={item: 0.0 for item in BenefitItem},
+        noise_sd=0.0,
+        threshold_risky=0.45,
+        threshold_very_risky=0.7,
+    )
+    defaults.update(overrides)
+    return RiskAttitude(**defaults)
+
+
+NO_VISIBILITY = {item: False for item in BenefitItem}
+
+
+class TestRawScore:
+    def test_homophily_lowers_risk(self):
+        att = attitude()
+        profile = make_profile(1, gender="female", locale="US")
+        low_ns = att.raw_score(profile, 0.0, NO_VISIBILITY)
+        high_ns = att.raw_score(profile, 0.55, NO_VISIBILITY)
+        assert high_ns < low_ns
+
+    def test_risky_gender_raises_score(self):
+        att = attitude()
+        male = make_profile(1, gender="male", locale="US", last_name="smith")
+        female = make_profile(2, gender="female", locale="US", last_name="smith")
+        assert att.raw_score(male, 0.0, NO_VISIBILITY) > att.raw_score(
+            female, 0.0, NO_VISIBILITY
+        )
+
+    def test_locale_mismatch_raises_score(self):
+        att = attitude()
+        local = make_profile(1, gender="female", locale="US", last_name="smith")
+        foreign = make_profile(2, gender="female", locale="TR", last_name="smith")
+        assert att.raw_score(foreign, 0.0, NO_VISIBILITY) > att.raw_score(
+            local, 0.0, NO_VISIBILITY
+        )
+
+    def test_familiar_lastname_lowers_score(self):
+        att = attitude()
+        familiar = make_profile(1, gender="female", locale="US", last_name="smith")
+        unfamiliar = make_profile(2, gender="female", locale="US", last_name="jones")
+        assert att.raw_score(unfamiliar, 0.0, NO_VISIBILITY) > att.raw_score(
+            familiar, 0.0, NO_VISIBILITY
+        )
+
+    def test_visible_items_lower_score(self):
+        att = attitude(
+            item_sensitivities={item: 0.05 for item in BenefitItem}
+        )
+        profile = make_profile(1, gender="female", locale="US")
+        hidden = att.raw_score(profile, 0.0, NO_VISIBILITY)
+        shown = att.raw_score(
+            profile, 0.0, {item: True for item in BenefitItem}
+        )
+        assert shown < hidden
+
+    def test_similarity_perceived_in_coarse_brackets(self):
+        att = attitude()
+        profile = make_profile(1, gender="female", locale="US")
+        # 0.11 and 0.19 land in the same perceived bracket
+        assert att.raw_score(profile, 0.11, NO_VISIBILITY) == att.raw_score(
+            profile, 0.19, NO_VISIBILITY
+        )
+
+
+class TestLabeling:
+    def test_thresholds_partition_scores(self):
+        att = attitude()
+        assert att.label_for_score(0.1) is RiskLabel.NOT_RISKY
+        assert att.label_for_score(0.5) is RiskLabel.RISKY
+        assert att.label_for_score(0.9) is RiskLabel.VERY_RISKY
+
+    def test_judge_without_noise_is_deterministic(self):
+        att = attitude()
+        profile = make_profile(1, gender="male", locale="TR")
+        rng = random.Random(0)
+        labels = {att.judge(profile, 0.0, NO_VISIBILITY, rng) for _ in range(5)}
+        assert len(labels) == 1
+
+
+class TestSampling:
+    def test_sampled_attitudes_valid(self):
+        rng = random.Random(0)
+        for _ in range(50):
+            att = RiskAttitude.sample(rng, Locale.TR, "kaya")
+            assert 0 < att.threshold_risky < att.threshold_very_risky
+            assert att.noise_sd > 0
+
+    def test_gender_usually_dominant(self):
+        rng = random.Random(1)
+        dominant = sum(
+            RiskAttitude.sample(rng, Locale.US).gender_weight
+            > RiskAttitude.sample(rng, Locale.US).locale_weight
+            for _ in range(100)
+        )
+        assert dominant > 60
+
+    def test_thetas_valid_and_near_table3(self):
+        rng = random.Random(2)
+        thetas = sample_thetas(rng)
+        normalized = thetas.normalized()
+        assert sum(normalized.values()) == pytest.approx(1.0)
+        for share in normalized.values():
+            assert 0.05 < share < 0.3
+
+    def test_confidence_clipped(self):
+        rng = random.Random(3)
+        for _ in range(200):
+            assert 55.0 <= sample_confidence(rng) <= 95.0
+
+
+class TestSimulatedOwner:
+    def owner(self):
+        return SimulatedOwner(
+            user_id=1,
+            profile=make_profile(1, gender="female", locale="US"),
+            attitude=attitude(),
+            thetas=sample_thetas(random.Random(0)),
+            confidence=80.0,
+            ground_truth={10: RiskLabel.RISKY, 11: RiskLabel.VERY_RISKY},
+        )
+
+    def test_truth_lookup(self):
+        assert self.owner().truth(10) is RiskLabel.RISKY
+
+    def test_unknown_stranger_raises(self):
+        with pytest.raises(OracleError):
+            self.owner().truth(99)
+
+    def test_oracle_answers_ground_truth(self):
+        oracle = self.owner().as_oracle()
+        query = LabelQuery(stranger=11, similarity=0.2, benefit=0.1)
+        assert oracle.label(query) is RiskLabel.VERY_RISKY
+
+    def test_oracle_is_consistent(self):
+        oracle = self.owner().as_oracle()
+        query = LabelQuery(stranger=10, similarity=0.2, benefit=0.1)
+        assert oracle.label(query) is oracle.label(query)
+
+    def test_label_distribution(self):
+        distribution = self.owner().label_distribution()
+        assert distribution[RiskLabel.RISKY] == 1
+        assert distribution[RiskLabel.VERY_RISKY] == 1
+        assert distribution[RiskLabel.NOT_RISKY] == 0
+
+    def test_gender_and_locale_accessors(self):
+        owner = self.owner()
+        assert owner.gender is Gender.FEMALE
+        assert owner.locale is Locale.US

@@ -1,0 +1,86 @@
+"""Tests for the study population builder."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.synth.graphs import EgoNetConfig
+from repro.synth.population import (
+    StudyConfig,
+    generate_study_population,
+    owner_demographics,
+)
+from repro.types import Gender, Locale
+
+
+class TestDemographics:
+    def test_full_cohort_gender_quota(self):
+        assignments = owner_demographics(47)
+        males = sum(1 for gender, _ in assignments if gender is Gender.MALE)
+        assert males == 32
+
+    def test_full_cohort_locale_quota(self):
+        assignments = owner_demographics(47)
+        locales = [locale for _, locale in assignments]
+        assert locales.count(Locale.TR) == 17
+        assert locales.count(Locale.US) == 9
+        assert locales.count(Locale.PL) == 7
+        assert locales.count(Locale.IT) == 5
+        assert locales.count(Locale.IN) == 1
+
+    def test_scaled_cohort_has_exact_size(self):
+        for size in (1, 5, 12, 30):
+            assert len(owner_demographics(size)) == size
+
+
+class TestPopulation:
+    def test_owner_count(self, population):
+        assert len(population.owners) == 4
+
+    def test_ground_truth_covers_every_stranger(self, population):
+        for owner in population.owners:
+            strangers = population.strangers_of(owner.user_id)
+            assert set(owner.ground_truth) == set(strangers)
+
+    def test_ego_networks_disjoint(self, population):
+        seen: set[int] = set()
+        for owner in population.owners:
+            handle = population.handles[owner.user_id]
+            ids = {handle.owner, *handle.friends, *handle.strangers}
+            assert not (ids & seen)
+            seen.update(ids)
+
+    def test_strangers_are_two_hop(self, population):
+        for owner in population.owners:
+            ego_strangers = population.graph.two_hop_neighbors(owner.user_id)
+            assert set(population.strangers_of(owner.user_id)) == ego_strangers
+
+    def test_total_strangers(self, population):
+        assert population.total_strangers == 4 * 150
+
+    def test_owner_lookup(self, population):
+        first = population.owners[0]
+        assert population.owner_by_id(first.user_id) is first
+        with pytest.raises(KeyError):
+            population.owner_by_id(-1)
+
+    def test_all_three_labels_present_in_cohort(self, big_population):
+        from repro.types import RiskLabel
+
+        counts = {label: 0 for label in RiskLabel}
+        for owner in big_population.owners:
+            for label, count in owner.label_distribution().items():
+                counts[label] += count
+        for label in RiskLabel:
+            assert counts[label] > 0
+
+    def test_deterministic_given_seed(self):
+        config = EgoNetConfig(num_friends=10, num_strangers=20)
+        first = generate_study_population(2, ego_config=config, seed=9)
+        second = generate_study_population(2, ego_config=config, seed=9)
+        assert first.graph.num_users == second.graph.num_users
+        for left, right in zip(first.owners, second.owners):
+            assert left.ground_truth == right.ground_truth
+
+    def test_invalid_owner_count_rejected(self):
+        with pytest.raises(ConfigError):
+            StudyConfig(num_owners=0)

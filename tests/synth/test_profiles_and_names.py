@@ -1,0 +1,111 @@
+"""Tests for the name pools and the profile generator."""
+
+import random
+
+import pytest
+
+from repro.synth.names import (
+    EMPLOYERS,
+    HOMETOWNS,
+    LAST_NAMES,
+    SCHOOLS,
+    zipf_weights,
+)
+from repro.synth.profiles import (
+    ProfileGenerator,
+    ProfileGeneratorConfig,
+)
+from repro.types import Gender, Locale, ProfileAttribute
+
+
+class TestNamePools:
+    @pytest.mark.parametrize("pool", [LAST_NAMES, HOMETOWNS, SCHOOLS, EMPLOYERS])
+    def test_every_locale_covered(self, pool):
+        assert set(pool) == set(Locale)
+
+    @pytest.mark.parametrize("pool", [LAST_NAMES, HOMETOWNS, SCHOOLS])
+    def test_pools_nonempty_and_unique(self, pool):
+        for values in pool.values():
+            assert len(values) >= 5
+            assert len(set(values)) == len(values)
+
+    def test_zipf_weights_decreasing(self):
+        weights = zipf_weights(10)
+        assert weights == sorted(weights, reverse=True)
+        assert weights[0] == 1.0
+
+    def test_zipf_weights_requires_positive_count(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0)
+
+
+class TestProfileGenerator:
+    def generator(self, seed=0, **config):
+        return ProfileGenerator(
+            random.Random(seed), ProfileGeneratorConfig(**config)
+        )
+
+    def test_profiles_have_clustering_attributes(self):
+        generator = self.generator()
+        flavor = generator.sample_flavor(Locale.TR)
+        filled = 0
+        for uid in range(50):
+            profile = generator.sample_profile(uid, flavor)
+            if all(
+                profile.has_attribute(attribute)
+                for attribute in ProfileAttribute.clustering_attributes()
+            ):
+                filled += 1
+        assert filled > 40  # fill rates are ~0.97+
+
+    def test_gender_pinning(self):
+        generator = self.generator()
+        flavor = generator.sample_flavor(Locale.US)
+        profile = generator.sample_profile(1, flavor, gender=Gender.FEMALE)
+        assert profile.attribute(ProfileAttribute.GENDER) == "female"
+
+    def test_flavor_adherence_drives_locale(self):
+        generator = self.generator(flavor_adherence=1.0, seed=1)
+        flavor = generator.sample_flavor(Locale.IT)
+        for uid in range(30):
+            profile = generator.sample_profile(uid, flavor)
+            assert profile.attribute(ProfileAttribute.LOCALE) == "IT"
+
+    def test_zero_adherence_mixes_locales(self):
+        generator = self.generator(flavor_adherence=0.0, seed=2)
+        flavor = generator.sample_flavor(Locale.IT)
+        locales = {
+            generator.sample_profile(uid, flavor).attribute(
+                ProfileAttribute.LOCALE
+            )
+            for uid in range(100)
+        }
+        assert len(locales) > 2
+
+    def test_last_name_comes_from_effective_locale_pool(self):
+        from repro.synth.names import LAST_NAMES
+
+        generator = self.generator(flavor_adherence=1.0, seed=3)
+        flavor = generator.sample_flavor(Locale.PL)
+        for uid in range(20):
+            profile = generator.sample_profile(uid, flavor)
+            name = profile.attribute(ProfileAttribute.LAST_NAME)
+            if name is not None:
+                assert name in LAST_NAMES[Locale.PL]
+
+    def test_fill_rates_respected(self):
+        generator = self.generator(
+            seed=4,
+            fill_rates={attribute: 0.0 for attribute in ProfileAttribute},
+        )
+        flavor = generator.sample_flavor(Locale.US)
+        profile = generator.sample_profile(1, flavor)
+        assert profile.attributes == {}
+
+    def test_privacy_settings_always_sampled(self):
+        from repro.types import BenefitItem
+
+        generator = self.generator(seed=5)
+        flavor = generator.sample_flavor(Locale.GB)
+        profile = generator.sample_profile(1, flavor)
+        assert set(profile.privacy) == set(BenefitItem)

@@ -1,0 +1,104 @@
+"""Tests for the alternative ego-network topologies."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.graph.ego import EgoNetwork
+from repro.graph.social_graph import SocialGraph
+from repro.synth.graphs import EgoNetConfig
+from repro.synth.population import generate_study_population
+from repro.synth.profiles import ProfileGenerator
+from repro.synth.topologies import (
+    TOPOLOGIES,
+    generate_preferential_ego,
+    generate_small_world_ego,
+)
+from repro.types import Locale
+
+from ..conftest import make_profile
+
+
+def generate(generator, seed=0, **config):
+    rng = random.Random(seed)
+    graph = SocialGraph()
+    graph.add_user(make_profile(0, locale="US"))
+    handle = generator(
+        graph,
+        0,
+        rng,
+        ProfileGenerator(rng),
+        config=EgoNetConfig(**config) if config else EgoNetConfig(),
+        owner_locale=Locale.US,
+    )
+    return graph, handle
+
+
+@pytest.mark.parametrize(
+    "generator", [generate_small_world_ego, generate_preferential_ego]
+)
+class TestTopologyContracts:
+    def test_counts_match_config(self, generator):
+        _, handle = generate(generator, num_friends=20, num_strangers=50)
+        assert len(handle.friends) == 20
+        assert len(handle.strangers) == 50
+
+    def test_strangers_are_two_hop(self, generator):
+        graph, handle = generate(generator, seed=1, num_friends=15, num_strangers=40)
+        ego = EgoNetwork(graph, 0)
+        assert set(handle.strangers) == set(ego.strangers)
+
+    def test_deterministic(self, generator):
+        _, first = generate(generator, seed=2)
+        _, second = generate(generator, seed=2)
+        assert first == second
+
+
+class TestTopologyCharacter:
+    def test_small_world_mutual_friends_are_cohesive(self):
+        from repro.graph.metrics import induced_density
+
+        graph, handle = generate(
+            generate_small_world_ego, seed=3, num_friends=30, num_strangers=100
+        )
+        densities = []
+        for stranger in handle.strangers:
+            mutual = graph.mutual_friends(0, stranger)
+            if len(mutual) >= 3:
+                densities.append(induced_density(graph, mutual))
+        assert densities
+        # ring-arc anchors are tightly interconnected
+        assert sum(densities) / len(densities) > 0.3
+
+    def test_preferential_concentrates_on_hubs(self):
+        graph, handle = generate(
+            generate_preferential_ego, seed=4, num_friends=30, num_strangers=150
+        )
+        anchor_counts = {friend: 0 for friend in handle.friends}
+        for stranger in handle.strangers:
+            for anchor in graph.mutual_friends(0, stranger):
+                anchor_counts[anchor] += 1
+        counts = sorted(anchor_counts.values(), reverse=True)
+        top_share = sum(counts[:5]) / sum(counts)
+        assert top_share > 0.3  # a few hubs mediate a large share
+
+    def test_registry_contents(self):
+        assert set(TOPOLOGIES) == {"small_world", "preferential"}
+
+
+class TestPopulationTopology:
+    def test_population_accepts_topologies(self):
+        for topology in ("communities", "small_world", "preferential"):
+            population = generate_study_population(
+                num_owners=1,
+                ego_config=EgoNetConfig(num_friends=12, num_strangers=30),
+                seed=5,
+                topology=topology,
+            )
+            owner = population.owners[0]
+            assert len(owner.ground_truth) == 30
+
+    def test_unknown_topology_rejected(self):
+        with pytest.raises(ConfigError):
+            generate_study_population(num_owners=1, topology="hypercube")

@@ -1,0 +1,87 @@
+"""Tests for the Table IV/V-calibrated visibility sampler."""
+
+import random
+
+import pytest
+
+from repro.synth.visibility import (
+    TABLE4_VISIBILITY,
+    TABLE5_VISIBILITY,
+    VisibilitySampler,
+)
+from repro.types import BenefitItem, Gender, Locale
+
+
+class TestCalibrationTables:
+    def test_table5_covers_seven_locales(self):
+        assert set(TABLE5_VISIBILITY) == set(Locale.table5_locales())
+
+    def test_table4_covers_both_genders(self):
+        assert set(TABLE4_VISIBILITY) == set(Gender)
+
+    def test_all_probabilities_valid(self):
+        for row in (*TABLE5_VISIBILITY.values(), *TABLE4_VISIBILITY.values()):
+            for item in BenefitItem:
+                assert 0.0 <= row[item] <= 1.0
+
+    def test_photos_most_visible_in_every_locale(self):
+        for row in TABLE5_VISIBILITY.values():
+            assert row[BenefitItem.PHOTO] == max(row.values())
+
+    def test_females_stricter_except_photos(self):
+        male = TABLE4_VISIBILITY[Gender.MALE]
+        female = TABLE4_VISIBILITY[Gender.FEMALE]
+        for item in BenefitItem:
+            if item is BenefitItem.PHOTO:
+                assert abs(male[item] - female[item]) < 0.05
+            else:
+                assert male[item] > female[item]
+
+
+class TestSampler:
+    def test_probability_respects_gender_direction(self):
+        sampler = VisibilitySampler(random.Random(0))
+        male = sampler.visibility_probability(
+            BenefitItem.WALL, Gender.MALE, Locale.TR
+        )
+        female = sampler.visibility_probability(
+            BenefitItem.WALL, Gender.FEMALE, Locale.TR
+        )
+        assert male > female
+
+    def test_probability_bounded(self):
+        sampler = VisibilitySampler(random.Random(0))
+        for gender in Gender:
+            for locale in Locale.table5_locales():
+                for item in BenefitItem:
+                    probability = sampler.visibility_probability(
+                        item, gender, locale
+                    )
+                    assert 0.01 <= probability <= 0.99
+
+    def test_unlisted_locale_uses_fallback(self):
+        sampler = VisibilitySampler(random.Random(0))
+        probability = sampler.visibility_probability(
+            BenefitItem.PHOTO, Gender.MALE, Locale.IN
+        )
+        assert 0.5 < probability <= 0.99  # photos are broadly visible
+
+    def test_sampled_rates_match_target(self):
+        """Monte-carlo check: empirical visibility tracks the target."""
+        rng = random.Random(7)
+        sampler = VisibilitySampler(rng)
+        target = sampler.visibility_probability(
+            BenefitItem.PHOTO, Gender.MALE, Locale.PL
+        )
+        trials = 2000
+        visible = 0
+        for _ in range(trials):
+            privacy = sampler.sample_privacy(Gender.MALE, Locale.PL)
+            if privacy[BenefitItem.PHOTO].visible_at_distance(2):
+                visible += 1
+        assert visible / trials == pytest.approx(target, abs=0.04)
+
+    def test_sample_covers_every_item(self):
+        sampler = VisibilitySampler(random.Random(1))
+        privacy = sampler.sample_privacy(Gender.FEMALE, Locale.US)
+        assert set(privacy) == set(BenefitItem)

@@ -1,0 +1,101 @@
+"""Tests for the benefit measure B(o, s)."""
+
+import pytest
+
+from repro.benefits.model import BenefitModel, ThetaWeights
+from repro.errors import ConfigError
+from repro.graph.social_graph import SocialGraph
+from repro.types import BenefitItem
+
+from .conftest import make_profile
+
+
+class TestThetaWeights:
+    def test_defaults_cover_every_item(self):
+        thetas = ThetaWeights()
+        for item in BenefitItem:
+            assert 0.0 <= thetas[item] <= 1.0
+
+    def test_defaults_match_table3_ordering(self):
+        thetas = ThetaWeights()
+        assert thetas[BenefitItem.HOMETOWN] > thetas[BenefitItem.WORK]
+        assert thetas[BenefitItem.FRIEND] > thetas[BenefitItem.WALL]
+
+    def test_missing_item_rejected(self):
+        weights = {item: 0.5 for item in BenefitItem}
+        del weights[BenefitItem.WALL]
+        with pytest.raises(ConfigError):
+            ThetaWeights(weights)
+
+    @pytest.mark.parametrize("bad", [-0.1, 1.5])
+    def test_out_of_range_weight_rejected(self, bad):
+        weights = {item: 0.5 for item in BenefitItem}
+        weights[BenefitItem.PHOTO] = bad
+        with pytest.raises(ConfigError):
+            ThetaWeights(weights)
+
+    def test_normalized_sums_to_one(self):
+        normalized = ThetaWeights.uniform(0.4).normalized()
+        assert sum(normalized.values()) == pytest.approx(1.0)
+
+    def test_all_zero_weights_normalize_to_zero(self):
+        normalized = ThetaWeights.uniform(0.0).normalized()
+        assert all(value == 0.0 for value in normalized.values())
+
+
+class TestBenefitModel:
+    def test_formula_from_visibility(self):
+        thetas = ThetaWeights.uniform(1.0)
+        model = BenefitModel(thetas)
+        visibility = {item: False for item in BenefitItem}
+        visibility[BenefitItem.PHOTO] = True
+        # B = (1/7) * theta_photo = 1/7
+        assert model.from_visibility(visibility) == pytest.approx(1 / 7)
+
+    def test_nothing_visible_is_zero(self):
+        model = BenefitModel()
+        assert model.from_visibility({}) == 0.0
+
+    def test_everything_visible_is_maximum(self):
+        model = BenefitModel()
+        visibility = {item: True for item in BenefitItem}
+        assert model.from_visibility(visibility) == pytest.approx(
+            model.maximum()
+        )
+
+    def test_restricted_item_set(self):
+        thetas = ThetaWeights.uniform(1.0)
+        model = BenefitModel(thetas, items=(BenefitItem.PHOTO,))
+        assert model.from_visibility({BenefitItem.PHOTO: True}) == pytest.approx(1.0)
+        assert model.from_visibility({BenefitItem.WALL: True}) == 0.0
+
+    def test_empty_item_set_rejected(self):
+        with pytest.raises(ConfigError):
+            BenefitModel(items=())
+
+    def test_graph_evaluation_uses_stranger_distance(self):
+        # chain 0-1-2: stranger 2's FOF-visible items count, FRIENDS ones not
+        profiles = [
+            make_profile(0),
+            make_profile(1),
+            make_profile(2, visible=(BenefitItem.PHOTO, BenefitItem.WALL)),
+        ]
+        graph = SocialGraph.from_edges(profiles, [(0, 1), (1, 2)])
+        model = BenefitModel(ThetaWeights.uniform(1.0))
+        assert model(graph, 0, 2) == pytest.approx(2 / 7)
+
+    def test_for_strangers_covers_input(self):
+        profiles = [make_profile(i) for i in range(4)]
+        graph = SocialGraph.from_edges(
+            profiles, [(0, 1), (1, 2), (1, 3)]
+        )
+        model = BenefitModel()
+        values = model.for_strangers(graph, 0, {2, 3})
+        assert set(values) == {2, 3}
+        for value in values.values():
+            assert 0.0 <= value <= 1.0
+
+    def test_benefit_bounded_by_one(self):
+        model = BenefitModel(ThetaWeights.uniform(1.0))
+        visibility = {item: True for item in BenefitItem}
+        assert model.from_visibility(visibility) <= 1.0

@@ -1,0 +1,121 @@
+"""Tests for the CLI entry point."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.owners == 8
+        assert args.experiments == ["all"]
+
+    def test_experiment_choices(self):
+        args = build_parser().parse_args(["--experiments", "fig4", "table1"])
+        assert args.experiments == ["fig4", "table1"]
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--experiments", "fig99"])
+
+    def test_classifier_choices(self):
+        args = build_parser().parse_args(["--classifier", "knn"])
+        assert args.classifier == "knn"
+
+
+class TestMain:
+    def run(self, capsys, *argv):
+        code = main(list(argv))
+        assert code == 0
+        return capsys.readouterr().out
+
+    def test_fig4_only(self, capsys):
+        out = self.run(
+            capsys,
+            "--owners", "2", "--strangers", "60", "--friends", "15",
+            "--seed", "1", "--experiments", "fig4",
+        )
+        assert "Figure 4" in out
+        assert "Table I" not in out
+
+    def test_headline_only(self, capsys):
+        out = self.run(
+            capsys,
+            "--owners", "2", "--strangers", "60", "--friends", "15",
+            "--seed", "1", "--experiments", "headline",
+        )
+        assert "exact-match accuracy" in out
+
+    def test_fig7_needs_no_study(self, capsys):
+        out = self.run(
+            capsys,
+            "--owners", "2", "--strangers", "60", "--friends", "15",
+            "--seed", "2", "--experiments", "fig7",
+        )
+        assert "Figure 7" in out
+
+    def test_all_experiments_listed(self):
+        assert set(EXPERIMENTS) == {
+            "dataset", "fig4", "fig5", "fig6", "fig7",
+            "table1", "table2", "table3", "table4", "table5",
+            "headline", "report",
+        }
+
+    def test_validate_flag(self, capsys):
+        code = main([
+            "--owners", "4", "--strangers", "150", "--friends", "30",
+            "--seed", "101", "--experiments", "fig4", "--validate",
+        ])
+        out = capsys.readouterr().out
+        assert "Shape validation" in out
+        assert "[PASS]" in out or "[FAIL]" in out
+        assert code in (0, 1)
+
+    def test_owner_report_experiment(self, capsys):
+        out = self.run(
+            capsys,
+            "--owners", "2", "--strangers", "40", "--friends", "10",
+            "--seed", "8", "--experiments", "report",
+        )
+        assert "# Risk report for owner" in out
+        assert "Friendship candidates" in out
+
+    def test_dataset_experiment(self, capsys):
+        out = self.run(
+            capsys,
+            "--owners", "2", "--strangers", "40", "--friends", "10",
+            "--seed", "5", "--experiments", "dataset",
+        )
+        assert "Dataset characterization" in out
+        assert "stranger profiles: 80" in out
+
+    def test_save_and_load_dataset(self, capsys, tmp_path):
+        path = str(tmp_path / "cohort.json")
+        self.run(
+            capsys,
+            "--owners", "2", "--strangers", "30", "--friends", "10",
+            "--seed", "6", "--experiments", "dataset",
+            "--save-dataset", path,
+        )
+        out = self.run(
+            capsys, "--load-dataset", path, "--experiments", "dataset",
+        )
+        assert "stranger profiles: 60" in out
+
+    def test_topology_option(self, capsys):
+        out = self.run(
+            capsys,
+            "--owners", "2", "--strangers", "40", "--friends", "12",
+            "--seed", "7", "--topology", "small_world",
+            "--experiments", "fig4",
+        )
+        assert "Figure 4" in out
+
+    def test_fig5_runs_both_poolings(self, capsys):
+        out = self.run(
+            capsys,
+            "--owners", "2", "--strangers", "50", "--friends", "12",
+            "--seed", "3", "--experiments", "fig5",
+        )
+        assert "npp" in out and "nsp" in out

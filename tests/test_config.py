@@ -1,0 +1,173 @@
+"""Tests for configuration validation."""
+
+import pytest
+
+from repro.config import (
+    ClassifierConfig,
+    LearningConfig,
+    NetworkSimilarityConfig,
+    PipelineConfig,
+    PoolingConfig,
+    ProfileSimilarityConfig,
+)
+from repro.errors import ConfigError
+from repro.types import ProfileAttribute
+
+
+class TestNetworkSimilarityConfig:
+    def test_defaults_valid(self):
+        config = NetworkSimilarityConfig()
+        assert config.kappa == 5.0
+        assert config.cohesion_floor == 0.5
+
+    @pytest.mark.parametrize("kappa", [0.0, -1.0])
+    def test_nonpositive_kappa_rejected(self, kappa):
+        with pytest.raises(ConfigError):
+            NetworkSimilarityConfig(kappa=kappa)
+
+    @pytest.mark.parametrize("floor", [-0.1, 1.5])
+    def test_cohesion_floor_range(self, floor):
+        with pytest.raises(ConfigError):
+            NetworkSimilarityConfig(cohesion_floor=floor)
+
+
+class TestProfileSimilarityConfig:
+    def test_defaults_valid(self):
+        assert ProfileSimilarityConfig().mismatch_scale == 1.0
+
+    @pytest.mark.parametrize("scale", [-0.5, 1.01])
+    def test_mismatch_scale_range(self, scale):
+        with pytest.raises(ConfigError):
+            ProfileSimilarityConfig(mismatch_scale=scale)
+
+
+class TestPoolingConfig:
+    def test_paper_defaults(self):
+        config = PoolingConfig()
+        assert config.alpha == 10
+        assert config.beta == 0.4
+
+    def test_alpha_must_be_positive(self):
+        with pytest.raises(ConfigError):
+            PoolingConfig(alpha=0)
+
+    @pytest.mark.parametrize("beta", [0.0, 1.2])
+    def test_beta_range(self, beta):
+        with pytest.raises(ConfigError):
+            PoolingConfig(beta=beta)
+
+    def test_empty_attributes_rejected(self):
+        with pytest.raises(ConfigError):
+            PoolingConfig(attributes=())
+
+    def test_weight_length_mismatch_rejected(self):
+        with pytest.raises(ConfigError):
+            PoolingConfig(
+                attributes=(ProfileAttribute.GENDER,),
+                attribute_weights=(0.5, 0.5),
+            )
+
+    def test_negative_weights_rejected(self):
+        with pytest.raises(ConfigError):
+            PoolingConfig(
+                attributes=(ProfileAttribute.GENDER, ProfileAttribute.LOCALE),
+                attribute_weights=(-0.5, 1.0),
+            )
+
+    def test_all_zero_weights_rejected(self):
+        with pytest.raises(ConfigError):
+            PoolingConfig(
+                attributes=(ProfileAttribute.GENDER,),
+                attribute_weights=(0.0,),
+            )
+
+    def test_normalized_weights_sum_to_one(self):
+        config = PoolingConfig()
+        weights = config.normalized_weights()
+        assert sum(weights.values()) == pytest.approx(1.0)
+
+    def test_normalized_weights_uniform_when_unweighted(self):
+        config = PoolingConfig(
+            attributes=(ProfileAttribute.GENDER, ProfileAttribute.LOCALE),
+            attribute_weights=None,
+        )
+        weights = config.normalized_weights()
+        assert weights[ProfileAttribute.GENDER] == pytest.approx(0.5)
+
+    def test_default_weights_follow_table1(self):
+        weights = PoolingConfig().normalized_weights()
+        assert (
+            weights[ProfileAttribute.GENDER]
+            > weights[ProfileAttribute.LOCALE]
+            > weights[ProfileAttribute.LAST_NAME]
+        )
+
+    def test_min_pool_size_must_be_positive(self):
+        with pytest.raises(ConfigError):
+            PoolingConfig(min_pool_size=0)
+
+
+class TestClassifierConfig:
+    def test_defaults_valid(self):
+        config = ClassifierConfig()
+        assert config.knn_k == 5
+        assert config.edge_sharpening > 0
+
+    def test_negative_epsilon_rejected(self):
+        with pytest.raises(ConfigError):
+            ClassifierConfig(epsilon=-1e-9)
+
+    def test_knn_k_must_be_positive(self):
+        with pytest.raises(ConfigError):
+            ClassifierConfig(knn_k=0)
+
+    @pytest.mark.parametrize("weight", [-0.1, 1.0])
+    def test_min_edge_weight_range(self, weight):
+        with pytest.raises(ConfigError):
+            ClassifierConfig(min_edge_weight=weight)
+
+    def test_sharpening_must_be_positive(self):
+        with pytest.raises(ConfigError):
+            ClassifierConfig(edge_sharpening=0.0)
+
+
+class TestLearningConfig:
+    def test_paper_defaults(self):
+        config = LearningConfig()
+        assert config.labels_per_round == 3
+        assert config.rmse_threshold == 0.5
+        assert config.stable_rounds == 2
+
+    def test_labels_per_round_positive(self):
+        with pytest.raises(ConfigError):
+            LearningConfig(labels_per_round=0)
+
+    @pytest.mark.parametrize("confidence", [-1.0, 100.5])
+    def test_confidence_range(self, confidence):
+        with pytest.raises(ConfigError):
+            LearningConfig(confidence=confidence)
+
+    def test_max_rounds_positive(self):
+        with pytest.raises(ConfigError):
+            LearningConfig(max_rounds=0)
+
+    def test_negative_rmse_threshold_rejected(self):
+        with pytest.raises(ConfigError):
+            LearningConfig(rmse_threshold=-0.1)
+
+    def test_stable_rounds_positive(self):
+        with pytest.raises(ConfigError):
+            LearningConfig(stable_rounds=0)
+
+
+class TestPipelineConfig:
+    def test_bundle_has_paper_defaults(self):
+        config = PipelineConfig()
+        assert config.pooling.alpha == 10
+        assert config.learning.labels_per_round == 3
+        assert config.network_similarity.kappa == 5.0
+
+    def test_configs_are_frozen(self):
+        config = PipelineConfig()
+        with pytest.raises(AttributeError):
+            config.pooling = PoolingConfig(alpha=5)

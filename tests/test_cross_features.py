@@ -1,0 +1,156 @@
+"""Cross-feature integration tests.
+
+Each test combines two or more features a downstream user would plausibly
+stack — incremental learning on alternative topologies, adaptive mining
+on archetype cohorts, anonymized exports through the full pipeline —
+catching interface drift that single-feature tests cannot see.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments import run_study, validate_reproduction
+from repro.io import population_from_json, population_to_json
+from repro.io.anonymize import anonymize_graph
+from repro.learning.incremental import continue_session
+from repro.learning.mining import run_adaptive_session
+from repro.learning.session import RiskLearningSession
+from repro.similarity.augmented import VisibilityAugmentedSimilarity
+from repro.similarity.network import ClusteredNetworkSimilarity
+from repro.synth import EgoNetConfig, generate_study_population
+
+
+def small(topology="communities", archetype="balanced", seed=7):
+    return generate_study_population(
+        num_owners=2,
+        ego_config=EgoNetConfig(num_friends=20, num_strangers=80),
+        seed=seed,
+        topology=topology,
+        archetype=archetype,
+    )
+
+
+class TestFeatureCombinations:
+    def test_adaptive_mining_on_paranoid_cohort(self):
+        population = small(archetype="paranoid")
+        owner = population.owners[0]
+        result = run_adaptive_session(
+            population.graph, owner.user_id, owner.as_oracle(),
+            pilot_fraction=0.3, seed=7,
+        )
+        final = result.final.final_labels()
+        assert set(final) == set(population.strangers_of(owner.user_id))
+
+    def test_incremental_on_small_world_topology(self):
+        population = small(topology="small_world")
+        owner = population.owners[0]
+        first = RiskLearningSession(
+            population.graph, owner.user_id, owner.as_oracle(), seed=7
+        ).run()
+        update = continue_session(
+            population.graph, owner.user_id, owner.as_oracle(), first, seed=8
+        )
+        assert update.reused_labels == first.labels_requested
+        # an unchanged graph still gets a fresh validation pass, but the
+        # warm start makes it much cheaper than the cold run
+        assert update.new_queries < first.labels_requested
+
+    def test_augmented_edges_with_nsp_pooling(self):
+        population = small()
+        study = run_study(
+            population,
+            pooling="nsp",
+            seed=7,
+            edge_similarity_wrapper=lambda base: VisibilityAugmentedSimilarity(
+                base, mix=0.3
+            ),
+        )
+        assert study.exact_match_accuracy is not None
+
+    def test_clustered_ns_with_knn_classifier(self):
+        population = small()
+        study = run_study(
+            population,
+            classifier="knn",
+            seed=7,
+            network_similarity=ClusteredNetworkSimilarity(),
+        )
+        assert study.holdout_accuracy is not None
+        assert study.total_labels > 0
+
+    def test_anonymized_export_round_trips_and_runs(self):
+        population = small()
+        owner = population.owners[0]
+        anonymized, mapping = anonymize_graph(population.graph, "pepper")
+        from repro.io.serialization import graph_from_json, graph_to_json
+
+        restored = graph_from_json(graph_to_json(anonymized))
+        result = RiskLearningSession(
+            restored,
+            mapping[owner.user_id],
+            # a simple consistent oracle over the anonymized ids
+            __import__("repro.learning.oracle", fromlist=["CallbackOracle"]).CallbackOracle(
+                lambda query: 2
+            ),
+            seed=7,
+        ).run()
+        assert result.num_strangers == len(
+            population.strangers_of(owner.user_id)
+        )
+
+    def test_serialized_population_supports_incremental(self):
+        population = small()
+        restored = population_from_json(population_to_json(population))
+        owner = restored.owners[0]
+        first = RiskLearningSession(
+            restored.graph, owner.user_id, owner.as_oracle(), seed=9
+        ).run()
+        update = continue_session(
+            restored.graph, owner.user_id, owner.as_oracle(), first, seed=10
+        )
+        assert update.result.num_strangers == first.num_strangers
+
+    def test_validation_runs_on_topology_cohorts(self):
+        population = small(topology="preferential", seed=11)
+        npp = run_study(population, seed=11)
+        report = validate_reproduction(population, npp)
+        # every check executes and reports on the alternative topology
+        assert len(report.checks) == 7
+        assert all(check.detail for check in report.checks)
+
+    def test_study_export_of_archetype_cohort_is_json(self):
+        from repro.io.study_io import study_result_to_dict
+
+        population = small(archetype="relaxed", seed=12)
+        study = run_study(population, seed=12)
+        json.dumps(study_result_to_dict(study))
+
+    def test_crawl_prefix_then_adaptive_phase(self):
+        """Crawl a prefix, learn on it, then mine weights from it."""
+        import random
+
+        from repro.graph.ego import EgoNetwork
+        from repro.learning.mining import mine_attribute_weights
+        from repro.synth.crawler import simulate_sight_crawl
+
+        population = small(seed=13)
+        owner = population.owners[0]
+        ego = EgoNetwork(population.graph, owner.user_id)
+        crawl = simulate_sight_crawl(ego, days=14, rng=random.Random(13))
+        known = crawl.discovered_by(14)
+        if len(known) < 10:
+            pytest.skip("crawl discovered too few strangers at this seed")
+        session = RiskLearningSession(
+            population.graph, owner.user_id, owner.as_oracle(), seed=13
+        )
+        result = session.run(strangers=known)
+        labels = {
+            stranger: label
+            for pool in result.pool_results
+            for stranger, label in pool.owner_labels.items()
+        }
+        weights = mine_attribute_weights(
+            session.ego.stranger_profiles(), labels
+        )
+        assert sum(weights.values()) == pytest.approx(1.0)

@@ -1,0 +1,53 @@
+"""Documentation truthfulness tests: the code in the docs must run.
+
+Docs that drift from the API are worse than no docs; these tests execute
+every python block in the tutorial and the README quickstart.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).parent.parent
+
+
+def python_blocks(path: Path) -> list[str]:
+    text = path.read_text(encoding="utf-8")
+    return re.findall(r"```python\n(.*?)```", text, re.S)
+
+
+class TestTutorial:
+    def test_tutorial_blocks_execute_in_order(self):
+        blocks = python_blocks(REPO_ROOT / "docs" / "tutorial.md")
+        assert len(blocks) >= 5
+        namespace: dict = {}
+        for index, block in enumerate(blocks):
+            try:
+                exec(block, namespace)  # noqa: S102 - executing our own docs
+            except Exception as error:  # pragma: no cover - failure detail
+                pytest.fail(f"tutorial block {index} failed: {error}")
+
+    def test_tutorial_produces_labels(self):
+        blocks = python_blocks(REPO_ROOT / "docs" / "tutorial.md")
+        namespace: dict = {}
+        for block in blocks:
+            exec(block, namespace)
+        result = namespace["result"]
+        assert set(result.final_labels()) == {10, 11}
+
+
+class TestReadme:
+    def test_readme_quickstart_executes(self):
+        blocks = python_blocks(REPO_ROOT / "README.md")
+        assert blocks, "README lost its quickstart"
+        namespace: dict = {}
+        exec(blocks[0], namespace)
+        result = namespace["result"]
+        assert result.final_labels()
+
+    def test_readme_validate_snippet_names_exist(self):
+        import repro.experiments as experiments
+
+        assert hasattr(experiments, "validate_reproduction")
+        assert hasattr(experiments, "run_study")

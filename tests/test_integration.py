@@ -1,0 +1,169 @@
+"""End-to-end integration tests, including adversarial oracles.
+
+These exercise the full pipeline — synthetic population, pool building,
+active learning, analysis — and check cross-module invariants plus
+behavior under hostile inputs (constant, random, inverted oracles).
+"""
+
+import random
+
+import pytest
+
+from repro import (
+    CallbackOracle,
+    RecordingOracle,
+    RiskLabel,
+    RiskLearningSession,
+    ScriptedOracle,
+    StopReason,
+)
+from repro.learning.oracle import LabelQuery
+from repro.synth import EgoNetConfig, generate_study_population
+
+from .conftest import make_ego_graph
+
+
+@pytest.fixture(scope="module")
+def mini_population():
+    return generate_study_population(
+        num_owners=2,
+        ego_config=EgoNetConfig(num_friends=25, num_strangers=120),
+        seed=77,
+    )
+
+
+class TestFullPipeline:
+    def test_simulated_owner_session_end_to_end(self, mini_population):
+        owner = mini_population.owners[0]
+        recorder = RecordingOracle(owner.as_oracle())
+        session = RiskLearningSession(
+            mini_population.graph, owner.user_id, recorder, seed=7
+        )
+        result = session.run()
+
+        strangers = set(mini_population.strangers_of(owner.user_id))
+        final = result.final_labels()
+        # every stranger labeled, nothing else
+        assert set(final) == strangers
+        # owner effort strictly below full labeling
+        assert recorder.stats.queries < len(strangers)
+        # owner-provided labels are reproduced verbatim in the output
+        for query, answer in recorder.history:
+            assert final[query.stranger] is answer
+
+    def test_accuracy_against_ground_truth(self, mini_population):
+        owner = mini_population.owners[1]
+        session = RiskLearningSession(
+            mini_population.graph, owner.user_id, owner.as_oracle(), seed=3
+        )
+        result = session.run()
+        final = result.final_labels()
+        correct = sum(
+            1
+            for stranger, label in final.items()
+            if label is owner.truth(stranger)
+        )
+        assert correct / len(final) > 0.6
+
+    def test_queries_carry_similarity_and_benefit(self, mini_population):
+        owner = mini_population.owners[0]
+        seen: list[LabelQuery] = []
+
+        def spying(query: LabelQuery) -> RiskLabel:
+            seen.append(query)
+            return owner.truth(query.stranger)
+
+        RiskLearningSession(
+            mini_population.graph, owner.user_id, CallbackOracle(spying), seed=1
+        ).run()
+        assert seen
+        assert any(query.similarity > 0 for query in seen)
+        assert any(query.benefit > 0 for query in seen)
+
+
+class TestAdversarialOracles:
+    def test_constant_oracle_converges_fast(self):
+        graph, owner = make_ego_graph(num_friends=8, num_strangers=50, seed=11)
+        oracle = ScriptedOracle({}, default=RiskLabel.RISKY)
+        result = RiskLearningSession(graph, owner, oracle, seed=11).run()
+        final = result.final_labels()
+        assert all(label is RiskLabel.RISKY for label in final.values())
+        # a constant owner should not need many labels
+        assert result.labels_requested < result.num_strangers
+
+    def test_random_oracle_terminates(self):
+        graph, owner = make_ego_graph(num_friends=8, num_strangers=40, seed=12)
+        rng = random.Random(0)
+        answers: dict[int, RiskLabel] = {}
+
+        def chaotic(query: LabelQuery) -> RiskLabel:
+            # consistent per stranger, but structureless across strangers
+            if query.stranger not in answers:
+                answers[query.stranger] = RiskLabel(rng.randint(1, 3))
+            return answers[query.stranger]
+
+        result = RiskLearningSession(
+            graph, owner, CallbackOracle(chaotic), seed=12
+        ).run()
+        assert set(result.final_labels())  # terminated with full coverage
+        for pool in result.pool_results:
+            assert pool.stop_reason in StopReason
+
+    def test_inverted_oracle_still_covers_everyone(self, mini_population):
+        """An owner answering the *opposite* of their ground truth."""
+        owner = mini_population.owners[0]
+
+        def inverted(query: LabelQuery) -> RiskLabel:
+            truth = owner.truth(query.stranger)
+            return RiskLabel(4 - int(truth))
+
+        result = RiskLearningSession(
+            mini_population.graph,
+            owner.user_id,
+            CallbackOracle(inverted),
+            seed=2,
+        ).run()
+        assert set(result.final_labels()) == set(
+            mini_population.strangers_of(owner.user_id)
+        )
+
+    def test_failing_oracle_propagates(self):
+        graph, owner = make_ego_graph(seed=13)
+
+        def broken(query: LabelQuery) -> RiskLabel:
+            raise RuntimeError("owner walked away")
+
+        session = RiskLearningSession(graph, owner, CallbackOracle(broken))
+        with pytest.raises(RuntimeError):
+            session.run()
+
+
+class TestCrossModuleInvariants:
+    def test_validation_pairs_only_for_predicted_strangers(self, mini_population):
+        owner = mini_population.owners[0]
+        result = RiskLearningSession(
+            mini_population.graph, owner.user_id, owner.as_oracle(), seed=4
+        ).run()
+        for pool in result.pool_results:
+            for index, record in enumerate(pool.rounds):
+                if index == 0:
+                    assert record.validation_pairs == ()
+                assert len(record.validation_pairs) <= len(record.queried)
+
+    def test_pool_ids_unique_per_session(self, mini_population):
+        owner = mini_population.owners[0]
+        result = RiskLearningSession(
+            mini_population.graph, owner.user_id, owner.as_oracle(), seed=4
+        ).run()
+        ids = [pool.pool_id for pool in result.pool_results]
+        assert len(set(ids)) == len(ids)
+
+    def test_unstabilized_sets_are_pool_members(self, mini_population):
+        owner = mini_population.owners[0]
+        result = RiskLearningSession(
+            mini_population.graph, owner.user_id, owner.as_oracle(), seed=4
+        ).run()
+        for pool in result.pool_results:
+            members = set(pool.final_labels)
+            for record in pool.rounds:
+                assert record.unstabilized <= members

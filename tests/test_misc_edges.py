@@ -1,0 +1,133 @@
+"""Miscellaneous edge cases across modules, consolidated."""
+
+import pytest
+
+from repro.experiments.headline import HeadlineMetrics
+from repro.experiments.report import render_importance_table
+from repro.experiments.tables import ImportanceTable
+from repro.learning.oracle import LabelQuery
+from repro.learning.question import render_question
+
+
+class TestHeadlineEdges:
+    def metrics(self, **overrides):
+        defaults = dict(
+            num_owners=1,
+            total_strangers=0,
+            total_labels=0,
+            mean_strangers_per_owner=0.0,
+            mean_labels_per_owner=0.0,
+            exact_match_accuracy=None,
+            validation_rmse=None,
+            holdout_accuracy=None,
+            mean_rounds_to_stop=0.0,
+            mean_confidence=80.0,
+        )
+        defaults.update(overrides)
+        return HeadlineMetrics(**defaults)
+
+    def test_label_efficiency_zero_strangers(self):
+        assert self.metrics().label_efficiency() == 0.0
+
+    def test_label_efficiency_ratio(self):
+        metrics = self.metrics(total_strangers=100, total_labels=25)
+        assert metrics.label_efficiency() == pytest.approx(0.25)
+
+    def test_render_headline_handles_missing_metrics(self):
+        from repro.experiments.report import render_headline
+
+        text = render_headline(self.metrics())
+        assert "n/a" in text
+
+
+class TestImportanceTableEdges:
+    def table(self):
+        return ImportanceTable(
+            rank_counts={"gender": {1: 3}, "locale": {2: 3}},
+            average={"gender": 0.7, "locale": 0.3},
+        )
+
+    def test_ordered_keys(self):
+        assert self.table().ordered_keys() == ["gender", "locale"]
+
+    def test_owners_with_rank_missing_is_zero(self):
+        assert self.table().owners_with_rank("gender", 3) == 0
+        assert self.table().owners_with_rank("unknown", 1) == 0
+
+    def test_render_trims_rank_columns(self):
+        text = render_importance_table("T", self.table(), num_ranks=1)
+        assert "I1" in text
+        assert "I2" not in text
+
+
+class TestQuestionRounding:
+    @pytest.mark.parametrize(
+        "similarity,expected", [(0.004, "0/100"), (0.995, "100/100"), (0.42, "42/100")]
+    )
+    def test_percent_rounding(self, similarity, expected):
+        query = LabelQuery(stranger=1, similarity=similarity, benefit=0.0)
+        assert expected in render_question(query)
+
+
+class TestPoolLearnerSingleMember:
+    def test_single_member_pool(self):
+        import numpy as np
+
+        from repro.classifier.graphs import SimilarityGraph
+        from repro.classifier.harmonic import HarmonicClassifier
+        from repro.learning.oracle import ScriptedOracle
+        from repro.learning.pool_learner import PoolLearner
+        from repro.learning.stopping import StopReason
+        from repro.types import RiskLabel
+
+        graph = SimilarityGraph([7], np.zeros((1, 1)))
+        learner = PoolLearner(
+            pool_id="solo",
+            nsg_index=1,
+            members=(7,),
+            classifier=HarmonicClassifier(graph),
+            oracle=ScriptedOracle({7: RiskLabel.VERY_RISKY}),
+        )
+        result = learner.run()
+        assert result.stop_reason is StopReason.EXHAUSTED
+        assert result.final_labels == {7: RiskLabel.VERY_RISKY}
+
+    def test_warm_start_covering_whole_pool(self):
+        import numpy as np
+
+        from repro.classifier.graphs import SimilarityGraph
+        from repro.classifier.harmonic import HarmonicClassifier
+        from repro.learning.oracle import ScriptedOracle
+        from repro.learning.pool_learner import PoolLearner
+        from repro.learning.stopping import StopReason
+        from repro.types import RiskLabel
+
+        graph = SimilarityGraph([1, 2], np.ones((2, 2)) - np.eye(2))
+        learner = PoolLearner(
+            pool_id="warm",
+            nsg_index=1,
+            members=(1, 2),
+            classifier=HarmonicClassifier(graph),
+            oracle=ScriptedOracle({}),  # would raise if queried
+            initial_labels={1: RiskLabel.RISKY, 2: RiskLabel.NOT_RISKY},
+        )
+        result = learner.run()
+        assert result.stop_reason is StopReason.EXHAUSTED
+        assert result.num_rounds == 0
+        assert result.labels_requested == 2
+
+
+class TestDemographicsScaling:
+    def test_large_cohorts_supported(self):
+        from repro.synth.population import owner_demographics
+
+        assignments = owner_demographics(100)
+        assert len(assignments) == 100
+
+    def test_single_owner_cohort(self):
+        from repro.synth.population import owner_demographics
+        from repro.types import Gender
+
+        assignments = owner_demographics(1)
+        assert len(assignments) == 1
+        assert assignments[0][0] is Gender.MALE  # 32/47 rounds to 1

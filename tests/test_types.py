@@ -1,0 +1,120 @@
+"""Tests for the core value types."""
+
+import pytest
+
+from repro.types import (
+    BenefitItem,
+    Gender,
+    Locale,
+    ProfileAttribute,
+    RiskLabel,
+    VisibilityLevel,
+    mean,
+)
+
+
+class TestRiskLabel:
+    def test_values_are_the_papers_scale(self):
+        assert int(RiskLabel.NOT_RISKY) == 1
+        assert int(RiskLabel.RISKY) == 2
+        assert int(RiskLabel.VERY_RISKY) == 3
+
+    def test_minimum_and_maximum(self):
+        assert RiskLabel.minimum() is RiskLabel.NOT_RISKY
+        assert RiskLabel.maximum() is RiskLabel.VERY_RISKY
+
+    def test_span_is_two(self):
+        assert RiskLabel.span() == 2
+
+    def test_values_tuple_ascending(self):
+        assert RiskLabel.values() == (1, 2, 3)
+
+    @pytest.mark.parametrize(
+        "score,expected",
+        [
+            (1.0, RiskLabel.NOT_RISKY),
+            (1.4, RiskLabel.NOT_RISKY),
+            (1.6, RiskLabel.RISKY),
+            (2.0, RiskLabel.RISKY),
+            (2.7, RiskLabel.VERY_RISKY),
+            (3.0, RiskLabel.VERY_RISKY),
+        ],
+    )
+    def test_from_score_rounds(self, score, expected):
+        assert RiskLabel.from_score(score) is expected
+
+    def test_from_score_clamps_below(self):
+        assert RiskLabel.from_score(-5.0) is RiskLabel.NOT_RISKY
+
+    def test_from_score_clamps_above(self):
+        assert RiskLabel.from_score(17.0) is RiskLabel.VERY_RISKY
+
+
+class TestVisibilityLevel:
+    def test_holder_always_sees_own_items(self):
+        for level in VisibilityLevel:
+            assert level.visible_at_distance(0)
+
+    def test_public_visible_at_any_distance(self):
+        assert VisibilityLevel.PUBLIC.visible_at_distance(10)
+
+    def test_friends_of_friends_boundary(self):
+        level = VisibilityLevel.FRIENDS_OF_FRIENDS
+        assert level.visible_at_distance(2)
+        assert not level.visible_at_distance(3)
+
+    def test_friends_boundary(self):
+        level = VisibilityLevel.FRIENDS
+        assert level.visible_at_distance(1)
+        assert not level.visible_at_distance(2)
+
+    def test_private_hidden_from_everyone_else(self):
+        assert not VisibilityLevel.PRIVATE.visible_at_distance(1)
+        assert not VisibilityLevel.PRIVATE.visible_at_distance(2)
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ValueError):
+            VisibilityLevel.PUBLIC.visible_at_distance(-1)
+
+    def test_levels_ordered_open_to_closed(self):
+        assert (
+            VisibilityLevel.PUBLIC
+            < VisibilityLevel.FRIENDS_OF_FRIENDS
+            < VisibilityLevel.FRIENDS
+            < VisibilityLevel.PRIVATE
+        )
+
+
+class TestEnums:
+    def test_clustering_attributes_match_paper(self):
+        assert ProfileAttribute.clustering_attributes() == (
+            ProfileAttribute.GENDER,
+            ProfileAttribute.LOCALE,
+            ProfileAttribute.LAST_NAME,
+        )
+
+    def test_seven_benefit_items(self):
+        assert len(BenefitItem.all_items()) == 7
+
+    def test_table5_locales_order(self):
+        assert [locale.value for locale in Locale.table5_locales()] == [
+            "TR", "DE", "US", "IT", "GB", "ES", "PL",
+        ]
+
+    def test_india_is_a_locale_but_not_in_table5(self):
+        assert Locale.IN not in Locale.table5_locales()
+
+    def test_gender_values(self):
+        assert {gender.value for gender in Gender} == {"male", "female"}
+
+
+class TestMean:
+    def test_mean_of_values(self):
+        assert mean([1.0, 2.0, 3.0]) == pytest.approx(2.0)
+
+    def test_mean_of_empty_raises(self):
+        with pytest.raises(ValueError):
+            mean([])
+
+    def test_mean_accepts_generators(self):
+        assert mean(x / 2 for x in (1, 2, 3)) == pytest.approx(1.0)
