@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-paper-scale study examples clean
+.PHONY: install test bench bench-paper-scale robustness study examples clean
 
 install:
 	$(PYTHON) -m pip install -e ".[test]"
@@ -17,6 +17,14 @@ bench:
 bench-paper-scale:
 	REPRO_BENCH_OWNERS=47 REPRO_BENCH_STRANGERS=3661 \
 		$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# the resilience layer: retry/faults/checkpoint tests, then the faulted
+# archetype benchmarks
+robustness:
+	$(PYTHON) -m pytest tests/resilience tests/faults \
+		tests/io_/test_checkpoint.py tests/learning/test_degradation.py \
+		tests/experiments/test_study_resilience.py
+	$(PYTHON) -m pytest benchmarks/bench_robustness_archetypes.py --benchmark-only
 
 study:
 	$(PYTHON) -m repro --owners 8 --strangers 300

@@ -110,7 +110,85 @@ def build_parser() -> argparse.ArgumentParser:
             "if any fails (forces both NPP and NSP studies)"
         ),
     )
+    resilience = parser.add_argument_group(
+        "resilience",
+        "checkpoint/resume and deterministic fault injection",
+    )
+    resilience.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        default=None,
+        help=(
+            "checkpoint per-owner learning state here after every "
+            "completed pool"
+        ),
+    )
+    resilience.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "resume from checkpoints in --checkpoint-dir instead of "
+            "starting fresh"
+        ),
+    )
+    resilience.add_argument(
+        "--fault-abstain",
+        type=float,
+        default=0.0,
+        metavar="RATE",
+        help="probability an oracle query is answered with an abstention",
+    )
+    resilience.add_argument(
+        "--fault-timeout",
+        type=float,
+        default=0.0,
+        metavar="RATE",
+        help="probability an oracle query times out (retried)",
+    )
+    resilience.add_argument(
+        "--fault-fetch-fail",
+        type=float,
+        default=0.0,
+        metavar="RATE",
+        help="probability a profile fetch fails transiently (retried)",
+    )
+    resilience.add_argument(
+        "--fault-unreachable",
+        type=float,
+        default=0.0,
+        metavar="RATE",
+        help="probability a stranger's profile is permanently unreachable",
+    )
+    resilience.add_argument(
+        "--fault-drop-attrs",
+        type=float,
+        default=0.0,
+        metavar="RATE",
+        help="probability each profile attribute is missing when fetched",
+    )
     return parser
+
+
+def _fault_plan_from_args(args: argparse.Namespace):
+    """A :class:`~repro.faults.FaultPlan` from CLI flags, or ``None``."""
+    rates = (
+        args.fault_timeout,
+        args.fault_abstain,
+        args.fault_fetch_fail,
+        args.fault_unreachable,
+        args.fault_drop_attrs,
+    )
+    if not any(rate > 0 for rate in rates):
+        return None
+    from .faults import FaultPlan
+
+    return FaultPlan(
+        oracle_timeout_rate=args.fault_timeout,
+        oracle_abstain_rate=args.fault_abstain,
+        fetch_failure_rate=args.fault_fetch_fail,
+        unreachable_rate=args.fault_unreachable,
+        attribute_drop_rate=args.fault_drop_attrs,
+    )
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -153,20 +231,32 @@ def main(argv: Sequence[str] | None = None) -> int:
         }
     )
     needs_nsp = args.validate or bool(set(chosen) & {"fig5", "fig6"})
+    fault_plan = _fault_plan_from_args(args)
+    study_options = dict(
+        classifier=args.classifier,
+        seed=args.seed,
+        fault_plan=fault_plan,
+        checkpoint_dir=args.checkpoint_dir,
+        resume=args.resume,
+    )
     npp = (
-        run_study(
-            population, pooling="npp", classifier=args.classifier, seed=args.seed
-        )
+        run_study(population, pooling="npp", **study_options)
         if needs_npp
         else None
     )
     nsp = (
-        run_study(
-            population, pooling="nsp", classifier=args.classifier, seed=args.seed
-        )
+        run_study(population, pooling="nsp", **study_options)
         if needs_nsp
         else None
     )
+    for name, study in (("NPP", npp), ("NSP", nsp)):
+        if study is not None and study.degraded:
+            print(
+                f"{name} study degraded by faults: "
+                f"{study.total_abstentions} abstentions, "
+                f"{study.total_unreachable} unreachable strangers",
+                file=sys.stderr,
+            )
 
     sections: list[str] = []
     if "dataset" in chosen:

@@ -53,8 +53,98 @@ class LearningError(ReproError):
 
 
 class OracleError(LearningError):
-    """The label oracle failed to answer or answered out of range."""
+    """The label oracle failed to answer or answered out of range.
+
+    Carries structured fields so retry wrappers and failure reports can
+    introspect what went wrong without parsing the message:
+
+    * ``stranger`` — the stranger the query was about, when known;
+    * ``attempts`` — how many times the call had been tried, when the
+      raiser tracked that.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        stranger: int | None = None,
+        attempts: int | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.stranger = stranger
+        self.attempts = attempts
+
+
+class OracleTimeoutError(OracleError):
+    """The oracle did not answer in time (transient; safe to retry)."""
+
+
+class OracleAbstainError(OracleError):
+    """The oracle explicitly declined to judge this stranger.
+
+    Not an infrastructure failure: the paper's human owners sometimes
+    cannot or will not rate a stranger.  The learner treats abstention as
+    skip-and-resample rather than an error.
+    """
+
+
+class DataSourceError(ReproError):
+    """A crawl or profile fetch against the (simulated) OSN failed."""
+
+    def __init__(self, message: str, *, user_id: int | None = None) -> None:
+        super().__init__(message)
+        self.user_id = user_id
+
+
+class TransientFetchError(DataSourceError):
+    """A fetch failed transiently (rate limit, timeout); safe to retry."""
+
+
+class UnreachableUserError(DataSourceError):
+    """The user's data is gone for good (deleted, blocked, private)."""
+
+
+class ResilienceError(ReproError):
+    """Base class of failures raised by the resilience layer itself."""
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        stranger: int | None = None,
+        attempts: int | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.stranger = stranger
+        self.attempts = attempts
+
+
+class RetryExhaustedError(ResilienceError):
+    """Every allowed attempt failed; ``last_error`` is the final cause."""
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        stranger: int | None = None,
+        attempts: int | None = None,
+        last_error: Exception | None = None,
+    ) -> None:
+        super().__init__(message, stranger=stranger, attempts=attempts)
+        self.last_error = last_error
+
+
+class CircuitOpenError(ResilienceError):
+    """The circuit breaker is open; the call was not attempted."""
+
+
+class DeadlineExceededError(ResilienceError):
+    """The operation's time budget ran out before it could complete."""
 
 
 class SerializationError(ReproError):
     """An object could not be serialized or deserialized."""
+
+
+class CheckpointError(SerializationError):
+    """A checkpoint file is missing required state or is malformed."""

@@ -11,15 +11,23 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Literal
 
 from ..benefits.model import BenefitModel
 from ..config import PipelineConfig
+from ..faults import FaultInjector, FaultPlan
 from ..graph.profile import Profile
 from ..graph.visibility import stranger_visibility_vector
 from ..learning.accuracy import exact_match_fraction
 from ..learning.results import SessionResult
 from ..learning.session import RiskLearningSession
+from ..resilience import (
+    ResilientFetcher,
+    ResilientOracle,
+    RetryPolicy,
+    no_sleep,
+)
 from ..synth.owners import SimulatedOwner
 from ..synth.population import StudyPopulation
 from ..types import BenefitItem, RiskLabel, UserId
@@ -66,6 +74,21 @@ class StudyResult:
     runs: tuple[OwnerRun, ...]
     pooling: str
     classifier: str
+
+    @property
+    def degraded(self) -> bool:
+        """Whether any owner's result is partial due to faults."""
+        return any(run.result.degraded for run in self.runs)
+
+    @property
+    def total_unreachable(self) -> int:
+        """Strangers lost to fetch/oracle outages across the cohort."""
+        return sum(len(run.result.unreachable_strangers) for run in self.runs)
+
+    @property
+    def total_abstentions(self) -> int:
+        """Owner abstentions across the cohort."""
+        return sum(run.result.abstentions for run in self.runs)
 
     @property
     def num_owners(self) -> int:
@@ -140,6 +163,10 @@ def run_study(
     use_owner_confidence: bool = True,
     edge_similarity_wrapper=None,
     network_similarity=None,
+    fault_plan: FaultPlan | None = None,
+    retry_policy: RetryPolicy | None = None,
+    checkpoint_dir: str | Path | None = None,
+    resume: bool = False,
 ) -> StudyResult:
     """Run the active-learning study for every owner in the population.
 
@@ -156,8 +183,33 @@ def run_study(
         learning config when ``use_owner_confidence`` is set.
     seed:
         Per-owner session seeds derive from this.
+    fault_plan:
+        Optional :class:`~repro.faults.FaultPlan`: each owner's oracle and
+        profile source are wrapped by a deterministic per-owner
+        :class:`~repro.faults.FaultInjector` and the resilience layer
+        (retry + graceful degradation), simulating the flaky conditions of
+        the real deployment.
+    retry_policy:
+        Backoff policy used when faults are enabled (a fast-retry default
+        otherwise).  Sleeps are suppressed — simulated faults need no
+        wall-clock waits.
+    checkpoint_dir:
+        When set, per-owner learning state is checkpointed here after
+        every completed pool (atomic JSON documents, keyed
+        ``owner-<id>-<pooling>``).
+    resume:
+        Resume from existing checkpoints in ``checkpoint_dir`` instead of
+        discarding them.  A killed study rerun with identical arguments
+        reproduces the uninterrupted run's labels exactly.
     """
     base = config or PipelineConfig()
+    store = None
+    if checkpoint_dir is not None:
+        # Imported lazily: repro.io's study exporter reads experiment
+        # metrics, so a module-level import would be circular.
+        from ..io.checkpoint import CheckpointStore, SessionCheckpointer
+
+        store = CheckpointStore(checkpoint_dir)
     runs: list[OwnerRun] = []
     for index, owner in enumerate(population.owners):
         owner_config = base
@@ -169,10 +221,24 @@ def run_study(
                 ),
             )
         benefit_model = BenefitModel(thetas=owner.thetas)
+        oracle = owner.as_oracle()
+        fetcher = None
+        injector = None
+        if fault_plan is not None and fault_plan.injects_anything:
+            injector = FaultInjector(
+                fault_plan, seed=f"{seed}:{owner.user_id}"
+            )
+            policy = retry_policy or RetryPolicy(base_delay=0.0, jitter=0.0)
+            oracle = ResilientOracle(
+                injector.wrap_oracle(oracle), policy=policy, sleeper=no_sleep
+            )
+            fetcher = ResilientFetcher(
+                injector.wrap_source(), policy=policy, sleeper=no_sleep
+            )
         session = RiskLearningSession(
             population.graph,
             owner.user_id,
-            owner.as_oracle(),
+            oracle,
             config=owner_config,
             classifier=classifier,
             pooling=pooling,
@@ -180,7 +246,15 @@ def run_study(
             seed=seed + index,
             edge_similarity_wrapper=edge_similarity_wrapper,
             network_similarity=network_similarity,
+            fetcher=fetcher,
         )
+        checkpointer = None
+        if store is not None:
+            checkpointer = SessionCheckpointer(
+                store, f"owner-{owner.user_id}-{pooling}", extra_state=injector
+            )
+            if not resume:
+                checkpointer.reset()
         similarities = session.compute_similarities()
         benefits = session.compute_benefits()
         visibility = {
@@ -189,7 +263,7 @@ def run_study(
             )
             for stranger in session.ego.strangers
         }
-        result = session.run()
+        result = session.run(checkpointer=checkpointer)
         runs.append(
             OwnerRun(
                 owner=owner,

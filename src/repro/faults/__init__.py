@@ -1,0 +1,23 @@
+"""Deterministic fault injection for robustness studies.
+
+One shared vocabulary of fault archetypes — oracle timeout, oracle
+abstention, transient fetch failure, dropped profile attributes, crawl
+outage windows — produced by a seedable :class:`FaultInjector` and
+absorbed by the :mod:`repro.resilience` layer.
+"""
+
+from .injector import (
+    FaultInjector,
+    FaultPlan,
+    FlakyOracle,
+    FlakyProfileSource,
+    OutageWindow,
+)
+
+__all__ = [
+    "FaultInjector",
+    "FaultPlan",
+    "FlakyOracle",
+    "FlakyProfileSource",
+    "OutageWindow",
+]

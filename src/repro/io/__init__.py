@@ -1,6 +1,12 @@
 """Serialization of graphs, profiles, datasets, and results to JSON."""
 
 from .anonymize import anonymize_graph, pseudonym
+from .checkpoint import (
+    CheckpointStore,
+    SessionCheckpointer,
+    pool_result_from_dict,
+    pool_result_to_dict,
+)
 from .study_io import save_study, study_result_to_dict
 from .dataset import (
     load_population,
@@ -19,8 +25,12 @@ from .serialization import (
 )
 
 __all__ = [
+    "CheckpointStore",
+    "SessionCheckpointer",
     "anonymize_graph",
     "graph_from_json",
+    "pool_result_from_dict",
+    "pool_result_to_dict",
     "graph_to_json",
     "load_graph",
     "load_population",

@@ -32,6 +32,7 @@ from .oracle import (
     OracleStats,
     RecordingOracle,
     ScriptedOracle,
+    label_or_abstain,
 )
 from .pool_learner import PoolLearner
 from .question import render_question
@@ -69,6 +70,7 @@ __all__ = [
     "UncertaintySampler",
     "change_threshold",
     "is_stabilized",
+    "label_or_abstain",
     "render_question",
     "root_mean_square_error",
     "unstabilized_strangers",

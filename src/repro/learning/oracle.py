@@ -16,7 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Mapping, Protocol
 
-from ..errors import OracleError
+from ..errors import OracleAbstainError, OracleError
 from ..types import RiskLabel, UserId
 
 
@@ -49,6 +49,27 @@ class LabelOracle(Protocol):
     def label(self, query: LabelQuery) -> RiskLabel:  # pragma: no cover
         """Answer one risk-label query."""
         ...
+
+
+def label_or_abstain(oracle: LabelOracle, query: LabelQuery) -> RiskLabel | None:
+    """Ask ``oracle``, mapping abstention to ``None``.
+
+    Oracles exposing their own ``label_or_abstain`` (the resilient and
+    fault-injecting wrappers) are used directly; plain oracles are asked
+    via :meth:`~LabelOracle.label` with
+    :class:`~repro.errors.OracleAbstainError` translated to ``None``.
+    Transient failures and validation errors propagate either way.
+    """
+    method = getattr(oracle, "label_or_abstain", None)
+    if method is not None:
+        raw = method(query)
+        if raw is None:
+            return None
+        return _validate_label(raw, query.stranger)
+    try:
+        return _validate_label(oracle.label(query), query.stranger)
+    except OracleAbstainError:
+        return None
 
 
 def _validate_label(raw: object, stranger: UserId) -> RiskLabel:
@@ -107,9 +128,17 @@ class ScriptedOracle:
 
 @dataclass
 class OracleStats:
-    """Aggregate owner-effort numbers for one oracle."""
+    """Aggregate owner-effort numbers for one oracle.
+
+    ``queries`` counts answered queries only; abstentions and failures
+    are tallied separately so effort accounting stays honest under
+    faults — the owner was still interrupted even when no label came
+    back.
+    """
 
     queries: int = 0
+    abstentions: int = 0
+    failures: int = 0
     label_counts: dict[int, int] = field(
         default_factory=lambda: {value: 0 for value in RiskLabel.values()}
     )
@@ -119,13 +148,33 @@ class OracleStats:
         self.queries += 1
         self.label_counts[int(label)] += 1
 
+    def record_abstention(self) -> None:
+        """Count one query the owner declined to answer."""
+        self.abstentions += 1
+
+    def record_failure(self) -> None:
+        """Count one query that errored (timeout, invalid answer, ...)."""
+        self.failures += 1
+
+    @property
+    def interruptions(self) -> int:
+        """Every time the owner was asked, answered or not."""
+        return self.queries + self.abstentions + self.failures
+
 
 class RecordingOracle:
-    """Wraps another oracle and records every query/answer pair."""
+    """Wraps another oracle and records every query/answer pair.
+
+    Failed and abstained queries are recorded too (in ``abstained`` /
+    ``failed`` and the stats), then re-raised, so wrapping a flaky oracle
+    still counts the owner's full interruption load.
+    """
 
     def __init__(self, inner: LabelOracle) -> None:
         self._inner = inner
         self._history: list[tuple[LabelQuery, RiskLabel]] = []
+        self._abstained: list[LabelQuery] = []
+        self._failed: list[tuple[LabelQuery, OracleError]] = []
         self._stats = OracleStats()
 
     @property
@@ -134,14 +183,40 @@ class RecordingOracle:
         return tuple(self._history)
 
     @property
+    def abstained(self) -> tuple[LabelQuery, ...]:
+        """Queries the owner declined, in order."""
+        return tuple(self._abstained)
+
+    @property
+    def failed(self) -> tuple[tuple[LabelQuery, OracleError], ...]:
+        """Queries that errored, with the error raised."""
+        return tuple(self._failed)
+
+    @property
     def stats(self) -> OracleStats:
         """Aggregate effort statistics."""
         return self._stats
 
     def label(self, query: LabelQuery) -> RiskLabel:
         """Answer via the wrapped oracle, recording the exchange."""
-        answer = self._inner.label(query)
+        try:
+            answer = self._inner.label(query)
+        except OracleAbstainError:
+            self._abstained.append(query)
+            self._stats.record_abstention()
+            raise
+        except OracleError as error:
+            self._failed.append((query, error))
+            self._stats.record_failure()
+            raise
         answer = _validate_label(answer, query.stranger)
         self._history.append((query, answer))
         self._stats.record(answer)
         return answer
+
+    def label_or_abstain(self, query: LabelQuery) -> RiskLabel | None:
+        """Recorded variant of :func:`label_or_abstain`."""
+        try:
+            return self.label(query)
+        except OracleAbstainError:
+            return None

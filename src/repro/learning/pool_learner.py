@@ -20,10 +20,16 @@ from typing import Mapping
 
 from ..classifier.base import PoolClassifier, Prediction
 from ..config import LearningConfig
-from ..errors import LearningError
+from ..errors import (
+    CircuitOpenError,
+    DeadlineExceededError,
+    LearningError,
+    OracleTimeoutError,
+    RetryExhaustedError,
+)
 from ..types import RiskLabel, UserId
 from .accuracy import root_mean_square_error
-from .oracle import LabelOracle, LabelQuery
+from .oracle import LabelOracle, LabelQuery, label_or_abstain
 from .results import PoolResult, RoundRecord
 from .sampling import RandomSampler, Sampler
 from .stabilization import unstabilized_strangers
@@ -101,6 +107,7 @@ class PoolLearner:
         """Execute the loop until a stopping condition fires."""
         unlabeled: set[UserId] = set(self._members) - set(self._initial_labels)
         labeled: dict[UserId, RiskLabel] = dict(self._initial_labels)
+        unreachable: set[UserId] = set()
         previous: dict[UserId, Prediction] = {}
         if labeled and not unlabeled:
             # everything already known: nothing to learn
@@ -117,13 +124,10 @@ class PoolLearner:
         stop_reason = StopReason.MAX_ROUNDS
 
         for round_index in range(1, self._config.max_rounds + 1):
-            queried = self._sampler.select(
-                sorted(unlabeled),
-                self._config.labels_per_round,
-                self._rng,
-                previous,
+            queried, answers, abstained, newly_unreachable = self._query_round(
+                unlabeled, previous
             )
-            answers = {stranger: self._ask(stranger) for stranger in queried}
+            unreachable.update(newly_unreachable)
             validation_pairs = tuple(
                 (int(previous[stranger].label), int(answers[stranger]))
                 for stranger in queried
@@ -136,6 +140,7 @@ class PoolLearner:
             )
             labeled.update(answers)
             unlabeled.difference_update(queried)
+            unlabeled.difference_update(newly_unreachable)
 
             if not unlabeled:
                 rounds.append(
@@ -149,11 +154,37 @@ class PoolLearner:
                         predicted_labels={},
                         unstabilized=frozenset(),
                         stabilized=True,
+                        abstained=abstained,
                     )
                 )
                 stop_reason = StopReason.EXHAUSTED
-                previous = {}
+                # Owner-labeled strangers need no prediction; unreachable
+                # ones keep their last prediction (degraded, not absent).
+                previous = {
+                    stranger: prediction
+                    for stranger, prediction in previous.items()
+                    if stranger in unreachable
+                }
                 break
+
+            if not labeled:
+                # Every query so far abstained or failed: there is nothing
+                # to fit yet.  Record the barren round and sample again.
+                rounds.append(
+                    RoundRecord(
+                        round_index=round_index,
+                        queried=tuple(queried),
+                        answers=answers,
+                        validation_pairs=validation_pairs,
+                        rmse=rmse,
+                        predicted_scores={},
+                        predicted_labels={},
+                        unstabilized=frozenset(),
+                        stabilized=False,
+                        abstained=abstained,
+                    )
+                )
+                continue
 
             predictions = self._classifier.predict(labeled)
             current_scores = {
@@ -190,6 +221,7 @@ class PoolLearner:
                     },
                     unstabilized=unstable,
                     stabilized=stabilized,
+                    abstained=abstained,
                 )
             )
             previous = predictions
@@ -208,16 +240,78 @@ class PoolLearner:
             owner_labels=labeled,
             predicted_labels=predicted_labels,
             stop_reason=stop_reason,
+            unreachable=frozenset(unreachable),
         )
 
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
-    def _ask(self, stranger: UserId) -> RiskLabel:
+    def _query_round(
+        self,
+        unlabeled: set[UserId],
+        previous: Mapping[UserId, Prediction],
+    ) -> tuple[tuple[UserId, ...], dict[UserId, RiskLabel], tuple[UserId, ...], set[UserId]]:
+        """Gather one round's answers, resampling around faults.
+
+        Abstentions and dead strangers do not consume the round's label
+        quota: replacements are drawn until the quota is met or the pool
+        runs out of candidates.  Abstainers stay unlabeled (the owner may
+        answer in a later round); strangers whose oracle path failed for
+        good are dropped from the loop and reported as unreachable.
+        With a fault-free oracle this reduces to the paper's single
+        random draw per round.
+        """
+        answered: list[UserId] = []
+        answers: dict[UserId, RiskLabel] = {}
+        abstained: list[UserId] = []
+        unreachable: set[UserId] = set()
+        candidates = set(unlabeled)
+        quota = self._config.labels_per_round
+        while candidates and len(answered) < quota:
+            batch = self._sampler.select(
+                sorted(candidates),
+                quota - len(answered),
+                self._rng,
+                previous,
+            )
+            if not batch:
+                break
+            for stranger in batch:
+                candidates.discard(stranger)
+                outcome, label = self._ask(stranger)
+                if outcome == "ok":
+                    answered.append(stranger)
+                    answers[stranger] = label
+                elif outcome == "abstain":
+                    abstained.append(stranger)
+                else:
+                    unreachable.add(stranger)
+        return tuple(answered), answers, tuple(abstained), unreachable
+
+    def _ask(self, stranger: UserId) -> tuple[str, RiskLabel | None]:
+        """One oracle exchange: ``("ok" | "abstain" | "unreachable", label)``.
+
+        Permanent failures of the resilience layer (retries exhausted,
+        circuit open, deadline blown) and unretried timeouts mark the
+        stranger unreachable; wrap the oracle in
+        :class:`~repro.resilience.ResilientOracle` to absorb transient
+        timeouts before they land here.
+        """
         query = LabelQuery(
             stranger=stranger,
             similarity=self._similarities.get(stranger, 0.0),
             benefit=self._benefits.get(stranger, 0.0),
             stranger_name=self._names.get(stranger),
         )
-        return self._oracle.label(query)
+        try:
+            label = label_or_abstain(self._oracle, query)
+        except (
+            RetryExhaustedError,
+            CircuitOpenError,
+            DeadlineExceededError,
+            OracleTimeoutError,
+        ):
+            return "unreachable", None
+        if label is None:
+            return "abstain", None
+        return "ok", label

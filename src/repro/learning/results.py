@@ -49,6 +49,9 @@ class RoundRecord:
         tolerance since the previous round.
     stabilized:
         Whether this round showed no classification change.
+    abstained:
+        Strangers the owner was asked about but declined to label this
+        round (they stay unlabeled and may be re-sampled later).
     """
 
     round_index: int
@@ -60,11 +63,21 @@ class RoundRecord:
     predicted_labels: Mapping[UserId, RiskLabel]
     unstabilized: frozenset[UserId]
     stabilized: bool
+    abstained: tuple[UserId, ...] = ()
 
 
 @dataclass(frozen=True)
 class PoolResult:
-    """Outcome of one pool's active-learning loop."""
+    """Outcome of one pool's active-learning loop.
+
+    ``unreachable`` flags members the pipeline could not serve — their
+    profile never arrived, or every oracle attempt for them failed for
+    good.  They may still carry a predicted label (graceful degradation)
+    but are reported so downstream consumers know the result is partial.
+    ``profile_coverage`` is the fraction of (member, attribute) cells that
+    were present when the pool's similarity graph was built (``None``
+    when nobody tracked it).
+    """
 
     pool_id: str
     nsg_index: int
@@ -72,11 +85,23 @@ class PoolResult:
     owner_labels: Mapping[UserId, RiskLabel]
     predicted_labels: Mapping[UserId, RiskLabel]
     stop_reason: StopReason
+    unreachable: frozenset[UserId] = frozenset()
+    profile_coverage: float | None = None
 
     @property
     def num_rounds(self) -> int:
         """Rounds executed."""
         return len(self.rounds)
+
+    @property
+    def abstention_count(self) -> int:
+        """Owner abstentions across all rounds."""
+        return sum(len(record.abstained) for record in self.rounds)
+
+    @property
+    def degraded(self) -> bool:
+        """Whether faults left this pool's result partial."""
+        return bool(self.unreachable) or self.abstention_count > 0
 
     @property
     def labels_requested(self) -> int:
@@ -179,3 +204,31 @@ class SessionResult:
         """Fraction of pools that met the Section III-D criteria."""
         converged = sum(1 for result in self.pool_results if result.converged)
         return converged / len(self.pool_results)
+
+    # ------------------------------------------------------------------
+    # degradation accounting
+    # ------------------------------------------------------------------
+    @property
+    def unreachable_strangers(self) -> frozenset[UserId]:
+        """Strangers no pool could fully serve (fetch or oracle dead)."""
+        unreachable: set[UserId] = set()
+        for result in self.pool_results:
+            unreachable.update(result.unreachable)
+        return frozenset(unreachable)
+
+    @property
+    def abstentions(self) -> int:
+        """Owner abstentions across the whole session."""
+        return sum(result.abstention_count for result in self.pool_results)
+
+    @property
+    def degraded(self) -> bool:
+        """Whether any pool's result is partial due to faults."""
+        return any(result.degraded for result in self.pool_results)
+
+    @property
+    def degraded_pools(self) -> tuple[str, ...]:
+        """Ids of pools whose results are partial."""
+        return tuple(
+            result.pool_id for result in self.pool_results if result.degraded
+        )

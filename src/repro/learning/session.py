@@ -14,8 +14,11 @@ Typical use::
 
 from __future__ import annotations
 
+import dataclasses
 import random
 from typing import Literal, Mapping
+
+from ..similarity.profile import attribute_coverage
 
 from ..benefits.model import BenefitModel
 from ..classifier.base import ClassifierFactory
@@ -35,6 +38,7 @@ from .oracle import LabelOracle
 from .pool_learner import PoolLearner
 from .results import PoolResult, SessionResult
 from .sampling import Sampler
+from .stopping import StopReason
 
 #: Names accepted by the ``classifier`` shorthand.
 CLASSIFIER_NAMES = ("harmonic", "knn", "majority")
@@ -89,6 +93,13 @@ class RiskLearningSession:
         ``lambda ps: VisibilityAugmentedSimilarity(ps, mix=0.3)`` for the
         visibility-augmented extension.  ``None`` keeps the paper's
         edge weights.
+    fetcher:
+        Optional profile fetcher (``fetch(graph, user_ids)`` returning a
+        :class:`~repro.resilience.FetchReport`), e.g. a
+        :class:`~repro.resilience.ResilientFetcher` over a fault-injected
+        source.  ``None`` reads profiles straight off the graph.  Members
+        whose profiles never arrive are flagged unreachable in the pool
+        result instead of aborting the session.
     """
 
     def __init__(
@@ -104,6 +115,7 @@ class RiskLearningSession:
         seed: int | None = None,
         edge_similarity_wrapper=None,
         network_similarity=None,
+        fetcher=None,
     ) -> None:
         self._graph = graph
         self._owner = owner
@@ -120,6 +132,7 @@ class RiskLearningSession:
         #: Optional NS() override (any SimilarityMeasure); ``None`` uses
         #: the default reconstruction with the session's config.
         self._network_similarity = network_similarity
+        self._fetcher = fetcher
         self._ego = EgoNetwork(graph, owner)
 
     # ------------------------------------------------------------------
@@ -172,6 +185,7 @@ class RiskLearningSession:
         self,
         strangers: frozenset[UserId] | set[UserId] | None = None,
         initial_labels: Mapping[UserId, RiskLabel] | None = None,
+        checkpointer=None,
     ) -> SessionResult:
         """Run the full session: pools, loops, aggregation.
 
@@ -187,6 +201,13 @@ class RiskLearningSession:
             an earlier snapshot of the graph).  They seed each pool's
             labeled set without new oracle queries — the warm start used
             by :mod:`repro.learning.incremental`.
+        checkpointer:
+            Optional :class:`~repro.io.checkpoint.SessionCheckpointer`.
+            Each completed pool is persisted together with the session's
+            RNG state; a re-run with the same checkpointer skips the
+            completed pools and replays the remainder from the exact
+            random state a killed run left behind, reproducing the
+            uninterrupted run byte for byte.
 
         Raises
         ------
@@ -217,13 +238,21 @@ class RiskLearningSession:
         pools = self.build_pools(similarities)
         rng = random.Random(self._seed)
 
+        completed: dict[str, PoolResult] = {}
+        if checkpointer is not None:
+            completed = checkpointer.load(rng)
+
         pool_results: list[PoolResult] = []
         for pool in pools:
-            pool_results.append(
-                self._run_pool(
-                    pool, similarities, benefits, rng, initial_labels
-                )
+            if pool.pool_id in completed:
+                pool_results.append(completed[pool.pool_id])
+                continue
+            result = self._run_pool(
+                pool, similarities, benefits, rng, initial_labels
             )
+            pool_results.append(result)
+            if checkpointer is not None:
+                checkpointer.record(result, rng)
         return SessionResult(
             owner=self._owner,
             pool_results=tuple(pool_results),
@@ -241,7 +270,28 @@ class RiskLearningSession:
         rng: random.Random,
         initial_labels: Mapping[UserId, RiskLabel] | None = None,
     ) -> PoolResult:
-        profiles = self._graph.profiles(pool.members)
+        if self._fetcher is not None:
+            report = self._fetcher.fetch(self._graph, pool.members)
+            profiles = list(report.profiles)
+            fetch_unreachable = frozenset(report.unreachable)
+        else:
+            profiles = self._graph.profiles(pool.members)
+            fetch_unreachable = frozenset()
+        members = tuple(
+            member for member in pool.members if member not in fetch_unreachable
+        )
+        if not members:
+            # The whole pool's data is gone: flag it, don't abort the run.
+            return PoolResult(
+                pool_id=pool.pool_id,
+                nsg_index=pool.nsg_index,
+                rounds=(),
+                owner_labels={},
+                predicted_labels={},
+                stop_reason=StopReason.MAX_ROUNDS,
+                unreachable=frozenset(pool.members),
+                profile_coverage=0.0,
+            )
         # Edge weights use PS() built on the pool's own profiles — "the
         # frequency of the item values in the data set (i.e., the profiles
         # in the considered pool)" (Section III-C).
@@ -266,7 +316,7 @@ class RiskLearningSession:
         learner = PoolLearner(
             pool_id=pool.pool_id,
             nsg_index=pool.nsg_index,
-            members=pool.members,
+            members=members,
             classifier=classifier,
             oracle=self._oracle,
             config=self._config.learning,
@@ -277,7 +327,14 @@ class RiskLearningSession:
             rng=rng,
             initial_labels=initial_labels,
         )
-        return learner.run()
+        result = learner.run()
+        if self._fetcher is None:
+            return result
+        return dataclasses.replace(
+            result,
+            unreachable=result.unreachable | fetch_unreachable,
+            profile_coverage=attribute_coverage(profiles),
+        )
 
     @staticmethod
     def _display_names(profiles) -> dict[UserId, str]:

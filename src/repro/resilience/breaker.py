@@ -1,0 +1,150 @@
+"""Circuit breaker and deadline budget for long-running studies.
+
+A two-month deployment cannot afford to hammer a failing data source with
+retries forever: after enough consecutive failures the
+:class:`CircuitBreaker` *opens* and fails calls instantly, until a
+recovery window has passed and a single probe call is allowed through
+(*half-open*).  :class:`Deadline` bounds how long any one stage may run,
+so a stalled oracle degrades the session instead of hanging it.
+
+Both take an injectable monotonic clock so tests can move time by hand.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+from ..errors import CircuitOpenError, ConfigError, DeadlineExceededError
+from .retry import Clock
+
+
+class CircuitBreaker:
+    """Classic closed / open / half-open breaker.
+
+    Parameters
+    ----------
+    failure_threshold:
+        Consecutive failures (while closed) that trip the circuit.
+    recovery_time:
+        Seconds the circuit stays open before allowing one probe call.
+    clock:
+        Monotonic time source; injectable for tests.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        recovery_time: float = 30.0,
+        clock: Clock = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ConfigError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if recovery_time < 0:
+            raise ConfigError(
+                f"recovery_time must be non-negative, got {recovery_time}"
+            )
+        self._failure_threshold = failure_threshold
+        self._recovery_time = recovery_time
+        self._clock = clock
+        self._state = self.CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+
+    @property
+    def state(self) -> str:
+        """Current state: ``closed``, ``open``, or ``half_open``."""
+        return self._state
+
+    @property
+    def consecutive_failures(self) -> int:
+        """Failures seen since the last success."""
+        return self._consecutive_failures
+
+    def before_call(self) -> None:
+        """Gate one call attempt.
+
+        Raises
+        ------
+        CircuitOpenError
+            While the circuit is open and the recovery window has not
+            elapsed.  Once it has, the state moves to half-open and the
+            call proceeds as the probe.
+        """
+        if self._state == self.OPEN:
+            elapsed = self._clock() - self._opened_at
+            if elapsed < self._recovery_time:
+                raise CircuitOpenError(
+                    f"circuit open ({self._consecutive_failures} consecutive "
+                    f"failures); retry in {self._recovery_time - elapsed:.1f}s",
+                    attempts=self._consecutive_failures,
+                )
+            self._state = self.HALF_OPEN
+
+    def record_success(self) -> None:
+        """A call succeeded: close the circuit and reset the count."""
+        self._state = self.CLOSED
+        self._consecutive_failures = 0
+
+    def record_failure(self) -> None:
+        """A call failed: count it, tripping the circuit when warranted.
+
+        A failed half-open probe re-opens immediately; a closed circuit
+        opens once ``failure_threshold`` consecutive failures accumulate.
+        """
+        self._consecutive_failures += 1
+        if (
+            self._state == self.HALF_OPEN
+            or self._consecutive_failures >= self._failure_threshold
+        ):
+            self._state = self.OPEN
+            self._opened_at = self._clock()
+
+
+class Deadline:
+    """A wall-clock budget for one stage of work.
+
+    Parameters
+    ----------
+    budget:
+        Seconds available from construction time (``math.inf`` for none).
+    clock:
+        Monotonic time source; injectable for tests.
+    """
+
+    def __init__(self, budget: float, clock: Clock = time.monotonic) -> None:
+        if budget < 0:
+            raise ConfigError(f"deadline budget must be >= 0, got {budget}")
+        self._clock = clock
+        self._budget = budget
+        self._expires_at = clock() + budget
+
+    @classmethod
+    def unlimited(cls, clock: Clock = time.monotonic) -> "Deadline":
+        """A deadline that never expires."""
+        return cls(math.inf, clock)
+
+    def remaining(self) -> float:
+        """Seconds left (never negative)."""
+        return max(0.0, self._expires_at - self._clock())
+
+    @property
+    def expired(self) -> bool:
+        """Whether the budget has run out."""
+        return self._clock() >= self._expires_at
+
+    def check(self) -> None:
+        """Raise :class:`~repro.errors.DeadlineExceededError` if expired."""
+        if self.expired:
+            raise DeadlineExceededError(
+                f"deadline exceeded ({self._budget:.1f}s budget spent)"
+            )
+
+
+__all__ = ["CircuitBreaker", "Deadline"]

@@ -1,0 +1,110 @@
+"""Resilient profile fetching for the (simulated) data-source layer.
+
+In the Sight deployment every stranger's profile had to be fetched over a
+flaky API; here the "API" is the in-memory
+:class:`~repro.graph.social_graph.SocialGraph`, optionally decorated by a
+:class:`~repro.faults.FaultInjector`.  A :class:`ProfileSource` fetches
+one profile and may fail transiently
+(:class:`~repro.errors.TransientFetchError`, retried) or permanently
+(:class:`~repro.errors.UnreachableUserError`, recorded).
+:class:`ResilientFetcher` drives a source over a batch of users and
+reports what it could and could not get, so the session degrades instead
+of dying.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Iterable, Protocol
+
+from ..errors import RetryExhaustedError, TransientFetchError, UnreachableUserError
+from ..graph.profile import Profile
+from ..graph.social_graph import SocialGraph
+from ..types import UserId
+from .breaker import CircuitBreaker, Deadline
+from .retry import RetryPolicy, Sleeper, retry_call
+
+
+class ProfileSource(Protocol):
+    """Anything that can fetch one user's profile from a graph."""
+
+    def fetch_one(
+        self, graph: SocialGraph, user_id: UserId
+    ) -> Profile:  # pragma: no cover - protocol signature
+        """Fetch ``user_id``'s profile, raising on failure."""
+        ...
+
+
+class GraphSource:
+    """The trivial source: read the profile straight off the graph."""
+
+    def fetch_one(self, graph: SocialGraph, user_id: UserId) -> Profile:
+        """Fetch directly; only fails for genuinely unknown users."""
+        return graph.profile(user_id)
+
+
+@dataclass(frozen=True)
+class FetchReport:
+    """Outcome of fetching a batch of profiles.
+
+    ``profiles`` holds everything that arrived (possibly degraded by a
+    fault injector); ``unreachable`` the users whose fetches failed for
+    good, after retries.
+    """
+
+    profiles: tuple[Profile, ...]
+    unreachable: frozenset[UserId]
+
+    @property
+    def complete(self) -> bool:
+        """Whether every requested profile arrived."""
+        return not self.unreachable
+
+
+class ResilientFetcher:
+    """Batch fetcher with per-user retry, breaker, and deadline.
+
+    Parameters mirror :class:`~repro.resilience.oracle.ResilientOracle`.
+    """
+
+    def __init__(
+        self,
+        source: ProfileSource | None = None,
+        policy: RetryPolicy | None = None,
+        breaker: CircuitBreaker | None = None,
+        deadline: Deadline | None = None,
+        sleeper: Sleeper = time.sleep,
+    ) -> None:
+        self._source = source or GraphSource()
+        self._policy = policy or RetryPolicy()
+        self._breaker = breaker
+        self._deadline = deadline
+        self._sleeper = sleeper
+
+    def fetch(
+        self, graph: SocialGraph, user_ids: Iterable[UserId]
+    ) -> FetchReport:
+        """Fetch every profile it can; report the rest as unreachable."""
+        profiles: list[Profile] = []
+        unreachable: set[UserId] = set()
+        for user_id in user_ids:
+            try:
+                profile = retry_call(
+                    lambda uid=user_id: self._source.fetch_one(graph, uid),
+                    self._policy,
+                    retry_on=(TransientFetchError,),
+                    sleeper=self._sleeper,
+                    breaker=self._breaker,
+                    deadline=self._deadline,
+                )
+            except (RetryExhaustedError, UnreachableUserError):
+                unreachable.add(user_id)
+                continue
+            profiles.append(profile)
+        return FetchReport(
+            profiles=tuple(profiles), unreachable=frozenset(unreachable)
+        )
+
+
+__all__ = ["FetchReport", "GraphSource", "ProfileSource", "ResilientFetcher"]

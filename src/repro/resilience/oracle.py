@@ -1,0 +1,92 @@
+"""Resilient wrapper around any :class:`~repro.learning.oracle.LabelOracle`.
+
+:class:`ResilientOracle` is the composition point of the resilience layer
+for owner queries: transient timeouts are retried per the
+:class:`~repro.resilience.retry.RetryPolicy`, repeated failures trip the
+optional :class:`~repro.resilience.breaker.CircuitBreaker`, and an
+optional :class:`~repro.resilience.breaker.Deadline` bounds total wait.
+Abstentions (:class:`~repro.errors.OracleAbstainError`) are *not* retried
+— an owner who declined is not a broken owner — and surface either as the
+exception (``label``) or as ``None`` (``label_or_abstain``).
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..errors import OracleAbstainError, OracleTimeoutError, RetryExhaustedError
+from ..types import RiskLabel
+from .breaker import CircuitBreaker, Deadline
+from .retry import RetryPolicy, Sleeper, retry_call
+
+
+class ResilientOracle:
+    """Retry / circuit-break / deadline decorator for label oracles.
+
+    Parameters
+    ----------
+    inner:
+        The wrapped oracle (possibly itself a fault-injecting decorator).
+    policy:
+        Backoff policy for transient timeouts.
+    breaker:
+        Optional shared circuit breaker.
+    deadline:
+        Optional time budget covering all queries through this wrapper.
+    sleeper:
+        Sleep function; inject :func:`~repro.resilience.retry.no_sleep`
+        to run simulations and tests instantly.
+    """
+
+    def __init__(
+        self,
+        inner,
+        policy: RetryPolicy | None = None,
+        breaker: CircuitBreaker | None = None,
+        deadline: Deadline | None = None,
+        sleeper: Sleeper = time.sleep,
+    ) -> None:
+        self._inner = inner
+        self._policy = policy or RetryPolicy()
+        self._breaker = breaker
+        self._deadline = deadline
+        self._sleeper = sleeper
+
+    def label(self, query) -> RiskLabel:
+        """Answer one query, retrying transient oracle timeouts.
+
+        Raises
+        ------
+        RetryExhaustedError
+            When the oracle kept timing out; carries the stranger id and
+            the attempt count.
+        OracleAbstainError
+            Propagated untouched — abstention is an answer, not a fault.
+        """
+        try:
+            return retry_call(
+                lambda: self._inner.label(query),
+                self._policy,
+                retry_on=(OracleTimeoutError,),
+                sleeper=self._sleeper,
+                breaker=self._breaker,
+                deadline=self._deadline,
+            )
+        except RetryExhaustedError as error:
+            raise RetryExhaustedError(
+                f"oracle kept timing out for stranger {query.stranger} "
+                f"({error.attempts} attempts)",
+                stranger=query.stranger,
+                attempts=error.attempts,
+                last_error=error.last_error,
+            ) from error
+
+    def label_or_abstain(self, query) -> RiskLabel | None:
+        """Like :meth:`label`, but abstention returns ``None``."""
+        try:
+            return self.label(query)
+        except OracleAbstainError:
+            return None
+
+
+__all__ = ["ResilientOracle"]

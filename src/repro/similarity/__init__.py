@@ -10,13 +10,14 @@ see the module docstrings of :mod:`~repro.similarity.network` and
 
 from .augmented import VisibilityAugmentedSimilarity, visibility_agreement
 from .network import ClusteredNetworkSimilarity, NetworkSimilarity
-from .profile import ProfileSimilarity
+from .profile import ProfileSimilarity, attribute_coverage
 from .registry import SimilarityMeasure, available_measures, get_measure, register_measure
 
 __all__ = [
     "ClusteredNetworkSimilarity",
     "NetworkSimilarity",
     "ProfileSimilarity",
+    "attribute_coverage",
     "VisibilityAugmentedSimilarity",
     "visibility_agreement",
     "SimilarityMeasure",

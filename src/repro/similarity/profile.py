@@ -35,6 +35,28 @@ from ..types import ProfileAttribute
 _MISMATCH_CEILING = 0.99
 
 
+def attribute_coverage(
+    profiles: Sequence[Profile],
+    attributes: tuple[ProfileAttribute, ...] = tuple(ProfileAttribute),
+) -> float:
+    """Fraction of ``(profile, attribute)`` cells that are filled in.
+
+    The coverage accounting used when fault injection drops attributes:
+    a pool's similarity graph is only as trustworthy as the evidence it
+    was built on.  An empty profile list has coverage 1 (nothing asked,
+    nothing missing).
+    """
+    if not profiles or not attributes:
+        return 1.0
+    filled = sum(
+        1
+        for profile in profiles
+        for attribute in attributes
+        if profile.attribute(attribute) is not None
+    )
+    return filled / (len(profiles) * len(attributes))
+
+
 class ProfileSimilarity:
     """Callable computing ``PS(p, q)`` from population value frequencies.
 
@@ -95,6 +117,21 @@ class ProfileSimilarity:
         freq_right = self.frequency(attribute, right)
         raw = math.sqrt(freq_left * freq_right) * self._config.mismatch_scale
         return min(raw, _MISMATCH_CEILING)
+
+    def coverage(self, left: Profile, right: Profile) -> float:
+        """Fraction of compared attributes filled on *both* profiles.
+
+        The similarity itself already averages over present attributes
+        only; coverage says how much evidence that average rests on, so
+        degraded (partially-fetched) profiles can be weighed accordingly.
+        """
+        both = sum(
+            1
+            for attribute in self._attributes
+            if left.attribute(attribute) is not None
+            and right.attribute(attribute) is not None
+        )
+        return both / len(self._attributes)
 
     def __call__(self, left: Profile, right: Profile) -> float:
         """Compute ``PS(left, right)`` in [0, 1].

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from functools import cached_property
 
 from ..graph.ego import EgoNetwork
 from ..types import UserId
@@ -42,23 +43,35 @@ class CrawlSimulation:
     days: int
     total_strangers: int
 
+    @cached_property
+    def _cumulative_by_day(self) -> tuple[frozenset[UserId], ...]:
+        """Index ``d`` holds the strangers known at the end of day ``d``.
+
+        Built once per simulation (the event list is immutable), turning
+        the per-day queries below into O(1) lookups — longitudinal
+        analyses call them for every day of a two-month crawl.
+        """
+        per_day: list[list[UserId]] = [[] for _ in range(self.days + 1)]
+        for event in self.events:
+            per_day[event.day].append(event.stranger)
+        cumulative: list[frozenset[UserId]] = []
+        running: set[UserId] = set()
+        for day_events in per_day:
+            running.update(day_events)
+            cumulative.append(frozenset(running))
+        return tuple(cumulative)
+
     def discovered_by(self, day: int) -> frozenset[UserId]:
-        """Strangers known at the end of ``day``."""
-        return frozenset(
-            event.stranger for event in self.events if event.day <= day
-        )
+        """Strangers known at the end of ``day`` (O(1) after first use)."""
+        if day < 0:
+            return self._cumulative_by_day[0]
+        return self._cumulative_by_day[min(day, self.days)]
 
     def discovery_curve(self) -> list[int]:
         """Cumulative strangers discovered per day (index 0 = day 1)."""
-        counts = [0] * self.days
-        for event in self.events:
-            counts[event.day - 1] += 1
-        cumulative = []
-        running = 0
-        for count in counts:
-            running += count
-            cumulative.append(running)
-        return cumulative
+        return [
+            len(known) for known in self._cumulative_by_day[1:]
+        ]
 
     @property
     def coverage(self) -> float:

@@ -1,0 +1,174 @@
+"""Graceful degradation of the learning loop under faults.
+
+Abstaining owners, dead oracle paths, and unreachable profiles must bend
+the session — skipped strangers, partial pools, coverage flags — without
+breaking it.
+"""
+
+from __future__ import annotations
+
+from repro.errors import (
+    OracleAbstainError,
+    OracleTimeoutError,
+    UnreachableUserError,
+)
+from repro.faults import FaultInjector, FaultPlan
+from repro.learning import RecordingOracle, RiskLearningSession
+from repro.learning.oracle import CallbackOracle, ScriptedOracle
+from repro.learning.stopping import StopReason
+from repro.resilience import ResilientFetcher, RetryPolicy, no_sleep
+from repro.types import RiskLabel
+
+from ..conftest import make_ego_graph
+
+STRANGERS = frozenset(range(6, 18))
+
+
+class SelectiveOracle:
+    """Answers RISKY except for scripted abstainers and dead strangers."""
+
+    def __init__(self, abstain=(), timeout=()):
+        self.abstain = frozenset(abstain)
+        self.timeout = frozenset(timeout)
+
+    def label(self, query):
+        if query.stranger in self.abstain:
+            raise OracleAbstainError(
+                "no comment", stranger=query.stranger
+            )
+        if query.stranger in self.timeout:
+            raise OracleTimeoutError(
+                "owner away", stranger=query.stranger
+            )
+        return RiskLabel.RISKY
+
+
+class _DeadUserSource:
+    """Graph-backed source for which some users are gone for good."""
+
+    def __init__(self, dead):
+        self.dead = frozenset(dead)
+
+    def fetch_one(self, graph, user_id):
+        if user_id in self.dead:
+            raise UnreachableUserError("gone", user_id=user_id)
+        return graph.profile(user_id)
+
+
+def run_session(oracle, fetcher=None, seed=3):
+    graph, owner = make_ego_graph()
+    session = RiskLearningSession(
+        graph, owner, oracle, seed=seed, fetcher=fetcher
+    )
+    return session.run()
+
+
+class TestAbstention:
+    def test_abstention_skips_and_resamples(self):
+        abstainers = {6, 11}
+        result = run_session(SelectiveOracle(abstain=abstainers))
+        assert result.degraded
+        assert result.abstentions > 0
+        recorded = {
+            stranger
+            for pool in result.pool_results
+            for record in pool.rounds
+            for stranger in record.abstained
+        }
+        assert recorded and recorded <= abstainers
+        # abstainers never receive an *owner* label ...
+        owner_labeled = {
+            stranger
+            for pool in result.pool_results
+            for stranger in pool.owner_labels
+        }
+        assert not (owner_labeled & abstainers)
+        # ... and every cooperative stranger still gets served
+        assert STRANGERS - abstainers <= set(result.final_labels())
+
+    def test_fully_abstaining_owner_completes_empty(self):
+        result = run_session(SelectiveOracle(abstain=STRANGERS))
+        assert result.final_labels() == {}
+        assert result.abstentions > 0
+        assert result.degraded
+        assert all(
+            pool.stop_reason is StopReason.MAX_ROUNDS
+            for pool in result.pool_results
+        )
+
+    def test_recording_oracle_counts_interruptions(self):
+        inner = SelectiveOracle(abstain={6})
+        recording = RecordingOracle(inner)
+        result = run_session(recording)
+        stats = recording.stats
+        assert stats.abstentions == result.abstentions
+        assert stats.abstentions > 0
+        assert stats.queries > 0
+        assert stats.failures == 0
+        assert stats.interruptions == stats.queries + stats.abstentions
+        assert all(q.stranger == 6 for q in recording.abstained)
+
+
+class TestOracleDeath:
+    def test_unretried_timeouts_mark_strangers_unreachable(self):
+        dead = {7, 15}
+        result = run_session(SelectiveOracle(timeout=dead))
+        assert dead <= result.unreachable_strangers
+        owner_labeled = {
+            stranger
+            for pool in result.pool_results
+            for stranger in pool.owner_labels
+        }
+        assert not (owner_labeled & dead)
+        # the rest of the pool is served normally
+        assert STRANGERS - dead <= set(result.final_labels())
+        assert result.degraded
+
+
+class TestFetchDegradation:
+    def test_unreachable_profiles_flag_the_pool(self):
+        dead = {9}
+        fetcher = ResilientFetcher(
+            _DeadUserSource(dead),
+            policy=RetryPolicy(max_attempts=2),
+            sleeper=no_sleep,
+        )
+        result = run_session(ScriptedOracle({}, default=RiskLabel.RISKY), fetcher)
+        assert dead <= result.unreachable_strangers
+        assert result.degraded
+        assert set(result.degraded_pools)
+        # the dead member is excluded from learning entirely
+        assert 9 not in result.final_labels()
+        assert STRANGERS - dead <= set(result.final_labels())
+
+    def test_profile_coverage_is_tracked(self):
+        oracle = ScriptedOracle({}, default=RiskLabel.RISKY)
+        clean = run_session(oracle, ResilientFetcher(sleeper=no_sleep))
+        coverages = [
+            pool.profile_coverage for pool in clean.pool_results
+        ]
+        assert all(coverage is not None for coverage in coverages)
+        assert all(0.0 < coverage <= 1.0 for coverage in coverages)
+
+        injector = FaultInjector(
+            FaultPlan(attribute_drop_rate=0.6), seed="cover"
+        )
+        degraded = run_session(
+            oracle,
+            ResilientFetcher(injector.wrap_source(), sleeper=no_sleep),
+        )
+        assert sum(
+            pool.profile_coverage for pool in degraded.pool_results
+        ) < sum(coverages)
+
+    def test_faultless_fetcher_preserves_labels(self):
+        oracle = CallbackOracle(
+            lambda query: RiskLabel(1 + query.stranger % 3)
+        )
+        plain = run_session(oracle, fetcher=None)
+        fetched = run_session(
+            CallbackOracle(lambda query: RiskLabel(1 + query.stranger % 3)),
+            fetcher=ResilientFetcher(sleeper=no_sleep),
+        )
+        assert plain.final_labels() == fetched.final_labels()
+        assert not fetched.unreachable_strangers

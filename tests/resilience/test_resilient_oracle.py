@@ -1,0 +1,135 @@
+"""ResilientOracle and ResilientFetcher: retry + graceful degradation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    OracleAbstainError,
+    OracleTimeoutError,
+    RetryExhaustedError,
+    TransientFetchError,
+    UnreachableUserError,
+)
+from repro.resilience import (
+    FetchReport,
+    GraphSource,
+    ResilientFetcher,
+    ResilientOracle,
+    RetryPolicy,
+    no_sleep,
+)
+from repro.learning.oracle import LabelQuery
+from repro.types import RiskLabel
+
+from ..conftest import make_ego_graph
+
+
+def query(stranger=7):
+    return LabelQuery(stranger=stranger, similarity=0.5, benefit=0.5)
+
+
+class _SometimesOracle:
+    """Scripted failure sequence, then a fixed answer forever."""
+
+    def __init__(self, plan):
+        self.plan = list(plan)
+        self.calls = 0
+
+    def label(self, query):
+        self.calls += 1
+        if self.plan:
+            step = self.plan.pop(0)
+            if step is not None:
+                raise step
+        return RiskLabel.RISKY
+
+
+class TestResilientOracle:
+    def test_passes_through_answers(self):
+        oracle = ResilientOracle(_SometimesOracle([]), sleeper=no_sleep)
+        assert oracle.label(query()) == RiskLabel.RISKY
+
+    def test_retries_timeouts(self):
+        inner = _SometimesOracle(
+            [OracleTimeoutError("slow"), OracleTimeoutError("slow")]
+        )
+        oracle = ResilientOracle(
+            inner, policy=RetryPolicy(max_attempts=3), sleeper=no_sleep
+        )
+        assert oracle.label(query()) == RiskLabel.RISKY
+        assert inner.calls == 3
+
+    def test_exhaustion_carries_the_stranger(self):
+        inner = _SometimesOracle([OracleTimeoutError("slow")] * 5)
+        oracle = ResilientOracle(
+            inner, policy=RetryPolicy(max_attempts=2), sleeper=no_sleep
+        )
+        with pytest.raises(RetryExhaustedError) as excinfo:
+            oracle.label(query(stranger=42))
+        assert excinfo.value.stranger == 42
+        assert excinfo.value.attempts == 2
+        assert isinstance(excinfo.value.last_error, OracleTimeoutError)
+
+    def test_abstention_is_not_retried(self):
+        inner = _SometimesOracle([OracleAbstainError("no comment")])
+        oracle = ResilientOracle(inner, sleeper=no_sleep)
+        with pytest.raises(OracleAbstainError):
+            oracle.label(query())
+        assert inner.calls == 1
+
+    def test_label_or_abstain_maps_abstention_to_none(self):
+        inner = _SometimesOracle([OracleAbstainError("no comment")])
+        oracle = ResilientOracle(inner, sleeper=no_sleep)
+        assert oracle.label_or_abstain(query()) is None
+        assert oracle.label_or_abstain(query()) == RiskLabel.RISKY
+
+
+class _FlakySource:
+    """Fetch plan per user: list of errors to raise before succeeding."""
+
+    def __init__(self, plans):
+        self.plans = {uid: list(errors) for uid, errors in plans.items()}
+        self.fallback = GraphSource()
+
+    def fetch_one(self, graph, user_id):
+        plan = self.plans.get(user_id)
+        if plan:
+            raise plan.pop(0)
+        return self.fallback.fetch_one(graph, user_id)
+
+
+class TestResilientFetcher:
+    def test_complete_batch(self):
+        graph, owner = make_ego_graph()
+        fetcher = ResilientFetcher(sleeper=no_sleep)
+        report = fetcher.fetch(graph, [6, 7, 8])
+        assert isinstance(report, FetchReport)
+        assert report.complete
+        assert [profile.user_id for profile in report.profiles] == [6, 7, 8]
+
+    def test_transient_failures_are_retried(self):
+        graph, owner = make_ego_graph()
+        source = _FlakySource({6: [TransientFetchError("rate limited")]})
+        fetcher = ResilientFetcher(
+            source, policy=RetryPolicy(max_attempts=2), sleeper=no_sleep
+        )
+        report = fetcher.fetch(graph, [6, 7])
+        assert report.complete
+        assert len(report.profiles) == 2
+
+    def test_permanent_failures_become_unreachable(self):
+        graph, owner = make_ego_graph()
+        source = _FlakySource(
+            {
+                6: [UnreachableUserError("gone", user_id=6)],
+                7: [TransientFetchError("down")] * 10,
+            }
+        )
+        fetcher = ResilientFetcher(
+            source, policy=RetryPolicy(max_attempts=2), sleeper=no_sleep
+        )
+        report = fetcher.fetch(graph, [6, 7, 8])
+        assert not report.complete
+        assert report.unreachable == frozenset({6, 7})
+        assert [profile.user_id for profile in report.profiles] == [8]
