@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-paper-scale robustness study examples clean
+.PHONY: install test bench bench-paper-scale robustness study serve examples clean
 
 install:
 	$(PYTHON) -m pip install -e ".[test]"
@@ -28,6 +28,10 @@ robustness:
 
 study:
 	$(PYTHON) -m repro --owners 8 --strangers 300
+
+# the HTTP risk-scoring service (docs/service.md)
+serve:
+	$(PYTHON) -m repro serve --owners 4 --strangers 150 --warm-all
 
 examples:
 	$(PYTHON) examples/quickstart.py

@@ -1,0 +1,88 @@
+"""E19 — serving performance: cold vs cached vs warm scoring throughput.
+
+Not a paper artifact — the serving-layer counterpart of E18.  A
+deployment's request cost depends on cache state: the first score of an
+owner pays the full pipeline (cold), an unchanged owner is a memo lookup
+(cached), and an owner whose graph changed re-learns warm with prior
+labels reused.  This bench measures requests/sec for each regime through
+the real engine + scheduler stack and pins the service PR's acceptance
+contract: serving an unchanged owner is at least 5x faster than cold.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from repro.service import OwnerStore, RiskEngine, ScoreScheduler
+
+from .conftest import SEED, write_artifact
+
+CACHED_ROUNDS = 20
+
+
+def test_service_throughput(benchmark, population):
+    engine = RiskEngine(OwnerStore.from_population(population), seed=SEED)
+    owner_ids = engine.store.owner_ids()
+
+    with ScoreScheduler(engine, max_workers=4, max_pending=256) as scheduler:
+        # --- cold: every owner pays the full pipeline, concurrently ---
+        start = time.perf_counter()
+        cold_records = [
+            future.result()
+            for future in [scheduler.submit(o) for o in owner_ids]
+        ]
+        cold_elapsed = time.perf_counter() - start
+
+        # --- cached: the steady serving state, measured by the harness ---
+        def cached_sweep():
+            for owner_id in owner_ids:
+                scheduler.score(owner_id)
+
+        benchmark.pedantic(cached_sweep, rounds=CACHED_ROUNDS, iterations=1)
+
+        # --- warm: one owner's graph changes, labels are reused ---
+        touched = owner_ids[0]
+        engine.store.touch(touched)
+        start = time.perf_counter()
+        warm_record = scheduler.score(touched)
+        warm_elapsed = time.perf_counter() - start
+
+    assert all(record.source == "cold" for record in cold_records)
+    assert warm_record.source == "warm"
+    assert warm_record.reused_labels > 0
+
+    snapshot = engine.metrics.snapshot()
+    cold_mean = snapshot["latency"]["cold"]["mean_seconds"]
+    cached_requests = CACHED_ROUNDS * len(owner_ids)
+    cached_mean = benchmark.stats.stats.mean / len(owner_ids)
+
+    # acceptance contract: unchanged owners are served >= 5x faster
+    assert cached_mean * 5 <= cold_mean
+
+    document = {
+        "owners": len(owner_ids),
+        "cold": {
+            "requests": len(owner_ids),
+            "elapsed_seconds": round(cold_elapsed, 4),
+            "requests_per_second": round(len(owner_ids) / cold_elapsed, 2),
+            "mean_latency_seconds": round(cold_mean, 4),
+        },
+        "cached": {
+            "requests": cached_requests,
+            "mean_latency_seconds": round(cached_mean, 6),
+            "requests_per_second": round(1.0 / cached_mean, 1),
+        },
+        "warm": {
+            "elapsed_seconds": round(warm_elapsed, 4),
+            "reused_labels": warm_record.reused_labels,
+            "new_queries": warm_record.new_queries,
+        },
+        "cache_hit_rate": round(snapshot["cache_hit_rate"], 4),
+        "speedup_cached_vs_cold": round(cold_mean / cached_mean, 1),
+    }
+    assert snapshot["cache_hit_rate"] > 0.5  # the sweeps hit the memo
+
+    write_artifact(
+        "service_throughput", json.dumps(document, indent=2, sort_keys=True)
+    )

@@ -5,6 +5,7 @@ Examples::
     repro-study --owners 8 --strangers 200 --seed 7
     repro-study --owners 8 --experiments fig4 fig7 table1 headline
     python -m repro --owners 4 --strangers 120 --experiments headline
+    repro-study serve --owners 4 --strangers 150 --port 8080
 """
 
 from __future__ import annotations
@@ -61,6 +62,10 @@ def build_parser() -> argparse.ArgumentParser:
         description=(
             "Reproduce the ICDE 2012 privacy-risk experiments on a "
             "synthetic cohort."
+        ),
+        epilog=(
+            "Run 'repro-study serve --help' for the HTTP risk-scoring "
+            "service."
         ),
     )
     parser.add_argument("--owners", type=int, default=8, help="cohort size")
@@ -191,8 +196,133 @@ def _fault_plan_from_args(args: argparse.Namespace):
     )
 
 
+def build_serve_parser() -> argparse.ArgumentParser:
+    """The ``repro-study serve`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-study serve",
+        description=(
+            "Serve risk scores over HTTP: a versioned owner store, a "
+            "memoizing engine with warm re-scoring, and a JSON API "
+            "(/score, /owners, /healthz, /metrics)."
+        ),
+    )
+    parser.add_argument("--owners", type=int, default=4, help="cohort size")
+    parser.add_argument(
+        "--strangers", type=int, default=150, help="strangers per owner"
+    )
+    parser.add_argument(
+        "--friends", type=int, default=30, help="friends per owner"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="random seed")
+    parser.add_argument(
+        "--classifier",
+        choices=("harmonic", "knn", "majority"),
+        default="harmonic",
+        help="label classifier",
+    )
+    parser.add_argument(
+        "--pooling",
+        choices=("npp", "nsp"),
+        default="npp",
+        help="pooling strategy",
+    )
+    parser.add_argument(
+        "--load-dataset",
+        metavar="PATH",
+        default=None,
+        help="serve a saved cohort instead of generating one",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument(
+        "--port", type=int, default=8080, help="bind port (0 = ephemeral)"
+    )
+    parser.add_argument(
+        "--workers", type=int, default=4, help="concurrent scoring threads"
+    )
+    parser.add_argument(
+        "--max-pending",
+        type=int,
+        default=64,
+        help="backpressure bound on in-flight + queued requests",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=60.0,
+        help="per-request deadline budget in seconds",
+    )
+    parser.add_argument(
+        "--warm-all",
+        action="store_true",
+        help="score every owner once before accepting traffic",
+    )
+    return parser
+
+
+def serve_main(argv: Sequence[str] | None = None) -> int:
+    """Run the ``serve`` subcommand; blocks until interrupted."""
+    args = build_serve_parser().parse_args(argv)
+    from .service import OwnerStore, RiskEngine, build_server
+
+    if args.load_dataset:
+        from .io.dataset import load_population
+
+        print(f"loading cohort from {args.load_dataset} ...", file=sys.stderr)
+        population = load_population(args.load_dataset)
+    else:
+        print(
+            f"generating cohort: {args.owners} owners x ~{args.strangers} "
+            f"strangers (seed {args.seed}) ...",
+            file=sys.stderr,
+        )
+        population = generate_study_population(
+            num_owners=args.owners,
+            ego_config=EgoNetConfig(
+                num_friends=args.friends, num_strangers=args.strangers
+            ),
+            seed=args.seed,
+        )
+    store = OwnerStore.from_population(population)
+    engine = RiskEngine(
+        store,
+        pooling=args.pooling,
+        classifier=args.classifier,
+        seed=args.seed,
+    )
+    if args.warm_all:
+        for owner_id in store.owner_ids():
+            record = engine.score(owner_id)
+            print(
+                f"warmed owner {owner_id} "
+                f"({record.new_queries} labels, {record.elapsed_seconds:.2f}s)",
+                file=sys.stderr,
+            )
+    server = build_server(
+        engine,
+        host=args.host,
+        port=args.port,
+        max_workers=args.workers,
+        max_pending=args.max_pending,
+        request_timeout=args.timeout,
+    )
+    print(f"serving on {server.url}", file=sys.stderr, flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    finally:
+        server.shutdown()
+        server.server_close()
+        server.scheduler.shutdown(wait=False)
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Run the CLI; returns a process exit code."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "serve":
+        return serve_main(list(argv[1:]))
     args = build_parser().parse_args(argv)
     chosen = (
         list(EXPERIMENTS) if "all" in args.experiments else args.experiments

@@ -142,6 +142,26 @@ class DeadlineExceededError(ResilienceError):
     """The operation's time budget ran out before it could complete."""
 
 
+class ServiceError(ReproError):
+    """Base class of failures raised by the risk-scoring service layer."""
+
+
+class UnknownOwnerError(ServiceError):
+    """The referenced owner is not registered with the owner store."""
+
+    def __init__(self, owner_id: int) -> None:
+        super().__init__(f"unknown owner id: {owner_id}")
+        self.owner_id = owner_id
+
+
+class BackpressureError(ServiceError):
+    """The scheduler's bounded queue is full; the request was rejected."""
+
+    def __init__(self, message: str, *, pending: int | None = None) -> None:
+        super().__init__(message)
+        self.pending = pending
+
+
 class SerializationError(ReproError):
     """An object could not be serialized or deserialized."""
 

@@ -16,7 +16,13 @@ from .curves import CurvePoint, learning_curve, render_learning_curve
 from .figures import figure4, figure5, figure6, figure7
 from .headline import HeadlineMetrics, headline_metrics
 from .longitudinal import Checkpoint, render_longitudinal, run_longitudinal
-from .study import OwnerRun, StudyResult, run_study
+from .study import (
+    OwnerRun,
+    OwnerSessionPlan,
+    StudyResult,
+    plan_owner_session,
+    run_study,
+)
 from .tables import table1, table2, table3, table4, table5
 from .validate import ShapeCheck, ShapeReport, validate_reproduction
 
@@ -25,6 +31,7 @@ __all__ = [
     "CurvePoint",
     "HeadlineMetrics",
     "OwnerRun",
+    "OwnerSessionPlan",
     "ShapeCheck",
     "ShapeReport",
     "StudyResult",
@@ -36,6 +43,7 @@ __all__ = [
     "figure6",
     "figure7",
     "headline_metrics",
+    "plan_owner_session",
     "render_longitudinal",
     "run_longitudinal",
     "run_study",

@@ -10,16 +10,18 @@ protocol of Section IV.
 from __future__ import annotations
 
 import dataclasses
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Literal
+from typing import Any, Literal
 
 from ..benefits.model import BenefitModel
 from ..config import PipelineConfig
 from ..faults import FaultInjector, FaultPlan
 from ..graph.profile import Profile
+from ..graph.social_graph import SocialGraph
 from ..graph.visibility import stranger_visibility_vector
 from ..learning.accuracy import exact_match_fraction
+from ..learning.oracle import LabelOracle
 from ..learning.results import SessionResult
 from ..learning.session import RiskLearningSession
 from ..resilience import (
@@ -31,6 +33,94 @@ from ..resilience import (
 from ..synth.owners import SimulatedOwner
 from ..synth.population import StudyPopulation
 from ..types import BenefitItem, RiskLabel, UserId
+
+
+@dataclass
+class OwnerSessionPlan:
+    """A reproducible recipe for one owner's learning session.
+
+    The plan captures everything :func:`run_study` derives per owner —
+    the confidence-adjusted config, the theta-weighted benefit model, the
+    (possibly fault-wrapped) oracle and fetcher, and the derived seed —
+    so any consumer that builds a session from the same plan produces
+    byte-identical results.  The serving layer
+    (:class:`~repro.service.RiskEngine`) relies on this to guarantee its
+    scores match a batch study.
+    """
+
+    owner_id: UserId
+    oracle: LabelOracle
+    seed: int
+    session_kwargs: dict[str, Any] = field(default_factory=dict)
+    injector: FaultInjector | None = None
+
+    def build_session(self, graph: SocialGraph) -> RiskLearningSession:
+        """Instantiate the session against the given graph snapshot."""
+        return RiskLearningSession(
+            graph,
+            self.owner_id,
+            self.oracle,
+            seed=self.seed,
+            **self.session_kwargs,
+        )
+
+
+def plan_owner_session(
+    owner: SimulatedOwner,
+    index: int,
+    pooling: Literal["npp", "nsp"] = "npp",
+    classifier: str = "harmonic",
+    config: PipelineConfig | None = None,
+    seed: int = 0,
+    use_owner_confidence: bool = True,
+    edge_similarity_wrapper=None,
+    network_similarity=None,
+    fault_plan: FaultPlan | None = None,
+    retry_policy: RetryPolicy | None = None,
+) -> OwnerSessionPlan:
+    """Derive one owner's session plan exactly as :func:`run_study` does.
+
+    ``index`` is the owner's position in the cohort iteration order; the
+    session seed is ``seed + index``, which is what makes re-built
+    sessions reproduce the batch study byte for byte.
+    """
+    base = config or PipelineConfig()
+    owner_config = base
+    if use_owner_confidence:
+        owner_config = dataclasses.replace(
+            base,
+            learning=dataclasses.replace(
+                base.learning, confidence=owner.confidence
+            ),
+        )
+    benefit_model = BenefitModel(thetas=owner.thetas)
+    oracle: LabelOracle = owner.as_oracle()
+    fetcher = None
+    injector = None
+    if fault_plan is not None and fault_plan.injects_anything:
+        injector = FaultInjector(fault_plan, seed=f"{seed}:{owner.user_id}")
+        policy = retry_policy or RetryPolicy(base_delay=0.0, jitter=0.0)
+        oracle = ResilientOracle(
+            injector.wrap_oracle(oracle), policy=policy, sleeper=no_sleep
+        )
+        fetcher = ResilientFetcher(
+            injector.wrap_source(), policy=policy, sleeper=no_sleep
+        )
+    return OwnerSessionPlan(
+        owner_id=owner.user_id,
+        oracle=oracle,
+        seed=seed + index,
+        session_kwargs=dict(
+            config=owner_config,
+            classifier=classifier,
+            pooling=pooling,
+            benefit_model=benefit_model,
+            edge_similarity_wrapper=edge_similarity_wrapper,
+            network_similarity=network_similarity,
+            fetcher=fetcher,
+        ),
+        injector=injector,
+    )
 
 
 @dataclass(frozen=True)
@@ -212,46 +302,26 @@ def run_study(
         store = CheckpointStore(checkpoint_dir)
     runs: list[OwnerRun] = []
     for index, owner in enumerate(population.owners):
-        owner_config = base
-        if use_owner_confidence:
-            owner_config = dataclasses.replace(
-                base,
-                learning=dataclasses.replace(
-                    base.learning, confidence=owner.confidence
-                ),
-            )
-        benefit_model = BenefitModel(thetas=owner.thetas)
-        oracle = owner.as_oracle()
-        fetcher = None
-        injector = None
-        if fault_plan is not None and fault_plan.injects_anything:
-            injector = FaultInjector(
-                fault_plan, seed=f"{seed}:{owner.user_id}"
-            )
-            policy = retry_policy or RetryPolicy(base_delay=0.0, jitter=0.0)
-            oracle = ResilientOracle(
-                injector.wrap_oracle(oracle), policy=policy, sleeper=no_sleep
-            )
-            fetcher = ResilientFetcher(
-                injector.wrap_source(), policy=policy, sleeper=no_sleep
-            )
-        session = RiskLearningSession(
-            population.graph,
-            owner.user_id,
-            oracle,
-            config=owner_config,
-            classifier=classifier,
+        plan = plan_owner_session(
+            owner,
+            index,
             pooling=pooling,
-            benefit_model=benefit_model,
-            seed=seed + index,
+            classifier=classifier,
+            config=base,
+            seed=seed,
+            use_owner_confidence=use_owner_confidence,
             edge_similarity_wrapper=edge_similarity_wrapper,
             network_similarity=network_similarity,
-            fetcher=fetcher,
+            fault_plan=fault_plan,
+            retry_policy=retry_policy,
         )
+        session = plan.build_session(population.graph)
         checkpointer = None
         if store is not None:
             checkpointer = SessionCheckpointer(
-                store, f"owner-{owner.user_id}-{pooling}", extra_state=injector
+                store,
+                f"owner-{owner.user_id}-{pooling}",
+                extra_state=plan.injector,
             )
             if not resume:
                 checkpointer.reset()

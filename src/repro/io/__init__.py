@@ -20,6 +20,7 @@ from .serialization import (
     load_graph,
     profile_from_dict,
     profile_to_dict,
+    result_digest,
     save_graph,
     session_result_to_dict,
 )
@@ -39,6 +40,7 @@ __all__ = [
     "profile_from_dict",
     "pseudonym",
     "profile_to_dict",
+    "result_digest",
     "save_graph",
     "save_population",
     "save_study",

@@ -8,6 +8,7 @@ dicts) for logging and EXPERIMENTS.md bookkeeping.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from pathlib import Path
 from typing import Any
@@ -101,6 +102,18 @@ def save_graph(graph: SocialGraph, path: str | Path) -> None:
 def load_graph(path: str | Path) -> SocialGraph:
     """Read a graph written by :func:`save_graph`."""
     return graph_from_json(Path(path).read_text(encoding="utf-8"))
+
+
+def result_digest(result: SessionResult) -> str:
+    """Canonical SHA-256 digest of a session result.
+
+    Two results digest equal iff their exported documents are
+    byte-identical — the check the serving layer uses to prove a cached
+    or warm re-score still matches a batch study run.
+    """
+    document = session_result_to_dict(result)
+    canonical = json.dumps(document, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
 def session_result_to_dict(result: SessionResult) -> dict[str, Any]:

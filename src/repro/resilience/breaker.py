@@ -106,6 +106,15 @@ class CircuitBreaker:
             self._state = self.OPEN
             self._opened_at = self._clock()
 
+    def snapshot(self) -> dict[str, object]:
+        """JSON-ready view of the breaker for health/metrics endpoints."""
+        return {
+            "state": self._state,
+            "consecutive_failures": self._consecutive_failures,
+            "failure_threshold": self._failure_threshold,
+            "recovery_time": self._recovery_time,
+        }
+
 
 class Deadline:
     """A wall-clock budget for one stage of work.

@@ -1,0 +1,36 @@
+"""The risk-scoring service: versioned store, cached engine, HTTP front.
+
+The paper motivates on-the-fly risk labels on *dynamic* graphs
+(Section III); this package is the layer that serves them continuously
+instead of re-running the batch study per request:
+
+* :class:`OwnerStore` — registry of owners with versioned graph/profile
+  state; every delta bumps exactly the affected owners' versions;
+* :class:`RiskEngine` — memoizes scores per ``(owner, graph_version)``,
+  re-scores stale owners *warm* through
+  :func:`repro.learning.incremental.continue_session` (prior owner labels
+  reused), and reproduces :func:`repro.experiments.run_study` byte for
+  byte on cold scores;
+* :class:`ScoreScheduler` — bounded worker pool with per-owner
+  serialization and backpressure;
+* :class:`RiskServiceServer` — stdlib ``ThreadingHTTPServer`` JSON API
+  (``/score``, ``/owners``, ``/healthz``, ``/metrics``) wired through the
+  resilience layer; started from the CLI via ``repro-study serve``.
+"""
+
+from .engine import EngineMetrics, RiskEngine, ScoreRecord
+from .http import RiskServiceHandler, RiskServiceServer, build_server
+from .scheduler import ScoreScheduler
+from .store import OwnerEntry, OwnerStore
+
+__all__ = [
+    "EngineMetrics",
+    "OwnerEntry",
+    "OwnerStore",
+    "RiskEngine",
+    "RiskServiceHandler",
+    "RiskServiceServer",
+    "ScoreRecord",
+    "ScoreScheduler",
+    "build_server",
+]

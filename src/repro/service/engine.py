@@ -1,0 +1,314 @@
+"""The embeddable risk-scoring engine: memoized, versioned, warm-starting.
+
+:class:`RiskEngine` turns the batch pipeline into a servable component.
+Scores are memoized per ``(owner, graph_version)``: an unchanged owner is
+served from cache; an owner whose graph changed since the last score is
+re-scored *warm* through
+:func:`repro.learning.incremental.continue_session`, reusing every owner
+label already gathered instead of re-interrogating the oracle from
+scratch; an owner never scored before pays the full cold cost.  Cold
+scores are built from the same :class:`~repro.experiments.OwnerSessionPlan`
+as :func:`repro.experiments.run_study`, so an engine score of a pristine
+owner is byte-identical to the batch study (checked via
+:func:`repro.io.result_digest`).
+
+The engine is thread-safe: per-owner locks serialize concurrent scores of
+the same owner while different owners score in parallel.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Literal
+
+from ..config import PipelineConfig
+from ..experiments.study import plan_owner_session
+from ..io.serialization import result_digest, session_result_to_dict
+from ..learning.incremental import continue_session
+from ..learning.results import SessionResult
+from ..types import UserId
+from .store import OwnerStore
+
+#: How a score was produced: full pipeline, warm re-score, or memo.
+ScoreSource = Literal["cold", "warm", "cache"]
+
+
+@dataclass(frozen=True)
+class ScoreRecord:
+    """One served score: the result plus provenance and accounting."""
+
+    owner_id: UserId
+    version: int
+    source: ScoreSource
+    result: SessionResult
+    digest: str
+    reused_labels: int
+    new_queries: int
+    elapsed_seconds: float
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready view for the ``/score`` endpoint."""
+        return {
+            "owner": self.owner_id,
+            "version": self.version,
+            "source": self.source,
+            "digest": self.digest,
+            "reused_labels": self.reused_labels,
+            "new_queries": self.new_queries,
+            "elapsed_seconds": self.elapsed_seconds,
+            "labels": {
+                str(stranger): int(label)
+                for stranger, label in sorted(
+                    self.result.final_labels().items()
+                )
+            },
+            "session": session_result_to_dict(self.result),
+        }
+
+
+class EngineMetrics:
+    """Thread-safe serving counters for the ``/metrics`` endpoint."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.requests = 0
+        self.cache_hits = 0
+        self.cold_scores = 0
+        self.warm_scores = 0
+        self.errors = 0
+        self.reused_labels = 0
+        self.new_queries = 0
+        self._latency: dict[str, list[float]] = {"cold": [], "warm": []}
+
+    def record_hit(self) -> None:
+        """Count one request served straight from the memo."""
+        with self._lock:
+            self.requests += 1
+            self.cache_hits += 1
+
+    def record_score(
+        self, source: str, elapsed: float, reused: int, queries: int
+    ) -> None:
+        """Count one computed score and its latency/label accounting."""
+        with self._lock:
+            self.requests += 1
+            if source == "cold":
+                self.cold_scores += 1
+            else:
+                self.warm_scores += 1
+            self._latency[source].append(elapsed)
+            self.reused_labels += reused
+            self.new_queries += queries
+
+    def record_error(self) -> None:
+        """Count one request that raised instead of scoring."""
+        with self._lock:
+            self.requests += 1
+            self.errors += 1
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of requests served straight from cache."""
+        with self._lock:
+            if self.requests == 0:
+                return 0.0
+            return self.cache_hits / self.requests
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-ready view of every counter."""
+        with self._lock:
+            def stats(samples: list[float]) -> dict[str, float] | None:
+                if not samples:
+                    return None
+                return {
+                    "count": len(samples),
+                    "mean_seconds": sum(samples) / len(samples),
+                    "max_seconds": max(samples),
+                }
+
+            requests = self.requests
+            return {
+                "requests": requests,
+                "cache_hits": self.cache_hits,
+                "cache_hit_rate": (
+                    self.cache_hits / requests if requests else 0.0
+                ),
+                "cold_scores": self.cold_scores,
+                "warm_scores": self.warm_scores,
+                "errors": self.errors,
+                "reused_labels": self.reused_labels,
+                "new_queries": self.new_queries,
+                "latency": {
+                    "cold": stats(self._latency["cold"]),
+                    "warm": stats(self._latency["warm"]),
+                },
+            }
+
+
+class RiskEngine:
+    """Versioned, memoizing scoring front of the learning pipeline.
+
+    Parameters
+    ----------
+    store:
+        The owner registry; its versions drive cache invalidation.
+    pooling, classifier, config, seed, use_owner_confidence:
+        Study parameters, with the same meaning (and defaults) as in
+        :func:`repro.experiments.run_study`.  A cold engine score with a
+        given ``seed`` equals the batch study's result for that owner.
+    clock:
+        Monotonic time source for latency accounting (injectable).
+    """
+
+    def __init__(
+        self,
+        store: OwnerStore,
+        pooling: str = "npp",
+        classifier: str = "harmonic",
+        config: PipelineConfig | None = None,
+        seed: int = 0,
+        use_owner_confidence: bool = True,
+        clock=time.perf_counter,
+    ) -> None:
+        self._store = store
+        self._pooling = pooling
+        self._classifier = classifier
+        self._config = config
+        self._seed = seed
+        self._use_owner_confidence = use_owner_confidence
+        self._clock = clock
+        self._metrics = EngineMetrics()
+        self._cache: dict[UserId, ScoreRecord] = {}
+        self._owner_locks: dict[UserId, threading.Lock] = {}
+        self._locks_guard = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def store(self) -> OwnerStore:
+        """The backing owner store."""
+        return self._store
+
+    @property
+    def metrics(self) -> EngineMetrics:
+        """Serving counters."""
+        return self._metrics
+
+    def cached(self, owner_id: UserId) -> ScoreRecord | None:
+        """The memoized record for ``owner_id``, fresh or stale."""
+        return self._cache.get(owner_id)
+
+    def owners_overview(self) -> list[dict[str, Any]]:
+        """Store snapshot annotated with cache state (``/owners``)."""
+        overview = []
+        for row in self._store.snapshot():
+            cached = self._cache.get(row["owner"])
+            row["cached_version"] = cached.version if cached else None
+            row["cache_fresh"] = (
+                cached is not None and cached.version == row["version"]
+            )
+            overview.append(row)
+        return overview
+
+    # ------------------------------------------------------------------
+    # scoring
+    # ------------------------------------------------------------------
+    def score(self, owner_id: UserId) -> ScoreRecord:
+        """Serve one owner's score, as cheaply as freshness allows.
+
+        Cache hit → the memoized record.  Stale cache → warm re-score via
+        :func:`~repro.learning.incremental.continue_session` (prior owner
+        labels reused).  No cache → cold full-pipeline run, identical to
+        the batch study.
+
+        Raises
+        ------
+        UnknownOwnerError
+            If ``owner_id`` is not registered with the store.
+        """
+        entry = self._store.get(owner_id)
+        with self._owner_lock(owner_id):
+            version = self._store.version(owner_id)
+            cached = self._cache.get(owner_id)
+            if cached is not None and cached.version == version:
+                self._metrics.record_hit()
+                # provenance of *this response*: served from memo, free
+                return dataclasses.replace(
+                    cached, source="cache", elapsed_seconds=0.0
+                )
+            try:
+                record = self._compute(entry, version, cached)
+            except Exception:
+                self._metrics.record_error()
+                raise
+            self._cache[owner_id] = record
+            self._metrics.record_score(
+                record.source,
+                record.elapsed_seconds,
+                record.reused_labels,
+                record.new_queries,
+            )
+            return record
+
+    def invalidate(self, owner_id: UserId) -> None:
+        """Drop the memoized record (the next score runs cold)."""
+        with self._owner_lock(owner_id):
+            self._cache.pop(owner_id, None)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _compute(
+        self, entry, version: int, cached: ScoreRecord | None
+    ) -> ScoreRecord:
+        plan = plan_owner_session(
+            entry.owner,
+            entry.index,
+            pooling=self._pooling,
+            classifier=self._classifier,
+            config=self._config,
+            seed=self._seed,
+            use_owner_confidence=self._use_owner_confidence,
+        )
+        start = self._clock()
+        if cached is not None:
+            update = continue_session(
+                self._store.graph,
+                plan.owner_id,
+                plan.oracle,
+                cached.result,
+                seed=plan.seed,
+                **plan.session_kwargs,
+            )
+            result = update.result
+            source: ScoreSource = "warm"
+            reused, queries = update.reused_labels, update.new_queries
+        else:
+            result = plan.build_session(self._store.graph).run()
+            source = "cold"
+            reused, queries = 0, result.labels_requested
+        elapsed = self._clock() - start
+        return ScoreRecord(
+            owner_id=entry.owner.user_id,
+            version=version,
+            source=source,
+            result=result,
+            digest=result_digest(result),
+            reused_labels=reused,
+            new_queries=queries,
+            elapsed_seconds=elapsed,
+        )
+
+    def _owner_lock(self, owner_id: UserId) -> threading.Lock:
+        with self._locks_guard:
+            lock = self._owner_locks.get(owner_id)
+            if lock is None:
+                lock = self._owner_locks[owner_id] = threading.Lock()
+            return lock
+
+
+__all__ = ["EngineMetrics", "RiskEngine", "ScoreRecord", "ScoreSource"]

@@ -1,0 +1,237 @@
+"""Stdlib-only JSON HTTP front-end over the risk engine.
+
+A :class:`RiskServiceServer` (``http.server.ThreadingHTTPServer``) exposes
+
+* ``GET /healthz`` — liveness plus owner count;
+* ``GET /metrics`` — engine cache/latency counters, scheduler state, and
+  circuit-breaker state;
+* ``GET /owners`` — registered owners with versions and cache freshness;
+* ``GET /score?owner=<id>`` / ``POST /score`` (``{"owner": <id>}``) — one
+  owner's risk labels, served cold, warm, or from cache.
+
+Requests flow through the resilience layer: each ``/score`` carries a
+:class:`~repro.resilience.Deadline` (504 when the budget runs out) and a
+shared :class:`~repro.resilience.CircuitBreaker` (503 fast-fail while
+scoring is known to be broken); scheduler saturation maps to 503 with
+``Retry-After``.
+"""
+
+from __future__ import annotations
+
+import json
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+from urllib.parse import parse_qs, urlparse
+
+from ..errors import BackpressureError, UnknownOwnerError
+from ..resilience import CircuitBreaker, Deadline
+from .engine import RiskEngine
+from .scheduler import ScoreScheduler
+
+
+class RiskServiceServer(ThreadingHTTPServer):
+    """Threaded HTTP server bound to one engine and scheduler."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        engine: RiskEngine,
+        scheduler: ScoreScheduler,
+        request_timeout: float = 60.0,
+        breaker: CircuitBreaker | None = None,
+        quiet: bool = True,
+    ) -> None:
+        super().__init__(address, RiskServiceHandler)
+        self.engine = engine
+        self.scheduler = scheduler
+        self.request_timeout = request_timeout
+        self.breaker = breaker or CircuitBreaker(
+            failure_threshold=5, recovery_time=5.0
+        )
+        self.quiet = quiet
+
+    @property
+    def url(self) -> str:
+        """The server's base URL (useful with an ephemeral port)."""
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+
+class RiskServiceHandler(BaseHTTPRequestHandler):
+    """Routes the four service endpoints to the engine/scheduler."""
+
+    server: RiskServiceServer
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        """Route GET requests to the four read endpoints."""
+        parsed = urlparse(self.path)
+        if parsed.path == "/healthz":
+            self._respond(200, self._health_document())
+        elif parsed.path == "/metrics":
+            self._respond(200, self._metrics_document())
+        elif parsed.path == "/owners":
+            self._respond(200, {"owners": self.server.engine.owners_overview()})
+        elif parsed.path == "/score":
+            owner_id = self._owner_from_query(parse_qs(parsed.query))
+            if owner_id is not None:
+                self._score(owner_id)
+        else:
+            self._respond(404, {"error": f"unknown path {parsed.path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        """Route POST /score (JSON body) to the scoring path."""
+        parsed = urlparse(self.path)
+        if parsed.path != "/score":
+            self._respond(404, {"error": f"unknown path {parsed.path!r}"})
+            return
+        owner_id = self._owner_from_body()
+        if owner_id is not None:
+            self._score(owner_id)
+
+    # ------------------------------------------------------------------
+    # endpoints
+    # ------------------------------------------------------------------
+    def _health_document(self) -> dict[str, Any]:
+        return {
+            "status": "ok",
+            "owners": len(self.server.engine.store.owner_ids()),
+            "breaker": self.server.breaker.state,
+        }
+
+    def _metrics_document(self) -> dict[str, Any]:
+        return {
+            "engine": self.server.engine.metrics.snapshot(),
+            "scheduler": self.server.scheduler.snapshot(),
+            "breaker": self.server.breaker.snapshot(),
+        }
+
+    def _score(self, owner_id: int) -> None:
+        breaker = self.server.breaker
+        try:
+            breaker.before_call()
+        except Exception as error:
+            self._respond(
+                503, {"error": str(error)}, retry_after=1
+            )
+            return
+        deadline = Deadline(self.server.request_timeout)
+        try:
+            future = self.server.scheduler.submit(owner_id)
+        except BackpressureError as error:
+            breaker.record_failure()
+            self._respond(
+                503,
+                {"error": str(error), "pending": error.pending},
+                retry_after=1,
+            )
+            return
+        try:
+            record = future.result(timeout=deadline.remaining())
+        except FutureTimeoutError:
+            future.cancel()
+            breaker.record_failure()
+            self._respond(
+                504,
+                {
+                    "error": (
+                        f"scoring owner {owner_id} exceeded the "
+                        f"{self.server.request_timeout:.1f}s budget"
+                    )
+                },
+            )
+            return
+        except UnknownOwnerError as error:
+            breaker.record_success()  # the service itself is healthy
+            self._respond(404, {"error": str(error)})
+            return
+        except Exception as error:
+            breaker.record_failure()
+            self._respond(500, {"error": str(error)})
+            return
+        breaker.record_success()
+        self._respond(200, record.to_dict())
+
+    # ------------------------------------------------------------------
+    # request parsing
+    # ------------------------------------------------------------------
+    def _owner_from_query(self, query: dict[str, list[str]]) -> int | None:
+        values = query.get("owner")
+        if not values:
+            self._respond(400, {"error": "missing ?owner=<id>"})
+            return None
+        try:
+            return int(values[0])
+        except ValueError:
+            self._respond(400, {"error": f"invalid owner id {values[0]!r}"})
+            return None
+
+    def _owner_from_body(self) -> int | None:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b""
+        try:
+            body = json.loads(raw.decode("utf-8") or "{}")
+            owner_id = body["owner"]
+        except (json.JSONDecodeError, UnicodeDecodeError, KeyError, TypeError):
+            self._respond(
+                400, {"error": 'body must be JSON like {"owner": <id>}'}
+            )
+            return None
+        try:
+            return int(owner_id)
+        except (ValueError, TypeError):
+            self._respond(400, {"error": f"invalid owner id {owner_id!r}"})
+            return None
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+    def _respond(
+        self,
+        status: int,
+        document: dict[str, Any],
+        retry_after: int | None = None,
+    ) -> None:
+        payload = json.dumps(document).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(payload)))
+        if retry_after is not None:
+            self.send_header("Retry-After", str(retry_after))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        """Suppress per-request access logs unless the server is verbose."""
+        if not self.server.quiet:  # pragma: no cover - debug aid
+            super().log_message(format, *args)
+
+
+def build_server(
+    engine: RiskEngine,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    max_workers: int = 4,
+    max_pending: int = 64,
+    request_timeout: float = 60.0,
+    breaker: CircuitBreaker | None = None,
+) -> RiskServiceServer:
+    """Wire engine → scheduler → HTTP server (port 0 = ephemeral)."""
+    scheduler = ScoreScheduler(
+        engine, max_workers=max_workers, max_pending=max_pending
+    )
+    return RiskServiceServer(
+        (host, port),
+        engine,
+        scheduler,
+        request_timeout=request_timeout,
+        breaker=breaker,
+    )
+
+
+__all__ = ["RiskServiceHandler", "RiskServiceServer", "build_server"]

@@ -1,0 +1,177 @@
+"""Concurrent multi-owner scoring with bounded, per-owner-ordered work.
+
+:class:`ScoreScheduler` drives an engine from a thread pool under two
+invariants a serving deployment needs:
+
+* **per-owner serialization** — requests for the same owner run one at a
+  time, in submission order (a warm re-score must see the previous
+  score's labels, and two cold runs of one owner would duplicate oracle
+  effort);
+* **backpressure** — the number of in-flight plus queued requests is
+  bounded; past the bound, :meth:`submit` fails fast with
+  :class:`~repro.errors.BackpressureError` instead of queueing without
+  limit (the HTTP layer maps this to *503, retry later*).
+
+Different owners score concurrently up to ``max_workers``.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Any
+
+from ..errors import BackpressureError, ServiceError
+from ..types import UserId
+
+
+class ScoreScheduler:
+    """Bounded worker pool serializing work per owner.
+
+    Parameters
+    ----------
+    engine:
+        Anything with ``score(owner_id) -> result``; normally a
+        :class:`~repro.service.RiskEngine`.
+    max_workers:
+        Concurrent scoring threads.
+    max_pending:
+        Bound on in-flight plus queued requests (the backpressure knob).
+    """
+
+    def __init__(
+        self,
+        engine,
+        max_workers: int = 4,
+        max_pending: int = 64,
+    ) -> None:
+        if max_workers < 1:
+            raise ServiceError(f"max_workers must be >= 1, got {max_workers}")
+        if max_pending < 1:
+            raise ServiceError(f"max_pending must be >= 1, got {max_pending}")
+        self._engine = engine
+        self._max_pending = max_pending
+        self._executor = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="risk-score"
+        )
+        self._lock = threading.Lock()
+        self._pending = 0
+        self._queues: dict[UserId, deque[Future]] = {}
+        self._busy: set[UserId] = set()
+        self._shutdown = False
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+    def submit(self, owner_id: UserId) -> "Future[Any]":
+        """Enqueue one scoring request; returns a future for its record.
+
+        Raises
+        ------
+        BackpressureError
+            When the bounded queue is full (or the pool is shut down).
+        """
+        with self._lock:
+            if self._shutdown:
+                raise BackpressureError(
+                    "scheduler is shut down", pending=self._pending
+                )
+            if self._pending >= self._max_pending:
+                raise BackpressureError(
+                    f"scheduler saturated: {self._pending} requests pending "
+                    f"(bound {self._max_pending})",
+                    pending=self._pending,
+                )
+            self._pending += 1
+            future: Future = Future()
+            if owner_id in self._busy:
+                self._queues.setdefault(owner_id, deque()).append(future)
+            else:
+                self._busy.add(owner_id)
+                self._executor.submit(self._run, owner_id, future)
+            return future
+
+    def score(self, owner_id: UserId, timeout: float | None = None):
+        """Blocking convenience wrapper: submit and wait for the record."""
+        return self.submit(owner_id).result(timeout=timeout)
+
+    # ------------------------------------------------------------------
+    # introspection / lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def pending(self) -> int:
+        """In-flight plus queued requests right now."""
+        with self._lock:
+            return self._pending
+
+    @property
+    def max_pending(self) -> int:
+        """The backpressure bound."""
+        return self._max_pending
+
+    def snapshot(self) -> dict[str, int]:
+        """JSON-ready scheduler state for the ``/metrics`` endpoint."""
+        with self._lock:
+            return {
+                "pending": self._pending,
+                "max_pending": self._max_pending,
+                "owners_in_flight": len(self._busy),
+            }
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop accepting work; optionally wait for in-flight requests."""
+        with self._lock:
+            self._shutdown = True
+        self._executor.shutdown(wait=wait)
+
+    def __enter__(self) -> "ScoreScheduler":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _run(self, owner_id: UserId, future: Future) -> None:
+        if not future.set_running_or_notify_cancel():
+            self._finish(owner_id)
+            return
+        try:
+            record = self._engine.score(owner_id)
+        except BaseException as error:  # delivered via the future
+            future.set_exception(error)
+        else:
+            future.set_result(record)
+        finally:
+            self._finish(owner_id)
+
+    def _finish(self, owner_id: UserId) -> None:
+        with self._lock:
+            self._pending -= 1
+            queue = self._queues.get(owner_id)
+            if queue and not self._shutdown:
+                next_future = queue.popleft()
+                if not queue:
+                    del self._queues[owner_id]
+                try:
+                    self._executor.submit(self._run, owner_id, next_future)
+                except RuntimeError:  # pool shut down under us
+                    self._pending -= 1
+                    self._busy.discard(owner_id)
+                    next_future.set_exception(
+                        BackpressureError("scheduler is shut down")
+                    )
+                return
+            if queue:  # shutting down: fail the whole backlog
+                del self._queues[owner_id]
+                for orphan in queue:
+                    self._pending -= 1
+                    orphan.set_exception(
+                        BackpressureError("scheduler is shut down")
+                    )
+            self._busy.discard(owner_id)
+
+
+__all__ = ["ScoreScheduler"]

@@ -1,0 +1,197 @@
+"""Versioned owner registry backing the risk-scoring service.
+
+The batch harness (:func:`repro.experiments.run_study`) treats the graph
+as a frozen snapshot; a serving deployment cannot — friendships arrive,
+profiles change, new strangers appear while scores are being consumed.
+:class:`OwnerStore` is the mutation boundary that makes this safe: every
+graph or profile delta goes through the store, which maps the touched
+users to the owners whose 2-hop world they belong to and bumps those
+owners' *graph versions*.  The engine keys its caches on
+``(owner, version)``, so a bump is exactly a cache invalidation — and
+only for the affected owners.
+
+Ego networks in a generated cohort are disjoint, so each user starts out
+in exactly one owner's universe; edges added later may join universes,
+and the store widens membership accordingly (an endpoint of a new edge
+becomes 2-hop-visible to the other endpoint's owners).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+from ..errors import UnknownOwnerError
+from ..graph.profile import Profile
+from ..graph.social_graph import SocialGraph
+from ..synth.owners import SimulatedOwner
+from ..synth.population import StudyPopulation
+from ..types import UserId
+
+
+@dataclass
+class OwnerEntry:
+    """One registered owner: identity, cohort position, and freshness.
+
+    ``index`` is the owner's position in the registration order; it
+    drives the per-owner session seed (``base_seed + index``), mirroring
+    :func:`repro.experiments.run_study`'s enumeration so served scores
+    reproduce the batch study.  ``version`` counts the deltas that have
+    touched this owner's universe since registration.
+    """
+
+    owner: SimulatedOwner
+    index: int
+    version: int = 0
+    universe: set[UserId] = field(default_factory=set)
+
+
+class OwnerStore:
+    """Thread-safe registry of owners over one shared social graph.
+
+    All mutations of the underlying graph must go through the store so
+    that owner versions stay truthful.  Reads of the graph itself are
+    lock-free (scoring holds no store lock while it computes).
+    """
+
+    def __init__(self, graph: SocialGraph) -> None:
+        self._graph = graph
+        self._entries: dict[UserId, OwnerEntry] = {}
+        self._user_owners: dict[UserId, set[UserId]] = {}
+        self._lock = threading.RLock()
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_population(cls, population: StudyPopulation) -> "OwnerStore":
+        """Register every owner of a generated cohort.
+
+        Each owner's universe is seeded from the generator's handle:
+        the owner, their friends, and their strangers.
+        """
+        store = cls(population.graph)
+        for owner in population.owners:
+            handle = population.handles[owner.user_id]
+            universe = {owner.user_id, *handle.friends, *handle.strangers}
+            store.register(owner, universe=universe)
+        return store
+
+    def register(
+        self,
+        owner: SimulatedOwner,
+        universe: set[UserId] | frozenset[UserId] | None = None,
+    ) -> OwnerEntry:
+        """Register one owner; the registration order fixes its index."""
+        with self._lock:
+            entry = OwnerEntry(
+                owner=owner,
+                index=len(self._entries),
+                universe=set(universe or {owner.user_id}),
+            )
+            self._entries[owner.user_id] = entry
+            for user in entry.universe:
+                self._user_owners.setdefault(user, set()).add(owner.user_id)
+            return entry
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> SocialGraph:
+        """The shared social graph (mutate only via the store)."""
+        return self._graph
+
+    def owner_ids(self) -> tuple[UserId, ...]:
+        """Registered owner ids in registration order."""
+        with self._lock:
+            return tuple(self._entries)
+
+    def get(self, owner_id: UserId) -> OwnerEntry:
+        """The entry for ``owner_id``; raises :class:`UnknownOwnerError`."""
+        with self._lock:
+            try:
+                return self._entries[owner_id]
+            except KeyError:
+                raise UnknownOwnerError(owner_id) from None
+
+    def version(self, owner_id: UserId) -> int:
+        """Current graph version of one owner."""
+        return self.get(owner_id).version
+
+    def owners_of(self, user_id: UserId) -> frozenset[UserId]:
+        """Owners whose universe contains ``user_id``."""
+        with self._lock:
+            return frozenset(self._user_owners.get(user_id, ()))
+
+    # ------------------------------------------------------------------
+    # mutations (each bumps the affected owners' versions)
+    # ------------------------------------------------------------------
+    def add_user(self, profile: Profile, owner_id: UserId) -> None:
+        """Add a new user to the graph, inside one owner's universe."""
+        with self._lock:
+            entry = self.get(owner_id)
+            self._graph.add_user(profile)
+            entry.universe.add(profile.user_id)
+            self._user_owners.setdefault(profile.user_id, set()).add(owner_id)
+            entry.version += 1
+
+    def update_profile(self, profile: Profile) -> frozenset[UserId]:
+        """Replace a user's profile; returns the owners invalidated."""
+        with self._lock:
+            self._graph.add_user(profile)
+            return self._bump(self.owners_of(profile.user_id))
+
+    def add_friendship(self, a: UserId, b: UserId) -> frozenset[UserId]:
+        """Create the edge ``{a, b}``; returns the owners invalidated.
+
+        Both endpoints join the universe of every affected owner: a new
+        edge can pull the far endpoint into 2-hop view.
+        """
+        with self._lock:
+            affected = self.owners_of(a) | self.owners_of(b)
+            self._graph.add_friendship(a, b)
+            for owner_id in affected:
+                entry = self._entries[owner_id]
+                for user in (a, b):
+                    if user not in entry.universe:
+                        entry.universe.add(user)
+                        self._user_owners.setdefault(user, set()).add(owner_id)
+            return self._bump(affected)
+
+    def remove_friendship(self, a: UserId, b: UserId) -> frozenset[UserId]:
+        """Remove the edge ``{a, b}``; returns the owners invalidated."""
+        with self._lock:
+            self._graph.remove_friendship(a, b)
+            return self._bump(self.owners_of(a) | self.owners_of(b))
+
+    def touch(self, owner_id: UserId) -> int:
+        """Manually invalidate one owner; returns the new version."""
+        with self._lock:
+            entry = self.get(owner_id)
+            entry.version += 1
+            return entry.version
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def snapshot(self) -> list[dict[str, object]]:
+        """JSON-ready per-owner summary for the ``/owners`` endpoint."""
+        with self._lock:
+            return [
+                {
+                    "owner": owner_id,
+                    "version": entry.version,
+                    "universe_size": len(entry.universe),
+                    "confidence": entry.owner.confidence,
+                }
+                for owner_id, entry in self._entries.items()
+            ]
+
+    def _bump(self, owner_ids: frozenset[UserId]) -> frozenset[UserId]:
+        for owner_id in owner_ids:
+            self._entries[owner_id].version += 1
+        return owner_ids
+
+
+__all__ = ["OwnerEntry", "OwnerStore"]

@@ -1,0 +1,29 @@
+"""Standardized Hypothesis settings profiles for the property tests.
+
+Import these instead of writing inline ``@settings(max_examples=...)``
+so test intensity is tuned in one place:
+
+    from .property_settings import STANDARD_SETTINGS
+
+    @given(...)
+    @STANDARD_SETTINGS
+    def test_invariant(...): ...
+
+Tiers (all with ``deadline=None`` — graph generation dominates runtime
+and wall-clock deadlines only make the suite flaky under load):
+
+- ``QUICK_SETTINGS``: 20 examples — cheap validation properties where
+  more examples add little value;
+- ``SLOW_SETTINGS``: 30 examples — properties whose per-example cost is
+  high (full clustering or classification runs);
+- ``STANDARD_SETTINGS``: 40 examples — regular property tests;
+- ``THOROUGH_SETTINGS``: 60 examples — load-bearing numeric invariants
+  (entropy, RMSE, harmonic bounds) worth the extra search.
+"""
+
+from hypothesis import settings
+
+QUICK_SETTINGS = settings(max_examples=20, deadline=None)
+SLOW_SETTINGS = settings(max_examples=30, deadline=None)
+STANDARD_SETTINGS = settings(max_examples=40, deadline=None)
+THOROUGH_SETTINGS = settings(max_examples=60, deadline=None)

@@ -1,0 +1,158 @@
+"""Tests for the memoizing risk engine.
+
+Covers the two acceptance criteria of the service PR: cold engine scores
+are byte-identical to the batch study, and graph deltas invalidate
+exactly the affected owners (served warm, with prior labels reused).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import UnknownOwnerError
+from repro.io import result_digest
+from repro.service import OwnerStore, RiskEngine
+
+from .conftest import SERVICE_SEED
+
+
+def owner_ids_of(population):
+    return [owner.user_id for owner in population.owners]
+
+
+def strangers_of(population, owner_id):
+    return sorted(population.handles[owner_id].strangers)
+
+
+class TestBatchEquivalence:
+    def test_cold_scores_match_run_study_byte_for_byte(
+        self, population, npp_study
+    ):
+        # same cohort, same seed (the npp_study fixture uses seed=5)
+        engine = RiskEngine(OwnerStore.from_population(population), seed=5)
+        for run in npp_study.runs:
+            record = engine.score(run.owner.user_id)
+            assert record.source == "cold"
+            assert record.digest == result_digest(run.result)
+            assert record.result.final_labels() == run.result.final_labels()
+
+
+class TestCaching:
+    def test_second_score_is_a_cache_hit(self, service_engine):
+        owner_id = service_engine.store.owner_ids()[0]
+        first = service_engine.score(owner_id)
+        second = service_engine.score(owner_id)
+        assert first.source == "cold"
+        assert second.source == "cache"
+        assert second.digest == first.digest
+        assert second.elapsed_seconds == 0.0
+
+    def test_cache_hit_rate_counts_hits(self, service_engine):
+        owner_id = service_engine.store.owner_ids()[0]
+        service_engine.score(owner_id)
+        service_engine.score(owner_id)
+        service_engine.score(owner_id)
+        metrics = service_engine.metrics
+        assert metrics.requests == 3
+        assert metrics.cache_hits == 2
+        assert metrics.hit_rate == pytest.approx(2 / 3)
+
+    def test_invalidate_forces_a_cold_rerun(self, service_engine):
+        owner_id = service_engine.store.owner_ids()[0]
+        first = service_engine.score(owner_id)
+        service_engine.invalidate(owner_id)
+        assert service_engine.cached(owner_id) is None
+        again = service_engine.score(owner_id)
+        assert again.source == "cold"
+        assert again.digest == first.digest  # same graph, same seed
+
+    def test_unknown_owner_raises(self, service_engine):
+        with pytest.raises(UnknownOwnerError):
+            service_engine.score(424_242)
+
+
+class TestDeltaInvalidation:
+    def test_delta_rescores_only_the_affected_owner(
+        self, service_population, service_store, service_engine
+    ):
+        first, second = owner_ids_of(service_population)
+        cold_first = service_engine.score(first)
+        cold_second = service_engine.score(second)
+
+        s1, s2 = strangers_of(service_population, first)[:2]
+        affected = service_store.add_friendship(s1, s2)
+        assert affected == {first}
+
+        warm = service_engine.score(first)
+        assert warm.source == "warm"
+        assert warm.version == 1
+        # prior owner labels came for free
+        assert 0 < warm.reused_labels <= cold_first.result.labels_requested
+
+        untouched = service_engine.score(second)
+        assert untouched.source == "cache"
+        assert untouched.digest == cold_second.digest
+
+    def test_warm_record_becomes_the_new_cache_entry(
+        self, service_population, service_store, service_engine
+    ):
+        first = owner_ids_of(service_population)[0]
+        service_engine.score(first)
+        service_store.touch(first)
+        warm = service_engine.score(first)
+        assert warm.source == "warm"
+        hit = service_engine.score(first)
+        assert hit.source == "cache"
+        assert hit.digest == warm.digest
+
+    def test_metrics_account_cold_warm_and_reuse(
+        self, service_population, service_store, service_engine
+    ):
+        first = owner_ids_of(service_population)[0]
+        cold = service_engine.score(first)
+        service_store.touch(first)
+        service_engine.score(first)
+        snapshot = service_engine.metrics.snapshot()
+        assert snapshot["cold_scores"] == 1
+        assert snapshot["warm_scores"] == 1
+        assert 0 < snapshot["reused_labels"] <= cold.result.labels_requested
+        assert snapshot["latency"]["cold"]["count"] == 1
+        assert snapshot["latency"]["warm"]["count"] == 1
+
+
+class TestOverview:
+    def test_owners_overview_tracks_cache_freshness(
+        self, service_population, service_store, service_engine
+    ):
+        first, second = owner_ids_of(service_population)
+        service_engine.score(first)
+        service_store.touch(first)
+        by_owner = {
+            row["owner"]: row for row in service_engine.owners_overview()
+        }
+        assert by_owner[first]["cached_version"] == 0
+        assert by_owner[first]["cache_fresh"] is False
+        assert by_owner[second]["cached_version"] is None
+        assert by_owner[second]["cache_fresh"] is False
+        service_engine.score(first)
+        by_owner = {
+            row["owner"]: row for row in service_engine.owners_overview()
+        }
+        assert by_owner[first]["cache_fresh"] is True
+
+    def test_score_record_to_dict_is_json_shaped(self, service_engine):
+        owner_id = service_engine.store.owner_ids()[0]
+        document = service_engine.score(owner_id).to_dict()
+        assert document["owner"] == owner_id
+        assert document["source"] == "cold"
+        assert document["version"] == 0
+        assert isinstance(document["digest"], str)
+        assert document["labels"]  # non-empty {stranger: label}
+        assert all(isinstance(key, str) for key in document["labels"])
+        assert "session" in document
+
+
+def test_engine_seed_fixture_matches(service_engine):
+    # guards the conftest wiring the delta tests rely on
+    assert service_engine.store.owner_ids()
+    assert SERVICE_SEED == 17

@@ -1,0 +1,187 @@
+"""Tests for the JSON HTTP front-end, run against in-process servers."""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.resilience import CircuitBreaker
+from repro.service import RiskServiceServer, ScoreScheduler, build_server
+
+from .test_scheduler import GatedEngine
+
+
+def get(url: str):
+    """GET a URL; returns (status, document) even for error responses."""
+    try:
+        with urllib.request.urlopen(url, timeout=30) as response:
+            return response.status, json.loads(response.read()), response
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read()), error
+
+
+def post(url: str, document: dict):
+    payload = json.dumps(document).encode("utf-8")
+    request = urllib.request.Request(
+        url,
+        data=payload,
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def serve(server: RiskServiceServer):
+    """Run a server on a daemon thread until the calling test is done."""
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    return thread
+
+
+@pytest.fixture(scope="module")
+def live_server():
+    """One real engine behind a live HTTP server, shared by the module.
+
+    Module scope keeps the cold-scoring cost down; the endpoint tests are
+    all read-only (and cache hits besides the first score).
+    """
+    from repro.service import OwnerStore, RiskEngine
+
+    from .conftest import SERVICE_SEED, make_service_population
+
+    population = make_service_population()
+    store = OwnerStore.from_population(population)
+    engine = RiskEngine(store, seed=SERVICE_SEED)
+    server = build_server(engine, max_workers=2, max_pending=8)
+    thread = serve(server)
+    yield server
+    server.shutdown()
+    server.server_close()
+    server.scheduler.shutdown(wait=False)
+    thread.join(timeout=10)
+
+
+class TestEndpoints:
+    def test_healthz(self, live_server):
+        status, document, _ = get(f"{live_server.url}/healthz")
+        assert status == 200
+        assert document["status"] == "ok"
+        assert document["owners"] == 2
+        assert document["breaker"] == "closed"
+
+    def test_owners_lists_the_cohort(self, live_server):
+        status, document, _ = get(f"{live_server.url}/owners")
+        assert status == 200
+        assert len(document["owners"]) == 2
+        for row in document["owners"]:
+            assert {"owner", "version", "cache_fresh"} <= set(row)
+
+    def test_get_score_then_cache_hit(self, live_server):
+        owner_id = live_server.engine.store.owner_ids()[0]
+        status, first, _ = get(f"{live_server.url}/score?owner={owner_id}")
+        assert status == 200
+        assert first["owner"] == owner_id
+        assert first["labels"]
+        status, second, _ = get(f"{live_server.url}/score?owner={owner_id}")
+        assert status == 200
+        assert second["source"] == "cache"
+        assert second["digest"] == first["digest"]
+
+    def test_post_score(self, live_server):
+        owner_id = live_server.engine.store.owner_ids()[0]
+        status, document = post(
+            f"{live_server.url}/score", {"owner": owner_id}
+        )
+        assert status == 200
+        assert document["owner"] == owner_id
+
+    def test_metrics_exposes_all_three_layers(self, live_server):
+        status, document, _ = get(f"{live_server.url}/metrics")
+        assert status == 200
+        assert set(document) == {"engine", "scheduler", "breaker"}
+        assert 0.0 <= document["engine"]["cache_hit_rate"] <= 1.0
+        assert document["scheduler"]["max_pending"] == 8
+        assert document["breaker"]["state"] == "closed"
+
+    def test_bad_requests(self, live_server):
+        status, document, _ = get(f"{live_server.url}/score")
+        assert status == 400
+        status, document, _ = get(f"{live_server.url}/score?owner=banana")
+        assert status == 400
+        status, document = post(f"{live_server.url}/score", {"who": 3})
+        assert status == 400
+        status, document, _ = get(f"{live_server.url}/nope")
+        assert status == 404
+        assert "unknown path" in document["error"]
+
+    def test_unknown_owner_is_404(self, live_server):
+        status, document, _ = get(f"{live_server.url}/score?owner=987654")
+        assert status == 404
+        assert "987654" in document["error"]
+        # a 404 is a healthy service, not a failure
+        assert live_server.breaker.state == "closed"
+
+
+class TestResilienceMapping:
+    def test_saturation_maps_to_503_with_retry_after(self):
+        engine = GatedEngine()
+        scheduler = ScoreScheduler(engine, max_workers=1, max_pending=1)
+        server = RiskServiceServer(("127.0.0.1", 0), engine, scheduler)
+        thread = serve(server)
+        try:
+            blocked = threading.Thread(
+                target=get, args=(f"{server.url}/score?owner=1",)
+            )
+            blocked.start()
+            # wait until the first request is actually scoring
+            deadline = time.monotonic() + 10
+            while not engine.running_now() and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert engine.running_now()
+            status, document, response = get(f"{server.url}/score?owner=2")
+            assert status == 503
+            assert response.headers["Retry-After"] == "1"
+            assert "saturated" in document["error"]
+        finally:
+            engine.gate.set()
+            blocked.join(timeout=10)
+            server.shutdown()
+            server.server_close()
+            scheduler.shutdown(wait=False)
+            thread.join(timeout=10)
+
+    def test_deadline_maps_to_504_and_breaker_opens(self):
+        engine = GatedEngine()
+        scheduler = ScoreScheduler(engine, max_workers=1, max_pending=4)
+        breaker = CircuitBreaker(failure_threshold=1, recovery_time=300.0)
+        server = RiskServiceServer(
+            ("127.0.0.1", 0),
+            engine,
+            scheduler,
+            request_timeout=0.2,
+            breaker=breaker,
+        )
+        thread = serve(server)
+        try:
+            status, document, _ = get(f"{server.url}/score?owner=1")
+            assert status == 504
+            assert "budget" in document["error"]
+            # one failure trips the threshold-1 breaker: fast 503s now
+            status, document, _ = get(f"{server.url}/score?owner=1")
+            assert status == 503
+            assert breaker.state == "open"
+        finally:
+            engine.gate.set()
+            server.shutdown()
+            server.server_close()
+            scheduler.shutdown(wait=False)
+            thread.join(timeout=10)

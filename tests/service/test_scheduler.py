@@ -1,0 +1,214 @@
+"""Tests for the bounded, per-owner-serialized score scheduler.
+
+Uses gated fake engines (threading.Event) so concurrency and
+backpressure are exercised deterministically, without real scoring cost.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import NamedTuple
+
+import pytest
+
+from repro.errors import BackpressureError, ServiceError, UnknownOwnerError
+from repro.service import ScoreScheduler
+
+
+class FakeRecord(NamedTuple):
+    """Tuple-shaped stand-in for a ScoreRecord (the HTTP layer needs
+    ``to_dict``; the scheduler tests index it)."""
+
+    owner_id: int
+    sequence: int
+
+    def to_dict(self) -> dict[str, int]:
+        return {"owner": self.owner_id, "sequence": self.sequence}
+
+
+class GatedEngine:
+    """Fake engine: every ``score`` blocks until ``gate`` is set."""
+
+    def __init__(self):
+        self.gate = threading.Event()
+        self._lock = threading.Lock()
+        self._counter = 0
+        self._in_call: set[int] = set()
+        self.overlapped: list[int] = []
+        self.calls: list[FakeRecord] = []
+
+    def score(self, owner_id: int) -> FakeRecord:
+        with self._lock:
+            if owner_id in self._in_call:  # per-owner serialization broken
+                self.overlapped.append(owner_id)
+            self._in_call.add(owner_id)
+        self.gate.wait(timeout=10)
+        with self._lock:
+            self._counter += 1
+            call = FakeRecord(owner_id, self._counter)
+            self.calls.append(call)
+            self._in_call.discard(owner_id)
+        return call
+
+    def running_now(self) -> set[int]:
+        with self._lock:
+            return set(self._in_call)
+
+
+class InstantEngine:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counter = 0
+
+    def score(self, owner_id: int) -> FakeRecord:
+        with self._lock:
+            self._counter += 1
+            return FakeRecord(owner_id, self._counter)
+
+
+class FailingEngine:
+    def score(self, owner_id: int):
+        if owner_id == 404:
+            raise UnknownOwnerError(owner_id)
+        raise ValueError(f"boom for {owner_id}")
+
+
+def drain(*futures, timeout=10):
+    return [future.result(timeout=timeout) for future in futures]
+
+
+class TestBackpressure:
+    def test_submit_past_the_bound_fails_fast(self):
+        engine = GatedEngine()
+        scheduler = ScoreScheduler(engine, max_workers=1, max_pending=2)
+        try:
+            first = scheduler.submit(1)
+            second = scheduler.submit(2)
+            assert scheduler.pending == 2
+            with pytest.raises(BackpressureError) as excinfo:
+                scheduler.submit(3)
+            assert excinfo.value.pending == 2
+        finally:
+            engine.gate.set()
+            drain(first, second)
+            scheduler.shutdown()
+
+    def test_capacity_recovers_after_the_queue_drains(self):
+        engine = GatedEngine()
+        scheduler = ScoreScheduler(engine, max_workers=1, max_pending=1)
+        try:
+            first = scheduler.submit(1)
+            with pytest.raises(BackpressureError):
+                scheduler.submit(1)
+            engine.gate.set()
+            first.result(timeout=10)
+            # the slot frees up once the in-flight request finishes
+            deadline = time.monotonic() + 10
+            while scheduler.pending and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert scheduler.score(1, timeout=10)[0] == 1
+        finally:
+            engine.gate.set()
+            scheduler.shutdown()
+
+    def test_snapshot_reports_pending_and_bound(self):
+        engine = GatedEngine()
+        scheduler = ScoreScheduler(engine, max_workers=2, max_pending=8)
+        try:
+            futures = [scheduler.submit(1), scheduler.submit(2)]
+            snapshot = scheduler.snapshot()
+            assert snapshot["pending"] == 2
+            assert snapshot["max_pending"] == 8
+            assert snapshot["owners_in_flight"] == 2
+        finally:
+            engine.gate.set()
+            drain(*futures)
+            scheduler.shutdown()
+
+
+class TestOrdering:
+    def test_same_owner_requests_run_serially_in_fifo_order(self):
+        engine = GatedEngine()
+        scheduler = ScoreScheduler(engine, max_workers=4, max_pending=16)
+        try:
+            futures = [scheduler.submit(7) for _ in range(5)]
+            engine.gate.set()
+            sequences = [future.result(timeout=10)[1] for future in futures]
+            assert sequences == sorted(sequences)  # FIFO per owner
+            assert engine.overlapped == []  # never two at once
+        finally:
+            scheduler.shutdown()
+
+    def test_different_owners_score_concurrently(self):
+        engine = GatedEngine()
+        scheduler = ScoreScheduler(engine, max_workers=2, max_pending=8)
+        try:
+            futures = [scheduler.submit(1), scheduler.submit(2)]
+            # both must be *inside* score() before the gate opens
+            deadline = time.monotonic() + 10
+            while (
+                len(engine.running_now()) < 2
+                and time.monotonic() < deadline
+            ):
+                time.sleep(0.01)
+            assert engine.running_now() == {1, 2}
+            assert scheduler.snapshot()["owners_in_flight"] == 2
+            engine.gate.set()
+            assert {result[0] for result in drain(*futures)} == {1, 2}
+        finally:
+            engine.gate.set()
+            scheduler.shutdown()
+
+
+class TestErrorsAndLifecycle:
+    def test_engine_exceptions_propagate_through_the_future(self):
+        scheduler = ScoreScheduler(FailingEngine(), max_workers=1)
+        try:
+            with pytest.raises(ValueError, match="boom for 1"):
+                scheduler.score(1, timeout=10)
+            with pytest.raises(UnknownOwnerError):
+                scheduler.score(404, timeout=10)
+        finally:
+            scheduler.shutdown()
+
+    def test_blocking_score_returns_the_record(self):
+        scheduler = ScoreScheduler(InstantEngine(), max_workers=2)
+        try:
+            assert scheduler.score(5, timeout=10)[0] == 5
+        finally:
+            scheduler.shutdown()
+
+    def test_submit_after_shutdown_is_backpressure(self):
+        scheduler = ScoreScheduler(InstantEngine(), max_workers=1)
+        scheduler.shutdown()
+        with pytest.raises(BackpressureError):
+            scheduler.submit(1)
+
+    def test_shutdown_fails_the_queued_backlog(self):
+        engine = GatedEngine()
+        scheduler = ScoreScheduler(engine, max_workers=1, max_pending=8)
+        in_flight = scheduler.submit(1)
+        queued = [scheduler.submit(1), scheduler.submit(1)]
+        scheduler.shutdown(wait=False)
+        engine.gate.set()
+        assert in_flight.result(timeout=10)[0] == 1
+        for orphan in queued:
+            with pytest.raises(BackpressureError):
+                orphan.result(timeout=10)
+        deadline = time.monotonic() + 10
+        while scheduler.pending and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert scheduler.pending == 0
+
+    def test_context_manager_shuts_down(self):
+        with ScoreScheduler(InstantEngine(), max_workers=1) as scheduler:
+            assert scheduler.score(3, timeout=10)[0] == 3
+        with pytest.raises(BackpressureError):
+            scheduler.submit(3)
+
+    def test_invalid_bounds_are_rejected(self):
+        with pytest.raises(ServiceError):
+            ScoreScheduler(InstantEngine(), max_workers=0)
+        with pytest.raises(ServiceError):
+            ScoreScheduler(InstantEngine(), max_pending=0)

@@ -1,0 +1,151 @@
+"""Tests for the versioned owner store."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import UnknownOwnerError
+from repro.service import OwnerStore
+
+from ..conftest import make_profile
+
+
+def owner_ids_of(population):
+    return [owner.user_id for owner in population.owners]
+
+
+def strangers_of(population, owner_id):
+    return sorted(population.handles[owner_id].strangers)
+
+
+class TestRegistration:
+    def test_from_population_registers_every_owner(
+        self, service_population, service_store
+    ):
+        assert list(service_store.owner_ids()) == owner_ids_of(
+            service_population
+        )
+
+    def test_registration_order_fixes_index(
+        self, service_population, service_store
+    ):
+        for index, owner_id in enumerate(owner_ids_of(service_population)):
+            assert service_store.get(owner_id).index == index
+
+    def test_universe_covers_the_ego_net(
+        self, service_population, service_store
+    ):
+        owner_id = owner_ids_of(service_population)[0]
+        handle = service_population.handles[owner_id]
+        universe = service_store.get(owner_id).universe
+        assert owner_id in universe
+        assert set(handle.friends) <= universe
+        assert set(handle.strangers) <= universe
+
+    def test_fresh_owners_start_at_version_zero(
+        self, service_population, service_store
+    ):
+        for owner_id in owner_ids_of(service_population):
+            assert service_store.version(owner_id) == 0
+
+    def test_unknown_owner_raises(self, service_store):
+        with pytest.raises(UnknownOwnerError) as excinfo:
+            service_store.get(999_999)
+        assert excinfo.value.owner_id == 999_999
+
+    def test_owners_of_maps_strangers_to_their_owner(
+        self, service_population, service_store
+    ):
+        owner_id = owner_ids_of(service_population)[0]
+        stranger = strangers_of(service_population, owner_id)[0]
+        assert service_store.owners_of(stranger) == {owner_id}
+
+    def test_owners_of_unknown_user_is_empty(self, service_store):
+        assert service_store.owners_of(123_456_789) == frozenset()
+
+
+class TestDeltas:
+    def test_edge_inside_one_universe_bumps_only_that_owner(
+        self, service_population, service_store
+    ):
+        first, second = owner_ids_of(service_population)
+        s1, s2 = strangers_of(service_population, first)[:2]
+        affected = service_store.add_friendship(s1, s2)
+        assert affected == {first}
+        assert service_store.version(first) == 1
+        assert service_store.version(second) == 0
+
+    def test_cross_universe_edge_bumps_both_owners_and_widens(
+        self, service_population, service_store
+    ):
+        first, second = owner_ids_of(service_population)
+        s1 = strangers_of(service_population, first)[0]
+        s2 = strangers_of(service_population, second)[0]
+        affected = service_store.add_friendship(s1, s2)
+        assert affected == {first, second}
+        # each endpoint is now 2-hop-visible to the other owner's world
+        assert s2 in service_store.get(first).universe
+        assert s1 in service_store.get(second).universe
+        assert service_store.owners_of(s1) == {first, second}
+
+    def test_remove_friendship_bumps_affected_owners(
+        self, service_population, service_store
+    ):
+        first, second = owner_ids_of(service_population)
+        s1, s2 = strangers_of(service_population, first)[:2]
+        service_store.add_friendship(s1, s2)
+        affected = service_store.remove_friendship(s1, s2)
+        assert affected == {first}
+        assert service_store.version(first) == 2
+        assert service_store.version(second) == 0
+
+    def test_update_profile_invalidates_the_hosting_owner(
+        self, service_population, service_store
+    ):
+        first, second = owner_ids_of(service_population)
+        stranger = strangers_of(service_population, first)[0]
+        affected = service_store.update_profile(
+            make_profile(stranger, locale="TR")
+        )
+        assert affected == {first}
+        assert service_store.version(first) == 1
+        assert service_store.version(second) == 0
+
+    def test_add_user_joins_one_universe(
+        self, service_population, service_store
+    ):
+        first, second = owner_ids_of(service_population)
+        newcomer = max(service_store.graph.users()) + 1
+        service_store.add_user(make_profile(newcomer), owner_id=first)
+        assert newcomer in service_store.get(first).universe
+        assert service_store.owners_of(newcomer) == {first}
+        assert service_store.version(first) == 1
+        assert service_store.version(second) == 0
+
+    def test_touch_bumps_exactly_one_owner(
+        self, service_population, service_store
+    ):
+        first, second = owner_ids_of(service_population)
+        assert service_store.touch(first) == 1
+        assert service_store.touch(first) == 2
+        assert service_store.version(second) == 0
+
+
+class TestSnapshot:
+    def test_snapshot_reports_every_owner(
+        self, service_population, service_store
+    ):
+        rows = service_store.snapshot()
+        assert [row["owner"] for row in rows] == owner_ids_of(
+            service_population
+        )
+        for row, owner in zip(rows, service_population.owners):
+            assert row["version"] == 0
+            assert row["universe_size"] >= 1
+            assert row["confidence"] == owner.confidence
+
+    def test_snapshot_tracks_versions(self, service_population, service_store):
+        first = owner_ids_of(service_population)[0]
+        service_store.touch(first)
+        by_owner = {row["owner"]: row for row in service_store.snapshot()}
+        assert by_owner[first]["version"] == 1

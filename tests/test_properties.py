@@ -3,7 +3,7 @@
 import random
 
 import numpy as np
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.analysis.entropy import entropy, information_gain_ratio
@@ -21,6 +21,12 @@ from repro.similarity.profile import ProfileSimilarity
 from repro.types import RiskLabel
 
 from .conftest import make_profile
+from .property_settings import (
+    QUICK_SETTINGS,
+    SLOW_SETTINGS,
+    STANDARD_SETTINGS,
+    THOROUGH_SETTINGS,
+)
 
 # ---------------------------------------------------------------------------
 # strategies
@@ -75,7 +81,7 @@ similarity_maps = st.dictionaries(
 
 class TestSimilarityProperties:
     @given(random_graphs())
-    @settings(max_examples=40, deadline=None)
+    @STANDARD_SETTINGS
     def test_network_similarity_bounded_and_symmetric(self, graph_users):
         graph, users = graph_users
         measure = NetworkSimilarity()
@@ -85,7 +91,7 @@ class TestSimilarityProperties:
         assert measure(graph, b, a) == value
 
     @given(profile_lists())
-    @settings(max_examples=30, deadline=None)
+    @SLOW_SETTINGS
     def test_profile_similarity_bounded_and_symmetric(self, profiles):
         measure = ProfileSimilarity(profiles)
         left, right = profiles[0], profiles[-1]
@@ -94,7 +100,7 @@ class TestSimilarityProperties:
         assert measure(right, left) == value
 
     @given(profile_lists())
-    @settings(max_examples=30, deadline=None)
+    @SLOW_SETTINGS
     def test_self_similarity_is_maximal(self, profiles):
         measure = ProfileSimilarity(profiles)
         for profile in profiles[:5]:
@@ -103,7 +109,7 @@ class TestSimilarityProperties:
                 assert measure(profile, other) <= self_value + 1e-9
 
     @given(profile_lists(min_size=3, max_size=15))
-    @settings(max_examples=20, deadline=None)
+    @QUICK_SETTINGS
     def test_pairwise_matrix_consistent_with_calls(self, profiles):
         measure = ProfileSimilarity(profiles)
         matrix = measure.pairwise_matrix(profiles)
@@ -119,7 +125,7 @@ class TestSimilarityProperties:
 
 class TestClusteringProperties:
     @given(similarity_maps, st.integers(1, 20))
-    @settings(max_examples=50, deadline=None)
+    @THOROUGH_SETTINGS
     def test_nsg_is_a_partition(self, similarities, alpha):
         groups = network_similarity_groups(similarities, alpha)
         assert len(groups) == alpha
@@ -127,7 +133,7 @@ class TestClusteringProperties:
         assert sorted(members) == sorted(similarities)
 
     @given(similarity_maps, st.integers(1, 20))
-    @settings(max_examples=50, deadline=None)
+    @THOROUGH_SETTINGS
     def test_nsg_members_fall_in_their_interval(self, similarities, alpha):
         groups = network_similarity_groups(similarities, alpha)
         for group in groups:
@@ -135,14 +141,14 @@ class TestClusteringProperties:
                 assert group.contains_similarity(similarities[member])
 
     @given(profile_lists(), st.floats(0.05, 1.0))
-    @settings(max_examples=40, deadline=None)
+    @STANDARD_SETTINGS
     def test_squeezer_partitions_input(self, profiles, threshold):
         clusters = squeezer(profiles, threshold=threshold)
         members = [uid for cluster in clusters for uid in cluster.members]
         assert sorted(members) == sorted(p.user_id for p in profiles)
 
     @given(profile_lists(min_size=4, max_size=30), st.integers(1, 6))
-    @settings(max_examples=30, deadline=None)
+    @SLOW_SETTINGS
     def test_npp_pools_partition_strangers(self, profiles, min_pool_size):
         rng = random.Random(0)
         similarities = {p.user_id: rng.random() * 0.6 for p in profiles}
@@ -154,7 +160,7 @@ class TestClusteringProperties:
         assert sorted(members) == sorted(similarities)
 
     @given(similarity_maps)
-    @settings(max_examples=40, deadline=None)
+    @STANDARD_SETTINGS
     def test_nsp_pools_partition_strangers(self, similarities):
         pools = build_network_only_pools(similarities)
         members = [m for pool in pools for m in pool.members]
@@ -168,7 +174,7 @@ class TestClusteringProperties:
 
 class TestHarmonicProperties:
     @given(st.integers(3, 12), st.integers(0, 10_000))
-    @settings(max_examples=30, deadline=None)
+    @SLOW_SETTINGS
     def test_predictions_within_label_hull(self, size, seed):
         rng = np.random.default_rng(seed)
         weights = rng.random((size, size))
@@ -182,7 +188,7 @@ class TestHarmonicProperties:
             assert abs(sum(prediction.masses.values()) - 1.0) < 1e-6
 
     @given(st.integers(3, 10), st.sampled_from(list(RiskLabel)))
-    @settings(max_examples=20, deadline=None)
+    @QUICK_SETTINGS
     def test_unanimous_labels_propagate(self, size, label):
         weights = np.ones((size, size)) - np.eye(size)
         graph = SimilarityGraph(list(range(size)), weights)
@@ -200,13 +206,13 @@ label_values = st.sampled_from([1, 2, 3])
 
 class TestLearningProperties:
     @given(st.lists(st.tuples(label_values, label_values), min_size=1, max_size=50))
-    @settings(max_examples=60, deadline=None)
+    @THOROUGH_SETTINGS
     def test_rmse_bounded_by_label_span(self, pairs):
         value = root_mean_square_error(pairs)
         assert 0.0 <= value <= 2.0
 
     @given(st.floats(0.0, 100.0))
-    @settings(max_examples=40, deadline=None)
+    @STANDARD_SETTINGS
     def test_change_threshold_monotone_in_confidence(self, confidence):
         assert change_threshold(confidence) >= change_threshold(
             min(confidence + 1.0, 100.0)
@@ -216,7 +222,7 @@ class TestLearningProperties:
         st.dictionaries(st.integers(0, 30), st.floats(1.0, 3.0), max_size=20),
         st.floats(0.0, 100.0),
     )
-    @settings(max_examples=40, deadline=None)
+    @STANDARD_SETTINGS
     def test_identical_predictions_only_unstable_at_full_confidence(
         self, scores, confidence
     ):
@@ -241,7 +247,7 @@ class TestAppsProperties:
     )
 
     @given(labels_strategy)
-    @settings(max_examples=40, deadline=None)
+    @STANDARD_SETTINGS
     def test_policy_audiences_nest_by_strictness(self, labels):
         from repro.apps.access_control import LabelBasedPolicy
         from repro.types import BenefitItem
@@ -254,7 +260,7 @@ class TestAppsProperties:
             )
 
     @given(labels_strategy)
-    @settings(max_examples=40, deadline=None)
+    @STANDARD_SETTINGS
     def test_suggestions_sorted_and_safe(self, labels):
         import random as _random
 
@@ -274,7 +280,7 @@ class TestAppsProperties:
             st.tuples(label_values, label_values), min_size=1, max_size=60
         )
     )
-    @settings(max_examples=60, deadline=None)
+    @THOROUGH_SETTINGS
     def test_confusion_rates_partition(self, pairs):
         from repro.analysis.confusion import ConfusionMatrix
 
@@ -289,7 +295,7 @@ class TestAppsProperties:
 
 class TestAugmentedProperties:
     @given(profile_lists(min_size=2, max_size=12), st.floats(0.0, 1.0))
-    @settings(max_examples=30, deadline=None)
+    @SLOW_SETTINGS
     def test_augmented_similarity_bounded(self, profiles, mix):
         from repro.similarity.augmented import VisibilityAugmentedSimilarity
 
@@ -302,7 +308,7 @@ class TestAugmentedProperties:
 
 class TestEntropyProperties:
     @given(st.lists(st.sampled_from("abcd"), max_size=60))
-    @settings(max_examples=60, deadline=None)
+    @THOROUGH_SETTINGS
     def test_entropy_non_negative_and_bounded(self, values):
         result = entropy(values)
         assert result >= 0.0
@@ -315,7 +321,7 @@ class TestEntropyProperties:
             max_size=60,
         )
     )
-    @settings(max_examples=60, deadline=None)
+    @THOROUGH_SETTINGS
     def test_igr_in_unit_interval(self, rows):
         values = [value for value, _ in rows]
         labels = [label for _, label in rows]
