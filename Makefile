@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-paper-scale robustness study serve examples clean
+.PHONY: install test bench bench-paper-scale robustness chaos study serve examples clean
 
 install:
 	$(PYTHON) -m pip install -e ".[test]"
@@ -25,6 +25,16 @@ robustness:
 		tests/io_/test_checkpoint.py tests/learning/test_degradation.py \
 		tests/experiments/test_study_resilience.py
 	$(PYTHON) -m pytest benchmarks/bench_robustness_archetypes.py --benchmark-only
+
+# the chaos harness: kill -9 the serving process at injected crash
+# points and prove no acknowledged mutation is ever lost (includes the
+# @slow matrix that tier-1 skips), plus the WAL unit suite and the
+# durability-tax benchmark
+chaos:
+	$(PYTHON) -m pytest -q -o addopts= \
+		tests/service/test_wal.py tests/service/test_chaos.py
+	REPRO_BENCH_OWNERS=2 REPRO_BENCH_STRANGERS=60 \
+		$(PYTHON) -m pytest -q -o addopts= benchmarks/bench_wal_overhead.py
 
 study:
 	$(PYTHON) -m repro --owners 8 --strangers 300

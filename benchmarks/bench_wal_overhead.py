@@ -1,0 +1,148 @@
+"""E20 — durability tax: what the write-ahead log costs the service.
+
+Not a paper artifact — the durability counterpart of E19.  Crash safety
+is bought with fsyncs, and this bench prices it: mutation throughput and
+p99 ``/score`` latency through the real HTTP stack, for three stores —
+
+* ``wal-off``    — the plain in-memory :class:`OwnerStore` (no
+  durability; the pre-WAL service);
+* ``wal-always`` — :class:`DurableOwnerStore`, one fsync per mutation
+  (the ``--wal-fsync always`` default: full durability);
+* ``wal-batch``  — group commit, one fsync per 16 mutations
+  (``--wal-fsync batch``: durability with amortized sync cost).
+
+Scores are served from cache during the sweep, so ``/score`` p99 prices
+the *serving* overhead of the durable store (it should be negligible —
+reads never touch the log), while mutations/sec prices the write path.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.request
+
+from repro.service import (
+    DurableOwnerStore,
+    OwnerStore,
+    RiskEngine,
+    build_server,
+    mutate_store,
+)
+
+from .conftest import SEED, write_artifact
+
+MUTATIONS = 300
+SCORE_REQUESTS = 200
+BATCH_SIZE = 16
+
+
+def percentile(samples: list[float], q: float) -> float:
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, round(q * (len(ordered) - 1)))
+    return ordered[index]
+
+
+def measure_mode(name: str, store, population) -> dict:
+    engine = RiskEngine(store, seed=SEED)
+    owner_id = store.owner_ids()[0]
+    engine.score(owner_id)  # warm the cache: /score sweeps hit the memo
+
+    # --- mutation throughput (the WAL write path) ---
+    start = time.perf_counter()
+    for _ in range(MUTATIONS):
+        mutate_store(store, "touch", {"owner": owner_id})
+    mutation_elapsed = time.perf_counter() - start
+    engine.score(owner_id)  # re-warm after the version bumps
+
+    # --- /score p99 through the real HTTP stack ---
+    server = build_server(engine, max_workers=2, max_pending=64)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    latencies: list[float] = []
+    try:
+        url = f"{server.url}/score?owner={owner_id}"
+        for _ in range(SCORE_REQUESTS):
+            begin = time.perf_counter()
+            with urllib.request.urlopen(url, timeout=30) as response:
+                response.read()
+            latencies.append(time.perf_counter() - begin)
+    finally:
+        server.shutdown()
+        server.server_close()
+        server.scheduler.shutdown(wait=False)
+        thread.join(timeout=10)
+
+    stats = {
+        "mode": name,
+        "mutations": MUTATIONS,
+        "mutations_per_second": round(MUTATIONS / mutation_elapsed, 1),
+        "mutation_mean_ms": round(mutation_elapsed / MUTATIONS * 1000, 4),
+        "score_requests": SCORE_REQUESTS,
+        "score_p50_ms": round(percentile(latencies, 0.50) * 1000, 3),
+        "score_p99_ms": round(percentile(latencies, 0.99) * 1000, 3),
+    }
+    if isinstance(store, DurableOwnerStore):
+        stats["wal"] = store.wal.stats()
+        store.close()
+    return stats
+
+
+def test_wal_overhead(population, tmp_path):
+    modes = [
+        ("wal-off", OwnerStore.from_population(population)),
+        (
+            "wal-always",
+            DurableOwnerStore.open(
+                tmp_path / "always",
+                population,
+                fsync="always",
+                compact_every=None,
+            ),
+        ),
+        (
+            "wal-batch",
+            DurableOwnerStore.open(
+                tmp_path / "batch",
+                population,
+                fsync="batch",
+                batch_size=BATCH_SIZE,
+                compact_every=None,
+            ),
+        ),
+    ]
+    results = [
+        measure_mode(name, store, population) for name, store in modes
+    ]
+    by_mode = {row["mode"]: row for row in results}
+
+    # fsync'd durability costs real throughput; group commit buys most
+    # of it back — the headline numbers the PR's docs quote
+    assert (
+        by_mode["wal-off"]["mutations_per_second"]
+        >= by_mode["wal-always"]["mutations_per_second"]
+    )
+    always = by_mode["wal-always"]["wal"]
+    batch = by_mode["wal-batch"]["wal"]
+    assert always["fsyncs"] >= MUTATIONS  # one per acked mutation
+    assert batch["fsyncs"] <= always["fsyncs"] / (BATCH_SIZE / 2)
+
+    document = {
+        "cohort_owners": len(population.owners),
+        "batch_size": BATCH_SIZE,
+        "modes": by_mode,
+        "durability_tax_mutations": round(
+            by_mode["wal-off"]["mutations_per_second"]
+            / max(by_mode["wal-always"]["mutations_per_second"], 1e-9),
+            2,
+        ),
+        "group_commit_recovery": round(
+            by_mode["wal-batch"]["mutations_per_second"]
+            / max(by_mode["wal-always"]["mutations_per_second"], 1e-9),
+            2,
+        ),
+    }
+    write_artifact(
+        "wal_overhead", json.dumps(document, indent=2, sort_keys=True)
+    )

@@ -256,14 +256,122 @@ def build_serve_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="score every owner once before accepting traffic",
     )
+    durability = parser.add_argument_group(
+        "durability",
+        "crash safety: write-ahead log, snapshots, graceful drain",
+    )
+    durability.add_argument(
+        "--wal-dir",
+        metavar="DIR",
+        default=None,
+        help=(
+            "persist every store mutation to a write-ahead log in DIR "
+            "and recover from it on restart (kill -9 loses no "
+            "acknowledged mutation)"
+        ),
+    )
+    durability.add_argument(
+        "--wal-fsync",
+        choices=("always", "batch", "never"),
+        default="always",
+        help="fsync policy: every append, group commit, or OS-buffered",
+    )
+    durability.add_argument(
+        "--wal-batch",
+        type=int,
+        default=16,
+        metavar="N",
+        help="appends per group commit under --wal-fsync batch",
+    )
+    durability.add_argument(
+        "--compact-every",
+        type=int,
+        default=256,
+        metavar="N",
+        help="fold the WAL into a fresh snapshot every N mutations",
+    )
+    durability.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help=(
+            "on SIGTERM/SIGINT, wait up to this long for in-flight "
+            "scoring to finish before exiting"
+        ),
+    )
+    chaos = parser.add_argument_group(
+        "chaos",
+        "deterministic service-level fault injection (testing only)",
+    )
+    chaos.add_argument(
+        "--fault-fsync-fail",
+        type=float,
+        default=0.0,
+        metavar="RATE",
+        help="probability each WAL fsync fails (mutation rejected)",
+    )
+    chaos.add_argument(
+        "--fault-slow-disk",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="sleep this long before every WAL fsync",
+    )
+    chaos.add_argument(
+        "--crash-at-mutation",
+        type=int,
+        default=None,
+        metavar="N",
+        help="kill the process right after the Nth mutation is durable",
+    )
+    chaos.add_argument(
+        "--torn-write-at-mutation",
+        type=int,
+        default=None,
+        metavar="N",
+        help="tear the Nth WAL record mid-write and crash (power cut)",
+    )
+    chaos.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        help="seed for the service fault injector's random stream",
+    )
     return parser
 
 
-def serve_main(argv: Sequence[str] | None = None) -> int:
-    """Run the ``serve`` subcommand; blocks until interrupted."""
-    args = build_serve_parser().parse_args(argv)
-    from .service import OwnerStore, RiskEngine, build_server
+def _service_fault_injector(args: argparse.Namespace):
+    """A :class:`~repro.faults.ServiceFaultInjector` from flags, or None."""
+    from .faults import ServiceFaultInjector, ServiceFaultPlan
 
+    plan = ServiceFaultPlan(
+        fsync_failure_rate=args.fault_fsync_fail,
+        slow_disk_seconds=args.fault_slow_disk,
+        torn_write_at_mutation=args.torn_write_at_mutation,
+        crash_at_mutation=args.crash_at_mutation,
+    )
+    if not plan.injects_anything:
+        return None
+    return ServiceFaultInjector(plan, seed=args.fault_seed)
+
+
+def _build_serve_store(args: argparse.Namespace):
+    """The serve store: WAL-recovered, WAL-seeded, or plain in-memory."""
+    from .service import DurableOwnerStore, OwnerStore
+
+    durable = args.wal_dir is not None
+    if durable and DurableOwnerStore.has_snapshot(args.wal_dir):
+        # recovery path: the snapshot + WAL already hold the cohort —
+        # do not regenerate, just replay
+        print(f"recovering store from {args.wal_dir} ...", file=sys.stderr)
+        return DurableOwnerStore.open(
+            args.wal_dir,
+            fsync=args.wal_fsync,
+            batch_size=args.wal_batch,
+            compact_every=args.compact_every,
+            injector=_service_fault_injector(args),
+        )
     if args.load_dataset:
         from .io.dataset import load_population
 
@@ -282,7 +390,43 @@ def serve_main(argv: Sequence[str] | None = None) -> int:
             ),
             seed=args.seed,
         )
-    store = OwnerStore.from_population(population)
+    if durable:
+        return DurableOwnerStore.open(
+            args.wal_dir,
+            population,
+            fsync=args.wal_fsync,
+            batch_size=args.wal_batch,
+            compact_every=args.compact_every,
+            injector=_service_fault_injector(args),
+        )
+    return OwnerStore.from_population(population)
+
+
+def serve_main(argv: Sequence[str] | None = None) -> int:
+    """Run the ``serve`` subcommand; blocks until SIGTERM/SIGINT.
+
+    Lifecycle: build (or recover) the store, optionally pre-warm, open
+    the listener, flip ready, and serve until a termination signal.
+    Then drain: stop taking scoring/mutation work (503), wait up to
+    ``--drain-timeout`` for in-flight jobs, flush the WAL, and exit 0
+    with one final metrics line on stderr.
+    """
+    import json as _json
+    import signal
+    import threading
+
+    args = build_serve_parser().parse_args(argv)
+    from .service import DurableOwnerStore, RiskEngine, build_server
+
+    store = _build_serve_store(args)
+    if isinstance(store, DurableOwnerStore):
+        report = store.recovery
+        print(
+            f"store {report.source}: snapshot seq {report.snapshot_seq}, "
+            f"replayed {report.replayed} WAL records, "
+            f"truncated {report.truncated_bytes} torn bytes",
+            file=sys.stderr,
+        )
     engine = RiskEngine(
         store,
         pooling=args.pooling,
@@ -305,15 +449,45 @@ def serve_main(argv: Sequence[str] | None = None) -> int:
         max_pending=args.max_pending,
         request_timeout=args.timeout,
     )
+    server.state.ready = True
+    server.state.detail = "serving"
+
+    stop = threading.Event()
+
+    def _begin_drain(signum, frame) -> None:
+        server.state.draining = True
+        server.state.detail = f"draining ({signal.Signals(signum).name})"
+        stop.set()
+
+    signal.signal(signal.SIGTERM, _begin_drain)
+    signal.signal(signal.SIGINT, _begin_drain)
+
+    loop = threading.Thread(target=server.serve_forever, daemon=True)
+    loop.start()
     print(f"serving on {server.url}", file=sys.stderr, flush=True)
     try:
-        server.serve_forever()
-    except KeyboardInterrupt:
-        print("shutting down", file=sys.stderr)
-    finally:
-        server.shutdown()
-        server.server_close()
-        server.scheduler.shutdown(wait=False)
+        stop.wait()
+    except KeyboardInterrupt:  # pragma: no cover - race with the handler
+        _begin_drain(signal.SIGINT, None)
+    print(
+        f"draining: {server.scheduler.pending_count()} in flight, "
+        f"budget {args.drain_timeout:.1f}s",
+        file=sys.stderr,
+    )
+    summary = server.scheduler.shutdown(
+        wait=True, drain=True, timeout=args.drain_timeout
+    )
+    if isinstance(store, DurableOwnerStore):
+        store.close()  # flush any batched WAL appends
+        summary["wal"] = store.wal.stats()
+    server.shutdown()
+    server.server_close()
+    loop.join(timeout=5)
+    print(
+        "final metrics: " + _json.dumps(summary, sort_keys=True),
+        file=sys.stderr,
+        flush=True,
+    )
     return 0
 
 

@@ -162,6 +162,10 @@ class BackpressureError(ServiceError):
         self.pending = pending
 
 
+class WalError(ServiceError):
+    """The write-ahead log could not be appended to or recovered."""
+
+
 class SerializationError(ReproError):
     """An object could not be serialized or deserialized."""
 

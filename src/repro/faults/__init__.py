@@ -3,7 +3,10 @@
 One shared vocabulary of fault archetypes — oracle timeout, oracle
 abstention, transient fetch failure, dropped profile attributes, crawl
 outage windows — produced by a seedable :class:`FaultInjector` and
-absorbed by the :mod:`repro.resilience` layer.
+absorbed by the :mod:`repro.resilience` layer.  The serving durability
+layer has its own archetypes (fsync failure, slow disk, torn write,
+crash-at-mutation) in :class:`ServiceFaultPlan` /
+:class:`ServiceFaultInjector`, consumed by :mod:`repro.service.wal`.
 """
 
 from .injector import (
@@ -12,6 +15,8 @@ from .injector import (
     FlakyOracle,
     FlakyProfileSource,
     OutageWindow,
+    ServiceFaultInjector,
+    ServiceFaultPlan,
 )
 
 __all__ = [
@@ -20,4 +25,6 @@ __all__ = [
     "FlakyOracle",
     "FlakyProfileSource",
     "OutageWindow",
+    "ServiceFaultInjector",
+    "ServiceFaultPlan",
 ]

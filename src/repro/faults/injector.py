@@ -19,9 +19,11 @@ replayable:
 
 from __future__ import annotations
 
+import os
 import random
+import time
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Callable
 
 from ..errors import (
     ConfigError,
@@ -296,10 +298,124 @@ class FlakyProfileSource:
         return self._injector.degrade_profile(profile)
 
 
+# ---------------------------------------------------------------------------
+# service-level faults (durability layer)
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class ServiceFaultPlan:
+    """Disk- and crash-level faults aimed at the serving durability layer.
+
+    Where :class:`FaultPlan` models a flaky *world* (oracle, fetches,
+    crawler), this plan models a flaky *machine*: the write-ahead log's
+    fsync can fail, the disk can be slow, a record can be torn mid-write
+    by a power cut, and the whole process can die at a chosen mutation.
+    The crash points are deterministic (Nth mutation, not a rate) so a
+    chaos harness can kill the service at every interesting boundary and
+    assert recovery byte-for-byte.
+    """
+
+    fsync_failure_rate: float = 0.0
+    slow_disk_seconds: float = 0.0
+    torn_write_at_mutation: int | None = None
+    crash_at_mutation: int | None = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.fsync_failure_rate <= 1.0:
+            raise ConfigError(
+                "fsync_failure_rate must lie in [0, 1], "
+                f"got {self.fsync_failure_rate}"
+            )
+        if self.slow_disk_seconds < 0:
+            raise ConfigError(
+                f"slow_disk_seconds must be >= 0, got {self.slow_disk_seconds}"
+            )
+        for name in ("torn_write_at_mutation", "crash_at_mutation"):
+            value = getattr(self, name)
+            if value is not None and value < 1:
+                raise ConfigError(f"{name} must be >= 1, got {value}")
+
+    @property
+    def injects_anything(self) -> bool:
+        """Whether any service-level fault is active."""
+        return bool(
+            self.fsync_failure_rate
+            or self.slow_disk_seconds
+            or self.torn_write_at_mutation is not None
+            or self.crash_at_mutation is not None
+        )
+
+
+class ServiceFaultInjector:
+    """Deterministic producer of the faults in a :class:`ServiceFaultPlan`.
+
+    The write-ahead log calls the three hooks at its commit boundaries:
+
+    * :meth:`mangle_record` — may tear the Nth record (keep only half
+      the encoded bytes) and arm an immediate crash, modeling a power
+      cut mid-write;
+    * :meth:`before_fsync` — may sleep (slow disk) and may raise
+      :class:`OSError` (fsync failure) from a seeded stream;
+    * :meth:`after_commit` — may kill the process right after the Nth
+      mutation reached disk but *before* it was acknowledged.
+
+    ``crash`` is injectable for in-process tests; the default
+    ``os._exit`` is deliberate — a real crash must skip ``finally``
+    blocks, atexit hooks, and buffered writes, exactly like ``kill -9``.
+    """
+
+    def __init__(
+        self,
+        plan: ServiceFaultPlan,
+        seed: int | str = 0,
+        *,
+        sleeper: Callable[[float], None] = time.sleep,
+        crash: Callable[[int], None] = os._exit,
+    ) -> None:
+        self._plan = plan
+        self._rng = random.Random(f"service-fault-injector:{seed}")
+        self._sleeper = sleeper
+        self._crash = crash
+        self._crash_pending = False
+
+    @property
+    def plan(self) -> ServiceFaultPlan:
+        """The active service fault plan."""
+        return self._plan
+
+    def mangle_record(self, mutation_index: int, line: bytes) -> bytes:
+        """Possibly tear the encoded record for this mutation."""
+        if mutation_index == self._plan.torn_write_at_mutation:
+            self._crash_pending = True
+            return line[: max(1, len(line) // 2)]
+        return line
+
+    def after_write(self, mutation_index: int) -> None:
+        """Crash now if :meth:`mangle_record` tore this record."""
+        if self._crash_pending:
+            self._crash(23)
+
+    def before_fsync(self) -> None:
+        """Model the disk: maybe slow, maybe failing to sync."""
+        if self._plan.slow_disk_seconds:
+            self._sleeper(self._plan.slow_disk_seconds)
+        if (
+            self._plan.fsync_failure_rate
+            and self._rng.random() < self._plan.fsync_failure_rate
+        ):
+            raise OSError("injected fsync failure (disk said no)")
+
+    def after_commit(self, mutation_index: int) -> None:
+        """Crash after the Nth mutation is durable but unacknowledged."""
+        if mutation_index == self._plan.crash_at_mutation:
+            self._crash(24)
+
+
 __all__ = [
     "FaultInjector",
     "FaultPlan",
     "FlakyOracle",
     "FlakyProfileSource",
     "OutageWindow",
+    "ServiceFaultInjector",
+    "ServiceFaultPlan",
 ]

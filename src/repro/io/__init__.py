@@ -10,6 +10,8 @@ from .checkpoint import (
 from .study_io import save_study, study_result_to_dict
 from .dataset import (
     load_population,
+    owner_from_dict,
+    owner_to_dict,
     population_from_json,
     population_to_json,
     save_population,
@@ -35,6 +37,8 @@ __all__ = [
     "graph_to_json",
     "load_graph",
     "load_population",
+    "owner_from_dict",
+    "owner_to_dict",
     "population_from_json",
     "population_to_json",
     "profile_from_dict",

@@ -154,6 +154,25 @@ def rng_state_from_json(document: list[Any]) -> tuple:
 # ---------------------------------------------------------------------------
 # storage
 # ---------------------------------------------------------------------------
+def fsync_directory(directory: str | Path) -> None:
+    """Flush a directory's entry table to disk (best-effort off POSIX).
+
+    Needed after ``os.replace`` for machine-crash durability; platforms
+    whose directories cannot be opened or fsync'd (e.g. Windows) simply
+    skip the call.
+    """
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - non-POSIX platforms
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - filesystems without dir fsync
+        pass
+    finally:
+        os.close(fd)
+
+
 class CheckpointStore:
     """A directory of atomically-written JSON checkpoint documents.
 
@@ -176,13 +195,23 @@ class CheckpointStore:
         return self._directory / f"{key}.json"
 
     def save(self, key: str, document: dict[str, Any]) -> None:
-        """Atomically persist ``document`` under ``key``."""
+        """Atomically and durably persist ``document`` under ``key``.
+
+        The temp file is fsync'd before the rename and the directory is
+        fsync'd after it, so the checkpoint survives a machine crash
+        (power loss), not just a process crash: without the first fsync
+        the rename can land before the data blocks do, and without the
+        second the directory entry itself may be lost.
+        """
         target = self.path(key)
         temp = target.with_suffix(".json.tmp")
-        temp.write_text(
-            json.dumps(document, indent=2, sort_keys=True), encoding="utf-8"
-        )
+        payload = json.dumps(document, indent=2, sort_keys=True)
+        with open(temp, "w", encoding="utf-8") as handle:
+            handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
         os.replace(temp, target)
+        fsync_directory(self._directory)
 
     def load(self, key: str) -> dict[str, Any] | None:
         """The document under ``key``, or ``None`` when absent."""
@@ -287,6 +316,7 @@ class SessionCheckpointer:
 __all__ = [
     "CheckpointStore",
     "SessionCheckpointer",
+    "fsync_directory",
     "pool_result_from_dict",
     "pool_result_to_dict",
     "rng_state_from_json",

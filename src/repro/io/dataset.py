@@ -106,6 +106,20 @@ def _owner_from_dict(document: dict[str, Any]) -> SimulatedOwner:
         raise SerializationError(f"malformed owner document: {error}") from error
 
 
+def owner_to_dict(owner: SimulatedOwner) -> dict[str, Any]:
+    """Serialize one simulated owner with full fidelity.
+
+    Public entry point used by the service WAL snapshots; the dataset
+    format embeds the same document per owner.
+    """
+    return _owner_to_dict(owner)
+
+
+def owner_from_dict(document: dict[str, Any]) -> SimulatedOwner:
+    """Rebuild an owner; inverse of :func:`owner_to_dict`."""
+    return _owner_from_dict(document)
+
+
 def _handle_to_dict(handle: EgoNetHandle) -> dict[str, Any]:
     return {
         "owner": handle.owner,

@@ -14,23 +14,46 @@ instead of re-running the batch study per request:
 * :class:`ScoreScheduler` — bounded worker pool with per-owner
   serialization and backpressure;
 * :class:`RiskServiceServer` — stdlib ``ThreadingHTTPServer`` JSON API
-  (``/score``, ``/owners``, ``/healthz``, ``/metrics``) wired through the
-  resilience layer; started from the CLI via ``repro-study serve``.
+  (``/score``, ``/mutate``, ``/owners``, ``/healthz``, ``/readyz``,
+  ``/metrics``) wired through the resilience layer; started from the CLI
+  via ``repro-study serve``;
+* :class:`DurableOwnerStore` / :class:`WriteAheadLog` — crash safety:
+  every mutation is logged write-ahead (checksummed, fsync'd) and
+  periodically compacted into an atomic snapshot, so a ``kill -9`` loses
+  no acknowledged mutation (``repro-study serve --wal-dir``).
 """
 
 from .engine import EngineMetrics, RiskEngine, ScoreRecord
-from .http import RiskServiceHandler, RiskServiceServer, build_server
+from .http import (
+    RiskServiceHandler,
+    RiskServiceServer,
+    ServiceState,
+    build_server,
+)
 from .scheduler import ScoreScheduler
 from .store import OwnerEntry, OwnerStore
+from .wal import (
+    DurableOwnerStore,
+    RecoveryReport,
+    WriteAheadLog,
+    mutate_store,
+    read_wal,
+)
 
 __all__ = [
+    "DurableOwnerStore",
     "EngineMetrics",
     "OwnerEntry",
     "OwnerStore",
+    "RecoveryReport",
     "RiskEngine",
     "RiskServiceHandler",
     "RiskServiceServer",
     "ScoreRecord",
     "ScoreScheduler",
+    "ServiceState",
+    "WriteAheadLog",
     "build_server",
+    "mutate_store",
+    "read_wal",
 ]

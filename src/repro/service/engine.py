@@ -246,6 +246,16 @@ class RiskEngine:
                 self._metrics.record_error()
                 raise
             self._cache[owner_id] = record
+            # persist the oracle's label grants through the store: on a
+            # WAL-backed store they survive a crash, which matters because
+            # labels are the loop's scarcest resource (3 per round)
+            granted = {
+                stranger: label
+                for pool in record.result.pool_results
+                for stranger, label in pool.owner_labels.items()
+            }
+            if granted:
+                self._store.grant_labels(owner_id, granted)
             self._metrics.record_score(
                 record.source,
                 record.elapsed_seconds,

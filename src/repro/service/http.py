@@ -2,32 +2,67 @@
 
 A :class:`RiskServiceServer` (``http.server.ThreadingHTTPServer``) exposes
 
-* ``GET /healthz`` — liveness plus owner count;
-* ``GET /metrics`` — engine cache/latency counters, scheduler state, and
-  circuit-breaker state;
+* ``GET /healthz`` — liveness plus owner count (and, when the store is
+  WAL-backed, the recovery report and last durable sequence number);
+* ``GET /readyz`` — readiness: snapshot loaded, WAL replayed, scheduler
+  accepting work; 503 while starting or draining;
+* ``GET /metrics`` — engine cache/latency counters, scheduler state,
+  circuit-breaker state, and WAL append/fsync counters;
 * ``GET /owners`` — registered owners with versions and cache freshness;
 * ``GET /score?owner=<id>`` / ``POST /score`` (``{"owner": <id>}``) — one
-  owner's risk labels, served cold, warm, or from cache.
+  owner's risk labels, served cold, warm, or from cache;
+* ``POST /mutate`` — one store mutation (``add_friendship``,
+  ``remove_friendship``, ``update_profile``, ``add_user``,
+  ``grant_labels``, ``touch``); a 200 means the mutation is applied
+  *and*, on a WAL-backed store, durable — acknowledged-then-lost cannot
+  happen.
 
 Requests flow through the resilience layer: each ``/score`` carries a
 :class:`~repro.resilience.Deadline` (504 when the budget runs out) and a
 shared :class:`~repro.resilience.CircuitBreaker` (503 fast-fail while
 scoring is known to be broken); scheduler saturation maps to 503 with
-``Retry-After``.
+``Retry-After``.  While the server drains (SIGTERM/SIGINT), ``/score``
+and ``/mutate`` answer 503 so load balancers fail over, while the
+health/metrics endpoints keep reporting drain progress.
 """
 
 from __future__ import annotations
 
 import json
 from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
 from urllib.parse import parse_qs, urlparse
 
-from ..errors import BackpressureError, UnknownOwnerError
+from ..errors import (
+    BackpressureError,
+    GraphError,
+    SerializationError,
+    UnknownOwnerError,
+    UnknownUserError,
+    WalError,
+)
 from ..resilience import CircuitBreaker, Deadline
 from .engine import RiskEngine
 from .scheduler import ScoreScheduler
+from .wal import MUTATION_OPS, DurableOwnerStore, mutate_store
+
+
+@dataclass
+class ServiceState:
+    """Mutable lifecycle flags shared by the server and its operator.
+
+    ``ready`` flips true once the store is loaded (snapshot restored and
+    WAL replayed, for durable stores) and the service may take traffic;
+    ``draining`` flips true on SIGTERM/SIGINT and never flips back.
+    Plain attribute reads/writes — each flag is a single word, and the
+    readers tolerate staleness of one request.
+    """
+
+    ready: bool = True
+    draining: bool = False
+    detail: str = "ok"
 
 
 class RiskServiceServer(ThreadingHTTPServer):
@@ -43,6 +78,7 @@ class RiskServiceServer(ThreadingHTTPServer):
         request_timeout: float = 60.0,
         breaker: CircuitBreaker | None = None,
         quiet: bool = True,
+        state: ServiceState | None = None,
     ) -> None:
         super().__init__(address, RiskServiceHandler)
         self.engine = engine
@@ -52,6 +88,7 @@ class RiskServiceServer(ThreadingHTTPServer):
             failure_threshold=5, recovery_time=5.0
         )
         self.quiet = quiet
+        self.state = state or ServiceState()
 
     @property
     def url(self) -> str:
@@ -69,15 +106,19 @@ class RiskServiceHandler(BaseHTTPRequestHandler):
     # routing
     # ------------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 - http.server API
-        """Route GET requests to the four read endpoints."""
+        """Route GET requests to the read endpoints."""
         parsed = urlparse(self.path)
         if parsed.path == "/healthz":
             self._respond(200, self._health_document())
+        elif parsed.path == "/readyz":
+            self._readyz()
         elif parsed.path == "/metrics":
             self._respond(200, self._metrics_document())
         elif parsed.path == "/owners":
             self._respond(200, {"owners": self.server.engine.owners_overview()})
         elif parsed.path == "/score":
+            if self._reject_while_draining():
+                return
             owner_id = self._owner_from_query(parse_qs(parsed.query))
             if owner_id is not None:
                 self._score(owner_id)
@@ -85,31 +126,105 @@ class RiskServiceHandler(BaseHTTPRequestHandler):
             self._respond(404, {"error": f"unknown path {parsed.path!r}"})
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
-        """Route POST /score (JSON body) to the scoring path."""
+        """Route POST /score and POST /mutate (JSON bodies)."""
         parsed = urlparse(self.path)
-        if parsed.path != "/score":
+        if parsed.path == "/score":
+            if self._reject_while_draining():
+                return
+            owner_id = self._owner_from_body()
+            if owner_id is not None:
+                self._score(owner_id)
+        elif parsed.path == "/mutate":
+            if self._reject_while_draining():
+                return
+            self._mutate()
+        else:
             self._respond(404, {"error": f"unknown path {parsed.path!r}"})
-            return
-        owner_id = self._owner_from_body()
-        if owner_id is not None:
-            self._score(owner_id)
 
     # ------------------------------------------------------------------
     # endpoints
     # ------------------------------------------------------------------
     def _health_document(self) -> dict[str, Any]:
-        return {
+        store = self.server.engine.store
+        document: dict[str, Any] = {
             "status": "ok",
-            "owners": len(self.server.engine.store.owner_ids()),
+            "owners": len(store.owner_ids()),
             "breaker": self.server.breaker.state,
+            "draining": self.server.state.draining,
         }
+        if isinstance(store, DurableOwnerStore):
+            document["recovery"] = store.recovery.to_dict()
+            document["last_seq"] = store.last_seq
+        return document
+
+    def _readyz(self) -> None:
+        state = self.server.state
+        accepting = self.server.scheduler.accepting
+        ready = state.ready and not state.draining and accepting
+        document = {
+            "ready": ready,
+            "detail": state.detail,
+            "draining": state.draining,
+            "scheduler_accepting": accepting,
+            "pending": self.server.scheduler.pending_count(),
+        }
+        self._respond(200 if ready else 503, document)
+
+    def _reject_while_draining(self) -> bool:
+        """503 work-bearing requests during drain; health stays live."""
+        if self.server.state.draining:
+            self._respond(
+                503,
+                {
+                    "error": "service is draining",
+                    "pending": self.server.scheduler.pending_count(),
+                },
+                retry_after=1,
+            )
+            return True
+        return False
 
     def _metrics_document(self) -> dict[str, Any]:
-        return {
+        document = {
             "engine": self.server.engine.metrics.snapshot(),
             "scheduler": self.server.scheduler.snapshot(),
             "breaker": self.server.breaker.snapshot(),
         }
+        store = self.server.engine.store
+        if isinstance(store, DurableOwnerStore):
+            document["wal"] = store.wal.stats()
+        return document
+
+    def _mutate(self) -> None:
+        body = self._json_body()
+        if body is None:
+            return
+        op = body.get("op")
+        if op not in MUTATION_OPS:
+            self._respond(
+                400,
+                {
+                    "error": f"unknown op {op!r}",
+                    "ops": list(MUTATION_OPS),
+                },
+            )
+            return
+        store = self.server.engine.store
+        try:
+            result = mutate_store(store, op, body)
+        except (UnknownUserError, UnknownOwnerError) as error:
+            self._respond(404, {"error": str(error)})
+        except (GraphError, SerializationError) as error:
+            self._respond(400, {"error": str(error)})
+        except (KeyError, TypeError, ValueError) as error:
+            self._respond(
+                400, {"error": f"malformed arguments for {op!r}: {error}"}
+            )
+        except WalError as error:
+            # the mutation was NOT applied and must not be acknowledged
+            self._respond(500, {"error": str(error)})
+        else:
+            self._respond(200, result)
 
     def _score(self, owner_id: int) -> None:
         breaker = self.server.breaker
@@ -171,17 +286,29 @@ class RiskServiceHandler(BaseHTTPRequestHandler):
             self._respond(400, {"error": f"invalid owner id {values[0]!r}"})
             return None
 
-    def _owner_from_body(self) -> int | None:
+    def _json_body(self) -> dict[str, Any] | None:
         length = int(self.headers.get("Content-Length") or 0)
         raw = self.rfile.read(length) if length else b""
         try:
             body = json.loads(raw.decode("utf-8") or "{}")
-            owner_id = body["owner"]
-        except (json.JSONDecodeError, UnicodeDecodeError, KeyError, TypeError):
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            self._respond(400, {"error": "body must be a JSON object"})
+            return None
+        if not isinstance(body, dict):
+            self._respond(400, {"error": "body must be a JSON object"})
+            return None
+        return body
+
+    def _owner_from_body(self) -> int | None:
+        body = self._json_body()
+        if body is None:
+            return None
+        if "owner" not in body:
             self._respond(
                 400, {"error": 'body must be JSON like {"owner": <id>}'}
             )
             return None
+        owner_id = body["owner"]
         try:
             return int(owner_id)
         except (ValueError, TypeError):
@@ -220,6 +347,7 @@ def build_server(
     max_pending: int = 64,
     request_timeout: float = 60.0,
     breaker: CircuitBreaker | None = None,
+    state: ServiceState | None = None,
 ) -> RiskServiceServer:
     """Wire engine → scheduler → HTTP server (port 0 = ephemeral)."""
     scheduler = ScoreScheduler(
@@ -231,7 +359,13 @@ def build_server(
         scheduler,
         request_timeout=request_timeout,
         breaker=breaker,
+        state=state,
     )
 
 
-__all__ = ["RiskServiceHandler", "RiskServiceServer", "build_server"]
+__all__ = [
+    "RiskServiceHandler",
+    "RiskServiceServer",
+    "ServiceState",
+    "build_server",
+]

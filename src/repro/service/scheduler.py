@@ -56,10 +56,12 @@ class ScoreScheduler:
             max_workers=max_workers, thread_name_prefix="risk-score"
         )
         self._lock = threading.Lock()
+        self._idle = threading.Condition(self._lock)
         self._pending = 0
         self._queues: dict[UserId, deque[Future]] = {}
         self._busy: set[UserId] = set()
         self._shutdown = False
+        self._draining = False
 
     # ------------------------------------------------------------------
     # submission
@@ -110,20 +112,74 @@ class ScoreScheduler:
         """The backpressure bound."""
         return self._max_pending
 
-    def snapshot(self) -> dict[str, int]:
+    def pending_count(self) -> int:
+        """In-flight plus queued requests — drain progress for the HTTP
+        layer (identical to :attr:`pending`, but callable-shaped for
+        duck-typed status reporters)."""
+        return self.pending
+
+    @property
+    def accepting(self) -> bool:
+        """Whether :meth:`submit` would currently accept new work."""
+        with self._lock:
+            return not self._shutdown
+
+    def snapshot(self) -> dict[str, int | bool]:
         """JSON-ready scheduler state for the ``/metrics`` endpoint."""
         with self._lock:
             return {
                 "pending": self._pending,
                 "max_pending": self._max_pending,
                 "owners_in_flight": len(self._busy),
+                "accepting": not self._shutdown,
+                "draining": self._draining,
             }
 
-    def shutdown(self, wait: bool = True) -> None:
-        """Stop accepting work; optionally wait for in-flight requests."""
-        with self._lock:
+    def shutdown(
+        self,
+        wait: bool = True,
+        *,
+        drain: bool = False,
+        timeout: float | None = None,
+    ) -> dict[str, Any]:
+        """Stop accepting work; returns a JSON-ready shutdown summary.
+
+        With ``drain=False`` (the default, and the historical behavior)
+        queued-but-not-started requests are failed with
+        :class:`~repro.errors.BackpressureError` and only in-flight work
+        is awaited (when ``wait``).  With ``drain=True`` the scheduler
+        keeps dispatching the per-owner queues until every accepted
+        request has completed — or ``timeout`` seconds pass, after which
+        the remaining backlog is failed.
+
+        The summary reports whether the drain completed, how much work
+        was pending at each boundary, and — when the engine exposes
+        ``metrics`` — a final engine-metrics snapshot, so callers can
+        emit one last accounting line before exit.
+        """
+        with self._idle:
             self._shutdown = True
-        self._executor.shutdown(wait=wait)
+            self._draining = drain
+            pending_at_signal = self._pending
+        drained = True
+        if drain and pending_at_signal:
+            with self._idle:
+                drained = self._idle.wait_for(
+                    lambda: self._pending == 0, timeout=timeout
+                )
+        with self._idle:
+            self._draining = False
+            pending_at_exit = self._pending
+        self._executor.shutdown(wait=wait and drained)
+        summary: dict[str, Any] = {
+            "drained": drained,
+            "pending_at_signal": pending_at_signal,
+            "pending_at_exit": pending_at_exit,
+        }
+        metrics = getattr(self._engine, "metrics", None)
+        if metrics is not None and hasattr(metrics, "snapshot"):
+            summary["engine_metrics"] = metrics.snapshot()
+        return summary
 
     def __enter__(self) -> "ScoreScheduler":
         return self
@@ -151,7 +207,7 @@ class ScoreScheduler:
         with self._lock:
             self._pending -= 1
             queue = self._queues.get(owner_id)
-            if queue and not self._shutdown:
+            if queue and (not self._shutdown or self._draining):
                 next_future = queue.popleft()
                 if not queue:
                     del self._queues[owner_id]
@@ -163,8 +219,10 @@ class ScoreScheduler:
                     next_future.set_exception(
                         BackpressureError("scheduler is shut down")
                     )
+                    if self._pending == 0:
+                        self._idle.notify_all()
                 return
-            if queue:  # shutting down: fail the whole backlog
+            if queue:  # shutting down without drain: fail the backlog
                 del self._queues[owner_id]
                 for orphan in queue:
                     self._pending -= 1
@@ -172,6 +230,8 @@ class ScoreScheduler:
                         BackpressureError("scheduler is shut down")
                     )
             self._busy.discard(owner_id)
+            if self._pending == 0:
+                self._idle.notify_all()
 
 
 __all__ = ["ScoreScheduler"]

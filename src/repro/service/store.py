@@ -21,12 +21,14 @@ from __future__ import annotations
 import threading
 from dataclasses import dataclass, field
 
+from typing import Mapping
+
 from ..errors import UnknownOwnerError
 from ..graph.profile import Profile
 from ..graph.social_graph import SocialGraph
 from ..synth.owners import SimulatedOwner
 from ..synth.population import StudyPopulation
-from ..types import UserId
+from ..types import RiskLabel, UserId
 
 
 @dataclass
@@ -44,6 +46,7 @@ class OwnerEntry:
     index: int
     version: int = 0
     universe: set[UserId] = field(default_factory=set)
+    labels: dict[UserId, RiskLabel] = field(default_factory=dict)
 
 
 class OwnerStore:
@@ -165,6 +168,26 @@ class OwnerStore:
             self._graph.remove_friendship(a, b)
             return self._bump(self.owners_of(a) | self.owners_of(b))
 
+    def grant_labels(
+        self, owner_id: UserId, labels: Mapping[UserId, int]
+    ) -> int:
+        """Record oracle-granted owner labels; returns how many were new.
+
+        Labels are the scarcest resource in the paper's loop (3 per
+        round), so the store keeps every grant.  Granting does *not*
+        bump the owner's version — labels never stale a score, they are
+        a by-product of computing one.
+        """
+        with self._lock:
+            entry = self.get(owner_id)
+            new = 0
+            for stranger, label in sorted(labels.items()):
+                value = RiskLabel(int(label))
+                if entry.labels.get(int(stranger)) != value:
+                    entry.labels[int(stranger)] = value
+                    new += 1
+            return new
+
     def touch(self, owner_id: UserId) -> int:
         """Manually invalidate one owner; returns the new version."""
         with self._lock:
@@ -183,6 +206,7 @@ class OwnerStore:
                     "owner": owner_id,
                     "version": entry.version,
                     "universe_size": len(entry.universe),
+                    "labels_granted": len(entry.labels),
                     "confidence": entry.owner.confidence,
                 }
                 for owner_id, entry in self._entries.items()

@@ -1,0 +1,742 @@
+"""Write-ahead durability for the owner store.
+
+Owner labels are the scarcest resource in the paper's loop (3 per round,
+thousands of strangers per owner), and the serving graph mutates
+continuously — so a crash that loses acknowledged mutations or granted
+labels is the costliest possible failure.  This module makes the store
+crash-safe with the classic two-file scheme:
+
+* :class:`WriteAheadLog` — an append-only JSON-lines log of every store
+  mutation.  Each record is one line, ``<crc32-hex> <compact-json>\\n``,
+  fsync'd according to policy before the mutation is applied (and hence
+  before the HTTP layer acknowledges it).  A torn *final* record — the
+  signature of a crash mid-write — fails its checksum and is truncated
+  on recovery; a corrupt record *followed by valid ones* is real
+  corruption and refuses to load.
+* :class:`DurableOwnerStore` — an :class:`~repro.service.OwnerStore`
+  whose mutations are logged write-ahead, with periodic compaction into
+  an atomic snapshot file (the temp+rename+fsync machinery of
+  :class:`repro.io.checkpoint.CheckpointStore`).  Recovery = load the
+  snapshot, replay the WAL tail past the snapshot's sequence number.
+
+The durability contract, pinned by ``tests/service/test_chaos.py``
+against ``kill -9``: **no acknowledged mutation is ever lost**.  A
+mutation in flight at the crash (logged but unacknowledged, or torn) may
+or may not survive — both outcomes are correct, exactly like a client
+write that timed out.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+from ..errors import (
+    GraphError,
+    SerializationError,
+    UnknownUserError,
+    WalError,
+)
+from ..graph.profile import Profile
+from ..graph.social_graph import SocialGraph
+from ..io.checkpoint import CheckpointStore
+from ..io.dataset import owner_from_dict, owner_to_dict
+from ..io.serialization import (
+    graph_from_json,
+    graph_to_json,
+    profile_from_dict,
+    profile_to_dict,
+)
+from ..synth.population import StudyPopulation
+from ..types import RiskLabel, UserId
+from .store import OwnerEntry, OwnerStore
+
+_FORMAT_VERSION = 1
+
+#: File names inside a ``--wal-dir``.
+WAL_FILENAME = "mutations.wal"
+SNAPSHOT_KEY = "store-snapshot"
+
+#: How the WAL reaches the platter.
+FSYNC_POLICIES = ("always", "batch", "never")
+
+
+# ---------------------------------------------------------------------------
+# record encoding
+# ---------------------------------------------------------------------------
+def encode_record(record: dict[str, Any]) -> bytes:
+    """One WAL line: crc32 of the compact-JSON payload, space, payload."""
+    payload = json.dumps(record, sort_keys=True, separators=(",", ":"))
+    data = payload.encode("utf-8")
+    return b"%08x %s\n" % (zlib.crc32(data), data)
+
+
+def decode_record(line: bytes) -> dict[str, Any]:
+    """Inverse of :func:`encode_record`; raises :class:`WalError`."""
+    try:
+        checksum, payload = line.split(b" ", 1)
+        expected = int(checksum, 16)
+    except ValueError as error:
+        raise WalError(f"unparseable WAL line: {error}") from error
+    if zlib.crc32(payload) != expected:
+        raise WalError("WAL record failed its checksum")
+    try:
+        record = json.loads(payload)
+    except json.JSONDecodeError as error:
+        raise WalError(f"WAL record is not valid JSON: {error}") from error
+    if not isinstance(record, dict) or "seq" not in record or "op" not in record:
+        raise WalError(f"WAL record missing seq/op: {record!r}")
+    return record
+
+
+def read_wal(path: str | Path) -> tuple[list[dict[str, Any]], int]:
+    """Read every intact record; returns ``(records, torn_bytes)``.
+
+    A trailing record that fails to decode (torn write / crash mid-
+    append) is dropped and its byte count reported.  A failing record
+    *followed by an intact one* means mid-log corruption, which recovery
+    must not paper over — that raises.
+    """
+    path = Path(path)
+    if not path.exists():
+        return [], 0
+    data = path.read_bytes()
+    records: list[dict[str, Any]] = []
+    offset = 0
+    while offset < len(data):
+        newline = data.find(b"\n", offset)
+        if newline == -1:  # final line never got its newline: torn
+            return records, len(data) - offset
+        line = data[offset : newline + 1]
+        try:
+            records.append(decode_record(line[:-1]))
+        except WalError:
+            remainder = data[newline + 1 :]
+            if remainder.strip():
+                raise WalError(
+                    f"corrupt WAL record mid-log at byte {offset} of {path}"
+                ) from None
+            return records, len(data) - offset
+        offset = newline + 1
+    return records, 0
+
+
+# ---------------------------------------------------------------------------
+# the log
+# ---------------------------------------------------------------------------
+class WriteAheadLog:
+    """Append-only, checksummed, fsync'd mutation log.
+
+    Parameters
+    ----------
+    path:
+        The log file (created if missing).
+    fsync:
+        ``"always"`` — fsync every append (full durability, the
+        default); ``"batch"`` — group-commit: fsync once per
+        ``batch_size`` appends or on :meth:`flush`; ``"never"`` — leave
+        flushing to the OS (crash-unsafe; for benchmarking the fsync
+        cost).
+    batch_size:
+        Appends per group commit under the ``"batch"`` policy.
+    start_seq:
+        Sequence number to continue from (recovery sets this).
+    injector:
+        Optional :class:`~repro.faults.ServiceFaultInjector` whose hooks
+        fire at the commit boundaries.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        fsync: str = "always",
+        batch_size: int = 16,
+        start_seq: int = 0,
+        injector=None,
+    ) -> None:
+        if fsync not in FSYNC_POLICIES:
+            raise WalError(
+                f"unknown fsync policy {fsync!r}; expected one of "
+                f"{FSYNC_POLICIES}"
+            )
+        if batch_size < 1:
+            raise WalError(f"batch_size must be >= 1, got {batch_size}")
+        self._path = Path(path)
+        self._policy = fsync
+        self._batch_size = batch_size
+        self._injector = injector
+        self._lock = threading.Lock()
+        self._file = open(self._path, "ab")
+        self._seq = start_seq
+        self._unsynced = 0
+        self._appends = 0
+        self._syncs = 0
+        self._closed = False
+
+    @property
+    def path(self) -> Path:
+        """The backing log file."""
+        return self._path
+
+    @property
+    def seq(self) -> int:
+        """Sequence number of the most recently appended record."""
+        with self._lock:
+            return self._seq
+
+    def stats(self) -> dict[str, int | str]:
+        """Appends, fsyncs, and policy — for metrics and benches."""
+        with self._lock:
+            return {
+                "appends": self._appends,
+                "fsyncs": self._syncs,
+                "policy": self._policy,
+                "seq": self._seq,
+            }
+
+    def append(self, op: str, args: dict[str, Any]) -> int:
+        """Durably log one mutation; returns its sequence number.
+
+        The record is on disk (per the fsync policy) when this returns —
+        the caller may then apply the mutation and acknowledge it.
+
+        Raises
+        ------
+        WalError
+            When the log is closed or the disk refuses the write/sync;
+            the caller must *not* apply or acknowledge the mutation.
+        """
+        with self._lock:
+            if self._closed:
+                raise WalError("write-ahead log is closed")
+            seq = self._seq + 1
+            line = encode_record({"seq": seq, "op": op, "args": args})
+            if self._injector is not None:
+                line = self._injector.mangle_record(seq, line)
+            try:
+                self._file.write(line)
+                self._file.flush()
+            except OSError as error:
+                raise WalError(f"WAL append failed: {error}") from error
+            if self._injector is not None:
+                self._injector.after_write(seq)
+            self._seq = seq
+            self._appends += 1
+            self._unsynced += 1
+            if self._policy == "always" or (
+                self._policy == "batch" and self._unsynced >= self._batch_size
+            ):
+                self._sync_locked()
+            if self._injector is not None:
+                self._injector.after_commit(seq)
+            return seq
+
+    def flush(self) -> None:
+        """Force any batched appends to disk."""
+        with self._lock:
+            if not self._closed and self._unsynced:
+                self._sync_locked()
+
+    def reset(self, seq: int | None = None) -> None:
+        """Truncate the log (after compaction); sequence numbers continue."""
+        with self._lock:
+            self._file.close()
+            self._file = open(self._path, "wb")
+            self._unsynced = 0
+            if seq is not None:
+                self._seq = seq
+
+    def close(self) -> None:
+        """Flush and close; further appends raise."""
+        with self._lock:
+            if self._closed:
+                return
+            if self._unsynced:
+                try:
+                    self._sync_locked()
+                except WalError:  # pragma: no cover - best-effort close
+                    pass
+            self._file.close()
+            self._closed = True
+
+    def _sync_locked(self) -> None:
+        try:
+            if self._injector is not None:
+                self._injector.before_fsync()
+            if self._policy != "never":
+                os.fsync(self._file.fileno())
+                self._syncs += 1
+            self._unsynced = 0
+        except OSError as error:
+            raise WalError(f"WAL fsync failed: {error}") from error
+
+
+# ---------------------------------------------------------------------------
+# recovery bookkeeping
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class RecoveryReport:
+    """What :meth:`DurableOwnerStore.open` found on disk."""
+
+    source: str  # "fresh" | "recovered"
+    snapshot_seq: int
+    replayed: int
+    truncated_bytes: int
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready view for ``/healthz``."""
+        return {
+            "source": self.source,
+            "snapshot_seq": self.snapshot_seq,
+            "replayed": self.replayed,
+            "truncated_bytes": self.truncated_bytes,
+        }
+
+
+# ---------------------------------------------------------------------------
+# the durable store
+# ---------------------------------------------------------------------------
+class DurableOwnerStore(OwnerStore):
+    """An owner store whose every mutation is logged write-ahead.
+
+    Construct via :meth:`open` (recover-or-seed) — the plain constructor
+    wires an already-populated store to an already-positioned log.
+
+    Mutation protocol, under the store lock: validate the arguments,
+    append to the WAL (fsync per policy), apply in memory, auto-compact
+    every ``compact_every`` mutations.  Because validation precedes
+    logging, every logged record replays cleanly; because logging
+    precedes applying, an acknowledged mutation is always on disk.
+    """
+
+    def __init__(
+        self,
+        graph: SocialGraph,
+        wal: WriteAheadLog,
+        checkpoints: CheckpointStore,
+        *,
+        compact_every: int | None = 1024,
+        recovery: RecoveryReport | None = None,
+    ) -> None:
+        super().__init__(graph)
+        if compact_every is not None and compact_every < 1:
+            raise WalError(
+                f"compact_every must be >= 1 or None, got {compact_every}"
+            )
+        self._wal = wal
+        self._checkpoints = checkpoints
+        self._compact_every = compact_every
+        self._since_compaction = 0
+        self.recovery = recovery or RecoveryReport("fresh", 0, 0, 0)
+
+    # ------------------------------------------------------------------
+    # open / recover
+    # ------------------------------------------------------------------
+    @staticmethod
+    def has_snapshot(wal_dir: str | Path) -> bool:
+        """Whether ``wal_dir`` holds a recoverable store."""
+        return (Path(wal_dir) / f"{SNAPSHOT_KEY}.json").exists()
+
+    @classmethod
+    def open(
+        cls,
+        wal_dir: str | Path,
+        population: StudyPopulation | None = None,
+        *,
+        fsync: str = "always",
+        batch_size: int = 16,
+        compact_every: int | None = 1024,
+        injector=None,
+    ) -> "DurableOwnerStore":
+        """Recover a store from ``wal_dir``, or seed one from a cohort.
+
+        With a snapshot present: load it, replay the WAL tail (records
+        past the snapshot's sequence number), truncate any torn final
+        record, and continue — ``population`` is ignored.  Without one:
+        register every owner of ``population`` and write the initial
+        snapshot so the next boot recovers instead of regenerating.
+        """
+        wal_dir = Path(wal_dir)
+        checkpoints = CheckpointStore(wal_dir)
+        wal_path = wal_dir / WAL_FILENAME
+        snapshot = checkpoints.load(SNAPSHOT_KEY)
+        if snapshot is None:
+            if population is None:
+                raise WalError(
+                    f"no snapshot under {wal_dir} and no population to "
+                    "seed one from"
+                )
+            wal = WriteAheadLog(
+                wal_path,
+                fsync=fsync,
+                batch_size=batch_size,
+                injector=injector,
+            )
+            store = cls(
+                population.graph,
+                wal,
+                checkpoints,
+                compact_every=compact_every,
+            )
+            for owner in population.owners:
+                handle = population.handles[owner.user_id]
+                universe = {owner.user_id, *handle.friends, *handle.strangers}
+                OwnerStore.register(store, owner, universe=universe)
+            store._save_snapshot()
+            return store
+
+        records, truncated = read_wal(wal_path)
+        snapshot_seq = int(snapshot.get("seq", 0))
+        if truncated:
+            with open(wal_path, "r+b") as handle:
+                handle.seek(0, os.SEEK_END)
+                handle.truncate(handle.tell() - truncated)
+        graph, entries = cls._restore_snapshot(snapshot)
+        tail = [r for r in records if int(r["seq"]) > snapshot_seq]
+        last_seq = max(
+            [snapshot_seq, *(int(r["seq"]) for r in records)], default=0
+        )
+        wal = WriteAheadLog(
+            wal_path,
+            fsync=fsync,
+            batch_size=batch_size,
+            start_seq=last_seq,
+            injector=injector,
+        )
+        store = cls(
+            graph,
+            wal,
+            checkpoints,
+            compact_every=compact_every,
+            recovery=RecoveryReport(
+                "recovered", snapshot_seq, len(tail), truncated
+            ),
+        )
+        for entry in entries:
+            store._entries[entry.owner.user_id] = entry
+            for user in entry.universe:
+                store._user_owners.setdefault(user, set()).add(
+                    entry.owner.user_id
+                )
+        for record in tail:
+            store._replay(record)
+        return store
+
+    # ------------------------------------------------------------------
+    # logged mutations
+    # ------------------------------------------------------------------
+    def register(self, owner, universe=None) -> OwnerEntry:
+        """Register one owner, durably."""
+        with self._lock:
+            resolved = set(universe or {owner.user_id})
+            self._append(
+                "register",
+                {
+                    "owner": owner_to_dict(owner),
+                    "universe": sorted(resolved),
+                },
+            )
+            return super().register(owner, universe=resolved)
+
+    def add_user(self, profile: Profile, owner_id: UserId) -> None:
+        """Durably add a new user inside one owner's universe."""
+        with self._lock:
+            self.get(owner_id)  # validate before logging
+            self._append(
+                "add_user",
+                {"profile": profile_to_dict(profile), "owner": owner_id},
+            )
+            super().add_user(profile, owner_id)
+
+    def update_profile(self, profile: Profile) -> frozenset[UserId]:
+        """Durably replace a user's profile."""
+        with self._lock:
+            self._append(
+                "update_profile", {"profile": profile_to_dict(profile)}
+            )
+            return super().update_profile(profile)
+
+    def add_friendship(self, a: UserId, b: UserId) -> frozenset[UserId]:
+        """Durably create the edge ``{a, b}``."""
+        with self._lock:
+            self._validate_edge(a, b)
+            self._append("add_friendship", {"a": a, "b": b})
+            return super().add_friendship(a, b)
+
+    def remove_friendship(self, a: UserId, b: UserId) -> frozenset[UserId]:
+        """Durably remove the edge ``{a, b}``."""
+        with self._lock:
+            self._validate_edge(a, b)
+            self._append("remove_friendship", {"a": a, "b": b})
+            return super().remove_friendship(a, b)
+
+    def grant_labels(
+        self, owner_id: UserId, labels: Mapping[UserId, int]
+    ) -> int:
+        """Durably record oracle-granted labels (only the new ones)."""
+        with self._lock:
+            entry = self.get(owner_id)
+            delta = {
+                int(stranger): RiskLabel(int(label))
+                for stranger, label in sorted(labels.items())
+                if entry.labels.get(int(stranger)) != RiskLabel(int(label))
+            }
+            if not delta:
+                return 0
+            self._append(
+                "grant_labels",
+                {
+                    "owner": owner_id,
+                    "labels": {
+                        str(stranger): int(label)
+                        for stranger, label in delta.items()
+                    },
+                },
+            )
+            return super().grant_labels(owner_id, delta)
+
+    def touch(self, owner_id: UserId) -> int:
+        """Durably bump one owner's version.
+
+        Logged so that version numbers — which key the engine's cache
+        and are visible via ``/owners`` — agree across restarts.
+        """
+        with self._lock:
+            self.get(owner_id)
+            self._append("touch", {"owner": owner_id})
+            return super().touch(owner_id)
+
+    # ------------------------------------------------------------------
+    # durability lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def wal(self) -> WriteAheadLog:
+        """The backing log (stats, flush)."""
+        return self._wal
+
+    @property
+    def last_seq(self) -> int:
+        """Sequence number of the last durable mutation."""
+        return self._wal.seq
+
+    def compact(self) -> int:
+        """Fold the WAL into a fresh snapshot; returns the covered seq.
+
+        Safe against a crash at any point: the snapshot is written
+        atomically (temp + fsync + rename + dir fsync) *before* the log
+        is truncated, and replay skips records at or below the
+        snapshot's sequence number — so a crash between the two steps
+        merely replays no-ops' worth of already-folded history... which
+        the seq filter drops.
+        """
+        with self._lock:
+            return self._save_snapshot()
+
+    def flush(self) -> None:
+        """Force batched WAL appends to disk."""
+        self._wal.flush()
+
+    def close(self) -> None:
+        """Flush and close the WAL."""
+        self._wal.close()
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _append(self, op: str, args: dict[str, Any]) -> int:
+        seq = self._wal.append(op, args)
+        self._since_compaction += 1
+        if (
+            self._compact_every is not None
+            and self._since_compaction >= self._compact_every
+        ):
+            self._save_snapshot()
+        return seq
+
+    def _validate_edge(self, a: UserId, b: UserId) -> None:
+        # surface graph errors *before* the WAL sees the record, so every
+        # logged mutation is guaranteed to replay cleanly
+        if a == b:
+            raise GraphError(f"self-friendship rejected for user {a}")
+        for user in (a, b):
+            if user not in self._graph:
+                raise UnknownUserError(user)
+
+    def _save_snapshot(self) -> int:
+        seq = self._wal.seq
+        document = {
+            "version": _FORMAT_VERSION,
+            "seq": seq,
+            "graph": json.loads(graph_to_json(self._graph)),
+            "owners": [
+                {
+                    "owner": owner_to_dict(entry.owner),
+                    "index": entry.index,
+                    "version": entry.version,
+                    "universe": sorted(entry.universe),
+                    "labels": {
+                        str(stranger): int(label)
+                        for stranger, label in sorted(entry.labels.items())
+                    },
+                }
+                for entry in sorted(
+                    self._entries.values(), key=lambda e: e.index
+                )
+            ],
+        }
+        self._checkpoints.save(SNAPSHOT_KEY, document)
+        self._wal.reset()
+        self._since_compaction = 0
+        return seq
+
+    @staticmethod
+    def _restore_snapshot(
+        document: dict[str, Any],
+    ) -> tuple[SocialGraph, list[OwnerEntry]]:
+        if document.get("version") != _FORMAT_VERSION:
+            raise WalError(
+                f"unsupported store snapshot version: "
+                f"{document.get('version')!r}"
+            )
+        try:
+            graph = graph_from_json(json.dumps(document["graph"]))
+            entries = [
+                OwnerEntry(
+                    owner=owner_from_dict(row["owner"]),
+                    index=int(row["index"]),
+                    version=int(row["version"]),
+                    universe={int(user) for user in row["universe"]},
+                    labels={
+                        int(stranger): RiskLabel(int(label))
+                        for stranger, label in row.get("labels", {}).items()
+                    },
+                )
+                for row in document["owners"]
+            ]
+        except (KeyError, TypeError, ValueError, SerializationError) as error:
+            raise WalError(f"malformed store snapshot: {error}") from error
+        entries.sort(key=lambda entry: entry.index)
+        return graph, entries
+
+    def _replay(self, record: dict[str, Any]) -> None:
+        op, args = record["op"], record.get("args", {})
+        try:
+            if op == "register":
+                OwnerStore.register(
+                    self,
+                    owner_from_dict(args["owner"]),
+                    universe={int(user) for user in args["universe"]},
+                )
+            elif op == "add_user":
+                OwnerStore.add_user(
+                    self,
+                    profile_from_dict(args["profile"]),
+                    owner_id=int(args["owner"]),
+                )
+            elif op == "update_profile":
+                OwnerStore.update_profile(
+                    self, profile_from_dict(args["profile"])
+                )
+            elif op == "add_friendship":
+                OwnerStore.add_friendship(self, int(args["a"]), int(args["b"]))
+            elif op == "remove_friendship":
+                OwnerStore.remove_friendship(
+                    self, int(args["a"]), int(args["b"])
+                )
+            elif op == "grant_labels":
+                OwnerStore.grant_labels(
+                    self,
+                    int(args["owner"]),
+                    {
+                        int(stranger): int(label)
+                        for stranger, label in args["labels"].items()
+                    },
+                )
+            elif op == "touch":
+                OwnerStore.touch(self, int(args["owner"]))
+            else:
+                raise WalError(f"unknown WAL op {op!r}")
+        except WalError:
+            raise
+        except Exception as error:
+            raise WalError(
+                f"WAL record seq={record.get('seq')} op={op!r} failed to "
+                f"replay: {error}"
+            ) from error
+
+
+def mutate_store(
+    store: OwnerStore, op: str, args: Mapping[str, Any]
+) -> dict[str, Any]:
+    """Apply one named mutation to a store; the ``POST /mutate`` core.
+
+    Shared by the HTTP layer and tests so the op vocabulary lives in one
+    place.  Returns a JSON-ready result: which owners were invalidated,
+    their new versions, and (for durable stores) the WAL sequence number
+    that makes the mutation acknowledged-and-safe.
+    """
+    affected: Iterable[UserId]
+    if op == "add_friendship":
+        affected = store.add_friendship(int(args["a"]), int(args["b"]))
+    elif op == "remove_friendship":
+        affected = store.remove_friendship(int(args["a"]), int(args["b"]))
+    elif op == "update_profile":
+        affected = store.update_profile(profile_from_dict(args["profile"]))
+    elif op == "add_user":
+        owner_id = int(args["owner"])
+        store.add_user(profile_from_dict(args["profile"]), owner_id=owner_id)
+        affected = {owner_id}
+    elif op == "grant_labels":
+        owner_id = int(args["owner"])
+        store.grant_labels(
+            owner_id,
+            {
+                int(stranger): int(label)
+                for stranger, label in dict(args["labels"]).items()
+            },
+        )
+        affected = {owner_id}
+    elif op == "touch":
+        owner_id = int(args["owner"])
+        store.touch(owner_id)
+        affected = {owner_id}
+    else:
+        raise KeyError(op)
+    owners = sorted(affected)
+    return {
+        "ok": True,
+        "op": op,
+        "affected": owners,
+        "versions": {str(o): store.version(o) for o in owners},
+        "seq": store.last_seq if isinstance(store, DurableOwnerStore) else None,
+    }
+
+
+#: Ops accepted by :func:`mutate_store` / ``POST /mutate``.
+MUTATION_OPS = (
+    "add_friendship",
+    "remove_friendship",
+    "update_profile",
+    "add_user",
+    "grant_labels",
+    "touch",
+)
+
+__all__ = [
+    "DurableOwnerStore",
+    "MUTATION_OPS",
+    "RecoveryReport",
+    "SNAPSHOT_KEY",
+    "WAL_FILENAME",
+    "WriteAheadLog",
+    "decode_record",
+    "encode_record",
+    "mutate_store",
+    "read_wal",
+]

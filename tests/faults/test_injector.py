@@ -225,3 +225,89 @@ class TestOutages:
     def test_empty_plan_returns_the_same_crawl(self):
         crawl = self._crawl()
         assert FaultInjector(FaultPlan(), seed=0).apply_outages(crawl) is crawl
+
+
+class TestServiceFaultPlan:
+    def test_validation(self):
+        from repro.faults import ServiceFaultPlan
+
+        with pytest.raises(ConfigError):
+            ServiceFaultPlan(fsync_failure_rate=1.5)
+        with pytest.raises(ConfigError):
+            ServiceFaultPlan(slow_disk_seconds=-1)
+        with pytest.raises(ConfigError):
+            ServiceFaultPlan(crash_at_mutation=0)
+        with pytest.raises(ConfigError):
+            ServiceFaultPlan(torn_write_at_mutation=-3)
+
+    def test_injects_anything(self):
+        from repro.faults import ServiceFaultPlan
+
+        assert not ServiceFaultPlan().injects_anything
+        assert ServiceFaultPlan(fsync_failure_rate=0.1).injects_anything
+        assert ServiceFaultPlan(crash_at_mutation=5).injects_anything
+        assert ServiceFaultPlan(torn_write_at_mutation=1).injects_anything
+        assert ServiceFaultPlan(slow_disk_seconds=0.5).injects_anything
+
+
+class TestServiceFaultInjector:
+    def test_fsync_failures_are_seeded_and_deterministic(self):
+        from repro.faults import ServiceFaultInjector, ServiceFaultPlan
+
+        def failures(seed):
+            injector = ServiceFaultInjector(
+                ServiceFaultPlan(fsync_failure_rate=0.5), seed=seed
+            )
+            observed = []
+            for _ in range(20):
+                try:
+                    injector.before_fsync()
+                    observed.append(False)
+                except OSError:
+                    observed.append(True)
+            return observed
+
+        assert failures(7) == failures(7)
+        assert failures(7) != failures(8)
+        assert any(failures(7)) and not all(failures(7))
+
+    def test_torn_write_mangles_only_the_chosen_mutation(self):
+        from repro.faults import ServiceFaultInjector, ServiceFaultPlan
+
+        crashes = []
+        injector = ServiceFaultInjector(
+            ServiceFaultPlan(torn_write_at_mutation=2),
+            crash=lambda code: crashes.append(code),
+        )
+        line = b"0a1b2c3d {payload}\n"
+        assert injector.mangle_record(1, line) == line
+        injector.after_write(1)
+        assert crashes == []
+        torn = injector.mangle_record(2, line)
+        assert torn != line and len(torn) < len(line)
+        injector.after_write(2)
+        assert crashes == [23]
+
+    def test_crash_after_commit_uses_exit_code_24(self):
+        from repro.faults import ServiceFaultInjector, ServiceFaultPlan
+
+        crashes = []
+        injector = ServiceFaultInjector(
+            ServiceFaultPlan(crash_at_mutation=3),
+            crash=lambda code: crashes.append(code),
+        )
+        injector.after_commit(1)
+        injector.after_commit(2)
+        assert crashes == []
+        injector.after_commit(3)
+        assert crashes == [24]
+
+    def test_slow_disk_sleeps_before_fsync(self):
+        from repro.faults import ServiceFaultInjector, ServiceFaultPlan
+
+        naps = []
+        injector = ServiceFaultInjector(
+            ServiceFaultPlan(slow_disk_seconds=0.25), sleeper=naps.append
+        )
+        injector.before_fsync()
+        assert naps == [0.25]

@@ -117,6 +117,21 @@ class TestCheckpointStore:
         with pytest.raises(CheckpointError):
             store.load("bad")
 
+    def test_save_fsyncs_file_and_directory(self, tmp_path, monkeypatch):
+        import os as os_module
+
+        synced: list[int] = []
+        real_fsync = os_module.fsync
+        monkeypatch.setattr(
+            "os.fsync", lambda fd: (synced.append(fd), real_fsync(fd))[1]
+        )
+        store = CheckpointStore(tmp_path)
+        store.save("a", {"x": 1})
+        # one fsync for the temp payload, one for the directory entry —
+        # without both, a crash after os.replace can lose the checkpoint
+        assert len(synced) == 2
+        assert store.load("a") == {"x": 1}
+
 
 def _pool(pool_id="p-0", stranger=6):
     return PoolResult(

@@ -93,6 +93,27 @@ class TestDeltaInvalidation:
         assert untouched.source == "cache"
         assert untouched.digest == cold_second.digest
 
+    def test_edge_removal_invalidates_the_cached_score(
+        self, service_population, service_store, service_engine
+    ):
+        first, second = owner_ids_of(service_population)
+        service_engine.score(first)
+        cold_second = service_engine.score(second)
+
+        s1, s2 = strangers_of(service_population, first)[:2]
+        service_store.add_friendship(s1, s2)
+        service_engine.score(first)  # warm, absorbs the new edge
+
+        affected = service_store.remove_friendship(s1, s2)
+        assert affected == {first}
+        rescored = service_engine.score(first)
+        # removal bumped the version: the memo is stale, not served
+        assert rescored.source == "warm"
+        assert rescored.version == 2
+        untouched = service_engine.score(second)
+        assert untouched.source == "cache"
+        assert untouched.digest == cold_second.digest
+
     def test_warm_record_becomes_the_new_cache_entry(
         self, service_population, service_store, service_engine
     ):

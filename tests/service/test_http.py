@@ -185,3 +185,139 @@ class TestResilienceMapping:
             server.server_close()
             scheduler.shutdown(wait=False)
             thread.join(timeout=10)
+
+
+@pytest.fixture
+def mutable_server():
+    """A fresh (function-scoped) server whose store the test may mutate."""
+    from repro.service import OwnerStore, RiskEngine
+
+    from .conftest import SERVICE_SEED, make_service_population
+
+    population = make_service_population()
+    store = OwnerStore.from_population(population)
+    engine = RiskEngine(store, seed=SERVICE_SEED)
+    server = build_server(engine, max_workers=2, max_pending=8)
+    thread = serve(server)
+    yield server
+    server.shutdown()
+    server.server_close()
+    server.scheduler.shutdown(wait=False)
+    thread.join(timeout=10)
+
+
+class TestReadiness:
+    def test_readyz_reports_ready(self, live_server):
+        status, document, _ = get(f"{live_server.url}/readyz")
+        assert status == 200
+        assert document["ready"] is True
+        assert document["scheduler_accepting"] is True
+
+    def test_readyz_is_503_before_warmup(self, mutable_server):
+        mutable_server.state.ready = False
+        mutable_server.state.detail = "starting"
+        status, document, _ = get(f"{mutable_server.url}/readyz")
+        assert status == 503
+        assert document["ready"] is False
+        assert document["detail"] == "starting"
+        mutable_server.state.ready = True
+        status, document, _ = get(f"{mutable_server.url}/readyz")
+        assert status == 200
+
+    def test_draining_rejects_work_but_keeps_health(self, mutable_server):
+        mutable_server.state.draining = True
+        owner_id = mutable_server.engine.store.owner_ids()[0]
+        status, document, _ = get(
+            f"{mutable_server.url}/score?owner={owner_id}"
+        )
+        assert status == 503
+        assert "draining" in document["error"]
+        status, _ = post(f"{mutable_server.url}/mutate", {"op": "touch"})
+        assert status == 503
+        status, document, _ = get(f"{mutable_server.url}/readyz")
+        assert status == 503
+        assert document["draining"] is True
+        # liveness never flips: the pod is alive, just not routable
+        status, document, _ = get(f"{mutable_server.url}/healthz")
+        assert status == 200
+        assert document["draining"] is True
+
+
+class TestMutate:
+    def test_touch_acks_with_versions(self, mutable_server):
+        owner_id = mutable_server.engine.store.owner_ids()[0]
+        status, document = post(
+            f"{mutable_server.url}/mutate", {"op": "touch", "owner": owner_id}
+        )
+        assert status == 200
+        assert document["ok"] is True
+        assert document["affected"] == [owner_id]
+        assert document["versions"][str(owner_id)] == 1
+        assert document["seq"] is None  # plain in-memory store: no WAL
+
+    def test_add_friendship_between_universes(self, mutable_server):
+        store = mutable_server.engine.store
+        first, second = store.owner_ids()
+        status, document = post(
+            f"{mutable_server.url}/mutate",
+            {"op": "add_friendship", "a": first, "b": second},
+        )
+        assert status == 200
+        assert document["affected"] == sorted([first, second])
+        assert store.graph.are_friends(first, second)
+
+    def test_unknown_op_is_400_with_vocabulary(self, mutable_server):
+        status, document = post(
+            f"{mutable_server.url}/mutate", {"op": "drop_table"}
+        )
+        assert status == 400
+        assert "unknown op" in document["error"]
+        assert "touch" in document["ops"]
+
+    def test_unknown_user_is_404(self, mutable_server):
+        owner_id = mutable_server.engine.store.owner_ids()[0]
+        status, document = post(
+            f"{mutable_server.url}/mutate",
+            {"op": "add_friendship", "a": owner_id, "b": 999_999},
+        )
+        assert status == 404
+
+    def test_self_edge_is_400(self, mutable_server):
+        owner_id = mutable_server.engine.store.owner_ids()[0]
+        status, document = post(
+            f"{mutable_server.url}/mutate",
+            {"op": "add_friendship", "a": owner_id, "b": owner_id},
+        )
+        assert status == 400
+
+    def test_malformed_arguments_are_400(self, mutable_server):
+        status, document = post(f"{mutable_server.url}/mutate", {"op": "touch"})
+        assert status == 400
+        assert "malformed arguments" in document["error"]
+
+    def test_non_json_body_is_400(self, mutable_server):
+        request = urllib.request.Request(
+            f"{mutable_server.url}/mutate",
+            data=b"not json",
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=30):
+                raise AssertionError("expected a 400")
+        except urllib.error.HTTPError as error:
+            assert error.code == 400
+
+    def test_mutation_invalidates_served_scores(self, mutable_server):
+        owner_id = mutable_server.engine.store.owner_ids()[0]
+        status, first, _ = get(f"{mutable_server.url}/score?owner={owner_id}")
+        assert status == 200 and first["source"] == "cold"
+        post(
+            f"{mutable_server.url}/mutate", {"op": "touch", "owner": owner_id}
+        )
+        status, rescored, _ = get(
+            f"{mutable_server.url}/score?owner={owner_id}"
+        )
+        assert status == 200
+        assert rescored["source"] == "warm"
+        assert rescored["version"] == 1

@@ -212,3 +212,86 @@ class TestErrorsAndLifecycle:
             ScoreScheduler(InstantEngine(), max_workers=0)
         with pytest.raises(ServiceError):
             ScoreScheduler(InstantEngine(), max_pending=0)
+
+
+class TestDrain:
+    def test_drain_completes_the_queued_backlog(self):
+        engine = GatedEngine()
+        scheduler = ScoreScheduler(engine, max_workers=1, max_pending=8)
+        futures = [scheduler.submit(1) for _ in range(3)]
+
+        release = threading.Timer(0.05, engine.gate.set)
+        release.start()
+        try:
+            summary = scheduler.shutdown(drain=True, timeout=10)
+        finally:
+            release.cancel()
+        # with drain, the queued requests complete instead of failing
+        assert summary["drained"] is True
+        assert summary["pending_at_signal"] == 3
+        assert summary["pending_at_exit"] == 0
+        assert [future.result(timeout=10).owner_id for future in futures] == [
+            1,
+            1,
+            1,
+        ]
+
+    def test_drain_timeout_gives_up_with_work_pending(self):
+        engine = GatedEngine()  # never released: work can't finish
+        scheduler = ScoreScheduler(engine, max_workers=1, max_pending=8)
+        scheduler.submit(1)
+        scheduler.submit(1)
+        summary = scheduler.shutdown(wait=False, drain=True, timeout=0.1)
+        assert summary["drained"] is False
+        assert summary["pending_at_exit"] > 0
+        engine.gate.set()  # unblock the worker so the pool can die
+
+    def test_drain_rejects_new_work_immediately(self):
+        engine = GatedEngine()
+        scheduler = ScoreScheduler(engine, max_workers=1)
+        scheduler.submit(1)
+        done = threading.Event()
+
+        def drain_then_flag():
+            scheduler.shutdown(drain=True, timeout=10)
+            done.set()
+
+        draining = threading.Thread(target=drain_then_flag)
+        draining.start()
+        deadline = time.monotonic() + 10
+        while scheduler.accepting and time.monotonic() < deadline:
+            time.sleep(0.005)
+        assert not scheduler.accepting
+        with pytest.raises(BackpressureError):
+            scheduler.submit(2)
+        engine.gate.set()
+        draining.join(timeout=10)
+        assert done.is_set()
+
+    def test_pending_count_tracks_the_queue(self):
+        engine = GatedEngine()
+        scheduler = ScoreScheduler(engine, max_workers=1, max_pending=8)
+        assert scheduler.pending_count() == 0
+        scheduler.submit(1)
+        scheduler.submit(1)
+        assert scheduler.pending_count() == 2
+        engine.gate.set()
+        deadline = time.monotonic() + 10
+        while scheduler.pending_count() and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert scheduler.pending_count() == 0
+        scheduler.shutdown()
+
+    def test_shutdown_summary_includes_engine_metrics(self, service_engine):
+        scheduler = ScoreScheduler(service_engine, max_workers=1)
+        owner_id = service_engine.store.owner_ids()[0]
+        scheduler.score(owner_id, timeout=60)
+        summary = scheduler.shutdown(drain=True, timeout=10)
+        metrics = summary["engine_metrics"]
+        assert metrics["requests"] == 1
+        assert metrics["cold_scores"] == 1
+
+    def test_fake_engines_emit_no_metrics_block(self):
+        scheduler = ScoreScheduler(InstantEngine(), max_workers=1)
+        summary = scheduler.shutdown(drain=True, timeout=1)
+        assert "engine_metrics" not in summary

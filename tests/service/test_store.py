@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.errors import UnknownOwnerError
+from repro.errors import UnknownOwnerError, UnknownUserError
 from repro.service import OwnerStore
 
 from ..conftest import make_profile
@@ -98,6 +98,41 @@ class TestDeltas:
         assert affected == {first}
         assert service_store.version(first) == 2
         assert service_store.version(second) == 0
+
+    def test_remove_cross_universe_edge_bumps_both_owners(
+        self, service_population, service_store
+    ):
+        first, second = owner_ids_of(service_population)
+        s1 = strangers_of(service_population, first)[0]
+        s2 = strangers_of(service_population, second)[0]
+        service_store.add_friendship(s1, s2)  # joins the two universes
+        affected = service_store.remove_friendship(s1, s2)
+        # the edge is gone from both owners' 2-hop worlds: both go stale
+        assert affected == {first, second}
+        assert service_store.version(first) == 2
+        assert service_store.version(second) == 2
+        assert not service_store.graph.are_friends(s1, s2)
+
+    def test_remove_friendship_of_unknown_user_raises(
+        self, service_population, service_store
+    ):
+        first = owner_ids_of(service_population)[0]
+        with pytest.raises(UnknownUserError):
+            service_store.remove_friendship(first, 987_654)
+
+    def test_grant_labels_counts_only_new_grants(
+        self, service_population, service_store
+    ):
+        first, second = owner_ids_of(service_population)
+        s1, s2 = strangers_of(service_population, first)[:2]
+        assert service_store.grant_labels(first, {s1: 1, s2: 3}) == 2
+        assert service_store.grant_labels(first, {s1: 1}) == 0  # no change
+        assert service_store.grant_labels(first, {s1: 2}) == 1  # re-label
+        # granting never bumps versions: labels don't stale scores
+        assert service_store.version(first) == 0
+        assert service_store.version(second) == 0
+        by_owner = {row["owner"]: row for row in service_store.snapshot()}
+        assert by_owner[first]["labels_granted"] == 2
 
     def test_update_profile_invalidates_the_hosting_owner(
         self, service_population, service_store
