@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-paper-scale robustness chaos study serve examples clean
+.PHONY: install test bench bench-paper-scale parallel-smoke robustness chaos study serve examples clean
 
 install:
 	$(PYTHON) -m pip install -e ".[test]"
@@ -17,6 +17,15 @@ bench:
 bench-paper-scale:
 	REPRO_BENCH_OWNERS=47 REPRO_BENCH_STRANGERS=3661 \
 		$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# multi-core scoring: worker-backend tests, parallel-vs-serial digest
+# equality, and the 2-worker cold-throughput bench at reduced scale
+parallel-smoke:
+	$(PYTHON) -m pytest -q -o addopts= tests/service/test_workers.py \
+		tests/experiments/test_study.py::TestParallelStudy
+	REPRO_BENCH_OWNERS=3 REPRO_BENCH_STRANGERS=80 REPRO_BENCH_SCORE_WORKERS=2 \
+		$(PYTHON) -m pytest -q \
+		"benchmarks/bench_service_throughput.py::test_parallel_cold_throughput"
 
 # the resilience layer: retry/faults/checkpoint tests, then the faulted
 # archetype benchmarks

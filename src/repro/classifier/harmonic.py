@@ -153,8 +153,12 @@ class HarmonicClassifier:
                     solution = solution.reshape(size, -1)
                 if np.all(np.isfinite(solution)):
                     return np.asarray(solution)
-            except RuntimeError:
-                pass  # singular factorization: fall through to dense
+            except (RuntimeError, ValueError):
+                # SuperLU signals a singular factorization as RuntimeError
+                # but umfpack (and some scipy versions' input validation)
+                # raise ValueError for the same condition; either way the
+                # dense path below is the correct fallback.
+                pass
         system = np.diag(degrees + self._config.epsilon) - w_uu
         try:
             return np.linalg.solve(system, rhs)

@@ -115,6 +115,16 @@ def build_parser() -> argparse.ArgumentParser:
             "if any fails (forces both NPP and NSP studies)"
         ),
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "worker processes for the per-owner study loop (0 = serial; "
+            "parallel runs reproduce the serial digests exactly)"
+        ),
+    )
     resilience = parser.add_argument_group(
         "resilience",
         "checkpoint/resume and deterministic fault injection",
@@ -240,6 +250,17 @@ def build_serve_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=4, help="concurrent scoring threads"
     )
     parser.add_argument(
+        "--score-workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "worker *processes* for cold scores (0 = score inline on the "
+            "request thread; N >= 1 dispatches cold scores to a process "
+            "pool, digest-checked against the serial pipeline)"
+        ),
+    )
+    parser.add_argument(
         "--max-pending",
         type=int,
         default=64,
@@ -333,6 +354,17 @@ def build_serve_parser() -> argparse.ArgumentParser:
         help="tear the Nth WAL record mid-write and crash (power cut)",
     )
     chaos.add_argument(
+        "--crash-worker-at-job",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "kill the scoring worker handling the Nth dispatched cold "
+            "score (requires --score-workers >= 1; the job is retried "
+            "once on a fresh worker)"
+        ),
+    )
+    chaos.add_argument(
         "--fault-seed",
         type=int,
         default=0,
@@ -350,6 +382,7 @@ def _service_fault_injector(args: argparse.Namespace):
         slow_disk_seconds=args.fault_slow_disk,
         torn_write_at_mutation=args.torn_write_at_mutation,
         crash_at_mutation=args.crash_at_mutation,
+        worker_crash_at_job=args.crash_worker_at_job,
     )
     if not plan.injects_anything:
         return None
@@ -427,11 +460,29 @@ def serve_main(argv: Sequence[str] | None = None) -> int:
             f"truncated {report.truncated_bytes} torn bytes",
             file=sys.stderr,
         )
+    backend = None
+    if args.score_workers > 0:
+        from .service import ProcessPoolBackend
+
+        backend = ProcessPoolBackend(
+            args.score_workers, injector=_service_fault_injector(args)
+        )
+        print(
+            f"cold scoring on {args.score_workers} worker process(es)",
+            file=sys.stderr,
+        )
+    elif args.crash_worker_at_job is not None:
+        print(
+            "warning: --crash-worker-at-job has no effect without "
+            "--score-workers",
+            file=sys.stderr,
+        )
     engine = RiskEngine(
         store,
         pooling=args.pooling,
         classifier=args.classifier,
         seed=args.seed,
+        backend=backend,
     )
     if args.warm_all:
         for owner_id in store.owner_ids():
@@ -477,6 +528,9 @@ def serve_main(argv: Sequence[str] | None = None) -> int:
     summary = server.scheduler.shutdown(
         wait=True, drain=True, timeout=args.drain_timeout
     )
+    if backend is not None:
+        summary["workers"] = backend.stats()
+        backend.shutdown()
     if isinstance(store, DurableOwnerStore):
         store.close()  # flush any batched WAL appends
         summary["wal"] = store.wal.stats()
@@ -497,7 +551,13 @@ def main(argv: Sequence[str] | None = None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] == "serve":
         return serve_main(list(argv[1:]))
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.workers and args.checkpoint_dir:
+        parser.error(
+            "--workers and --checkpoint-dir are mutually exclusive "
+            "(per-pool checkpoints are owned by the serial loop)"
+        )
     chosen = (
         list(EXPERIMENTS) if "all" in args.experiments else args.experiments
     )
@@ -542,6 +602,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         fault_plan=fault_plan,
         checkpoint_dir=args.checkpoint_dir,
         resume=args.resume,
+        workers=args.workers,
     )
     npp = (
         run_study(population, pooling="npp", **study_options)

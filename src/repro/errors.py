@@ -166,6 +166,14 @@ class WalError(ServiceError):
     """The write-ahead log could not be appended to or recovered."""
 
 
+class WorkerCrashError(ServiceError):
+    """A scoring worker process died and the retry budget is spent."""
+
+
+class WorkerIntegrityError(ServiceError):
+    """A worker's result failed its digest check after rehydration."""
+
+
 class SerializationError(ReproError):
     """An object could not be serialized or deserialized."""
 

@@ -257,6 +257,7 @@ def run_study(
     retry_policy: RetryPolicy | None = None,
     checkpoint_dir: str | Path | None = None,
     resume: bool = False,
+    workers: int = 0,
 ) -> StudyResult:
     """Run the active-learning study for every owner in the population.
 
@@ -291,8 +292,33 @@ def run_study(
         Resume from existing checkpoints in ``checkpoint_dir`` instead of
         discarding them.  A killed study rerun with identical arguments
         reproduces the uninterrupted run's labels exactly.
+    workers:
+        Worker *processes* for the per-owner loop.  ``0`` (the default)
+        runs serially in this process.  With ``workers >= 1`` each
+        owner's session executes in a
+        :class:`~repro.service.ProcessPoolBackend` worker; owners keep
+        their serial seeds (``seed + index``) and results merge in
+        submission order, so the study's
+        :func:`~repro.io.result_digest`\\ s match the serial run exactly.
+        Incompatible with ``checkpoint_dir`` and with custom similarity
+        callables (they may not survive pickling).
     """
     base = config or PipelineConfig()
+    if workers:
+        return _run_study_parallel(
+            population,
+            pooling=pooling,
+            classifier=classifier,
+            config=base,
+            seed=seed,
+            use_owner_confidence=use_owner_confidence,
+            edge_similarity_wrapper=edge_similarity_wrapper,
+            network_similarity=network_similarity,
+            fault_plan=fault_plan,
+            retry_policy=retry_policy,
+            checkpoint_dir=checkpoint_dir,
+            workers=workers,
+        )
     store = None
     if checkpoint_dir is not None:
         # Imported lazily: repro.io's study exporter reads experiment
@@ -345,3 +371,69 @@ def run_study(
             )
         )
     return StudyResult(runs=tuple(runs), pooling=pooling, classifier=classifier)
+
+
+def _run_study_parallel(
+    population: StudyPopulation,
+    *,
+    pooling: Literal["npp", "nsp"],
+    classifier: str,
+    config: PipelineConfig,
+    seed: int,
+    use_owner_confidence: bool,
+    edge_similarity_wrapper,
+    network_similarity,
+    fault_plan: FaultPlan | None,
+    retry_policy: RetryPolicy | None,
+    checkpoint_dir: str | Path | None,
+    workers: int,
+) -> StudyResult:
+    """Deterministic multi-process owner loop behind ``workers >= 1``.
+
+    Each owner becomes a picklable
+    :class:`~repro.service.workers.ScoreJob` carrying their ego universe
+    as an induced subgraph; workers replay the serial loop's per-owner
+    block (same derived seed, same computation order), and results merge
+    in submission order — so digests equal the serial study's.
+    """
+    from ..errors import ConfigError
+
+    if workers < 0:
+        raise ConfigError(f"workers must be >= 0, got {workers}")
+    if checkpoint_dir is not None:
+        raise ConfigError(
+            "workers and checkpoint_dir are mutually exclusive: per-pool "
+            "checkpoints are owned by the serial loop"
+        )
+    if edge_similarity_wrapper is not None or network_similarity is not None:
+        raise ConfigError(
+            "workers requires the built-in similarity measures: custom "
+            "callables may not survive pickling into worker processes"
+        )
+    # Imported lazily: the service layer consumes this module.
+    from ..service.workers import (
+        ProcessPoolBackend,
+        ScoreJob,
+        execute_owner_run_job,
+    )
+
+    jobs = [
+        ScoreJob.from_universe(
+            owner,
+            index,
+            population.graph,
+            population.handles[owner.user_id].strangers,
+            pooling=pooling,
+            classifier=classifier,
+            config=config,
+            seed=seed,
+            use_owner_confidence=use_owner_confidence,
+            fault_plan=fault_plan,
+            retry_policy=retry_policy,
+        )
+        for index, owner in enumerate(population.owners)
+    ]
+    with ProcessPoolBackend(workers) as backend:
+        outcomes = backend.map_jobs(jobs, runner=execute_owner_run_job)
+    runs = tuple(outcome.run for outcome in outcomes)
+    return StudyResult(runs=runs, pooling=pooling, classifier=classifier)

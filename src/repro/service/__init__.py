@@ -13,6 +13,10 @@ instead of re-running the batch study per request:
   byte on cold scores;
 * :class:`ScoreScheduler` — bounded worker pool with per-owner
   serialization and backpressure;
+* :class:`ProcessPoolBackend` — multi-core cold scoring: picklable
+  :class:`ScoreJob`\\ s run in worker processes, results are rehydrated
+  and digest-checked, crashed workers are retried on a fresh pool
+  (``repro-study serve --score-workers N`` / ``run-study --workers N``);
 * :class:`RiskServiceServer` — stdlib ``ThreadingHTTPServer`` JSON API
   (``/score``, ``/mutate``, ``/owners``, ``/healthz``, ``/readyz``,
   ``/metrics``) wired through the resilience layer; started from the CLI
@@ -39,21 +43,37 @@ from .wal import (
     mutate_store,
     read_wal,
 )
+from .workers import (
+    WORKER_CRASH_EXIT_CODE,
+    ProcessPoolBackend,
+    ScoreJob,
+    ScoreOutcome,
+    StudyOutcome,
+    execute_owner_run_job,
+    execute_score_job,
+)
 
 __all__ = [
     "DurableOwnerStore",
     "EngineMetrics",
     "OwnerEntry",
     "OwnerStore",
+    "ProcessPoolBackend",
     "RecoveryReport",
     "RiskEngine",
     "RiskServiceHandler",
     "RiskServiceServer",
+    "ScoreJob",
+    "ScoreOutcome",
     "ScoreRecord",
     "ScoreScheduler",
     "ServiceState",
+    "StudyOutcome",
+    "WORKER_CRASH_EXIT_CODE",
     "WriteAheadLog",
     "build_server",
+    "execute_owner_run_job",
+    "execute_score_job",
     "mutate_store",
     "read_wal",
 ]

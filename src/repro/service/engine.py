@@ -12,8 +12,18 @@ as :func:`repro.experiments.run_study`, so an engine score of a pristine
 owner is byte-identical to the batch study (checked via
 :func:`repro.io.result_digest`).
 
+Cold scores optionally run out-of-process: pass a
+:class:`~repro.service.workers.ProcessPoolBackend` as ``backend`` and the
+engine ships each cold score to a worker process as a picklable
+:class:`~repro.service.workers.ScoreJob`, rehydrating and digest-checking
+the result.  Warm re-scores and cache hits stay in-process (they need the
+memoized prior result).
+
 The engine is thread-safe: per-owner locks serialize concurrent scores of
-the same owner while different owners score in parallel.
+the same owner while different owners score in parallel.  The memo and
+the lock table are LRU-bounded (``max_cached_owners``) so a long-running
+server's memory stays flat; a lock is never dropped while any thread
+holds or waits on it.
 """
 
 from __future__ import annotations
@@ -21,10 +31,13 @@ from __future__ import annotations
 import dataclasses
 import threading
 import time
+from collections import OrderedDict, deque
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Any, Literal
+from typing import Any, Iterator, Literal
 
 from ..config import PipelineConfig
+from ..errors import ServiceError
 from ..experiments.study import plan_owner_session
 from ..io.serialization import result_digest, session_result_to_dict
 from ..learning.incremental import continue_session
@@ -69,10 +82,55 @@ class ScoreRecord:
         }
 
 
-class EngineMetrics:
-    """Thread-safe serving counters for the ``/metrics`` endpoint."""
+class _LatencyAccumulator:
+    """Full-run count/mean/max plus a bounded window of recent samples.
 
-    def __init__(self) -> None:
+    A long-running server records millions of latencies; keeping every
+    sample is an unbounded leak.  The accumulator folds each sample into
+    running aggregates (count, total, max — exact over the full run) and
+    retains only the last ``window`` samples for recency stats.
+    """
+
+    __slots__ = ("count", "total", "max_value", "recent")
+
+    def __init__(self, window: int) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.max_value = 0.0
+        self.recent: deque[float] = deque(maxlen=window)
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value > self.max_value:
+            self.max_value = value
+        self.recent.append(value)
+
+    def stats(self) -> dict[str, float] | None:
+        if not self.count:
+            return None
+        recent = list(self.recent)
+        return {
+            "count": self.count,
+            "mean_seconds": self.total / self.count,
+            "max_seconds": self.max_value,
+            "recent_mean_seconds": sum(recent) / len(recent),
+        }
+
+
+class EngineMetrics:
+    """Thread-safe serving counters for the ``/metrics`` endpoint.
+
+    Latency accounting is bounded: per-source running aggregates stay
+    exact over the whole run while only ``latency_window`` recent samples
+    are retained (see :class:`_LatencyAccumulator`).
+    """
+
+    def __init__(self, latency_window: int = 512) -> None:
+        if latency_window < 1:
+            raise ServiceError(
+                f"latency_window must be >= 1, got {latency_window}"
+            )
         self._lock = threading.Lock()
         self.requests = 0
         self.cache_hits = 0
@@ -81,7 +139,12 @@ class EngineMetrics:
         self.errors = 0
         self.reused_labels = 0
         self.new_queries = 0
-        self._latency: dict[str, list[float]] = {"cold": [], "warm": []}
+        self.cache_evictions = 0
+        self._latency_window = latency_window
+        self._latency: dict[str, _LatencyAccumulator] = {
+            "cold": _LatencyAccumulator(latency_window),
+            "warm": _LatencyAccumulator(latency_window),
+        }
 
     def record_hit(self) -> None:
         """Count one request served straight from the memo."""
@@ -99,7 +162,7 @@ class EngineMetrics:
                 self.cold_scores += 1
             else:
                 self.warm_scores += 1
-            self._latency[source].append(elapsed)
+            self._latency[source].add(elapsed)
             self.reused_labels += reused
             self.new_queries += queries
 
@@ -108,6 +171,11 @@ class EngineMetrics:
         with self._lock:
             self.requests += 1
             self.errors += 1
+
+    def record_eviction(self) -> None:
+        """Count one memoized record dropped by the LRU bound."""
+        with self._lock:
+            self.cache_evictions += 1
 
     @property
     def hit_rate(self) -> float:
@@ -120,15 +188,6 @@ class EngineMetrics:
     def snapshot(self) -> dict[str, Any]:
         """JSON-ready view of every counter."""
         with self._lock:
-            def stats(samples: list[float]) -> dict[str, float] | None:
-                if not samples:
-                    return None
-                return {
-                    "count": len(samples),
-                    "mean_seconds": sum(samples) / len(samples),
-                    "max_seconds": max(samples),
-                }
-
             requests = self.requests
             return {
                 "requests": requests,
@@ -141,11 +200,29 @@ class EngineMetrics:
                 "errors": self.errors,
                 "reused_labels": self.reused_labels,
                 "new_queries": self.new_queries,
+                "cache_evictions": self.cache_evictions,
+                "latency_window": self._latency_window,
                 "latency": {
-                    "cold": stats(self._latency["cold"]),
-                    "warm": stats(self._latency["warm"]),
+                    "cold": self._latency["cold"].stats(),
+                    "warm": self._latency["warm"].stats(),
                 },
             }
+
+
+class _CountedLock:
+    """A lock plus the number of threads holding or waiting on it.
+
+    The engine's lock table is LRU-pruned; the reference count is what
+    makes pruning safe — an entry is only dropped when no thread can
+    still serialize on it, so two threads can never score the same owner
+    through different lock objects.
+    """
+
+    __slots__ = ("lock", "refs")
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.refs = 0
 
 
 class RiskEngine:
@@ -159,6 +236,15 @@ class RiskEngine:
         Study parameters, with the same meaning (and defaults) as in
         :func:`repro.experiments.run_study`.  A cold engine score with a
         given ``seed`` equals the batch study's result for that owner.
+    backend:
+        Optional cold-score executor (anything with
+        ``run_job(job) -> ScoreOutcome``, normally a
+        :class:`~repro.service.workers.ProcessPoolBackend`).  ``None``
+        (the default) computes cold scores inline on the calling thread.
+    max_cached_owners:
+        LRU bound on memoized records and the per-owner lock table.
+        Generous by default; evictions are surfaced in
+        :class:`EngineMetrics` as ``cache_evictions``.
     clock:
         Monotonic time source for latency accounting (injectable).
     """
@@ -171,18 +257,27 @@ class RiskEngine:
         config: PipelineConfig | None = None,
         seed: int = 0,
         use_owner_confidence: bool = True,
+        backend=None,
+        max_cached_owners: int = 4096,
         clock=time.perf_counter,
     ) -> None:
+        if max_cached_owners < 1:
+            raise ServiceError(
+                f"max_cached_owners must be >= 1, got {max_cached_owners}"
+            )
         self._store = store
         self._pooling = pooling
         self._classifier = classifier
         self._config = config
         self._seed = seed
         self._use_owner_confidence = use_owner_confidence
+        self._backend = backend
+        self._max_cached_owners = max_cached_owners
         self._clock = clock
         self._metrics = EngineMetrics()
-        self._cache: dict[UserId, ScoreRecord] = {}
-        self._owner_locks: dict[UserId, threading.Lock] = {}
+        self._cache: OrderedDict[UserId, ScoreRecord] = OrderedDict()
+        self._cache_guard = threading.Lock()
+        self._owner_locks: dict[UserId, _CountedLock] = {}
         self._locks_guard = threading.Lock()
 
     # ------------------------------------------------------------------
@@ -198,15 +293,26 @@ class RiskEngine:
         """Serving counters."""
         return self._metrics
 
+    @property
+    def backend(self):
+        """The cold-score backend (``None`` = inline serial scoring)."""
+        return self._backend
+
+    @property
+    def max_cached_owners(self) -> int:
+        """The LRU bound on memoized records."""
+        return self._max_cached_owners
+
     def cached(self, owner_id: UserId) -> ScoreRecord | None:
         """The memoized record for ``owner_id``, fresh or stale."""
-        return self._cache.get(owner_id)
+        with self._cache_guard:
+            return self._cache.get(owner_id)
 
     def owners_overview(self) -> list[dict[str, Any]]:
         """Store snapshot annotated with cache state (``/owners``)."""
         overview = []
         for row in self._store.snapshot():
-            cached = self._cache.get(row["owner"])
+            cached = self.cached(row["owner"])
             row["cached_version"] = cached.version if cached else None
             row["cache_fresh"] = (
                 cached is not None and cached.version == row["version"]
@@ -223,7 +329,8 @@ class RiskEngine:
         Cache hit → the memoized record.  Stale cache → warm re-score via
         :func:`~repro.learning.incremental.continue_session` (prior owner
         labels reused).  No cache → cold full-pipeline run, identical to
-        the batch study.
+        the batch study — executed on the configured backend's worker
+        pool when one is set, inline otherwise.
 
         Raises
         ------
@@ -233,19 +340,20 @@ class RiskEngine:
         entry = self._store.get(owner_id)
         with self._owner_lock(owner_id):
             version = self._store.version(owner_id)
-            cached = self._cache.get(owner_id)
-            if cached is not None and cached.version == version:
+            cached = self._touch_cache(owner_id, version)
+            if cached is not None:
                 self._metrics.record_hit()
                 # provenance of *this response*: served from memo, free
                 return dataclasses.replace(
                     cached, source="cache", elapsed_seconds=0.0
                 )
+            stale = self.cached(owner_id)
             try:
-                record = self._compute(entry, version, cached)
+                record = self._compute(entry, version, stale)
             except Exception:
                 self._metrics.record_error()
                 raise
-            self._cache[owner_id] = record
+            self._memoize(owner_id, record)
             # persist the oracle's label grants through the store: on a
             # WAL-backed store they survive a crash, which matters because
             # labels are the loop's scarcest resource (3 per round)
@@ -267,7 +375,8 @@ class RiskEngine:
     def invalidate(self, owner_id: UserId) -> None:
         """Drop the memoized record (the next score runs cold)."""
         with self._owner_lock(owner_id):
-            self._cache.pop(owner_id, None)
+            with self._cache_guard:
+                self._cache.pop(owner_id, None)
 
     # ------------------------------------------------------------------
     # internals
@@ -275,6 +384,8 @@ class RiskEngine:
     def _compute(
         self, entry, version: int, cached: ScoreRecord | None
     ) -> ScoreRecord:
+        if cached is None and self._backend is not None:
+            return self._compute_cold_on_backend(entry, version)
         plan = plan_owner_session(
             entry.owner,
             entry.index,
@@ -313,12 +424,88 @@ class RiskEngine:
             elapsed_seconds=elapsed,
         )
 
-    def _owner_lock(self, owner_id: UserId) -> threading.Lock:
+    def _compute_cold_on_backend(self, entry, version: int) -> ScoreRecord:
+        """Ship one cold score to the worker pool as a picklable job."""
+        from .workers import ScoreJob
+
+        owner_id = entry.owner.user_id
+        start = self._clock()
+        job = ScoreJob.from_universe(
+            entry.owner,
+            entry.index,
+            self._store.graph,
+            self._store.universe(owner_id),
+            version=version,
+            pooling=self._pooling,
+            classifier=self._classifier,
+            config=self._config,
+            seed=self._seed,
+            use_owner_confidence=self._use_owner_confidence,
+        )
+        outcome = self._backend.run_job(job)
+        elapsed = self._clock() - start
+        return ScoreRecord(
+            owner_id=owner_id,
+            version=version,
+            source="cold",
+            result=outcome.result,
+            digest=outcome.digest,
+            reused_labels=0,
+            new_queries=outcome.result.labels_requested,
+            elapsed_seconds=elapsed,
+        )
+
+    def _touch_cache(
+        self, owner_id: UserId, version: int
+    ) -> ScoreRecord | None:
+        """The fresh memoized record, LRU-touched — or ``None``."""
+        with self._cache_guard:
+            cached = self._cache.get(owner_id)
+            if cached is None or cached.version != version:
+                return None
+            self._cache.move_to_end(owner_id)
+            return cached
+
+    def _memoize(self, owner_id: UserId, record: ScoreRecord) -> None:
+        """Store a record, evicting least-recently-served overflow."""
+        evicted = 0
+        with self._cache_guard:
+            self._cache[owner_id] = record
+            self._cache.move_to_end(owner_id)
+            while len(self._cache) > self._max_cached_owners:
+                self._cache.popitem(last=False)
+                evicted += 1
+        for _ in range(evicted):
+            self._metrics.record_eviction()
+
+    @contextmanager
+    def _owner_lock(self, owner_id: UserId) -> Iterator[None]:
+        """Serialize work per owner via a reference-counted lock table.
+
+        Entries whose reference count hits zero are pruned once the table
+        exceeds the LRU bound — a held (or waited-on) lock is never
+        dropped, so same-owner serialization survives eviction pressure.
+        """
         with self._locks_guard:
-            lock = self._owner_locks.get(owner_id)
-            if lock is None:
-                lock = self._owner_locks[owner_id] = threading.Lock()
-            return lock
+            entry = self._owner_locks.get(owner_id)
+            if entry is None:
+                entry = self._owner_locks[owner_id] = _CountedLock()
+            entry.refs += 1
+        try:
+            with entry.lock:
+                yield
+        finally:
+            with self._locks_guard:
+                entry.refs -= 1
+                if (
+                    entry.refs == 0
+                    and len(self._owner_locks) > self._max_cached_owners
+                ):
+                    for candidate in list(self._owner_locks):
+                        if len(self._owner_locks) <= self._max_cached_owners:
+                            break
+                        if self._owner_locks[candidate].refs == 0:
+                            del self._owner_locks[candidate]
 
 
 __all__ = ["EngineMetrics", "RiskEngine", "ScoreRecord", "ScoreSource"]

@@ -11,6 +11,10 @@ A :class:`RiskServiceServer` (``http.server.ThreadingHTTPServer``) exposes
 * ``GET /owners`` — registered owners with versions and cache freshness;
 * ``GET /score?owner=<id>`` / ``POST /score`` (``{"owner": <id>}``) — one
   owner's risk labels, served cold, warm, or from cache;
+* ``POST /score-batch`` (``{"owners": [<id>, ...]}``) — many owners in
+  one request, streamed back as NDJSON (one JSON object per line, in
+  request order) as each score completes; per-owner failures become
+  error lines instead of failing the whole batch;
 * ``POST /mutate`` — one store mutation (``add_friendship``,
   ``remove_friendship``, ``update_profile``, ``add_user``,
   ``grant_labels``, ``touch``); a 200 means the mutation is applied
@@ -134,6 +138,10 @@ class RiskServiceHandler(BaseHTTPRequestHandler):
             owner_id = self._owner_from_body()
             if owner_id is not None:
                 self._score(owner_id)
+        elif parsed.path == "/score-batch":
+            if self._reject_while_draining():
+                return
+            self._score_batch()
         elif parsed.path == "/mutate":
             if self._reject_while_draining():
                 return
@@ -193,6 +201,9 @@ class RiskServiceHandler(BaseHTTPRequestHandler):
         store = self.server.engine.store
         if isinstance(store, DurableOwnerStore):
             document["wal"] = store.wal.stats()
+        backend = getattr(self.server.engine, "backend", None)
+        if backend is not None and hasattr(backend, "stats"):
+            document["workers"] = backend.stats()
         return document
 
     def _mutate(self) -> None:
@@ -271,6 +282,90 @@ class RiskServiceHandler(BaseHTTPRequestHandler):
             return
         breaker.record_success()
         self._respond(200, record.to_dict())
+
+    def _score_batch(self) -> None:
+        """Score many owners, streaming one NDJSON line per owner.
+
+        Every owner is submitted to the scheduler up front (so distinct
+        owners score concurrently — across worker processes when the
+        engine has a backend) and results are streamed back in request
+        order as each future resolves.  A per-owner failure (unknown
+        owner, backpressure, scoring error) becomes an ``error`` line;
+        the stream itself only fails on circuit-open or a bad body.
+        """
+        body = self._json_body()
+        if body is None:
+            return
+        owners = body.get("owners")
+        if (
+            not isinstance(owners, list)
+            or not owners
+            or not all(isinstance(o, int) and not isinstance(o, bool)
+                       for o in owners)
+        ):
+            self._respond(
+                400,
+                {"error": 'body must be JSON like {"owners": [<id>, ...]}'},
+            )
+            return
+        breaker = self.server.breaker
+        try:
+            breaker.before_call()
+        except Exception as error:
+            self._respond(503, {"error": str(error)}, retry_after=1)
+            return
+        deadline = Deadline(self.server.request_timeout)
+        submissions: list[tuple[int, Any]] = []
+        for owner_id in owners:
+            try:
+                submissions.append((owner_id, self.server.scheduler.submit(owner_id)))
+            except BackpressureError as error:
+                submissions.append((owner_id, error))
+        # NDJSON stream: no Content-Length is possible, so the connection
+        # closes when the batch ends.
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.send_header("Connection", "close")
+        self.end_headers()
+        self.close_connection = True
+        failed = False
+        for owner_id, pending in submissions:
+            if isinstance(pending, BackpressureError):
+                line: dict[str, Any] = {
+                    "owner": owner_id,
+                    "error": str(pending),
+                    "status": 503,
+                }
+                failed = True
+            else:
+                try:
+                    record = pending.result(timeout=deadline.remaining())
+                except FutureTimeoutError:
+                    pending.cancel()
+                    line = {
+                        "owner": owner_id,
+                        "error": (
+                            f"scoring owner {owner_id} exceeded the "
+                            f"{self.server.request_timeout:.1f}s budget"
+                        ),
+                        "status": 504,
+                    }
+                    failed = True
+                except UnknownOwnerError as error:
+                    line = {"owner": owner_id, "error": str(error),
+                            "status": 404}
+                except Exception as error:
+                    line = {"owner": owner_id, "error": str(error),
+                            "status": 500}
+                    failed = True
+                else:
+                    line = record.to_dict()
+            self.wfile.write(json.dumps(line).encode("utf-8") + b"\n")
+            self.wfile.flush()
+        if failed:
+            breaker.record_failure()
+        else:
+            breaker.record_success()
 
     # ------------------------------------------------------------------
     # request parsing

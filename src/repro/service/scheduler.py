@@ -45,6 +45,7 @@ class ScoreScheduler:
         engine,
         max_workers: int = 4,
         max_pending: int = 64,
+        executor: ThreadPoolExecutor | None = None,
     ) -> None:
         if max_workers < 1:
             raise ServiceError(f"max_workers must be >= 1, got {max_workers}")
@@ -52,7 +53,7 @@ class ScoreScheduler:
             raise ServiceError(f"max_pending must be >= 1, got {max_pending}")
         self._engine = engine
         self._max_pending = max_pending
-        self._executor = ThreadPoolExecutor(
+        self._executor = executor or ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="risk-score"
         )
         self._lock = threading.Lock()
@@ -213,12 +214,19 @@ class ScoreScheduler:
                     del self._queues[owner_id]
                 try:
                     self._executor.submit(self._run, owner_id, next_future)
-                except RuntimeError:  # pool shut down under us
-                    self._pending -= 1
+                except RuntimeError:
+                    # Pool shut down (or killed) under us.  Nothing will
+                    # ever run this owner's queue again, so fail *all* of
+                    # it — failing only next_future would leave the rest
+                    # counted in _pending forever and hang drain waiters.
+                    orphans = [next_future]
+                    orphans.extend(self._queues.pop(owner_id, ()))
                     self._busy.discard(owner_id)
-                    next_future.set_exception(
-                        BackpressureError("scheduler is shut down")
-                    )
+                    for orphan in orphans:
+                        self._pending -= 1
+                        orphan.set_exception(
+                            BackpressureError("scheduler is shut down")
+                        )
                     if self._pending == 0:
                         self._idle.notify_all()
                 return

@@ -1,0 +1,537 @@
+"""Process-pool scoring backend: cold scores on every core.
+
+The scoring pipeline — NS over thousands of strangers per owner,
+Squeezer passes, and the harmonic solve — is pure-Python/numpy and
+GIL-bound, so :class:`~repro.service.ScoreScheduler`'s thread pool only
+scales cache hits.  This module moves the *cold* path into worker
+processes:
+
+* :class:`ScoreJob` — a picklable recipe for one owner's cold score: the
+  owner, the study parameters, and the owner's universe as an induced
+  subgraph (profiles + edges).  The subgraph is exact by construction —
+  an ego session only ever touches the owner, their friends, their
+  2-hop strangers, and the edges among them — so a job executed in a
+  fresh process is byte-identical to the inline pipeline;
+* :func:`execute_score_job` / :func:`execute_owner_run_job` — the worker
+  entry points (module-level, hence picklable under any start method);
+* :class:`ProcessPoolBackend` — dispatches jobs over a
+  ``ProcessPoolExecutor``, rehydrates and digest-checks every result,
+  retries a crashed worker's job once on a fresh pool, and reports
+  per-worker utilization for ``/metrics``.
+
+The backend plugs into :class:`~repro.service.RiskEngine` via its
+``backend=`` parameter (``repro-study serve --score-workers N``) and
+into :func:`repro.experiments.run_study` via ``workers=N``
+(``repro-study --workers N``).  Serial execution remains the default.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import threading
+import time
+from concurrent.futures import BrokenExecutor, Future, ProcessPoolExecutor
+from dataclasses import dataclass
+from multiprocessing import get_context
+from typing import Any, Callable, Iterable, Sequence
+
+from ..config import PipelineConfig
+from ..errors import ServiceError, WorkerCrashError, WorkerIntegrityError
+from ..faults import FaultPlan, ServiceFaultInjector
+from ..graph.profile import Profile
+from ..graph.social_graph import SocialGraph
+from ..graph.visibility import stranger_visibility_vector
+from ..io.serialization import result_digest
+from ..learning.results import SessionResult
+from ..resilience import RetryPolicy
+from ..synth.owners import SimulatedOwner
+from ..types import UserId
+
+#: Exit code a worker dies with when a job's crash hook fires (tests and
+#: the chaos CLI use it to tell an injected crash from a real one).
+WORKER_CRASH_EXIT_CODE = 25
+
+
+@dataclass(frozen=True)
+class ScoreJob:
+    """Everything a worker process needs to cold-score one owner.
+
+    The job is a *value*: no oracle closures, no live graph references.
+    The oracle is rebuilt in the worker from the owner's ground truth via
+    :func:`repro.experiments.plan_owner_session`, exactly as the batch
+    study builds it, so the derived seed (``seed + index``) and every
+    downstream random stream match the serial run.
+
+    ``profiles``/``edges`` carry the owner's universe as an induced
+    subgraph.  That subgraph reproduces the inline pipeline exactly:
+    friends and 2-hop strangers are all inside the universe, NS only
+    inspects mutual friends (a subset of the owner's friends) and the
+    edges among them, and visibility uses the fixed owner-stranger
+    distance of 2.
+    """
+
+    owner: SimulatedOwner
+    index: int
+    version: int
+    pooling: str
+    classifier: str
+    config: PipelineConfig | None
+    seed: int
+    use_owner_confidence: bool
+    profiles: tuple[Profile, ...]
+    edges: tuple[tuple[UserId, UserId], ...]
+    fault_plan: FaultPlan | None = None
+    retry_policy: RetryPolicy | None = None
+    #: Chaos hook: when true the worker dies via ``os._exit`` before
+    #: scoring, modeling an OOM-killed or segfaulted worker.  Set by the
+    #: backend when a :class:`~repro.faults.ServiceFaultInjector` plans a
+    #: crash for this dispatch; never set on retries.
+    crash_worker: bool = False
+
+    @classmethod
+    def from_universe(
+        cls,
+        owner: SimulatedOwner,
+        index: int,
+        graph: SocialGraph,
+        universe: Iterable[UserId],
+        *,
+        version: int = 0,
+        pooling: str = "npp",
+        classifier: str = "harmonic",
+        config: PipelineConfig | None = None,
+        seed: int = 0,
+        use_owner_confidence: bool = True,
+        fault_plan: FaultPlan | None = None,
+        retry_policy: RetryPolicy | None = None,
+    ) -> "ScoreJob":
+        """Snapshot one owner's universe off the live graph into a job.
+
+        The universe is widened to the owner's *current* friends and
+        2-hop strangers so a job built after graph mutations still
+        contains everything the session will touch (a new edge can pull
+        users into 2-hop view before the store has widened membership).
+        """
+        owner_id = owner.user_id
+        members = set(universe)
+        members.add(owner_id)
+        members |= graph.friends(owner_id)
+        members |= graph.two_hop_neighbors(owner_id)
+        ordered = sorted(members)
+        profiles = tuple(graph.profile(user) for user in ordered)
+        edges = tuple(
+            (user, friend)
+            for user in ordered
+            for friend in sorted(graph.friends(user) & members)
+            if user < friend
+        )
+        return cls(
+            owner=owner,
+            index=index,
+            version=version,
+            pooling=pooling,
+            classifier=classifier,
+            config=config,
+            seed=seed,
+            use_owner_confidence=use_owner_confidence,
+            profiles=profiles,
+            edges=edges,
+            fault_plan=fault_plan,
+            retry_policy=retry_policy,
+        )
+
+    def subgraph(self) -> SocialGraph:
+        """Rebuild the owner's universe as a standalone graph."""
+        return SocialGraph.from_edges(self.profiles, self.edges)
+
+    def build_plan(self):
+        """Derive the session plan exactly as :func:`run_study` does."""
+        # Imported here: repro.experiments imports the service layer's
+        # consumers, so a module-level import would be circular.
+        from ..experiments.study import plan_owner_session
+
+        return plan_owner_session(
+            self.owner,
+            self.index,
+            pooling=self.pooling,  # type: ignore[arg-type]
+            classifier=self.classifier,
+            config=self.config,
+            seed=self.seed,
+            use_owner_confidence=self.use_owner_confidence,
+            fault_plan=self.fault_plan,
+            retry_policy=self.retry_policy,
+        )
+
+
+@dataclass(frozen=True)
+class ScoreOutcome:
+    """A worker's answer: the result plus integrity and accounting data."""
+
+    owner_id: UserId
+    version: int
+    result: SessionResult
+    digest: str
+    elapsed_seconds: float
+    worker_pid: int
+
+
+@dataclass(frozen=True)
+class StudyOutcome:
+    """A worker's answer for a full study job (one ``OwnerRun``)."""
+
+    run: Any  # OwnerRun; typed loosely to avoid the circular import
+    digest: str
+    elapsed_seconds: float
+    worker_pid: int
+
+    @property
+    def result(self) -> SessionResult:
+        """The session result inside the run (digest-check target)."""
+        return self.run.result
+
+
+def execute_score_job(job: ScoreJob) -> ScoreOutcome:
+    """Worker entry point: run one cold score from a job.
+
+    Pure function of the job — no shared state with the parent — so the
+    result is byte-identical to the inline pipeline for the same inputs.
+    """
+    if job.crash_worker:
+        os._exit(WORKER_CRASH_EXIT_CODE)
+    start = time.perf_counter()
+    graph = job.subgraph()
+    result = job.build_plan().build_session(graph).run()
+    return ScoreOutcome(
+        owner_id=job.owner.user_id,
+        version=job.version,
+        result=result,
+        digest=result_digest(result),
+        elapsed_seconds=time.perf_counter() - start,
+        worker_pid=os.getpid(),
+    )
+
+
+def execute_owner_run_job(job: ScoreJob) -> StudyOutcome:
+    """Worker entry point for :func:`run_study`'s parallel owner loop.
+
+    Mirrors the serial loop's per-owner block: similarities, benefits,
+    visibility vectors, then the session run — in the same order, from
+    the same derived seed.
+    """
+    if job.crash_worker:
+        os._exit(WORKER_CRASH_EXIT_CODE)
+    from ..experiments.study import OwnerRun
+
+    start = time.perf_counter()
+    graph = job.subgraph()
+    session = job.build_plan().build_session(graph)
+    similarities = session.compute_similarities()
+    benefits = session.compute_benefits()
+    visibility = {
+        stranger: stranger_visibility_vector(
+            graph, job.owner.user_id, stranger
+        )
+        for stranger in session.ego.strangers
+    }
+    result = session.run()
+    run = OwnerRun(
+        owner=job.owner,
+        result=result,
+        similarities=similarities,
+        benefits=benefits,
+        visibility=visibility,
+        profiles=session.ego.stranger_profiles(),
+    )
+    return StudyOutcome(
+        run=run,
+        digest=result_digest(result),
+        elapsed_seconds=time.perf_counter() - start,
+        worker_pid=os.getpid(),
+    )
+
+
+def _warm_probe(index: int) -> int:
+    """No-op worker task used to pre-spawn the pool before timing."""
+    return os.getpid()
+
+
+class ProcessPoolBackend:
+    """Executes :class:`ScoreJob`\\ s in worker processes.
+
+    Parameters
+    ----------
+    max_workers:
+        Worker process count.
+    start_method:
+        ``multiprocessing`` start method.  ``"spawn"`` (the default) is
+        safe to drive from the scheduler's threads; ``"fork"`` starts
+        faster but inherits the parent's thread-held locks.
+    max_retries:
+        How many times a job whose worker crashed is retried on a fresh
+        pool before :class:`~repro.errors.WorkerCrashError` surfaces.
+    injector:
+        Optional :class:`~repro.faults.ServiceFaultInjector`; its
+        ``worker_crash_at_job`` plan kills the chosen dispatch's worker.
+    clock:
+        Monotonic time source for utilization accounting (injectable).
+
+    Thread-safe: scheduler threads call :meth:`run_job` concurrently.
+    A crashed worker breaks the whole ``ProcessPoolExecutor`` (every
+    in-flight future fails with ``BrokenProcessPool``); the backend
+    replaces the pool once per break and retries each affected job, so a
+    crash never leaves a caller with a hung future.
+    """
+
+    def __init__(
+        self,
+        max_workers: int,
+        *,
+        start_method: str = "spawn",
+        max_retries: int = 1,
+        injector: ServiceFaultInjector | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_workers < 1:
+            raise ServiceError(f"max_workers must be >= 1, got {max_workers}")
+        if max_retries < 0:
+            raise ServiceError(f"max_retries must be >= 0, got {max_retries}")
+        self._max_workers = max_workers
+        self._start_method = start_method
+        self._max_retries = max_retries
+        self._injector = injector
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._pool: ProcessPoolExecutor | None = None
+        self._generation = 0
+        self._started_at = clock()
+        self._dispatched = 0
+        self._completed = 0
+        self._retries = 0
+        self._crashes = 0
+        self._integrity_failures = 0
+        self._per_worker: dict[int, dict[str, float]] = {}
+        self._shutdown = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def max_workers(self) -> int:
+        """Configured worker process count."""
+        return self._max_workers
+
+    def warm_up(self, timeout: float | None = 60.0) -> frozenset[int]:
+        """Pre-spawn every worker; returns the worker pids seen.
+
+        Spawned workers import the package lazily on first use; calling
+        this before a timed section keeps interpreter start-up out of
+        throughput numbers.
+        """
+        pool, _ = self._ensure_pool()
+        probes = [
+            pool.submit(_warm_probe, index)
+            for index in range(self._max_workers)
+        ]
+        return frozenset(probe.result(timeout=timeout) for probe in probes)
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop the pool; subsequent jobs fail with ``ServiceError``."""
+        with self._lock:
+            self._shutdown = True
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=wait)
+
+    def __enter__(self) -> "ProcessPoolBackend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+    def run_job(
+        self,
+        job: ScoreJob,
+        runner: Callable[[ScoreJob], Any] = execute_score_job,
+    ) -> Any:
+        """Execute one job, retrying a crashed worker on a fresh pool.
+
+        Raises
+        ------
+        WorkerCrashError
+            When the job's worker died on every attempt.
+        WorkerIntegrityError
+            When a rehydrated result fails its digest check.
+        ServiceError
+            When the backend is shut down.
+        """
+        return self._run_with_retries(job, runner, self._max_retries + 1)
+
+    def map_jobs(
+        self,
+        jobs: Sequence[ScoreJob],
+        runner: Callable[[ScoreJob], Any] = execute_score_job,
+    ) -> list[Any]:
+        """Execute many jobs concurrently, results in submission order.
+
+        A crashed worker fails every in-flight future of the shared pool;
+        each affected job is retried (up to ``max_retries`` times) on the
+        replacement pool, in order, so the returned list always lines up
+        with ``jobs``.
+        """
+        submitted = [self._dispatch(runner, job, retry=False) for job in jobs]
+        outcomes: list[Any] = []
+        for job, (future, generation) in zip(jobs, submitted):
+            try:
+                outcomes.append(self._accept(future.result()))
+            except BrokenExecutor:
+                self._note_broken_pool(generation)
+                outcomes.append(
+                    self._run_with_retries(
+                        job, runner, self._max_retries, first_is_retry=True
+                    )
+                )
+        return outcomes
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def stats(self) -> dict[str, Any]:
+        """JSON-ready utilization snapshot for ``/metrics``.
+
+        ``per_worker`` maps worker pid to job count, busy seconds, and
+        utilization (busy seconds over the backend's wall-clock age).
+        """
+        with self._lock:
+            wall = max(self._clock() - self._started_at, 1e-9)
+            return {
+                "workers": self._max_workers,
+                "start_method": self._start_method,
+                "jobs_dispatched": self._dispatched,
+                "jobs_completed": self._completed,
+                "retries": self._retries,
+                "worker_crashes": self._crashes,
+                "integrity_failures": self._integrity_failures,
+                "pool_generation": self._generation,
+                "per_worker": {
+                    str(pid): {
+                        "jobs": int(entry["jobs"]),
+                        "busy_seconds": round(entry["busy_seconds"], 4),
+                        "utilization": round(
+                            min(entry["busy_seconds"] / wall, 1.0), 4
+                        ),
+                    }
+                    for pid, entry in sorted(self._per_worker.items())
+                },
+            }
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _run_with_retries(
+        self,
+        job: ScoreJob,
+        runner: Callable[[ScoreJob], Any],
+        attempts: int,
+        first_is_retry: bool = False,
+    ) -> Any:
+        last_error: BaseException | None = None
+        for attempt in range(attempts):
+            if attempt or first_is_retry:
+                with self._lock:
+                    self._retries += 1
+            future, generation = self._dispatch(
+                runner, job, retry=attempt > 0 or first_is_retry
+            )
+            try:
+                outcome = future.result()
+            except BrokenExecutor as error:
+                self._note_broken_pool(generation)
+                last_error = error
+                continue
+            return self._accept(outcome)
+        raise WorkerCrashError(
+            f"cold score of owner {job.owner.user_id} crashed its worker "
+            f"{max(attempts, 1)} time(s); giving up"
+        ) from last_error
+
+    def _ensure_pool(self) -> tuple[ProcessPoolExecutor, int]:
+        with self._lock:
+            if self._shutdown:
+                raise ServiceError("process-pool backend is shut down")
+            if self._pool is None:
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self._max_workers,
+                    mp_context=get_context(self._start_method),
+                )
+            return self._pool, self._generation
+
+    def _dispatch(
+        self,
+        runner: Callable[[ScoreJob], Any],
+        job: ScoreJob,
+        *,
+        retry: bool,
+    ) -> tuple["Future[Any]", int]:
+        pool, generation = self._ensure_pool()
+        with self._lock:
+            self._dispatched += 1
+            index = self._dispatched
+        # A planned crash fires on its dispatch index only — a retry is a
+        # new dispatch on a fresh worker and must be allowed to succeed.
+        if (
+            not retry
+            and not job.crash_worker
+            and self._injector is not None
+            and self._injector.should_crash_worker(index)
+        ):
+            job = dataclasses.replace(job, crash_worker=True)
+        try:
+            return pool.submit(runner, job), generation
+        except RuntimeError as error:  # pool shut down under us
+            raise ServiceError(
+                "process-pool backend is shut down"
+            ) from error
+
+    def _note_broken_pool(self, generation: int) -> None:
+        """Replace a broken pool exactly once per break."""
+        with self._lock:
+            if self._generation != generation:
+                return  # another thread already replaced this pool
+            self._generation += 1
+            self._crashes += 1
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=False)
+
+    def _accept(self, outcome: Any) -> Any:
+        """Digest-check a rehydrated result and record accounting."""
+        if result_digest(outcome.result) != outcome.digest:
+            with self._lock:
+                self._integrity_failures += 1
+            raise WorkerIntegrityError(
+                "worker result failed its digest check after rehydration "
+                f"(worker pid {outcome.worker_pid})"
+            )
+        with self._lock:
+            self._completed += 1
+            entry = self._per_worker.setdefault(
+                outcome.worker_pid, {"jobs": 0, "busy_seconds": 0.0}
+            )
+            entry["jobs"] += 1
+            entry["busy_seconds"] += outcome.elapsed_seconds
+        return outcome
+
+
+__all__ = [
+    "WORKER_CRASH_EXIT_CODE",
+    "ProcessPoolBackend",
+    "ScoreJob",
+    "ScoreOutcome",
+    "StudyOutcome",
+    "execute_owner_run_job",
+    "execute_score_job",
+]

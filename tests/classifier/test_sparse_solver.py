@@ -92,3 +92,29 @@ class TestSparseSolver:
             ClassifierConfig(sparse_size_threshold=-1)
         with pytest.raises(ConfigError):
             ClassifierConfig(sparse_density_threshold=1.5)
+
+    @pytest.mark.parametrize("raised", [RuntimeError, ValueError])
+    def test_failed_factorization_falls_back_to_dense(
+        self, monkeypatch, raised
+    ):
+        """SuperLU raises RuntimeError on singular systems but umfpack
+        raises ValueError; both must fall through to the dense solve
+        (regression: ValueError used to escape the classifier)."""
+        import scipy.sparse.linalg
+
+        def explode(*args, **kwargs):
+            raise raised("factor is exactly singular")
+
+        monkeypatch.setattr(scipy.sparse.linalg, "spsolve", explode)
+        graph = sparse_block_graph()
+        dense = HarmonicClassifier(
+            graph, ClassifierConfig(sparse_size_threshold=0)
+        ).predict(self.labeled())
+        fallen_back = HarmonicClassifier(
+            graph, ClassifierConfig(sparse_size_threshold=1)
+        ).predict(self.labeled())
+        for node in dense:
+            assert dense[node].label is fallen_back[node].label
+            assert dense[node].score == pytest.approx(
+                fallen_back[node].score, abs=1e-9
+            )

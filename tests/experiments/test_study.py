@@ -59,3 +59,73 @@ class TestStudyRunner:
         study = run_study(population, seed=1, use_owner_confidence=False)
         for run in study.runs:
             assert run.result.confidence == pytest.approx(80.0)
+
+
+class TestParallelStudy:
+    """``run_study(..., workers=N)`` must reproduce the serial study
+    byte for byte: same per-owner seeds, results merged in submission
+    order."""
+
+    @pytest.fixture(scope="class")
+    def small_population(self):
+        from repro.synth import EgoNetConfig, generate_study_population
+
+        return generate_study_population(
+            num_owners=3,
+            ego_config=EgoNetConfig(num_friends=10, num_strangers=40),
+            seed=23,
+        )
+
+    @pytest.fixture(scope="class")
+    def serial_study(self, small_population):
+        return run_study(small_population, seed=23)
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_digests_match_serial_across_worker_counts(
+        self, small_population, serial_study, workers
+    ):
+        from repro.io import result_digest
+
+        parallel = run_study(small_population, seed=23, workers=workers)
+        assert [result_digest(run.result) for run in parallel.runs] == [
+            result_digest(run.result) for run in serial_study.runs
+        ]
+
+    def test_run_payloads_match_serial(self, small_population, serial_study):
+        parallel = run_study(small_population, seed=23, workers=2)
+        for serial_run, parallel_run in zip(serial_study.runs, parallel.runs):
+            assert parallel_run.owner.user_id == serial_run.owner.user_id
+            assert parallel_run.similarities == serial_run.similarities
+            assert parallel_run.benefits == serial_run.benefits
+            assert parallel_run.visibility == serial_run.visibility
+            assert parallel_run.profiles == serial_run.profiles
+
+    def test_workers_conflict_with_checkpointing(
+        self, small_population, tmp_path
+    ):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            run_study(
+                small_population,
+                seed=23,
+                workers=2,
+                checkpoint_dir=tmp_path,
+            )
+
+    def test_workers_conflict_with_custom_similarity(self, small_population):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            run_study(
+                small_population,
+                seed=23,
+                workers=2,
+                network_similarity=lambda *a, **k: 0.0,
+            )
+
+    def test_negative_workers_rejected(self, small_population):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            run_study(small_population, seed=23, workers=-1)

@@ -173,6 +173,107 @@ class TestOverview:
         assert "session" in document
 
 
+class TestCacheBounds:
+    """The memo and lock table are LRU-bounded (regression: they grew
+    without bound for the lifetime of the server)."""
+
+    def test_lru_eviction_under_a_tight_bound(
+        self, service_population, service_store
+    ):
+        engine = RiskEngine(
+            service_store, seed=SERVICE_SEED, max_cached_owners=1
+        )
+        first, second = [o.user_id for o in service_population.owners]
+        a = engine.score(first)
+        engine.score(second)  # evicts first (LRU, bound 1)
+        assert engine.cached(first) is None
+        assert engine.cached(second) is not None
+        assert engine.metrics.cache_evictions == 1
+        assert engine.metrics.snapshot()["cache_evictions"] == 1
+        # the evicted owner scores cold again, identically
+        again = engine.score(first)
+        assert again.source == "cold"
+        assert again.digest == a.digest
+
+    def test_lock_table_is_pruned_with_the_cache(
+        self, service_population, service_store
+    ):
+        engine = RiskEngine(
+            service_store, seed=SERVICE_SEED, max_cached_owners=1
+        )
+        for owner in service_population.owners:
+            engine.score(owner.user_id)
+        assert len(engine._owner_locks) <= engine.max_cached_owners
+
+    def test_held_locks_survive_pruning(self):
+        import threading
+
+        engine = RiskEngine.__new__(RiskEngine)
+        engine._owner_locks = {}
+        engine._locks_guard = threading.Lock()
+        engine._max_cached_owners = 1
+        entered = threading.Event()
+        release = threading.Event()
+
+        def hold():
+            with engine._owner_lock(7):
+                entered.set()
+                release.wait(timeout=10)
+
+        holder = threading.Thread(target=hold)
+        holder.start()
+        assert entered.wait(timeout=10)
+        held_entry = engine._owner_locks[7]
+        # churn other owners past the bound while owner 7's lock is held
+        for other in range(100, 110):
+            with engine._owner_lock(other):
+                pass
+        assert engine._owner_locks.get(7) is held_entry  # never dropped
+        release.set()
+        holder.join(timeout=10)
+        assert len(engine._owner_locks) <= 1
+
+    def test_invalid_bound_is_rejected(self, service_store):
+        from repro.errors import ServiceError
+
+        with pytest.raises(ServiceError):
+            RiskEngine(service_store, max_cached_owners=0)
+
+
+class TestLatencyWindow:
+    """EngineMetrics keeps exact full-run aggregates while storing only a
+    bounded window of samples (regression: the lists grew per request)."""
+
+    def test_aggregates_cover_the_full_run(self):
+        from repro.service import EngineMetrics
+
+        metrics = EngineMetrics(latency_window=4)
+        for value in range(1, 11):  # 1..10 seconds
+            metrics.record_score("cold", float(value), reused=0, queries=1)
+        stats = metrics.snapshot()["latency"]["cold"]
+        assert stats["count"] == 10  # exact, not windowed
+        assert stats["mean_seconds"] == pytest.approx(5.5)
+        assert stats["max_seconds"] == 10.0
+        # the recent mean reflects only the last `window` samples
+        assert stats["recent_mean_seconds"] == pytest.approx(8.5)
+
+    def test_sample_storage_is_bounded(self):
+        from repro.service import EngineMetrics
+
+        metrics = EngineMetrics(latency_window=8)
+        for _ in range(1000):
+            metrics.record_score("warm", 0.001, reused=1, queries=0)
+        assert len(metrics._latency["warm"].recent) == 8
+        assert metrics.snapshot()["latency"]["warm"]["count"] == 1000
+
+    def test_invalid_window_is_rejected(self):
+        from repro.errors import ServiceError
+        from repro.service import EngineMetrics
+
+        with pytest.raises(ServiceError):
+            EngineMetrics(latency_window=0)
+
+
 def test_engine_seed_fixture_matches(service_engine):
     # guards the conftest wiring the delta tests rely on
     assert service_engine.store.owner_ids()

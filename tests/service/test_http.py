@@ -321,3 +321,60 @@ class TestMutate:
         assert status == 200
         assert rescored["source"] == "warm"
         assert rescored["version"] == 1
+
+
+def post_ndjson(url: str, document: dict):
+    """POST and parse an NDJSON stream; returns (status, lines, response)."""
+    payload = json.dumps(document).encode("utf-8")
+    request = urllib.request.Request(
+        url,
+        data=payload,
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    with urllib.request.urlopen(request, timeout=60) as response:
+        body = response.read().decode("utf-8")
+        lines = [json.loads(line) for line in body.splitlines()]
+        return response.status, lines, response
+
+
+class TestScoreBatch:
+    def test_batch_streams_one_line_per_owner_in_request_order(
+        self, live_server
+    ):
+        owners = list(live_server.engine.store.owner_ids())
+        status, lines, response = post_ndjson(
+            f"{live_server.url}/score-batch", {"owners": owners}
+        )
+        assert status == 200
+        assert response.headers["Content-Type"] == "application/x-ndjson"
+        assert [line["owner"] for line in lines] == owners
+        singles = {
+            owner: get(f"{live_server.url}/score?owner={owner}")[1]
+            for owner in owners
+        }
+        for line in lines:
+            assert line["digest"] == singles[line["owner"]]["digest"]
+
+    def test_unknown_owner_becomes_an_error_line_not_a_failed_batch(
+        self, live_server
+    ):
+        owners = list(live_server.engine.store.owner_ids())
+        status, lines, _ = post_ndjson(
+            f"{live_server.url}/score-batch",
+            {"owners": [owners[0], 999999]},
+        )
+        assert status == 200
+        assert lines[0]["owner"] == owners[0]
+        assert "digest" in lines[0]
+        assert lines[1] == {
+            "owner": 999999,
+            "error": "unknown owner id: 999999",
+            "status": 404,
+        }
+
+    def test_malformed_bodies_are_400(self, live_server):
+        for bad in ({}, {"owners": []}, {"owners": "1"}, {"owners": [True]}):
+            status, document = post(f"{live_server.url}/score-batch", bad)
+            assert status == 400, (bad, document)
+            assert "owners" in document["error"]

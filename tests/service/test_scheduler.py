@@ -295,3 +295,60 @@ class TestDrain:
         scheduler = ScoreScheduler(InstantEngine(), max_workers=1)
         summary = scheduler.shutdown(drain=True, timeout=1)
         assert "engine_metrics" not in summary
+
+
+class TestExecutorDeath:
+    """The executor dying under the scheduler must not strand the queue.
+
+    Regression tests for a leak in ``_finish``: when ``executor.submit``
+    raised ``RuntimeError``, only the popped future was failed — the rest
+    of that owner's queue stayed counted in ``_pending`` forever, so
+    ``shutdown(drain=True)`` hung and ``pending`` never recovered.
+    """
+
+    def test_killed_executor_fails_the_whole_owner_queue(self):
+        from concurrent.futures import ThreadPoolExecutor
+
+        engine = GatedEngine()
+        executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="kill-test"
+        )
+        scheduler = ScoreScheduler(engine, max_pending=8, executor=executor)
+        in_flight = scheduler.submit(1)
+        queued = [scheduler.submit(1), scheduler.submit(1), scheduler.submit(1)]
+        # kill the pool out from under the scheduler, then let the
+        # in-flight job finish: _finish's re-submit will raise
+        executor.shutdown(wait=False)
+        engine.gate.set()
+        assert in_flight.result(timeout=10).owner_id == 1
+        for orphan in queued:
+            with pytest.raises(BackpressureError):
+                orphan.result(timeout=10)
+        deadline = time.monotonic() + 10
+        while scheduler.pending and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert scheduler.pending == 0
+
+    def test_drain_completes_after_executor_death(self):
+        from concurrent.futures import ThreadPoolExecutor
+
+        engine = GatedEngine()
+        executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="kill-drain"
+        )
+        scheduler = ScoreScheduler(engine, max_pending=8, executor=executor)
+        scheduler.submit(1)
+        queued = [scheduler.submit(1), scheduler.submit(1)]
+        executor.shutdown(wait=False)
+        release = threading.Timer(0.05, engine.gate.set)
+        release.start()
+        try:
+            # must terminate: the orphaned queue is failed, not leaked
+            summary = scheduler.shutdown(drain=True, timeout=10)
+        finally:
+            release.cancel()
+        assert summary["drained"] is True
+        assert summary["pending_at_exit"] == 0
+        for orphan in queued:
+            with pytest.raises(BackpressureError):
+                orphan.result(timeout=10)

@@ -1,0 +1,197 @@
+"""Tests for the process-pool scoring backend.
+
+The load-bearing property is *byte-identity*: a cold score executed in a
+worker process — from a pickled job, on a rebuilt subgraph, with a
+rebuilt oracle — must produce exactly the digest the serial engine
+produces.  The crash tests exercise the retry path deterministically via
+:class:`~repro.faults.ServiceFaultInjector`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import pickle
+
+import pytest
+
+from repro.errors import ServiceError, WorkerCrashError
+from repro.faults import ServiceFaultInjector, ServiceFaultPlan
+from repro.service import (
+    OwnerStore,
+    ProcessPoolBackend,
+    RiskEngine,
+    ScoreJob,
+    execute_score_job,
+)
+
+from .conftest import SERVICE_SEED, make_service_population
+
+
+@pytest.fixture(scope="module")
+def worker_population():
+    """One read-only cohort shared by every test in this module."""
+    return make_service_population()
+
+
+@pytest.fixture(scope="module")
+def serial_digests(worker_population):
+    """Ground truth: each owner's cold digest from the serial engine."""
+    store = OwnerStore.from_population(worker_population)
+    engine = RiskEngine(store, seed=SERVICE_SEED)
+    return {
+        owner_id: engine.score(owner_id).digest
+        for owner_id in store.owner_ids()
+    }
+
+
+@pytest.fixture(scope="module")
+def backend():
+    """One two-worker pool shared by the non-crash tests (spawn is slow)."""
+    with ProcessPoolBackend(2) as pool:
+        yield pool
+
+
+def make_jobs(population, **overrides) -> list[ScoreJob]:
+    store = OwnerStore.from_population(population)
+    return [
+        ScoreJob.from_universe(
+            store.get(owner_id).owner,
+            store.get(owner_id).index,
+            store.graph,
+            store.universe(owner_id),
+            seed=SERVICE_SEED,
+            **overrides,
+        )
+        for owner_id in store.owner_ids()
+    ]
+
+
+class TestScoreJob:
+    def test_job_is_picklable(self, worker_population):
+        job = make_jobs(worker_population)[0]
+        clone = pickle.loads(pickle.dumps(job))
+        assert clone.owner.user_id == job.owner.user_id
+        assert clone.profiles == job.profiles
+        assert clone.edges == job.edges
+        assert clone.seed == job.seed
+
+    def test_subgraph_reproduces_inline_score_in_process(
+        self, worker_population, serial_digests
+    ):
+        # no pool involved: the subgraph + rebuilt-plan recipe alone must
+        # already be byte-identical to the inline engine
+        for job in make_jobs(worker_population):
+            outcome = execute_score_job(job)
+            assert outcome.digest == serial_digests[job.owner.user_id]
+            assert outcome.worker_pid == os.getpid()
+
+    def test_subgraph_contains_the_full_ego_universe(
+        self, worker_population
+    ):
+        job = make_jobs(worker_population)[0]
+        graph = job.subgraph()
+        owner_id = job.owner.user_id
+        full = worker_population.graph
+        assert graph.friends(owner_id) == full.friends(owner_id)
+        assert graph.two_hop_neighbors(owner_id) == full.two_hop_neighbors(
+            owner_id
+        )
+
+
+class TestProcessPoolBackend:
+    def test_run_job_matches_serial_digests(
+        self, worker_population, serial_digests, backend
+    ):
+        for job in make_jobs(worker_population):
+            outcome = backend.run_job(job)
+            assert outcome.digest == serial_digests[job.owner.user_id]
+            assert outcome.worker_pid != os.getpid()
+
+    def test_map_jobs_returns_results_in_submission_order(
+        self, worker_population, serial_digests, backend
+    ):
+        jobs = make_jobs(worker_population)
+        outcomes = backend.map_jobs(jobs)
+        assert [o.owner_id for o in outcomes] == [
+            j.owner.user_id for j in jobs
+        ]
+        for outcome in outcomes:
+            assert outcome.digest == serial_digests[outcome.owner_id]
+
+    def test_stats_report_per_worker_utilization(self, backend):
+        stats = backend.stats()
+        assert stats["workers"] == 2
+        assert stats["jobs_completed"] >= 1
+        assert stats["per_worker"], "at least one worker must have run"
+        for entry in stats["per_worker"].values():
+            assert entry["jobs"] >= 1
+            assert entry["busy_seconds"] >= 0.0
+            assert 0.0 <= entry["utilization"] <= 1.0
+
+    def test_warm_up_prespawns_the_workers(self, backend):
+        pids = backend.warm_up()
+        assert 1 <= len(pids) <= 2
+        assert os.getpid() not in pids
+
+    def test_invalid_parameters_are_rejected(self):
+        with pytest.raises(ServiceError):
+            ProcessPoolBackend(0)
+        with pytest.raises(ServiceError):
+            ProcessPoolBackend(1, max_retries=-1)
+
+    def test_shutdown_rejects_new_jobs(self, worker_population):
+        backend = ProcessPoolBackend(1)
+        backend.shutdown()
+        job = make_jobs(worker_population)[0]
+        with pytest.raises(ServiceError):
+            backend.run_job(job)
+
+
+class TestWorkerCrashes:
+    def test_injected_crash_is_retried_once_and_succeeds(
+        self, worker_population, serial_digests
+    ):
+        injector = ServiceFaultInjector(
+            ServiceFaultPlan(worker_crash_at_job=1), seed=0
+        )
+        job = make_jobs(worker_population)[0]
+        with ProcessPoolBackend(1, injector=injector) as backend:
+            outcome = backend.run_job(job)
+            assert outcome.digest == serial_digests[job.owner.user_id]
+            stats = backend.stats()
+        assert stats["worker_crashes"] == 1
+        assert stats["retries"] == 1
+        assert stats["pool_generation"] == 1
+        assert stats["jobs_completed"] == 1
+
+    def test_persistent_crash_surfaces_as_worker_crash_error(
+        self, worker_population
+    ):
+        # crash_worker is baked into the job itself, so the retry crashes
+        # too: the backend must give up with a typed error, not hang
+        job = dataclasses.replace(
+            make_jobs(worker_population)[0], crash_worker=True
+        )
+        with ProcessPoolBackend(1) as backend:
+            with pytest.raises(WorkerCrashError):
+                backend.run_job(job)
+            stats = backend.stats()
+        assert stats["worker_crashes"] == 2  # first attempt + one retry
+        assert stats["jobs_completed"] == 0
+
+
+class TestEngineIntegration:
+    def test_engine_cold_scores_via_backend_then_cache(
+        self, worker_population, serial_digests, backend
+    ):
+        store = OwnerStore.from_population(worker_population)
+        engine = RiskEngine(store, seed=SERVICE_SEED, backend=backend)
+        assert engine.backend is backend
+        owner_id = store.owner_ids()[0]
+        record = engine.score(owner_id)
+        assert record.source == "cold"
+        assert record.digest == serial_digests[owner_id]
+        again = engine.score(owner_id)
+        assert again.source == "cache"
+        assert again.digest == record.digest

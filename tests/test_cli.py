@@ -23,6 +23,32 @@ class TestParser:
         args = build_parser().parse_args(["--classifier", "knn"])
         assert args.classifier == "knn"
 
+    def test_workers_default_is_serial(self):
+        args = build_parser().parse_args([])
+        assert args.workers == 0
+        args = build_parser().parse_args(["--workers", "4"])
+        assert args.workers == 4
+
+    def test_workers_conflict_with_checkpointing_is_a_usage_error(
+        self, capsys
+    ):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--workers", "2", "--checkpoint-dir", "/tmp/ckpt"])
+        assert excinfo.value.code == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_serve_parser_score_worker_flags(self):
+        from repro.cli import build_serve_parser
+
+        args = build_serve_parser().parse_args([])
+        assert args.score_workers == 0
+        assert args.crash_worker_at_job is None
+        args = build_serve_parser().parse_args(
+            ["--score-workers", "4", "--crash-worker-at-job", "2"]
+        )
+        assert args.score_workers == 4
+        assert args.crash_worker_at_job == 2
+
 
 class TestMain:
     def run(self, capsys, *argv):
