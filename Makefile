@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-paper-scale parallel-smoke robustness chaos study serve examples clean
+.PHONY: install test bench bench-paper-scale perf-smoke parallel-smoke robustness chaos study serve examples clean
 
 install:
 	$(PYTHON) -m pip install -e ".[test]"
@@ -17,6 +17,20 @@ bench:
 bench-paper-scale:
 	REPRO_BENCH_OWNERS=47 REPRO_BENCH_STRANGERS=3661 \
 		$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# vectorized scoring core at reduced scale: the E18 sections that pin
+# batch-NS and factorization-reuse equality contracts (speedup floors
+# only assert at full scale), plus the fast-vs-reference unit suites
+perf-smoke:
+	$(PYTHON) -m pytest -q -o addopts= \
+		tests/similarity/test_network_batch.py \
+		tests/clustering/test_squeezer_fast.py \
+		tests/classifier/test_solver_reuse.py \
+		tests/graph/test_adjacency_index.py
+	REPRO_BENCH_OWNERS=3 REPRO_BENCH_STRANGERS=80 \
+		$(PYTHON) -m pytest -q -o addopts= -s \
+		"benchmarks/bench_perf_scaling.py::test_perf_batch_network_similarity" \
+		"benchmarks/bench_perf_scaling.py::test_perf_harmonic_factorization_reuse"
 
 # multi-core scoring: worker-backend tests, parallel-vs-serial digest
 # equality, and the 2-worker cold-throughput bench at reduced scale

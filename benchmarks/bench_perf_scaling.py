@@ -1,24 +1,69 @@
 """E18 — performance: the pipeline's computational hot spots.
 
-Not a paper artifact — engineering benchmarks for the three costs that
+Not a paper artifact — engineering benchmarks for the costs that
 dominate a deployment: the all-pairs ``PS()`` edge-weight matrix, the
-harmonic solve (dense versus sparse path), and a full owner session.
-The assertions pin the contracts (vectorized matrix matches the scalar
-measure; sparse solve matches dense) so a performance regression cannot
-silently change results.
+harmonic solve (dense versus sparse path), the vectorized scoring core
+(batch ``NS()`` and harmonic factorization reuse), and a full owner
+session.  The assertions pin the contracts (vectorized paths match the
+scalar references — exactly where the design guarantees it) so a
+performance regression cannot silently change results.
+
+The scoring-core sections time with ``time.perf_counter`` instead of the
+``benchmark`` fixture so they run in plain CI smoke jobs, and they emit
+machine-readable records to ``benchmarks/out/BENCH_perf.json``
+(op, n, seconds, speedup vs the scalar path).  A committed snapshot
+lives in ``benchmarks/baselines/BENCH_perf_baseline.json``.  Speedup
+floors are only asserted at full scale — reduced-scale smoke runs
+(small ``REPRO_BENCH_STRANGERS``) still verify every equality contract.
 """
+
+import json
+import time
 
 import numpy as np
 import pytest
 
 from repro.classifier.graphs import SimilarityGraph
 from repro.classifier.harmonic import HarmonicClassifier
-from repro.config import ClassifierConfig
+from repro.config import ClassifierConfig, NetworkSimilarityConfig
 from repro.learning.session import RiskLearningSession
+from repro.similarity.network import NetworkSimilarity
 from repro.similarity.profile import ProfileSimilarity
 from repro.types import RiskLabel
 
-from .conftest import SEED
+from .conftest import OUT_DIR, SEED, STRANGERS
+
+#: The batch-NS section uses its own, larger stranger cohort: the paper's
+#: average owner sees thousands of strangers, and that is where the batch
+#: path's advantage is honest to measure (per-call overhead amortized).
+NS_STRANGERS = 4 * STRANGERS
+#: Unlabeled-system size for the factorization-reuse section; above the
+#: sparse threshold (600) at full scale, below it (dense regime, exact
+#: equality either way) in reduced-scale smoke runs.
+HARMONIC_SIZE = max(400, 3 * STRANGERS)
+
+_PERF_RECORDS: list[dict] = []
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _emit_perf_json():
+    """Write the scoring-core timing records after the module finishes."""
+    yield
+    if _PERF_RECORDS:
+        OUT_DIR.mkdir(exist_ok=True)
+        payload = {"seed": SEED, "records": _PERF_RECORDS}
+        (OUT_DIR / "BENCH_perf.json").write_text(
+            json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+        )
+
+
+def _best_of(fn, repeats):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
 
 
 @pytest.fixture(scope="module")
@@ -75,6 +120,121 @@ def test_perf_harmonic_sparse(benchmark):
         assert predictions[node].score == pytest.approx(
             reference[node].score, abs=1e-6
         )
+
+
+@pytest.fixture(scope="module")
+def ns_population():
+    """A two-owner cohort with ``NS_STRANGERS`` strangers per owner."""
+    from repro.synth import EgoNetConfig, generate_study_population
+
+    return generate_study_population(
+        num_owners=2,
+        ego_config=EgoNetConfig(num_friends=40, num_strangers=NS_STRANGERS),
+        seed=SEED,
+    )
+
+
+def test_perf_batch_network_similarity(ns_population):
+    """Batch ``NS.for_strangers`` vs the scalar oracle on the cohort's
+    largest stranger set: exact (digest-level) equality always, >= 5x at
+    full scale."""
+    graph = ns_population.graph
+    owner = max(
+        (o.user_id for o in ns_population.owners),
+        key=lambda user_id: len(graph.two_hop_neighbors(user_id)),
+    )
+    strangers = graph.two_hop_neighbors(owner)
+    batch_measure = NetworkSimilarity(
+        NetworkSimilarityConfig(batch_min_strangers=0)
+    )
+    scalar_measure = NetworkSimilarity(
+        NetworkSimilarityConfig(batch_enabled=False)
+    )
+
+    batch = batch_measure.for_strangers(graph, owner, strangers)
+    # contract: bitwise equality with the scalar measure, stranger by
+    # stranger — not approx
+    for stranger in strangers:
+        assert batch[stranger] == scalar_measure(graph, owner, stranger)
+
+    graph.adjacency_index()  # take the one-time CSR build off the clock
+    t_batch = _best_of(
+        lambda: batch_measure.for_strangers(graph, owner, strangers), 10
+    )
+    t_scalar = _best_of(
+        lambda: scalar_measure.for_strangers(graph, owner, strangers), 3
+    )
+    speedup = t_scalar / t_batch
+    _PERF_RECORDS.append(
+        {
+            "op": "network_similarity.for_strangers_batch",
+            "n": len(strangers),
+            "seconds": t_batch,
+            "scalar_seconds": t_scalar,
+            "speedup": speedup,
+        }
+    )
+    print(
+        f"\nbatch NS: n={len(strangers)} batch {t_batch * 1e3:.3f}ms "
+        f"scalar {t_scalar * 1e3:.3f}ms speedup {speedup:.1f}x"
+    )
+    if len(strangers) >= 1000:
+        assert speedup >= 5.0
+
+
+def test_perf_harmonic_factorization_reuse():
+    """Repeated predicts with an unchanged labeled set (stabilization
+    re-predicts within a round): warm splu-reuse vs the per-predict
+    legacy path.  Warm equals cold bitwise; >= 2x once the system is big
+    enough for the sparse route."""
+    graph = _sparse_system(HARMONIC_SIZE, seed=SEED)
+    labeled = {
+        node: (RiskLabel.NOT_RISKY if node % 2 else RiskLabel.VERY_RISKY)
+        for node in range(0, 20)
+    }
+    reuse = HarmonicClassifier(
+        graph, ClassifierConfig(reuse_factorization=True)
+    )
+    legacy = HarmonicClassifier(
+        graph, ClassifierConfig(reuse_factorization=False)
+    )
+
+    cold = reuse.predict(labeled)
+    warm = reuse.predict(labeled)
+    reference = legacy.predict(labeled)
+    sparse_route = HARMONIC_SIZE >= reuse._config.sparse_size_threshold
+    for node in cold:
+        # contract: factorization reuse is bitwise-invisible
+        assert cold[node].masses == warm[node].masses
+        for value, mass in cold[node].masses.items():
+            if sparse_route:
+                # splu vs spsolve differ in the last ulps only
+                assert mass == pytest.approx(
+                    reference[node].masses[value], abs=1e-6
+                )
+            else:
+                # below the sparse threshold both configs run the same
+                # dense solve — exact equality
+                assert mass == reference[node].masses[value]
+
+    t_warm = _best_of(lambda: reuse.predict(labeled), 5)
+    t_legacy = _best_of(lambda: legacy.predict(labeled), 3)
+    speedup = t_legacy / t_warm
+    _PERF_RECORDS.append(
+        {
+            "op": "harmonic.predict_factorization_reuse",
+            "n": HARMONIC_SIZE,
+            "seconds": t_warm,
+            "scalar_seconds": t_legacy,
+            "speedup": speedup,
+        }
+    )
+    print(
+        f"\nharmonic reuse: n={HARMONIC_SIZE} warm {t_warm * 1e3:.1f}ms "
+        f"legacy {t_legacy * 1e3:.1f}ms speedup {speedup:.1f}x"
+    )
+    if sparse_route:
+        assert speedup >= 2.0
 
 
 def test_perf_full_owner_session(benchmark, population):

@@ -48,6 +48,11 @@ class HarmonicClassifier:
     ) -> None:
         self._graph = graph
         self._config = config or ClassifierConfig()
+        # One-entry cache for the sparse LU factor of (D - W_uu), keyed by
+        # the unlabeled index partition.  Stabilization re-predicts with an
+        # unchanged labeled set several times per round; a hit skips the
+        # block slicing, system assembly and factorization entirely.
+        self._factor_cache: tuple[tuple[int, ...], object] | None = None
 
     @property
     def graph(self) -> SimilarityGraph:
@@ -96,11 +101,6 @@ class HarmonicClassifier:
         labeled_idx: list[int],
         unlabeled_idx: list[int],
     ) -> np.ndarray:
-        weights = np.asarray(self._graph.weights)
-        w_uu = weights[np.ix_(unlabeled_idx, unlabeled_idx)]
-        w_ul = weights[np.ix_(unlabeled_idx, labeled_idx)]
-        degrees = w_uu.sum(axis=1) + w_ul.sum(axis=1)
-
         label_values = RiskLabel.values()
         anchor = np.zeros((len(labeled_idx), len(label_values)))
         nodes = self._graph.nodes
@@ -108,8 +108,16 @@ class HarmonicClassifier:
             value = int(labeled[nodes[position]])
             anchor[row, label_values.index(value)] = 1.0
 
-        rhs = w_ul @ anchor
-        solution = self._solve(w_uu, degrees, rhs)
+        solution = None
+        if self._config.reuse_factorization:
+            solution = self._solve_reuse(labeled_idx, unlabeled_idx, anchor)
+        if solution is None:
+            weights = np.asarray(self._graph.weights)
+            w_uu = weights[np.ix_(unlabeled_idx, unlabeled_idx)]
+            w_ul = weights[np.ix_(unlabeled_idx, labeled_idx)]
+            degrees = w_uu.sum(axis=1) + w_ul.sum(axis=1)
+            rhs = w_ul @ anchor
+            solution = self._solve(w_uu, degrees, rhs)
 
         solution = np.clip(solution, 0.0, None)
         row_sums = solution.sum(axis=1)
@@ -121,6 +129,69 @@ class HarmonicClassifier:
                 solution[row] /= row_sums[row]
         return solution
 
+    def _solve_reuse(
+        self,
+        labeled_idx: list[int],
+        unlabeled_idx: list[int],
+        anchor: np.ndarray,
+    ) -> np.ndarray | None:
+        """Sparse solve through the cached ``splu`` factorization.
+
+        All blocks come from the graph's cached CSR matrix
+        (:meth:`SimilarityGraph.weights_csr`), and the factorization of
+        ``D - W_uu`` is cached keyed by the unlabeled partition: the
+        multi-RHS class-mass solve and every re-predict with an unchanged
+        labeled set reuse one factor, so a warm predict only slices
+        ``W_ul`` and runs triangular solves.  Warm and cold results are
+        bitwise identical because both run exactly this code — only the
+        factorization step is skipped on a hit.
+
+        Returns ``None`` to hand control to the reference path whenever
+        the sparse route does not apply (small or dense system, scipy
+        missing, singular factorization, non-finite solution).
+        """
+        size = len(unlabeled_idx)
+        if not (
+            self._config.sparse_size_threshold > 0
+            and size >= self._config.sparse_size_threshold
+        ):
+            return None
+        try:
+            import scipy.sparse as sparse
+            from scipy.sparse.linalg import splu
+
+            rows = self._graph.weights_csr()[unlabeled_idx]
+        except ImportError:
+            return None
+        key = tuple(unlabeled_idx)
+        cached = self._factor_cache
+        if cached is not None and cached[0] == key:
+            factor = cached[1]
+        else:
+            w_uu = rows[:, unlabeled_idx]
+            if (
+                w_uu.nnz / max(size * size, 1)
+                >= self._config.sparse_density_threshold
+            ):
+                return None
+            degrees = np.asarray(rows.sum(axis=1)).ravel()
+            system = sparse.csc_matrix(
+                sparse.diags(degrees + self._config.epsilon) - w_uu
+            )
+            try:
+                factor = splu(system)
+            except (RuntimeError, ValueError):
+                # Singular systems go to the dense fallback, same as the
+                # reference sparse path.
+                return None
+            self._factor_cache = (key, factor)
+        rhs = np.asarray(rows[:, labeled_idx] @ anchor)
+        solution = factor.solve(rhs)
+        if not np.all(np.isfinite(solution)):
+            self._factor_cache = None
+            return None
+        return solution
+
     def _solve(
         self, w_uu: np.ndarray, degrees: np.ndarray, rhs: np.ndarray
     ) -> np.ndarray:
@@ -130,7 +201,10 @@ class HarmonicClassifier:
         sparsifies the similarity graph, a sparse factorization beats the
         dense LU by a wide margin.  Density and size thresholds come from
         the classifier config; the dense path is the fallback for
-        singular systems.
+        singular systems.  With ``reuse_factorization`` on, the sparse
+        route runs through :meth:`_solve_reuse` instead and this method
+        only sees systems that route declined — the per-call ``spsolve``
+        here is the reference behavior kept for debugging.
         """
         size = w_uu.shape[0]
         use_sparse = (

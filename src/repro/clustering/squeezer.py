@@ -81,10 +81,15 @@ def cluster_similarity(
     """``Sim(s, c)`` of Definition 2 for candidate values against a cluster."""
     if len(cluster) == 0:
         raise ClusteringError("similarity against an empty cluster is undefined")
+    # Definition 2's denominator sums the supports of every value present
+    # in the cluster — but every member carries exactly one value per
+    # attribute (missing is its own category), so the sum is the cluster
+    # size.  Using the size directly makes the reference path O(|PA|)
+    # instead of O(distinct values) per comparison.
+    denominator = len(cluster)
     total = 0.0
     for attribute in cluster.attributes:
         support = cluster.support(attribute, values[attribute])
-        denominator = sum(cluster.supports[attribute].values())
         total += weights[attribute] * (support / denominator)
     return total
 
@@ -95,6 +100,7 @@ def squeezer(
     attributes: tuple[ProfileAttribute, ...] | None = None,
     weights: Mapping[ProfileAttribute, float] | None = None,
     order: Iterable[UserId] | None = None,
+    fast: bool = True,
 ) -> list[SqueezerCluster]:
     """Cluster ``profiles`` with one Squeezer pass.
 
@@ -115,6 +121,14 @@ def squeezer(
         Optional explicit processing order (user ids).  Squeezer is
         order-sensitive by design; experiments that need determinism pass a
         fixed order, and the default is the given sequence order.
+    fast:
+        Use the vectorized pass: attribute values are integer-coded once
+        per pool and every candidate-vs-cluster similarity becomes array
+        indexing into per-cluster support arrays.  The arithmetic is the
+        same IEEE operations in the same order as the reference loop, so
+        the clusters (members, order, supports) are identical for
+        identical input order.  Falls back to the reference pass when
+        numpy is unavailable.
 
     Returns
     -------
@@ -135,6 +149,12 @@ def squeezer(
         if unknown:
             raise ClusteringError(f"order references unknown users: {unknown[:5]}")
 
+    if fast:
+        try:
+            return _squeezer_fast(by_id, ordered_ids, attrs, normalized, threshold)
+        except ImportError:
+            pass
+
     clusters: list[SqueezerCluster] = []
     for user_id in ordered_ids:
         values = _attribute_values(by_id[user_id], attrs)
@@ -151,6 +171,128 @@ def squeezer(
             fresh = SqueezerCluster(attributes=attrs)
             fresh.add(user_id, values)
             clusters.append(fresh)
+    return clusters
+
+
+#: Cluster count below which the fast path scans clusters with the scalar
+#: reference loop — with only a few clusters, numpy's per-call overhead
+#: costs more than the comparisons it replaces.
+_VECTOR_CUTOFF = 32
+
+
+def _squeezer_fast(
+    by_id: Mapping[UserId, Profile],
+    ordered_ids: Sequence[UserId],
+    attrs: tuple[ProfileAttribute, ...],
+    normalized: Mapping[ProfileAttribute, float],
+    threshold: float,
+) -> list[SqueezerCluster]:
+    """Vectorized Squeezer pass.
+
+    Once the cluster count crosses ``_VECTOR_CUTOFF``, every attribute
+    value is integer-coded into a single global column space and a
+    ``(clusters, codes)`` support matrix makes ``Sim(s, c)`` against
+    *every* cluster one column gather plus a weighted divide.  Each
+    attribute contributes ``w_a * (Sup / size)`` in declaration order —
+    exactly the reference loop's operations on the same binary64 values —
+    and ``argmax`` picks the first maximum just like the reference
+    strictly-greater scan, so the resulting clusters are identical.
+    Below the cutoff the pass is the reference scan verbatim.
+    """
+    import numpy as np
+
+    # Pre-scan the attribute values once; integer coding happens lazily at
+    # the vectorization crossover below.
+    values_list = [
+        _attribute_values(by_id[user_id], attrs) for user_id in ordered_ids
+    ]
+
+    weight_of = [normalized[attribute] for attribute in attrs]
+    clusters: list[SqueezerCluster] = []
+    # The support matrices only exist above the crossover: the arrays (and
+    # the coded candidate matrix) are built once when the cluster count
+    # first reaches _VECTOR_CUTOFF, so runs that stay small pay nothing
+    # beyond the pre-scan.
+    supports: "np.ndarray | None" = None
+    sizes: "np.ndarray | None" = None
+    coded: "np.ndarray | None" = None
+    capacity = 0
+    for row, user_id in enumerate(ordered_ids):
+        count = len(clusters)
+        if count:
+            if supports is None:
+                # Below the crossover a handful of scalar comparisons beat
+                # numpy call overhead; this is literally the reference scan.
+                best = 0
+                best_similarity = -1.0
+                for position, cluster in enumerate(clusters):
+                    candidate = cluster_similarity(
+                        cluster, values_list[row], normalized
+                    )
+                    if candidate > best_similarity:
+                        best_similarity = candidate
+                        best = position
+            else:
+                # terms[c, a] = Sup(value_a) / |c| for every cluster at
+                # once; the weighted sum runs in attribute order so the
+                # floats match the reference accumulation bit for bit,
+                # and argmax picks the same first maximum.
+                terms = supports[:count, coded[row]] / sizes[:count]
+                similarity = weight_of[0] * terms[:, 0]
+                for col in range(1, len(weight_of)):
+                    similarity += weight_of[col] * terms[:, col]
+                best = int(np.argmax(similarity))
+                best_similarity = float(similarity[best])
+            if best_similarity >= threshold:
+                clusters[best].add(user_id, values_list[row])
+                if supports is not None:
+                    sizes[best, 0] += 1
+                    supports[best, coded[row]] += 1
+                continue
+        fresh = SqueezerCluster(attributes=attrs)
+        fresh.add(user_id, values_list[row])
+        clusters.append(fresh)
+        if supports is not None:
+            if len(clusters) > capacity:
+                capacity *= 2
+                sizes = np.concatenate([sizes, np.zeros_like(sizes)])
+                supports = np.concatenate([supports, np.zeros_like(supports)])
+            sizes[count, 0] = 1
+            supports[count, coded[row]] += 1
+        elif len(clusters) >= _VECTOR_CUTOFF:
+            # Crossover: integer-code every (attribute, value) pair into a
+            # single global column space, so from here on one
+            # advanced-indexing gather per candidate fetches all of its
+            # supports at once.  The one-time cost only hits runs that
+            # actually produce many clusters.
+            code_tables: list[dict[str, int]] = [{} for _ in attrs]
+            for values in values_list:
+                for table, attribute in zip(code_tables, attrs):
+                    table.setdefault(values[attribute], len(table))
+            offsets = [0]
+            for table in code_tables[:-1]:
+                offsets.append(offsets[-1] + len(table))
+            total_codes = offsets[-1] + len(code_tables[-1])
+            coded = np.asarray(
+                [
+                    [
+                        base + table[values[attribute]]
+                        for base, table, attribute in zip(
+                            offsets, code_tables, attrs
+                        )
+                    ]
+                    for values in values_list
+                ],
+                dtype=np.int64,
+            )
+            capacity = 2 * _VECTOR_CUTOFF
+            supports = np.zeros((capacity, total_codes), dtype=np.int64)
+            sizes = np.zeros((capacity, 1), dtype=np.int64)
+            for position, cluster in enumerate(clusters):
+                sizes[position, 0] = len(cluster)
+                for base, table, attribute in zip(offsets, code_tables, attrs):
+                    for value, support in cluster.supports[attribute].items():
+                        supports[position, base + table[value]] = support
     return clusters
 
 

@@ -10,13 +10,93 @@ A :meth:`to_networkx` escape hatch exists for analysis and visualization.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator
+from typing import TYPE_CHECKING, Iterable, Iterator
 
 import networkx as nx
 
 from ..errors import GraphError, UnknownUserError
 from ..types import UserId
 from .profile import Profile
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import numpy as np
+    import scipy.sparse
+
+
+class AdjacencyIndex:
+    """An immutable CSR snapshot of a graph's adjacency.
+
+    The index fixes a canonical node order (graph insertion order) and
+    exposes the 0/1 adjacency matrix in scipy CSR form with integer data,
+    so batched mutual-friend counting stays exact.  Snapshots never track
+    the live graph: :meth:`SocialGraph.adjacency_index` hands out a cached
+    instance and drops it on any mutation, so a stale snapshot can only be
+    reached through a reference taken before the mutation.
+    """
+
+    __slots__ = ("_nodes", "_positions", "_matrix")
+
+    def __init__(self, adjacency: dict[UserId, set[UserId]]) -> None:
+        import numpy as np
+        import scipy.sparse as sparse
+
+        nodes = tuple(adjacency)
+        positions = {user_id: pos for pos, user_id in enumerate(nodes)}
+        indptr = np.zeros(len(nodes) + 1, dtype=np.int64)
+        rows: list[np.ndarray] = []
+        for position, user_id in enumerate(nodes):
+            neighbor_positions = np.sort(
+                np.fromiter(
+                    (positions[n] for n in adjacency[user_id]),
+                    dtype=np.int64,
+                    count=len(adjacency[user_id]),
+                )
+            )
+            rows.append(neighbor_positions)
+            indptr[position + 1] = indptr[position] + len(neighbor_positions)
+        indices = (
+            np.concatenate(rows) if rows else np.zeros(0, dtype=np.int64)
+        )
+        data = np.ones(len(indices), dtype=np.int64)
+        self._nodes = nodes
+        self._positions = positions
+        self._matrix = sparse.csr_matrix(
+            (data, indices, indptr), shape=(len(nodes), len(nodes))
+        )
+
+    @property
+    def nodes(self) -> tuple[UserId, ...]:
+        """User ids in canonical (insertion) order."""
+        return self._nodes
+
+    @property
+    def matrix(self) -> "scipy.sparse.csr_matrix":
+        """The 0/1 adjacency matrix (int64 CSR, rows in node order)."""
+        return self._matrix
+
+    def position_of(self, user_id: UserId) -> int:
+        """Canonical row/column of ``user_id``; raises on unknown ids."""
+        try:
+            return self._positions[user_id]
+        except KeyError:
+            raise UnknownUserError(user_id) from None
+
+    def positions_of(self, user_ids: Iterable[UserId]) -> "np.ndarray":
+        """Canonical positions for many ids at once (int64 array)."""
+        import numpy as np
+
+        ids = list(user_ids)
+        return np.fromiter(
+            (self.position_of(user_id) for user_id in ids),
+            dtype=np.int64,
+            count=len(ids),
+        )
+
+    def neighbor_positions(self, user_id: UserId) -> "np.ndarray":
+        """Positions of ``user_id``'s neighbors (sorted int64 array)."""
+        position = self.position_of(user_id)
+        matrix = self._matrix
+        return matrix.indices[matrix.indptr[position] : matrix.indptr[position + 1]]
 
 
 class SocialGraph:
@@ -31,6 +111,7 @@ class SocialGraph:
         self._adjacency: dict[UserId, set[UserId]] = {}
         self._profiles: dict[UserId, Profile] = {}
         self._edge_count = 0
+        self._adjacency_index: AdjacencyIndex | None = None
 
     # ------------------------------------------------------------------
     # construction
@@ -40,6 +121,7 @@ class SocialGraph:
         user_id = profile.user_id
         if user_id not in self._adjacency:
             self._adjacency[user_id] = set()
+            self._adjacency_index = None
         self._profiles[user_id] = profile
 
     def add_friendship(self, a: UserId, b: UserId) -> None:
@@ -60,6 +142,7 @@ class SocialGraph:
             self._adjacency[a].add(b)
             self._adjacency[b].add(a)
             self._edge_count += 1
+            self._adjacency_index = None
 
     def remove_friendship(self, a: UserId, b: UserId) -> None:
         """Remove the edge ``{a, b}`` if present (no-op otherwise)."""
@@ -69,6 +152,7 @@ class SocialGraph:
             self._adjacency[a].discard(b)
             self._adjacency[b].discard(a)
             self._edge_count -= 1
+            self._adjacency_index = None
 
     @classmethod
     def from_edges(
@@ -185,6 +269,22 @@ class SocialGraph:
             seen.update(next_frontier)
             frontier = next_frontier
         return None
+
+    def adjacency_index(self) -> AdjacencyIndex:
+        """The cached CSR adjacency snapshot (built lazily).
+
+        The batched scoring core (``NetworkSimilarity.for_strangers``)
+        works off this index instead of per-stranger set arithmetic.  The
+        cache is dropped on every mutation (``add_user`` registering a new
+        id, ``add_friendship``, ``remove_friendship``), so a fresh call
+        after a mutation always reflects the current graph.
+
+        Requires scipy; callers with an optional fast path should catch
+        ``ImportError`` and fall back to the scalar route.
+        """
+        if self._adjacency_index is None:
+            self._adjacency_index = AdjacencyIndex(self._adjacency)
+        return self._adjacency_index
 
     def edges(self) -> Iterator[tuple[UserId, UserId]]:
         """Iterate over undirected edges once each, as ``(min, max)``."""

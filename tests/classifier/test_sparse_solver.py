@@ -94,24 +94,29 @@ class TestSparseSolver:
             ClassifierConfig(sparse_density_threshold=1.5)
 
     @pytest.mark.parametrize("raised", [RuntimeError, ValueError])
+    @pytest.mark.parametrize("reuse", [True, False])
     def test_failed_factorization_falls_back_to_dense(
-        self, monkeypatch, raised
+        self, monkeypatch, raised, reuse
     ):
         """SuperLU raises RuntimeError on singular systems but umfpack
         raises ValueError; both must fall through to the dense solve
-        (regression: ValueError used to escape the classifier)."""
+        (regression: ValueError used to escape the classifier).  Both
+        sparse routes are covered: the ``splu`` reuse path and the
+        per-predict ``spsolve`` reference path."""
         import scipy.sparse.linalg
 
         def explode(*args, **kwargs):
             raise raised("factor is exactly singular")
 
+        monkeypatch.setattr(scipy.sparse.linalg, "splu", explode)
         monkeypatch.setattr(scipy.sparse.linalg, "spsolve", explode)
         graph = sparse_block_graph()
         dense = HarmonicClassifier(
             graph, ClassifierConfig(sparse_size_threshold=0)
         ).predict(self.labeled())
         fallen_back = HarmonicClassifier(
-            graph, ClassifierConfig(sparse_size_threshold=1)
+            graph,
+            ClassifierConfig(sparse_size_threshold=1, reuse_factorization=reuse),
         ).predict(self.labeled())
         for node in dense:
             assert dense[node].label is fallen_back[node].label

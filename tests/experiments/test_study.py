@@ -91,6 +91,34 @@ class TestParallelStudy:
             result_digest(run.result) for run in serial_study.runs
         ]
 
+    def test_vectorized_core_matches_scalar_reference_digests(
+        self, small_population, serial_study
+    ):
+        """The scoring-core fast paths (batch NS, fast Squeezer, solver
+        reuse) are on by default; a parallel run with them on must
+        produce the same digests as a serial run with every fast path
+        disabled.  At this scale pools stay below the sparse threshold,
+        so the solves are identical dense solves in both configs and the
+        equality is exact."""
+        from repro.config import (
+            ClassifierConfig,
+            NetworkSimilarityConfig,
+            PipelineConfig,
+            PoolingConfig,
+        )
+        from repro.io import result_digest
+
+        scalar_config = PipelineConfig(
+            network_similarity=NetworkSimilarityConfig(batch_enabled=False),
+            pooling=PoolingConfig(squeezer_fast=False),
+            classifier=ClassifierConfig(reuse_factorization=False),
+        )
+        scalar = run_study(small_population, seed=23, config=scalar_config)
+        vectorized = run_study(small_population, seed=23, workers=2)
+        assert [result_digest(run.result) for run in vectorized.runs] == [
+            result_digest(run.result) for run in scalar.runs
+        ]
+
     def test_run_payloads_match_serial(self, small_population, serial_study):
         parallel = run_study(small_population, seed=23, workers=2)
         for serial_run, parallel_run in zip(serial_study.runs, parallel.runs):

@@ -1,0 +1,187 @@
+"""Batch ``NS.for_strangers`` must reproduce the scalar oracle exactly."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given
+
+from repro.config import NetworkSimilarityConfig
+from repro.errors import SimilarityError
+from repro.graph.metrics import (
+    _mutual_stats_bitset,
+    _mutual_stats_sparse,
+    batched_mutual_stats,
+)
+from repro.graph.social_graph import SocialGraph
+from repro.similarity.network import NetworkSimilarity
+
+from ..conftest import make_profile
+from ..property_settings import SLOW_SETTINGS
+
+#: Engage the batch path regardless of stranger-set size.
+BATCH_CONFIG = NetworkSimilarityConfig(batch_min_strangers=0)
+
+
+@st.composite
+def graphs_with_owner(draw, max_users=30):
+    """A random graph plus an owner with at least one potential stranger."""
+    size = draw(st.integers(4, max_users))
+    graph = SocialGraph()
+    for uid in range(size):
+        graph.add_user(make_profile(uid))
+    possible = [(a, b) for a in range(size) for b in range(a + 1, size)]
+    chosen = draw(
+        st.lists(st.sampled_from(possible), max_size=len(possible), unique=True)
+    )
+    for a, b in chosen:
+        graph.add_friendship(a, b)
+    owner = draw(st.integers(0, size - 1))
+    return graph, owner
+
+
+class TestBatchEqualsScalar:
+    @given(graphs_with_owner())
+    @SLOW_SETTINGS
+    def test_two_hop_strangers_exact(self, graph_owner):
+        graph, owner = graph_owner
+        strangers = graph.two_hop_neighbors(owner)
+        measure = NetworkSimilarity(BATCH_CONFIG)
+        batch = measure.for_strangers(graph, owner, strangers)
+        assert set(batch) == set(strangers)
+        for stranger in strangers:
+            # bitwise equality, not approx: the batch path must be a
+            # drop-in replacement at the result_digest level
+            assert batch[stranger] == measure(graph, owner, stranger)
+
+    @given(graphs_with_owner())
+    @SLOW_SETTINGS
+    def test_arbitrary_non_owner_sets_exact(self, graph_owner):
+        """The batch path is exact for any stranger set, not only true
+        two-hop strangers (friends and disconnected users included)."""
+        graph, owner = graph_owner
+        others = frozenset(uid for uid in range(len(graph)) if uid != owner)
+        measure = NetworkSimilarity(BATCH_CONFIG)
+        batch = measure.for_strangers(graph, owner, others)
+        for other in others:
+            assert batch[other] == measure(graph, owner, other)
+
+    @given(graphs_with_owner())
+    @SLOW_SETTINGS
+    def test_kernels_agree(self, graph_owner):
+        graph, owner = graph_owner
+        others = tuple(uid for uid in range(len(graph)) if uid != owner)
+        index = graph.adjacency_index()
+        friend_positions = index.neighbor_positions(owner)
+        other_positions = index.positions_of(others)
+        if len(friend_positions) == 0:
+            return
+        bitset = _mutual_stats_bitset(index, friend_positions, other_positions)
+        sparse = _mutual_stats_sparse(index, friend_positions, other_positions)
+        assert bitset[0].tolist() == sparse[0].tolist()
+        assert bitset[1].tolist() == sparse[1].tolist()
+
+
+class TestStaleness:
+    def ring_graph(self, size=12):
+        graph = SocialGraph()
+        for uid in range(size):
+            graph.add_user(make_profile(uid))
+        for uid in range(size):
+            graph.add_friendship(uid, (uid + 1) % size)
+        return graph
+
+    def test_batch_tracks_remove_friendship(self):
+        """Scoring, mutating, then scoring again must reflect the
+        mutation — the CSR snapshot may not serve stale counts."""
+        graph = self.ring_graph()
+        measure = NetworkSimilarity(BATCH_CONFIG)
+        owner = 0
+        strangers = graph.two_hop_neighbors(owner)
+        before = measure.for_strangers(graph, owner, strangers)
+        assert before[2] > 0.0  # via mutual friend 1
+
+        graph.remove_friendship(0, 1)
+        after = measure.for_strangers(graph, owner, strangers)
+        for stranger in strangers:
+            assert after[stranger] == measure(graph, owner, stranger)
+        assert after[2] == 0.0
+
+    def test_batch_tracks_add_friendship(self):
+        graph = self.ring_graph()
+        measure = NetworkSimilarity(BATCH_CONFIG)
+        owner = 0
+        strangers = graph.two_hop_neighbors(owner)
+        measure.for_strangers(graph, owner, strangers)
+        graph.add_friendship(1, 3)
+        refreshed = measure.for_strangers(graph, owner, strangers)
+        for stranger in strangers:
+            assert refreshed[stranger] == measure(graph, owner, stranger)
+
+
+class TestBatchConfig:
+    def make_star(self):
+        graph = SocialGraph()
+        for uid in range(10):
+            graph.add_user(make_profile(uid))
+        for friend in (1, 2, 3):
+            graph.add_friendship(0, friend)
+            for stranger in (4, 5, 6):
+                graph.add_friendship(friend, stranger)
+        return graph
+
+    def test_owner_in_strangers_raises(self):
+        graph = self.make_star()
+        with pytest.raises(SimilarityError):
+            NetworkSimilarity(BATCH_CONFIG).for_strangers(
+                graph, 0, {0, 4, 5}
+            )
+
+    def test_owner_in_strangers_raises_on_scalar_path_too(self):
+        graph = self.make_star()
+        with pytest.raises(SimilarityError):
+            NetworkSimilarity(
+                NetworkSimilarityConfig(batch_enabled=False)
+            ).for_strangers(graph, 0, {0, 4, 5})
+
+    def test_disabled_batch_matches_enabled(self):
+        graph = self.make_star()
+        strangers = graph.two_hop_neighbors(0)
+        enabled = NetworkSimilarity(BATCH_CONFIG)
+        disabled = NetworkSimilarity(
+            NetworkSimilarityConfig(batch_enabled=False)
+        )
+        assert enabled.for_strangers(graph, 0, strangers) == (
+            disabled.for_strangers(graph, 0, strangers)
+        )
+
+    def test_small_sets_use_scalar_path(self):
+        """Below batch_min_strangers the scalar path runs — results are
+        identical either way, which is what makes the cutover safe."""
+        graph = self.make_star()
+        measure = NetworkSimilarity(
+            NetworkSimilarityConfig(batch_min_strangers=100)
+        )
+        strangers = graph.two_hop_neighbors(0)
+        values = measure.for_strangers(graph, 0, strangers)
+        for stranger in strangers:
+            assert values[stranger] == measure(graph, 0, stranger)
+
+
+class TestBatchedMutualStats:
+    def test_counts_and_edges_match_scalar_queries(self):
+        graph = SocialGraph()
+        for uid in range(8):
+            graph.add_user(make_profile(uid))
+        for a, b in [(0, 1), (0, 2), (0, 3), (1, 4), (2, 4), (3, 4), (1, 2)]:
+            graph.add_friendship(a, b)
+        others = (4, 5, 6, 7)
+        counts, edges = batched_mutual_stats(graph, 0, others)
+        for position, other in enumerate(others):
+            mutual = graph.mutual_friends(0, other)
+            assert counts[position] == len(mutual)
+            assert edges[position] == graph.edges_within(mutual)
+
+    def test_empty_others(self):
+        graph = SocialGraph()
+        graph.add_user(make_profile(0))
+        counts, edges = batched_mutual_stats(graph, 0, ())
+        assert counts.tolist() == [] and edges.tolist() == []
