@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-paper-scale perf-smoke parallel-smoke robustness chaos study serve examples clean
+.PHONY: install test bench bench-paper-scale perf-smoke parallel-smoke robustness chaos shard-smoke study serve examples clean
 
 install:
 	$(PYTHON) -m pip install -e ".[test]"
@@ -58,6 +58,18 @@ chaos:
 		tests/service/test_wal.py tests/service/test_chaos.py
 	REPRO_BENCH_OWNERS=2 REPRO_BENCH_STRANGERS=60 \
 		$(PYTHON) -m pytest -q -o addopts= benchmarks/bench_wal_overhead.py
+
+# the sharded topology: unit + router tests, the 2-shard kill -9 /
+# recover / isolation smoke, the @slow 4-shard mixed-load chaos gate,
+# and the 1/2/4-shard scaling sweep at reduced scale
+shard-smoke:
+	$(PYTHON) -m pytest -q -o addopts= \
+		tests/service/test_sharding.py \
+		"tests/service/test_chaos.py::test_sharded_kill9_recovers_and_siblings_keep_serving" \
+		"tests/service/test_chaos.py::test_sharded_kill9_under_mixed_load_isolates_and_recovers"
+	REPRO_BENCH_SHARD_OWNERS=4 REPRO_BENCH_SHARD_STRANGERS=40 \
+		$(PYTHON) -m pytest -q -o addopts= -s \
+		"benchmarks/bench_service_throughput.py::test_sharded_scaling_throughput"
 
 study:
 	$(PYTHON) -m repro --owners 8 --strangers 300

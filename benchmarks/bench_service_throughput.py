@@ -7,13 +7,25 @@ owner pays the full pipeline (cold), an unchanged owner is a memo lookup
 labels reused.  This bench measures requests/sec for each regime through
 the real engine + scheduler stack and pins the service PR's acceptance
 contract: serving an unchanged owner is at least 5x faster than cold.
+
+The sharded section boots the real ``serve --shards N`` topology
+(router + N worker subprocesses) at 1/2/4 shards, asserts every
+topology serves byte-identical digests, and records the cold/cached
+throughput sweep (a committed snapshot, stamped with ``cpu_cores``,
+lives in ``benchmarks/baselines/BENCH_shard_scaling_baseline.json``).
 """
 
 from __future__ import annotations
 
 import json
 import os
+import signal
+import subprocess
+import sys
 import time
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
 
 from repro.service import (
     OwnerStore,
@@ -23,12 +35,21 @@ from repro.service import (
     ScoreScheduler,
 )
 
-from .conftest import SEED, write_artifact
+from .conftest import OUT_DIR, SEED, write_artifact
 
 CACHED_ROUNDS = 20
 
 #: Worker processes for the parallel-cold bench (0 skips the section).
 SCORE_WORKERS = int(os.environ.get("REPRO_BENCH_SCORE_WORKERS", "2"))
+
+#: Shard counts the scaling section sweeps (always through the router,
+#: so the comparison isolates shard parallelism, not proxy overhead).
+SHARD_TOPOLOGIES = (1, 2, 4)
+#: Cohort for the sharded sweep — its own knobs: each shard worker
+#: boots the full population, so this must stay far smaller than the
+#: in-process benches' cohort.
+SHARD_OWNERS = int(os.environ.get("REPRO_BENCH_SHARD_OWNERS", "8"))
+SHARD_STRANGERS = int(os.environ.get("REPRO_BENCH_SHARD_STRANGERS", "60"))
 
 
 def test_service_throughput(benchmark, population):
@@ -174,3 +195,159 @@ def test_parallel_cold_throughput(benchmark, population):
         "service_parallel_cold",
         json.dumps(document, indent=2, sort_keys=True),
     )
+
+
+# ---------------------------------------------------------------------------
+# E19 sharded scaling: 1/2/4 shard workers behind the failover router
+# ---------------------------------------------------------------------------
+class _ShardedServe:
+    """One ``repro-study serve --shards N`` subprocess (router + workers)."""
+
+    def __init__(self, wal_dir: Path, shards: int):
+        src = str(Path(__file__).resolve().parents[1] / "src")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        self.process = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "0",
+             "--shards", str(shards),
+             "--owners", str(SHARD_OWNERS),
+             "--strangers", str(SHARD_STRANGERS),
+             "--friends", "10", "--seed", str(SEED),
+             "--wal-dir", str(wal_dir)],
+            env=env,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        self.url = self._await_announcement()
+
+    def _await_announcement(self) -> str:
+        for _ in range(400):
+            line = self.process.stderr.readline()
+            if not line and self.process.poll() is not None:
+                raise AssertionError(
+                    f"serve exited rc={self.process.returncode} "
+                    "before announcing"
+                )
+            # the router's own line, not the per-shard "ready at" relays
+            if "serving on " in line:
+                return line.split("serving on ", 1)[1].strip()
+        raise AssertionError("no 'serving on' announcement")
+
+    def get(self, path: str) -> dict:
+        with urllib.request.urlopen(
+            self.url + path, timeout=600
+        ) as response:
+            return json.loads(response.read())
+
+    def stop(self) -> int:
+        self.process.send_signal(signal.SIGTERM)
+        self.process.stderr.read()
+        code = self.process.wait(timeout=120)
+        self.process.stderr.close()
+        return code
+
+    def cleanup(self) -> None:
+        if self.process.poll() is None:
+            self.process.terminate()
+            try:
+                self.process.wait(timeout=60)
+            except subprocess.TimeoutExpired:
+                self.process.kill()
+                self.process.wait(timeout=60)
+
+
+def _timed_sweep(server: _ShardedServe, owner_ids: list[int]):
+    """All owners scored concurrently; (elapsed, {owner: digest})."""
+
+    def one(owner_id: int) -> dict:
+        return server.get(f"/score?owner={owner_id}")
+
+    with ThreadPoolExecutor(max_workers=len(owner_ids)) as pool:
+        start = time.perf_counter()
+        records = list(pool.map(one, owner_ids))
+        elapsed = time.perf_counter() - start
+    return elapsed, {r["owner"]: r["digest"] for r in records}
+
+
+def test_sharded_scaling_throughput(tmp_path):
+    """Cold and cached throughput through the router at 1/2/4 shards.
+
+    Digest equality across topologies is the unconditional contract:
+    resharding must never change a score.  The scaling floor (4 shards
+    >= 1.3x the 1-shard cold throughput) only asserts on hardware that
+    can deliver it — shard workers are processes, so a single-core host
+    timeslices them and honestly reports ~1x.
+    """
+    results: dict[int, dict] = {}
+    digests: dict[int, dict[int, str]] = {}
+    for shards in SHARD_TOPOLOGIES:
+        server = _ShardedServe(tmp_path / f"shards-{shards}", shards)
+        try:
+            owner_ids = [
+                row["owner"] for row in server.get("/owners")["owners"]
+            ]
+            assert len(owner_ids) == SHARD_OWNERS
+            cold_elapsed, cold_digests = _timed_sweep(server, owner_ids)
+            cached_elapsed, cached_digests = _timed_sweep(
+                server, owner_ids
+            )
+            assert cached_digests == cold_digests
+            code = server.stop()
+            assert code == 0
+        finally:
+            server.cleanup()
+        digests[shards] = cold_digests
+        results[shards] = {
+            "cold_elapsed_seconds": round(cold_elapsed, 4),
+            "cold_requests_per_second": round(
+                len(owner_ids) / cold_elapsed, 2
+            ),
+            "cached_elapsed_seconds": round(cached_elapsed, 4),
+            "cached_requests_per_second": round(
+                len(owner_ids) / cached_elapsed, 2
+            ),
+        }
+
+    # the contract: every topology serves byte-identical digests
+    reference = digests[SHARD_TOPOLOGIES[0]]
+    for shards in SHARD_TOPOLOGIES[1:]:
+        assert digests[shards] == reference, (
+            f"{shards}-shard digests diverge from 1-shard"
+        )
+
+    cores = os.cpu_count() or 1
+    if cores >= 4:
+        floor = 1.3 * results[1]["cold_requests_per_second"]
+        assert results[4]["cold_requests_per_second"] >= floor, (
+            f"4-shard cold throughput "
+            f"{results[4]['cold_requests_per_second']} req/s under the "
+            f"{floor:.2f} req/s floor ({cores} cores)"
+        )
+
+    document = {
+        "cpu_cores": cores,
+        "owners": SHARD_OWNERS,
+        "strangers": SHARD_STRANGERS,
+        "seed": SEED,
+        "digest_equality": True,
+        "topologies": {
+            str(shards): results[shards] for shards in SHARD_TOPOLOGIES
+        },
+    }
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / "BENCH_shard_scaling.json").write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    lines = [
+        "E19 sharded scaling (cold /score through the router)",
+        f"cores={cores} owners={SHARD_OWNERS} strangers={SHARD_STRANGERS}",
+    ]
+    for shards in SHARD_TOPOLOGIES:
+        row = results[shards]
+        lines.append(
+            f"  shards={shards}: cold {row['cold_requests_per_second']:>7} "
+            f"req/s   cached {row['cached_requests_per_second']:>8} req/s"
+        )
+    write_artifact("service_shard_scaling", "\n".join(lines))

@@ -277,6 +277,39 @@ def build_serve_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="score every owner once before accepting traffic",
     )
+    sharding = parser.add_argument_group(
+        "sharding",
+        "fault isolation: consistent-hash owner shards behind a router",
+    )
+    sharding.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "run N fault-isolated shard worker processes behind a "
+            "failover-aware router (0 = single unsharded server); each "
+            "shard owns a consistent-hash slice of the owner space with "
+            "its own engine, scheduler, and WAL directory"
+        ),
+    )
+    sharding.add_argument(
+        "--shard-index",
+        type=int,
+        default=None,
+        metavar="I",
+        help=(
+            "internal: serve only the owners the shard map assigns to "
+            "shard I (spawned by --shards; requires --shard-count)"
+        ),
+    )
+    sharding.add_argument(
+        "--shard-count",
+        type=int,
+        default=None,
+        metavar="N",
+        help="internal: total shards in the map (with --shard-index)",
+    )
     durability = parser.add_argument_group(
         "durability",
         "crash safety: write-ahead log, snapshots, graceful drain",
@@ -391,12 +424,21 @@ def _service_fault_injector(args: argparse.Namespace):
 
 def _build_serve_store(args: argparse.Namespace):
     """The serve store: WAL-recovered, WAL-seeded, or plain in-memory."""
-    from .service import DurableOwnerStore, OwnerStore
+    from .service import DurableOwnerStore, OwnerStore, ShardMap
 
+    shard_map = None
+    if args.shard_index is not None:
+        shard_map = ShardMap(args.shard_count)
+        print(
+            f"shard {args.shard_index}/{args.shard_count}: serving this "
+            "shard's consistent-hash slice of the owner space",
+            file=sys.stderr,
+        )
     durable = args.wal_dir is not None
     if durable and DurableOwnerStore.has_snapshot(args.wal_dir):
-        # recovery path: the snapshot + WAL already hold the cohort —
-        # do not regenerate, just replay
+        # recovery path: the snapshot + WAL already hold this process's
+        # owners (a shard's WAL holds only its slice) — do not
+        # regenerate, just replay
         print(f"recovering store from {args.wal_dir} ...", file=sys.stderr)
         return DurableOwnerStore.open(
             args.wal_dir,
@@ -431,8 +473,12 @@ def _build_serve_store(args: argparse.Namespace):
             batch_size=args.wal_batch,
             compact_every=args.compact_every,
             injector=_service_fault_injector(args),
+            shard_map=shard_map,
+            shard_index=args.shard_index,
         )
-    return OwnerStore.from_population(population)
+    return OwnerStore.from_population(
+        population, shard_map=shard_map, shard_index=args.shard_index
+    )
 
 
 def serve_main(argv: Sequence[str] | None = None) -> int:
@@ -448,7 +494,21 @@ def serve_main(argv: Sequence[str] | None = None) -> int:
     import signal
     import threading
 
-    args = build_serve_parser().parse_args(argv)
+    parser = build_serve_parser()
+    args = parser.parse_args(argv)
+    if args.shards and args.shard_index is not None:
+        parser.error("--shards and --shard-index are mutually exclusive")
+    if (args.shard_index is None) != (args.shard_count is None):
+        parser.error("--shard-index and --shard-count must be given together")
+    if args.shard_index is not None and not (
+        0 <= args.shard_index < args.shard_count
+    ):
+        parser.error(
+            f"--shard-index {args.shard_index} out of range for "
+            f"--shard-count {args.shard_count}"
+        )
+    if args.shards:
+        return serve_sharded(args)
     from .service import DurableOwnerStore, RiskEngine, build_server
 
     store = _build_serve_store(args)
@@ -536,6 +596,129 @@ def serve_main(argv: Sequence[str] | None = None) -> int:
         summary["wal"] = store.wal.stats()
     server.shutdown()
     server.server_close()
+    loop.join(timeout=5)
+    print(
+        "final metrics: " + _json.dumps(summary, sort_keys=True),
+        file=sys.stderr,
+        flush=True,
+    )
+    return 0
+
+
+def serve_sharded(args: argparse.Namespace) -> int:
+    """Run ``serve --shards N``: supervisor + shard workers + router.
+
+    Each shard is a full ``repro-study serve`` subprocess restricted to
+    its consistent-hash slice of the owner space (``--shard-index``),
+    with its own WAL directory; the supervisor restarts crashed shards
+    and the router fails over around them.  Blocks until SIGTERM/SIGINT,
+    then drains the router and SIGTERMs every shard (each runs its own
+    graceful drain).
+    """
+    import json as _json
+    import os
+    import signal
+    import threading
+
+    from .service import (
+        ServiceState,
+        ShardMap,
+        ShardSpec,
+        ShardSupervisor,
+        build_router,
+        build_worker_argv,
+    )
+
+    base_args = [
+        "--owners", str(args.owners),
+        "--strangers", str(args.strangers),
+        "--friends", str(args.friends),
+        "--seed", str(args.seed),
+        "--classifier", args.classifier,
+        "--pooling", args.pooling,
+        "--host", args.host,
+        "--workers", str(args.workers),
+        "--score-workers", str(args.score_workers),
+        "--max-pending", str(args.max_pending),
+        "--timeout", str(args.timeout),
+        "--wal-fsync", args.wal_fsync,
+        "--wal-batch", str(args.wal_batch),
+        "--compact-every", str(args.compact_every),
+        "--drain-timeout", str(args.drain_timeout),
+        "--fault-seed", str(args.fault_seed),
+    ]
+    if args.load_dataset:
+        base_args += ["--load-dataset", args.load_dataset]
+    if args.warm_all:
+        base_args.append("--warm-all")
+    if args.fault_fsync_fail:
+        base_args += ["--fault-fsync-fail", str(args.fault_fsync_fail)]
+    if args.fault_slow_disk:
+        base_args += ["--fault-slow-disk", str(args.fault_slow_disk)]
+
+    shard_map = ShardMap(args.shards)
+    specs = []
+    for shard in range(args.shards):
+        wal_dir = (
+            os.path.join(args.wal_dir, f"shard-{shard}")
+            if args.wal_dir is not None
+            else None
+        )
+        specs.append(
+            ShardSpec(
+                index=shard,
+                argv=build_worker_argv(
+                    shard, args.shards, base_args, wal_dir=wal_dir
+                ),
+            )
+        )
+    supervisor = ShardSupervisor(
+        specs, log=lambda message: print(message, file=sys.stderr, flush=True)
+    )
+    print(
+        f"starting {args.shards} shard worker(s) ...",
+        file=sys.stderr,
+        flush=True,
+    )
+    supervisor.start()
+
+    state = ServiceState(ready=True, detail="routing")
+    router = build_router(
+        shard_map,
+        supervisor,
+        host=args.host,
+        port=args.port,
+        request_timeout=args.timeout,
+        state=state,
+    )
+    stop = threading.Event()
+
+    def _begin_drain(signum, frame) -> None:
+        state.draining = True
+        state.detail = f"draining ({signal.Signals(signum).name})"
+        stop.set()
+
+    signal.signal(signal.SIGTERM, _begin_drain)
+    signal.signal(signal.SIGINT, _begin_drain)
+
+    loop = threading.Thread(target=router.serve_forever, daemon=True)
+    loop.start()
+    print(f"serving on {router.url}", file=sys.stderr, flush=True)
+    try:
+        stop.wait()
+    except KeyboardInterrupt:  # pragma: no cover - race with the handler
+        _begin_drain(signal.SIGINT, None)
+    print(
+        f"draining router, stopping {args.shards} shard worker(s) "
+        f"(budget {args.drain_timeout:.1f}s each) ...",
+        file=sys.stderr,
+    )
+    summary = {
+        "router": router.counters_snapshot(),
+        "supervisor": supervisor.stop(drain_timeout=args.drain_timeout + 5.0),
+    }
+    router.shutdown()
+    router.server_close()
     loop.join(timeout=5)
     print(
         "final metrics: " + _json.dumps(summary, sort_keys=True),

@@ -166,6 +166,19 @@ class WalError(ServiceError):
     """The write-ahead log could not be appended to or recovered."""
 
 
+class ShardUnavailableError(ServiceError):
+    """A shard worker could not be reached (dead, restarting, or hung).
+
+    Transient by design — the supervisor restarts crashed shards — so the
+    router's retry policy treats it as retryable, and after retries it
+    maps to a bounded 503 + ``Retry-After`` for that shard's owners.
+    """
+
+    def __init__(self, message: str, *, shard: int | None = None) -> None:
+        super().__init__(message)
+        self.shard = shard
+
+
 class WorkerCrashError(ServiceError):
     """A scoring worker process died and the retry budget is spent."""
 

@@ -24,7 +24,14 @@ instead of re-running the batch study per request:
 * :class:`DurableOwnerStore` / :class:`WriteAheadLog` — crash safety:
   every mutation is logged write-ahead (checksummed, fsync'd) and
   periodically compacted into an atomic snapshot, so a ``kill -9`` loses
-  no acknowledged mutation (``repro-study serve --wal-dir``).
+  no acknowledged mutation (``repro-study serve --wal-dir``);
+* :class:`ShardMap` / :class:`ShardSupervisor` /
+  :class:`ShardRouterServer` — horizontal fault isolation: the owner
+  space is consistent-hashed across N shard worker processes (each with
+  its own WAL, engine, and scheduler), a supervisor health-checks and
+  restarts crashed shards, and a failover-aware router proxies
+  ``/score``, ``/mutate``, and ``/score-batch`` to the owning shard
+  (``repro-study serve --shards N``).
 """
 
 from .engine import EngineMetrics, RiskEngine, ScoreRecord
@@ -34,8 +41,16 @@ from .http import (
     ServiceState,
     build_server,
 )
+from .router import (
+    ShardClient,
+    ShardRouterHandler,
+    ShardRouterServer,
+    build_router,
+)
 from .scheduler import ScoreScheduler
+from .sharding import DEFAULT_REPLICAS, ShardMap
 from .store import OwnerEntry, OwnerStore
+from .supervisor import ShardSpec, ShardSupervisor, build_worker_argv
 from .wal import (
     DurableOwnerStore,
     RecoveryReport,
@@ -54,6 +69,7 @@ from .workers import (
 )
 
 __all__ = [
+    "DEFAULT_REPLICAS",
     "DurableOwnerStore",
     "EngineMetrics",
     "OwnerEntry",
@@ -68,10 +84,18 @@ __all__ = [
     "ScoreRecord",
     "ScoreScheduler",
     "ServiceState",
+    "ShardClient",
+    "ShardMap",
+    "ShardRouterHandler",
+    "ShardRouterServer",
+    "ShardSpec",
+    "ShardSupervisor",
     "StudyOutcome",
     "WORKER_CRASH_EXIT_CODE",
     "WriteAheadLog",
+    "build_router",
     "build_server",
+    "build_worker_argv",
     "execute_owner_run_job",
     "execute_score_job",
     "mutate_store",

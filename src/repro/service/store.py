@@ -67,29 +67,57 @@ class OwnerStore:
     # construction
     # ------------------------------------------------------------------
     @classmethod
-    def from_population(cls, population: StudyPopulation) -> "OwnerStore":
+    def from_population(
+        cls,
+        population: StudyPopulation,
+        shard_map=None,
+        shard_index: int | None = None,
+    ) -> "OwnerStore":
         """Register every owner of a generated cohort.
 
         Each owner's universe is seeded from the generator's handle:
         the owner, their friends, and their strangers.
+
+        With ``shard_map``/``shard_index`` (a
+        :class:`~repro.service.sharding.ShardMap` and this worker's shard
+        number) only the owners the map assigns to this shard are
+        registered — but each keeps its **global** cohort index, so the
+        per-owner session seed (``base_seed + index``) and every served
+        digest match the unsharded deployment exactly.
         """
+        if (shard_map is None) != (shard_index is None):
+            raise ValueError(
+                "shard_map and shard_index must be given together"
+            )
         store = cls(population.graph)
-        for owner in population.owners:
+        for global_index, owner in enumerate(population.owners):
+            if (
+                shard_map is not None
+                and shard_map.shard_of(owner.user_id) != shard_index
+            ):
+                continue
             handle = population.handles[owner.user_id]
             universe = {owner.user_id, *handle.friends, *handle.strangers}
-            store.register(owner, universe=universe)
+            store.register(owner, universe=universe, index=global_index)
         return store
 
     def register(
         self,
         owner: SimulatedOwner,
         universe: set[UserId] | frozenset[UserId] | None = None,
+        index: int | None = None,
     ) -> OwnerEntry:
-        """Register one owner; the registration order fixes its index."""
+        """Register one owner.
+
+        ``index`` is the owner's cohort position, which derives the
+        per-owner session seed; it defaults to the registration order.
+        Sharded stores pass the owner's *global* cohort index explicitly
+        so a shard's scores match the unsharded deployment.
+        """
         with self._lock:
             entry = OwnerEntry(
                 owner=owner,
-                index=len(self._entries),
+                index=len(self._entries) if index is None else int(index),
                 universe=set(universe or {owner.user_id}),
             )
             self._entries[owner.user_id] = entry

@@ -353,15 +353,24 @@ class DurableOwnerStore(OwnerStore):
         batch_size: int = 16,
         compact_every: int | None = 1024,
         injector=None,
+        shard_map=None,
+        shard_index: int | None = None,
     ) -> "DurableOwnerStore":
         """Recover a store from ``wal_dir``, or seed one from a cohort.
 
         With a snapshot present: load it, replay the WAL tail (records
         past the snapshot's sequence number), truncate any torn final
-        record, and continue — ``population`` is ignored.  Without one:
-        register every owner of ``population`` and write the initial
-        snapshot so the next boot recovers instead of regenerating.
+        record, and continue — ``population`` is ignored (the snapshot
+        already holds this shard's owner subset with global indices).
+        Without one: register every owner of ``population`` — or, with
+        ``shard_map``/``shard_index``, only this shard's owners, each
+        keeping its global cohort index — and write the initial snapshot
+        so the next boot recovers instead of regenerating.
         """
+        if (shard_map is None) != (shard_index is None):
+            raise ValueError(
+                "shard_map and shard_index must be given together"
+            )
         wal_dir = Path(wal_dir)
         checkpoints = CheckpointStore(wal_dir)
         wal_path = wal_dir / WAL_FILENAME
@@ -384,10 +393,17 @@ class DurableOwnerStore(OwnerStore):
                 checkpoints,
                 compact_every=compact_every,
             )
-            for owner in population.owners:
+            for global_index, owner in enumerate(population.owners):
+                if (
+                    shard_map is not None
+                    and shard_map.shard_of(owner.user_id) != shard_index
+                ):
+                    continue
                 handle = population.handles[owner.user_id]
                 universe = {owner.user_id, *handle.friends, *handle.strangers}
-                OwnerStore.register(store, owner, universe=universe)
+                OwnerStore.register(
+                    store, owner, universe=universe, index=global_index
+                )
             store._save_snapshot()
             return store
 
@@ -431,18 +447,21 @@ class DurableOwnerStore(OwnerStore):
     # ------------------------------------------------------------------
     # logged mutations
     # ------------------------------------------------------------------
-    def register(self, owner, universe=None) -> OwnerEntry:
-        """Register one owner, durably."""
+    def register(self, owner, universe=None, index=None) -> OwnerEntry:
+        """Register one owner, durably (with its global cohort index)."""
         with self._lock:
             resolved = set(universe or {owner.user_id})
+            if index is None:
+                index = len(self._entries)
             self._append(
                 "register",
                 {
                     "owner": owner_to_dict(owner),
                     "universe": sorted(resolved),
+                    "index": int(index),
                 },
             )
-            return super().register(owner, universe=resolved)
+            return super().register(owner, universe=resolved, index=index)
 
     def add_user(self, profile: Profile, owner_id: UserId) -> None:
         """Durably add a new user inside one owner's universe."""
@@ -628,10 +647,12 @@ class DurableOwnerStore(OwnerStore):
         op, args = record["op"], record.get("args", {})
         try:
             if op == "register":
+                index = args.get("index")
                 OwnerStore.register(
                     self,
                     owner_from_dict(args["owner"]),
                     universe={int(user) for user in args["universe"]},
+                    index=None if index is None else int(index),
                 )
             elif op == "add_user":
                 OwnerStore.add_user(

@@ -32,6 +32,12 @@ SRC = str(Path(__file__).resolve().parents[2] / "src")
 COHORT = ("--owners", "1", "--strangers", "20", "--friends", "6",
           "--seed", "3")
 
+#: Sharded cohort: four owners so the consistent-hash map puts owners on
+#: more than one shard (ids 1/28/55/82 -> shards {1, 0} at 2 shards and
+#: {1, 2} at 4 shards).
+SHARD_COHORT = ("--owners", "4", "--strangers", "20", "--friends", "6",
+                "--seed", "3")
+
 #: Exit codes the fault injector uses (see repro.faults.injector).
 TORN_WRITE_EXIT = 23
 CRASH_EXIT = 24
@@ -43,12 +49,13 @@ CRASH_EXIT = 24
 class ServeProcess:
     """One ``repro-study serve`` subprocess bound to a WAL directory."""
 
-    def __init__(self, wal_dir: Path, *extra: str):
+    def __init__(self, wal_dir: Path, *extra: str,
+                 cohort: tuple[str, ...] = COHORT):
         env = dict(os.environ)
         env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
         self.process = subprocess.Popen(
             [sys.executable, "-m", "repro", "serve", "--port", "0",
-             *COHORT, "--wal-dir", str(wal_dir), *extra],
+             *cohort, "--wal-dir", str(wal_dir), *extra],
             env=env,
             stdout=subprocess.DEVNULL,
             stderr=subprocess.PIPE,
@@ -97,8 +104,14 @@ class ServeProcess:
 
     def cleanup(self) -> None:
         if self.process.poll() is None:
-            self.process.kill()
-            self.process.wait(timeout=30)
+            # SIGTERM first: a sharded router must get the chance to stop
+            # its worker subprocesses, or a failed test leaks them
+            self.process.terminate()
+            try:
+                self.process.wait(timeout=30)
+            except subprocess.TimeoutExpired:
+                self.process.kill()
+                self.process.wait(timeout=30)
         self.process.stderr.close()
 
 
@@ -111,8 +124,8 @@ def wal_dir(tmp_path):
 def serve(wal_dir):
     booted: list[ServeProcess] = []
 
-    def boot(*extra: str) -> ServeProcess:
-        process = ServeProcess(wal_dir, *extra)
+    def boot(*extra: str, cohort: tuple[str, ...] = COHORT) -> ServeProcess:
+        process = ServeProcess(wal_dir, *extra, cohort=cohort)
         booted.append(process)
         return process
 
@@ -166,6 +179,223 @@ def test_readyz_flips_and_drain_rejects_work(serve):
     code, stderr = server.sigterm()
     assert code == 0
     assert "draining" in stderr
+
+
+def test_port_zero_binds_ephemeral_and_announces_real_port(serve):
+    """``--port 0`` must announce the *bound* port, never ``:0``."""
+    server = serve()
+    port = int(server.url.rsplit(":", 1)[1])
+    assert port > 0
+    assert server.get("/healthz")["status"] == "ok"
+
+
+# ---------------------------------------------------------------------------
+# sharded topology: fault isolation, supervised restart, WAL recovery
+# ---------------------------------------------------------------------------
+def request_status(url: str, path: str, body: dict | None = None):
+    """GET/POST returning (status, document, headers) even on errors."""
+    data = json.dumps(body).encode("utf-8") if body is not None else None
+    request = urllib.request.Request(
+        url + path,
+        data=data,
+        headers={"Content-Type": "application/json"} if body else {},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=60) as response:
+            return response.status, json.loads(response.read()), dict(
+                response.headers
+            )
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read()), dict(error.headers)
+
+
+def owner_shards_of(server: ServeProcess) -> dict[int, int]:
+    return {
+        row["owner"]: row["shard"]
+        for row in server.get("/owners")["owners"]
+    }
+
+
+def shard_pids_of(server: ServeProcess) -> dict[int, int]:
+    return {
+        row["shard"]: row["pid"]
+        for row in server.get("/shards")["supervisor"]["shards"]
+    }
+
+
+def await_victim_recovery(
+    server: ServeProcess, owner: int, deadline_seconds: float = 90.0
+) -> dict:
+    """Poll the victim owner until 200; every miss must be a bounded 503."""
+    end = time.monotonic() + deadline_seconds
+    while time.monotonic() < end:
+        status, document, headers = request_status(
+            server.url, f"/score?owner={owner}"
+        )
+        assert status in (200, 503), (status, document)
+        if status == 200:
+            return document
+        # bounded failure: the router tells the client when to come back
+        assert headers.get("Retry-After")
+        time.sleep(0.2)
+    raise AssertionError(f"owner {owner} never recovered within budget")
+
+
+def test_sharded_kill9_recovers_and_siblings_keep_serving(serve):
+    """Tier-1 sharded smoke: the whole fault-isolation contract, once.
+
+    Kill -9 one shard worker mid-service: the sibling shard's owners
+    never see an error, the victim's owners see bounded 503s, the
+    supervisor restarts the worker, WAL replay preserves the acked
+    mutation, and the re-served score is byte-identical.
+    """
+    server = serve("--shards", "2", cohort=SHARD_COHORT)
+    owner_shards = owner_shards_of(server)
+    by_shard: dict[int, int] = {}
+    for owner, shard in owner_shards.items():
+        by_shard.setdefault(shard, owner)
+    assert len(by_shard) >= 2, f"cohort landed on one shard: {owner_shards}"
+    (victim_shard, victim), (_, sibling) = sorted(by_shard.items())[:2]
+
+    before = {
+        owner: server.get(f"/score?owner={owner}")["digest"]
+        for owner in (victim, sibling)
+    }
+    acked = server.post("/mutate", {"op": "touch", "owner": victim})
+    assert acked["ok"] and acked["seq"] is not None
+
+    os.kill(shard_pids_of(server)[victim_shard], signal.SIGKILL)
+
+    # fault isolation: the sibling's owner serves throughout
+    status, document, _ = request_status(
+        server.url, f"/score?owner={sibling}"
+    )
+    assert status == 200
+    assert document["digest"] == before[sibling]
+
+    # failover: bounded 503s, then a digest-identical score after the
+    # supervisor restarts the worker and the WAL replays
+    recovered = await_victim_recovery(server, victim)
+    assert recovered["digest"] == before[victim]
+    versions = {
+        row["owner"]: row["version"]
+        for row in server.get("/owners")["owners"]
+    }
+    assert versions[victim] >= acked["versions"][str(victim)]
+    snapshot = {
+        row["shard"]: row
+        for row in server.get("/shards")["supervisor"]["shards"]
+    }
+    assert snapshot[victim_shard]["restarts"] >= 1
+
+    code, stderr = server.sigterm()
+    assert code == 0
+    assert "final metrics:" in stderr
+
+
+@pytest.mark.slow
+def test_sharded_kill9_under_mixed_load_isolates_and_recovers(serve):
+    """The chaos gate: 4 shards under live mixed traffic, kill -9 one.
+
+    Healthy shards' owners must see *zero* failed requests across the
+    whole window (before, during, and after the kill); the victim
+    shard's owners only ever see 200 or a bounded 503; recovery serves
+    byte-identical scores.
+    """
+    server = serve("--shards", "4", cohort=SHARD_COHORT)
+    owner_shards = owner_shards_of(server)
+    populated = sorted({shard for shard in owner_shards.values()})
+    assert len(populated) >= 2
+    victim_shard = populated[-1]
+    victim_owners = [
+        owner for owner, shard in owner_shards.items()
+        if shard == victim_shard
+    ]
+    healthy_owners = [
+        owner for owner, shard in owner_shards.items()
+        if shard != victim_shard
+    ]
+    assert victim_owners and healthy_owners
+
+    before = {
+        owner: server.get(f"/score?owner={owner}")["digest"]
+        for owner in owner_shards
+    }
+
+    # One acked touch per victim owner *before* the kill: enough to
+    # prove WAL replay, while freezing the victims' mutation history —
+    # a touch's warm rescore digest legitimately differs from the cold
+    # digest, so mutating a victim after restart would break the
+    # byte-exact recovery oracle.
+    acked = {}
+    for owner in victim_owners:
+        document = server.post("/mutate", {"op": "touch", "owner": owner})
+        assert document["ok"] and document["seq"] is not None
+        acked[owner] = document["versions"][str(owner)]
+
+    results: dict[int, list[int]] = {owner: [] for owner in owner_shards}
+    stop = threading.Event()
+
+    def load(owner: int) -> None:
+        requests: tuple = ((f"/score?owner={owner}", None),)
+        if owner in healthy_owners:  # mutations keep flowing elsewhere
+            requests += (("/mutate", {"op": "touch", "owner": owner}),)
+        while not stop.is_set():
+            for path, body in requests:
+                try:
+                    status, _, _ = request_status(server.url, path, body)
+                except (urllib.error.URLError, ConnectionError, OSError):
+                    status = -1  # router itself unreachable: always a bug
+                results[owner].append(status)
+                if stop.is_set():
+                    return
+
+    threads = [
+        threading.Thread(target=load, args=(owner,))
+        for owner in owner_shards
+    ]
+    for thread in threads:
+        thread.start()
+    # let mixed traffic flow, then pull the plug on one shard
+    time.sleep(2.0)
+    os.kill(shard_pids_of(server)[victim_shard], signal.SIGKILL)
+    time.sleep(4.0)
+    stop.set()
+    for thread in threads:
+        thread.join(timeout=60)
+
+    for owner in healthy_owners:
+        assert results[owner], f"no traffic reached owner {owner}"
+        # fault isolation: not a single failed request for healthy shards
+        assert set(results[owner]) == {200}, (
+            f"owner {owner} on a healthy shard saw "
+            f"{sorted(set(results[owner]))}"
+        )
+    for owner in victim_owners:
+        assert set(results[owner]) <= {200, 503}, (
+            f"victim owner {owner} saw {sorted(set(results[owner]))}"
+        )
+
+    # recovery: every owner serves again, victims digest-identical, and
+    # the pre-kill acked touches survived the WAL replay
+    for owner in victim_owners:
+        recovered = await_victim_recovery(server, owner)
+        assert recovered["digest"] == before[owner]
+    versions = {
+        row["owner"]: row["version"]
+        for row in server.get("/owners")["owners"]
+    }
+    for owner in victim_owners:
+        assert versions[owner] >= acked[owner]
+    snapshot = {
+        row["shard"]: row
+        for row in server.get("/shards")["supervisor"]["shards"]
+    }
+    assert snapshot[victim_shard]["restarts"] >= 1
+
+    code, stderr = server.sigterm()
+    assert code == 0
+    assert "final metrics:" in stderr
 
 
 # ---------------------------------------------------------------------------

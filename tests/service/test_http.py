@@ -378,3 +378,53 @@ class TestScoreBatch:
             status, document = post(f"{live_server.url}/score-batch", bad)
             assert status == 400, (bad, document)
             assert "owners" in document["error"]
+
+    def test_drain_mid_batch_finishes_stream_and_rejects_new_work(self):
+        """SIGTERM while an NDJSON stream is in flight (the drain
+        contract of docs/service.md): the accepted batch runs to
+        completion — every line arrives — while new requests get 503."""
+        engine = GatedEngine()
+        scheduler = ScoreScheduler(engine, max_workers=2, max_pending=8)
+        server = RiskServiceServer(("127.0.0.1", 0), engine, scheduler)
+        thread = serve(server)
+        try:
+            owners = [1, 2, 3]
+            results: dict[str, tuple] = {}
+
+            def run_batch():
+                results["batch"] = post_ndjson(
+                    f"{server.url}/score-batch", {"owners": owners}
+                )
+
+            batch_thread = threading.Thread(target=run_batch)
+            batch_thread.start()
+            deadline = time.monotonic() + 10
+            while not engine.running_now() and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert engine.running_now()
+
+            # the SIGTERM handler's sequence: flip draining first...
+            server.state.draining = True
+            status, document, _ = get(f"{server.url}/score?owner=9")
+            assert status == 503
+            assert "draining" in document["error"]
+            status, document = post(
+                f"{server.url}/mutate", {"op": "touch", "owner": 1}
+            )
+            assert status == 503
+
+            # ...then drain the scheduler; the in-flight stream finishes
+            engine.gate.set()
+            summary = scheduler.shutdown(drain=True, timeout=30)
+            assert summary["drained"] is True
+            batch_thread.join(timeout=30)
+            status, lines, _ = results["batch"]
+            assert status == 200
+            assert [line["owner"] for line in lines] == owners
+            assert all("error" not in line for line in lines)
+        finally:
+            engine.gate.set()
+            server.shutdown()
+            server.server_close()
+            scheduler.shutdown(wait=False)
+            thread.join(timeout=10)
