@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-paper-scale perf-smoke parallel-smoke robustness chaos shard-smoke study serve examples clean
+.PHONY: install test bench bench-paper-scale perf-smoke parallel-smoke robustness chaos shard-smoke measures-smoke study serve examples clean
 
 install:
 	$(PYTHON) -m pip install -e ".[test]"
@@ -70,6 +70,17 @@ shard-smoke:
 	REPRO_BENCH_SHARD_OWNERS=4 REPRO_BENCH_SHARD_STRANGERS=40 \
 		$(PYTHON) -m pytest -q -o addopts= -s \
 		"benchmarks/bench_service_throughput.py::test_sharded_scaling_throughput"
+
+# the pluggable risk-measure subsystem: registry/scorer/serving suites,
+# the per-measure sharded digest contract, and the per-measure E19
+# throughput sweep at reduced scale
+measures-smoke:
+	$(PYTHON) -m pytest -q -o addopts= tests/measures \
+		"tests/service/test_sharding.py::TestRouterScoring" \
+		"tests/test_cli.py::TestParser::test_measure_choices_come_from_the_registry"
+	REPRO_BENCH_OWNERS=3 REPRO_BENCH_STRANGERS=80 \
+		$(PYTHON) -m pytest -q -o addopts= -s \
+		"benchmarks/bench_service_throughput.py::test_measure_throughput"
 
 study:
 	$(PYTHON) -m repro --owners 8 --strangers 300

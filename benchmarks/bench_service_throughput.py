@@ -13,6 +13,14 @@ The sharded section boots the real ``serve --shards N`` topology
 topology serves byte-identical digests, and records the cold/cached
 throughput sweep (a committed snapshot, stamped with ``cpu_cores``,
 lives in ``benchmarks/baselines/BENCH_shard_scaling_baseline.json``).
+
+The per-measure section sweeps every registered risk measure through
+the engine + scheduler stack — cold and cached — asserting digest
+determinism across fresh engines, and snapshots the relative cost of
+each measure (``benchmarks/baselines/BENCH_measure_throughput_baseline
+.json``): ``stranger`` pays the full active-learning pipeline while
+``friendship``/``neighborhood`` are orders of magnitude cheaper, which
+is exactly why the cache keys on ``(owner, measure, version)``.
 """
 
 from __future__ import annotations
@@ -195,6 +203,86 @@ def test_parallel_cold_throughput(benchmark, population):
         "service_parallel_cold",
         json.dumps(document, indent=2, sort_keys=True),
     )
+
+
+# ---------------------------------------------------------------------------
+# E19 per-measure throughput: every registered risk measure, cold + cached
+# ---------------------------------------------------------------------------
+def test_measure_throughput(population):
+    """Cold and cached requests/sec for each registered measure.
+
+    Two unconditional contracts ride along with the timing: a fresh
+    engine reproduces every digest (measure determinism through the
+    serving stack), and cached requests never recompute (hit counters
+    rise by exactly one sweep).
+    """
+    from repro.measures import available_measures
+
+    results: dict[str, dict] = {}
+    reference_digests: dict[str, dict[int, str]] = {}
+    for measure in available_measures():
+        engine = RiskEngine(OwnerStore.from_population(population), seed=SEED)
+        owner_ids = engine.store.owner_ids()
+        with ScoreScheduler(
+            engine, max_workers=4, max_pending=256
+        ) as scheduler:
+            start = time.perf_counter()
+            cold_records = [
+                future.result()
+                for future in [
+                    scheduler.submit(o, measure=measure) for o in owner_ids
+                ]
+            ]
+            cold_elapsed = time.perf_counter() - start
+            start = time.perf_counter()
+            cached_records = [
+                scheduler.score(o, measure=measure) for o in owner_ids
+            ]
+            cached_elapsed = time.perf_counter() - start
+        assert all(r.source == "cold" for r in cold_records)
+        assert all(r.source == "cache" for r in cached_records)
+        reference_digests[measure] = {
+            r.owner_id: r.digest for r in cold_records
+        }
+        block = engine.metrics.snapshot()["measures"][measure]
+        assert block["cache_hits"] == len(owner_ids)
+        assert block["cold_scores"] == len(owner_ids)
+        results[measure] = {
+            "cold_elapsed_seconds": round(cold_elapsed, 4),
+            "cold_requests_per_second": round(
+                len(owner_ids) / cold_elapsed, 2
+            ),
+            "cached_elapsed_seconds": round(cached_elapsed, 4),
+            "cached_requests_per_second": round(
+                len(owner_ids) / cached_elapsed, 2
+            ),
+        }
+
+    # determinism contract: a second engine reproduces every digest
+    for measure in available_measures():
+        engine = RiskEngine(OwnerStore.from_population(population), seed=SEED)
+        for owner_id, digest in reference_digests[measure].items():
+            assert engine.score(owner_id, measure=measure).digest == digest
+
+    document = {
+        "cpu_cores": os.cpu_count() or 1,
+        "owners": len(reference_digests[next(iter(results))]),
+        "seed": SEED,
+        "digest_determinism": True,
+        "measures": results,
+    }
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / "BENCH_measure_throughput.json").write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    lines = ["E19 per-measure throughput (engine + scheduler)"]
+    for measure, row in results.items():
+        lines.append(
+            f"  {measure:>12}: cold {row['cold_requests_per_second']:>9} "
+            f"req/s   cached {row['cached_requests_per_second']:>9} req/s"
+        )
+    write_artifact("service_measure_throughput", "\n".join(lines))
 
 
 # ---------------------------------------------------------------------------

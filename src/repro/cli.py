@@ -37,6 +37,7 @@ from .experiments.report import (
     render_table4,
     render_table5,
 )
+from .measures import available_measures
 from .synth import EgoNetConfig, generate_study_population
 
 EXPERIMENTS = (
@@ -106,6 +107,17 @@ def build_parser() -> argparse.ArgumentParser:
         choices=(*EXPERIMENTS, "all"),
         default=["all"],
         help="which artifacts to print",
+    )
+    parser.add_argument(
+        "--measure",
+        choices=available_measures(),
+        default=None,
+        metavar="NAME",
+        help=(
+            "score the cohort under one registered risk measure "
+            f"({', '.join(available_measures())}) and print one digest "
+            "line per owner instead of the paper experiments"
+        ),
     )
     parser.add_argument(
         "--validate",
@@ -769,6 +781,18 @@ def main(argv: Sequence[str] | None = None) -> int:
 
         save_population(population, args.save_dataset)
         print(f"dataset written to {args.save_dataset}", file=sys.stderr)
+
+    if args.measure is not None:
+        from .measures import render_measure_study, run_measure_study
+
+        result = run_measure_study(
+            population,
+            args.measure,
+            classifier=args.classifier,
+            seed=args.seed,
+        )
+        print(render_measure_study(result))
+        return 0
 
     needs_npp = args.validate or bool(
         set(chosen)

@@ -154,6 +154,21 @@ class UnknownOwnerError(ServiceError):
         self.owner_id = owner_id
 
 
+class UnknownMeasureError(ServiceError):
+    """The referenced risk measure is not in the measure registry.
+
+    Carries the requested name and the registered names so the HTTP
+    layer can answer 400 with the full menu instead of a bare error.
+    """
+
+    def __init__(self, name: str, available: tuple[str, ...]) -> None:
+        super().__init__(
+            f"unknown risk measure {name!r}; available: {sorted(available)}"
+        )
+        self.name = name
+        self.available = tuple(sorted(available))
+
+
 class BackpressureError(ServiceError):
     """The scheduler's bounded queue is full; the request was rejected."""
 

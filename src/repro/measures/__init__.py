@@ -1,0 +1,66 @@
+"""Pluggable risk measures: one engine, many risk questions.
+
+The subsystem turns "a risk score" into a first-class, registry-backed
+concept (see :mod:`repro.measures.base` for the contract and the digest
+rules).  Importing this package registers the builtins:
+
+* ``stranger`` — the paper's own pipeline (the default measure);
+* ``friendship`` — induced-disclosure risk of candidate friends
+  (Akcora et al., arXiv:1210.3234);
+* ``neighborhood`` — de-anonymization risk from 1/2-hop neighborhood
+  uniqueness (Romanini et al., arXiv:2009.09973).
+
+Adding a measure is three steps: subclass
+:class:`~repro.measures.base.RiskMeasure`, decorate it with
+:func:`~repro.measures.registry.register_measure`, and import the
+module here.  The engine, worker pool, HTTP layer, shard router, and
+CLI all resolve measures through this registry, so a registered measure
+is immediately servable end-to-end.
+"""
+
+from .base import (
+    DEFAULT_MEASURE,
+    MeasureRequest,
+    MeasureScore,
+    RiskMeasure,
+    canonical_digest,
+)
+from .registry import (
+    available_measures,
+    get_measure,
+    measure_catalog,
+    register_measure,
+)
+
+# Builtin measures register themselves on import.
+from . import friendship as _friendship  # noqa: E402,F401
+from . import neighborhood as _neighborhood  # noqa: E402,F401
+from . import stranger as _stranger  # noqa: E402,F401
+from .friendship import FriendshipRiskMeasure
+from .neighborhood import NeighborhoodUniquenessMeasure
+from .stranger import StrangerRiskMeasure
+from .study import (
+    MeasureRun,
+    MeasureStudyResult,
+    render_measure_study,
+    run_measure_study,
+)
+
+__all__ = [
+    "DEFAULT_MEASURE",
+    "FriendshipRiskMeasure",
+    "MeasureRequest",
+    "MeasureRun",
+    "MeasureScore",
+    "MeasureStudyResult",
+    "NeighborhoodUniquenessMeasure",
+    "RiskMeasure",
+    "StrangerRiskMeasure",
+    "available_measures",
+    "canonical_digest",
+    "get_measure",
+    "measure_catalog",
+    "register_measure",
+    "render_measure_study",
+    "run_measure_study",
+]

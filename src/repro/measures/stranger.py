@@ -1,0 +1,103 @@
+"""The default measure: the paper's stranger-risk pipeline.
+
+A thin adapter putting the existing cold/warm scoring paths behind the
+:class:`~repro.measures.base.RiskMeasure` contract, *byte-identically*:
+cold scores run the exact :func:`~repro.experiments.plan_owner_session`
+→ ``build_session().run()`` sequence the engine always ran (same derived
+seed ``seed + index``), warm re-scores go through
+:func:`~repro.learning.incremental.continue_session` with the previous
+session result, and the digest is :func:`repro.io.result_digest` of the
+:class:`~repro.learning.results.SessionResult` — so every digest
+recorded before the measure subsystem existed still matches.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..experiments.study import plan_owner_session
+from ..io.serialization import result_digest, session_result_to_dict
+from ..learning.incremental import continue_session
+from ..learning.results import SessionResult
+from ..types import RiskLabel, UserId
+from .base import MeasureRequest, MeasureScore, RiskMeasure
+from .registry import register_measure
+
+
+@register_measure("stranger")
+class StrangerRiskMeasure(RiskMeasure):
+    """Active-learning risk of the owner's 2-hop strangers (ICDE 2012)."""
+
+    description = (
+        "Active-learning stranger risk over the owner's 2-hop contacts "
+        "(the paper's pipeline: NS pooling, owner labeling, "
+        "label completion)"
+    )
+    #: An ego session only touches the owner's universe subgraph, so the
+    #: measure runs on worker processes digest-identically.
+    remote_safe = True
+
+    def compute(
+        self, request: MeasureRequest, previous: Any = None
+    ) -> MeasureScore:
+        """Run (or incrementally continue) the paper's scoring session."""
+        plan = plan_owner_session(
+            request.owner,
+            request.index,
+            pooling=request.pooling,  # type: ignore[arg-type]
+            classifier=request.classifier,
+            config=request.config,
+            seed=request.seed,
+            use_owner_confidence=request.use_owner_confidence,
+            fault_plan=request.fault_plan,
+            retry_policy=request.retry_policy,
+        )
+        if previous is not None:
+            update = continue_session(
+                request.graph,
+                plan.owner_id,
+                plan.oracle,
+                previous,
+                seed=plan.seed,
+                **plan.session_kwargs,
+            )
+            return MeasureScore(
+                result=update.result,
+                digest=result_digest(update.result),
+                reused_labels=update.reused_labels,
+                new_queries=update.new_queries,
+            )
+        result = plan.build_session(request.graph).run()
+        return MeasureScore(
+            result=result,
+            digest=result_digest(result),
+            reused_labels=0,
+            new_queries=result.labels_requested,
+        )
+
+    def digest(self, result: SessionResult) -> str:
+        """The service's historical session digest (``repro.io``)."""
+        return result_digest(result)
+
+    def describe(self, result: SessionResult) -> dict[str, Any]:
+        """Final labels plus the full session payload, JSON-ready."""
+        return {
+            "labels": {
+                str(stranger): int(label)
+                for stranger, label in sorted(result.final_labels().items())
+            },
+            "session": session_result_to_dict(result),
+        }
+
+    def granted_labels(
+        self, result: SessionResult
+    ) -> dict[UserId, RiskLabel]:
+        """Oracle labels the owner granted, persisted on the store."""
+        return {
+            stranger: label
+            for pool in result.pool_results
+            for stranger, label in pool.owner_labels.items()
+        }
+
+
+__all__ = ["StrangerRiskMeasure"]

@@ -1,0 +1,110 @@
+"""Batch runner for non-default measures: ``repro-study --measure X``.
+
+The paper's study harness (:func:`repro.experiments.run_study`) is
+stranger-measure-specific — it aggregates pools, label rounds, and
+holdout accuracy.  Alternative measures need only the per-owner scores
+and their digests, so this thin runner walks the cohort in enumeration
+order (the same order that fixes per-owner seeds) and collects one
+:class:`~repro.measures.base.MeasureScore` per owner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import PipelineConfig
+from ..types import UserId
+from .base import MeasureRequest, MeasureScore
+from .registry import get_measure
+
+
+@dataclass(frozen=True)
+class MeasureRun:
+    """One owner's score under one measure."""
+
+    owner_id: UserId
+    index: int
+    score: MeasureScore
+
+
+@dataclass(frozen=True)
+class MeasureStudyResult:
+    """Every owner's score under one measure, in cohort order."""
+
+    measure: str
+    runs: tuple[MeasureRun, ...]
+
+    def digests(self) -> dict[UserId, str]:
+        """Per-owner digest map (the determinism contract surface)."""
+        return {run.owner_id: run.score.digest for run in self.runs}
+
+
+def run_measure_study(
+    population,
+    measure: str,
+    *,
+    pooling: str = "npp",
+    classifier: str = "harmonic",
+    config: PipelineConfig | None = None,
+    seed: int = 0,
+    use_owner_confidence: bool = True,
+) -> MeasureStudyResult:
+    """Score every owner of a generated cohort under one measure.
+
+    Owners are enumerated exactly as :func:`repro.experiments.run_study`
+    enumerates them, so ``index`` — and with it any seed derivation —
+    matches the serving path's global cohort indices.
+    """
+    risk_measure = get_measure(measure)
+    runs = []
+    for index, owner in enumerate(population.owners):
+        request = MeasureRequest(
+            graph=population.graph,
+            owner=owner,
+            index=index,
+            pooling=pooling,
+            classifier=classifier,
+            config=config,
+            seed=seed,
+            use_owner_confidence=use_owner_confidence,
+        )
+        runs.append(
+            MeasureRun(
+                owner_id=owner.user_id,
+                index=index,
+                score=risk_measure.compute(request),
+            )
+        )
+    return MeasureStudyResult(measure=measure, runs=tuple(runs))
+
+
+def render_measure_study(result: MeasureStudyResult) -> str:
+    """Human-readable per-owner report for the CLI."""
+    lines = [f"== risk measure: {result.measure} =="]
+    for run in result.runs:
+        payload = run.score.result
+        detail = ""
+        if isinstance(payload, dict):
+            summary = payload.get("summary")
+            if isinstance(summary, dict):
+                detail = (
+                    f"  candidates={summary.get('candidates')}"
+                    f"  max_risk={summary.get('max_risk'):.4f}"
+                )
+            elif "risk_score" in payload:
+                detail = (
+                    f"  anonymity_set={payload['radius_2']['anonymity_set']}"
+                    f"  risk_score={payload['risk_score']:.4f}"
+                )
+        lines.append(
+            f"owner {run.owner_id:>6}  digest={run.score.digest[:16]}{detail}"
+        )
+    return "\n".join(lines)
+
+
+__all__ = [
+    "MeasureRun",
+    "MeasureStudyResult",
+    "render_measure_study",
+    "run_measure_study",
+]

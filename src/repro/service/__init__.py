@@ -6,11 +6,12 @@ instead of re-running the batch study per request:
 
 * :class:`OwnerStore` — registry of owners with versioned graph/profile
   state; every delta bumps exactly the affected owners' versions;
-* :class:`RiskEngine` — memoizes scores per ``(owner, graph_version)``,
-  re-scores stale owners *warm* through
-  :func:`repro.learning.incremental.continue_session` (prior owner labels
-  reused), and reproduces :func:`repro.experiments.run_study` byte for
-  byte on cold scores;
+* :class:`RiskEngine` — dispatches through the pluggable risk-measure
+  registry (:mod:`repro.measures`; ``/score?measure=``), memoizes scores
+  per ``(owner, measure, graph_version)``, re-scores stale owners *warm*
+  (the default measure reuses prior owner labels through
+  :func:`repro.learning.incremental.continue_session`), and reproduces
+  :func:`repro.experiments.run_study` byte for byte on cold scores;
 * :class:`ScoreScheduler` — bounded worker pool with per-owner
   serialization and backpressure;
 * :class:`ProcessPoolBackend` — multi-core cold scoring: picklable

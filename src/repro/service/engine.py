@@ -1,7 +1,10 @@
 """The embeddable risk-scoring engine: memoized, versioned, warm-starting.
 
 :class:`RiskEngine` turns the batch pipeline into a servable component.
-Scores are memoized per ``(owner, graph_version)``: an unchanged owner is
+Scoring dispatches through the pluggable measure registry
+(:mod:`repro.measures`); the default measure is the paper's stranger
+pipeline.  Scores are memoized per ``(owner, measure, graph_version)``:
+an unchanged owner is
 served from cache; an owner whose graph changed since the last score is
 re-scored *warm* through
 :func:`repro.learning.incremental.continue_session`, reusing every owner
@@ -38,10 +41,7 @@ from typing import Any, Iterator, Literal
 
 from ..config import PipelineConfig
 from ..errors import ServiceError
-from ..experiments.study import plan_owner_session
-from ..io.serialization import result_digest, session_result_to_dict
-from ..learning.incremental import continue_session
-from ..learning.results import SessionResult
+from ..measures import DEFAULT_MEASURE, MeasureRequest, get_measure
 from ..types import UserId
 from .store import OwnerStore
 
@@ -51,35 +51,38 @@ ScoreSource = Literal["cold", "warm", "cache"]
 
 @dataclass(frozen=True)
 class ScoreRecord:
-    """One served score: the result plus provenance and accounting."""
+    """One served score: the result plus provenance and accounting.
+
+    ``result`` is whatever the record's measure computes — a
+    :class:`~repro.learning.results.SessionResult` for the default
+    ``stranger`` measure, a JSON-ready report for the others; the
+    measure also owns the result-specific blocks of :meth:`to_dict`.
+    """
 
     owner_id: UserId
     version: int
     source: ScoreSource
-    result: SessionResult
+    result: Any
     digest: str
     reused_labels: int
     new_queries: int
     elapsed_seconds: float
+    measure: str = DEFAULT_MEASURE
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-ready view for the ``/score`` endpoint."""
-        return {
+        document: dict[str, Any] = {
             "owner": self.owner_id,
             "version": self.version,
             "source": self.source,
+            "measure": self.measure,
             "digest": self.digest,
             "reused_labels": self.reused_labels,
             "new_queries": self.new_queries,
             "elapsed_seconds": self.elapsed_seconds,
-            "labels": {
-                str(stranger): int(label)
-                for stranger, label in sorted(
-                    self.result.final_labels().items()
-                )
-            },
-            "session": session_result_to_dict(self.result),
         }
+        document.update(get_measure(self.measure).describe(self.result))
+        return document
 
 
 class _LatencyAccumulator:
@@ -145,32 +148,66 @@ class EngineMetrics:
             "cold": _LatencyAccumulator(latency_window),
             "warm": _LatencyAccumulator(latency_window),
         }
+        self._measures: dict[str, dict[str, Any]] = {}
 
-    def record_hit(self) -> None:
+    def _measure_block(self, measure: str) -> dict[str, Any]:
+        """Per-measure counters, created on first touch (lock held)."""
+        block = self._measures.get(measure)
+        if block is None:
+            block = self._measures[measure] = {
+                "requests": 0,
+                "cache_hits": 0,
+                "cold_scores": 0,
+                "warm_scores": 0,
+                "errors": 0,
+                "latency": {
+                    "cold": _LatencyAccumulator(self._latency_window),
+                    "warm": _LatencyAccumulator(self._latency_window),
+                },
+            }
+        return block
+
+    def record_hit(self, measure: str = DEFAULT_MEASURE) -> None:
         """Count one request served straight from the memo."""
         with self._lock:
             self.requests += 1
             self.cache_hits += 1
+            block = self._measure_block(measure)
+            block["requests"] += 1
+            block["cache_hits"] += 1
 
     def record_score(
-        self, source: str, elapsed: float, reused: int, queries: int
+        self,
+        source: str,
+        elapsed: float,
+        reused: int,
+        queries: int,
+        measure: str = DEFAULT_MEASURE,
     ) -> None:
         """Count one computed score and its latency/label accounting."""
         with self._lock:
             self.requests += 1
+            block = self._measure_block(measure)
+            block["requests"] += 1
             if source == "cold":
                 self.cold_scores += 1
+                block["cold_scores"] += 1
             else:
                 self.warm_scores += 1
+                block["warm_scores"] += 1
             self._latency[source].add(elapsed)
+            block["latency"][source].add(elapsed)
             self.reused_labels += reused
             self.new_queries += queries
 
-    def record_error(self) -> None:
+    def record_error(self, measure: str = DEFAULT_MEASURE) -> None:
         """Count one request that raised instead of scoring."""
         with self._lock:
             self.requests += 1
             self.errors += 1
+            block = self._measure_block(measure)
+            block["requests"] += 1
+            block["errors"] += 1
 
     def record_eviction(self) -> None:
         """Count one memoized record dropped by the LRU bound."""
@@ -205,6 +242,20 @@ class EngineMetrics:
                 "latency": {
                     "cold": self._latency["cold"].stats(),
                     "warm": self._latency["warm"].stats(),
+                },
+                "measures": {
+                    name: {
+                        "requests": block["requests"],
+                        "cache_hits": block["cache_hits"],
+                        "cold_scores": block["cold_scores"],
+                        "warm_scores": block["warm_scores"],
+                        "errors": block["errors"],
+                        "latency": {
+                            "cold": block["latency"]["cold"].stats(),
+                            "warm": block["latency"]["warm"].stats(),
+                        },
+                    }
+                    for name, block in sorted(self._measures.items())
                 },
             }
 
@@ -275,7 +326,12 @@ class RiskEngine:
         self._max_cached_owners = max_cached_owners
         self._clock = clock
         self._metrics = EngineMetrics()
-        self._cache: OrderedDict[UserId, ScoreRecord] = OrderedDict()
+        # Memo keyed by (owner, measure): each measure caches, warms,
+        # and invalidates independently, but all of an owner's entries
+        # share the owner's version (one mutation stales them all).
+        self._cache: OrderedDict[tuple[UserId, str], ScoreRecord] = (
+            OrderedDict()
+        )
         self._cache_guard = threading.Lock()
         self._owner_locks: dict[UserId, _CountedLock] = {}
         self._locks_guard = threading.Lock()
@@ -303,13 +359,20 @@ class RiskEngine:
         """The LRU bound on memoized records."""
         return self._max_cached_owners
 
-    def cached(self, owner_id: UserId) -> ScoreRecord | None:
-        """The memoized record for ``owner_id``, fresh or stale."""
+    def cached(
+        self, owner_id: UserId, measure: str = DEFAULT_MEASURE
+    ) -> ScoreRecord | None:
+        """The memoized record for ``(owner_id, measure)``, fresh or stale."""
         with self._cache_guard:
-            return self._cache.get(owner_id)
+            return self._cache.get((owner_id, measure))
 
     def owners_overview(self) -> list[dict[str, Any]]:
-        """Store snapshot annotated with cache state (``/owners``)."""
+        """Store snapshot annotated with cache state (``/owners``).
+
+        ``cached_version``/``cache_fresh`` describe the default measure
+        (the historical columns); ``cached_measures`` lists every
+        measure with a fresh memo for the owner.
+        """
         overview = []
         for row in self._store.snapshot():
             cached = self.cached(row["owner"])
@@ -317,51 +380,62 @@ class RiskEngine:
             row["cache_fresh"] = (
                 cached is not None and cached.version == row["version"]
             )
+            with self._cache_guard:
+                row["cached_measures"] = sorted(
+                    measure
+                    for (owner_id, measure), record in self._cache.items()
+                    if owner_id == row["owner"]
+                    and record.version == row["version"]
+                )
             overview.append(row)
         return overview
 
     # ------------------------------------------------------------------
     # scoring
     # ------------------------------------------------------------------
-    def score(self, owner_id: UserId) -> ScoreRecord:
+    def score(
+        self, owner_id: UserId, measure: str | None = None
+    ) -> ScoreRecord:
         """Serve one owner's score, as cheaply as freshness allows.
 
-        Cache hit → the memoized record.  Stale cache → warm re-score via
-        :func:`~repro.learning.incremental.continue_session` (prior owner
-        labels reused).  No cache → cold full-pipeline run, identical to
-        the batch study — executed on the configured backend's worker
-        pool when one is set, inline otherwise.
+        Cache hit → the memoized record.  Stale cache → warm re-score
+        (the measure is handed its previous result; the default measure
+        reuses prior owner labels via
+        :func:`~repro.learning.incremental.continue_session`).  No cache
+        → cold run through the measure — on the configured backend's
+        worker pool when one is set and the measure is ``remote_safe``,
+        inline otherwise.
 
         Raises
         ------
         UnknownOwnerError
             If ``owner_id`` is not registered with the store.
+        UnknownMeasureError
+            If ``measure`` names no registered risk measure.
         """
+        name = DEFAULT_MEASURE if measure is None else measure
+        risk_measure = get_measure(name)
         entry = self._store.get(owner_id)
         with self._owner_lock(owner_id):
             version = self._store.version(owner_id)
-            cached = self._touch_cache(owner_id, version)
+            cached = self._touch_cache(owner_id, name, version)
             if cached is not None:
-                self._metrics.record_hit()
+                self._metrics.record_hit(name)
                 # provenance of *this response*: served from memo, free
                 return dataclasses.replace(
                     cached, source="cache", elapsed_seconds=0.0
                 )
-            stale = self.cached(owner_id)
+            stale = self.cached(owner_id, name)
             try:
-                record = self._compute(entry, version, stale)
+                record = self._compute(entry, version, stale, risk_measure)
             except Exception:
-                self._metrics.record_error()
+                self._metrics.record_error(name)
                 raise
-            self._memoize(owner_id, record)
+            self._memoize(owner_id, name, record)
             # persist the oracle's label grants through the store: on a
             # WAL-backed store they survive a crash, which matters because
             # labels are the loop's scarcest resource (3 per round)
-            granted = {
-                stranger: label
-                for pool in record.result.pool_results
-                for stranger, label in pool.owner_labels.items()
-            }
+            granted = risk_measure.granted_labels(record.result)
             if granted:
                 self._store.grant_labels(owner_id, granted)
             self._metrics.record_score(
@@ -369,26 +443,35 @@ class RiskEngine:
                 record.elapsed_seconds,
                 record.reused_labels,
                 record.new_queries,
+                name,
             )
             return record
 
     def invalidate(self, owner_id: UserId) -> None:
-        """Drop the memoized record (the next score runs cold)."""
+        """Drop the owner's memoized records (the next scores run cold)."""
         with self._owner_lock(owner_id):
             with self._cache_guard:
-                self._cache.pop(owner_id, None)
+                for key in [
+                    key for key in self._cache if key[0] == owner_id
+                ]:
+                    del self._cache[key]
 
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
     def _compute(
-        self, entry, version: int, cached: ScoreRecord | None
+        self, entry, version: int, cached: ScoreRecord | None, risk_measure
     ) -> ScoreRecord:
-        if cached is None and self._backend is not None:
-            return self._compute_cold_on_backend(entry, version)
-        plan = plan_owner_session(
-            entry.owner,
-            entry.index,
+        if (
+            cached is None
+            and self._backend is not None
+            and risk_measure.remote_safe
+        ):
+            return self._compute_cold_on_backend(entry, version, risk_measure)
+        request = MeasureRequest(
+            graph=self._store.graph,
+            owner=entry.owner,
+            index=entry.index,
             pooling=self._pooling,
             classifier=self._classifier,
             config=self._config,
@@ -396,35 +479,25 @@ class RiskEngine:
             use_owner_confidence=self._use_owner_confidence,
         )
         start = self._clock()
-        if cached is not None:
-            update = continue_session(
-                self._store.graph,
-                plan.owner_id,
-                plan.oracle,
-                cached.result,
-                seed=plan.seed,
-                **plan.session_kwargs,
-            )
-            result = update.result
-            source: ScoreSource = "warm"
-            reused, queries = update.reused_labels, update.new_queries
-        else:
-            result = plan.build_session(self._store.graph).run()
-            source = "cold"
-            reused, queries = 0, result.labels_requested
+        previous = cached.result if cached is not None else None
+        score = risk_measure.compute(request, previous)
         elapsed = self._clock() - start
+        source: ScoreSource = "warm" if cached is not None else "cold"
         return ScoreRecord(
             owner_id=entry.owner.user_id,
             version=version,
             source=source,
-            result=result,
-            digest=result_digest(result),
-            reused_labels=reused,
-            new_queries=queries,
+            result=score.result,
+            digest=score.digest,
+            reused_labels=score.reused_labels,
+            new_queries=score.new_queries,
             elapsed_seconds=elapsed,
+            measure=risk_measure.name,
         )
 
-    def _compute_cold_on_backend(self, entry, version: int) -> ScoreRecord:
+    def _compute_cold_on_backend(
+        self, entry, version: int, risk_measure
+    ) -> ScoreRecord:
         """Ship one cold score to the worker pool as a picklable job."""
         from .workers import ScoreJob
 
@@ -441,6 +514,7 @@ class RiskEngine:
             config=self._config,
             seed=self._seed,
             use_owner_confidence=self._use_owner_confidence,
+            measure=risk_measure.name,
         )
         outcome = self._backend.run_job(job)
         elapsed = self._clock() - start
@@ -451,27 +525,30 @@ class RiskEngine:
             result=outcome.result,
             digest=outcome.digest,
             reused_labels=0,
-            new_queries=outcome.result.labels_requested,
+            new_queries=outcome.new_queries,
             elapsed_seconds=elapsed,
+            measure=risk_measure.name,
         )
 
     def _touch_cache(
-        self, owner_id: UserId, version: int
+        self, owner_id: UserId, measure: str, version: int
     ) -> ScoreRecord | None:
         """The fresh memoized record, LRU-touched — or ``None``."""
         with self._cache_guard:
-            cached = self._cache.get(owner_id)
+            cached = self._cache.get((owner_id, measure))
             if cached is None or cached.version != version:
                 return None
-            self._cache.move_to_end(owner_id)
+            self._cache.move_to_end((owner_id, measure))
             return cached
 
-    def _memoize(self, owner_id: UserId, record: ScoreRecord) -> None:
+    def _memoize(
+        self, owner_id: UserId, measure: str, record: ScoreRecord
+    ) -> None:
         """Store a record, evicting least-recently-served overflow."""
         evicted = 0
         with self._cache_guard:
-            self._cache[owner_id] = record
-            self._cache.move_to_end(owner_id)
+            self._cache[(owner_id, measure)] = record
+            self._cache.move_to_end((owner_id, measure))
             while len(self._cache) > self._max_cached_owners:
                 self._cache.popitem(last=False)
                 evicted += 1

@@ -9,12 +9,16 @@ A :class:`RiskServiceServer` (``http.server.ThreadingHTTPServer``) exposes
 * ``GET /metrics`` — engine cache/latency counters, scheduler state,
   circuit-breaker state, and WAL append/fsync counters;
 * ``GET /owners`` — registered owners with versions and cache freshness;
-* ``GET /score?owner=<id>`` / ``POST /score`` (``{"owner": <id>}``) — one
-  owner's risk labels, served cold, warm, or from cache;
-* ``POST /score-batch`` (``{"owners": [<id>, ...]}``) — many owners in
-  one request, streamed back as NDJSON (one JSON object per line, in
-  request order) as each score completes; per-owner failures become
-  error lines instead of failing the whole batch;
+* ``GET /measures`` — the registered risk measures (name, description,
+  default flag) served straight from :mod:`repro.measures`;
+* ``GET /score?owner=<id>[&measure=<name>]`` / ``POST /score``
+  (``{"owner": <id>, "measure": <name>}``) — one owner's risk score
+  under the named measure (default ``stranger``), served cold, warm, or
+  from cache; an unknown measure is a 400 listing the registry;
+* ``POST /score-batch`` (``{"owners": [<id>, ...], "measure": <name>}``)
+  — many owners in one request, streamed back as NDJSON (one JSON
+  object per line, in request order) as each score completes; per-owner
+  failures become error lines instead of failing the whole batch;
 * ``POST /mutate`` — one store mutation (``add_friendship``,
   ``remove_friendship``, ``update_profile``, ``add_user``,
   ``grant_labels``, ``touch``); a 200 means the mutation is applied
@@ -43,14 +47,21 @@ from ..errors import (
     BackpressureError,
     GraphError,
     SerializationError,
+    UnknownMeasureError,
     UnknownOwnerError,
     UnknownUserError,
     WalError,
 )
+from ..measures import available_measures, measure_catalog
 from ..resilience import CircuitBreaker, Deadline
 from .engine import RiskEngine
 from .scheduler import ScoreScheduler
 from .wal import MUTATION_OPS, DurableOwnerStore, mutate_store
+
+
+# Sentinel distinguishing "measure was invalid (response already sent)"
+# from "no measure requested" (None → the engine default).
+_INVALID_MEASURE = object()
 
 
 @dataclass
@@ -101,7 +112,57 @@ class RiskServiceServer(ThreadingHTTPServer):
         return f"http://{host}:{port}"
 
 
-class RiskServiceHandler(BaseHTTPRequestHandler):
+class MeasureParsingMixin:
+    """Shared ``measure`` parsing for the worker and router handlers.
+
+    Both speak the same wire convention — ``?measure=<name>`` on GET,
+    an optional ``"measure"`` body field on POST — and both must answer
+    an unknown name with a 400 that lists the registry.  Requires the
+    host class to provide ``_respond``.
+    """
+
+    def _measure_from_values(self, values: list[str] | None):
+        """Validate an optional requested measure name.
+
+        Returns the name (or ``None`` when absent, keeping the engine
+        default).  An unregistered name answers 400 with the registry's
+        menu and returns :data:`_INVALID_MEASURE`.
+        """
+        if not values:
+            return None
+        name = values[0]
+        if name not in available_measures():
+            self._respond(
+                400,
+                {
+                    "error": (
+                        f"unknown risk measure {name!r}; "
+                        "see GET /measures"
+                    ),
+                    "measures": list(available_measures()),
+                },
+            )
+            return _INVALID_MEASURE
+        return name
+
+    def _measure_from_body(self, body: dict[str, Any]):
+        """The optional ``"measure"`` field of a JSON body, validated."""
+        if "measure" not in body or body["measure"] is None:
+            return None
+        measure = body["measure"]
+        if not isinstance(measure, str):
+            self._respond(
+                400,
+                {
+                    "error": f"invalid measure {measure!r}; expected a name",
+                    "measures": list(available_measures()),
+                },
+            )
+            return _INVALID_MEASURE
+        return self._measure_from_values([measure])
+
+
+class RiskServiceHandler(MeasureParsingMixin, BaseHTTPRequestHandler):
     """Routes the four service endpoints to the engine/scheduler."""
 
     server: RiskServiceServer
@@ -120,12 +181,18 @@ class RiskServiceHandler(BaseHTTPRequestHandler):
             self._respond(200, self._metrics_document())
         elif parsed.path == "/owners":
             self._respond(200, {"owners": self.server.engine.owners_overview()})
+        elif parsed.path == "/measures":
+            self._respond(200, {"measures": measure_catalog()})
         elif parsed.path == "/score":
             if self._reject_while_draining():
                 return
-            owner_id = self._owner_from_query(parse_qs(parsed.query))
-            if owner_id is not None:
-                self._score(owner_id)
+            query = parse_qs(parsed.query)
+            owner_id = self._owner_from_query(query)
+            if owner_id is None:
+                return
+            measure = self._measure_from_values(query.get("measure"))
+            if measure is not _INVALID_MEASURE:
+                self._score(owner_id, measure)
         else:
             self._respond(404, {"error": f"unknown path {parsed.path!r}"})
 
@@ -135,9 +202,15 @@ class RiskServiceHandler(BaseHTTPRequestHandler):
         if parsed.path == "/score":
             if self._reject_while_draining():
                 return
-            owner_id = self._owner_from_body()
-            if owner_id is not None:
-                self._score(owner_id)
+            body = self._json_body()
+            if body is None:
+                return
+            owner_id = self._owner_from_body(body)
+            if owner_id is None:
+                return
+            measure = self._measure_from_body(body)
+            if measure is not _INVALID_MEASURE:
+                self._score(owner_id, measure)
         elif parsed.path == "/score-batch":
             if self._reject_while_draining():
                 return
@@ -237,7 +310,7 @@ class RiskServiceHandler(BaseHTTPRequestHandler):
         else:
             self._respond(200, result)
 
-    def _score(self, owner_id: int) -> None:
+    def _score(self, owner_id: int, measure: str | None = None) -> None:
         breaker = self.server.breaker
         try:
             breaker.before_call()
@@ -248,7 +321,7 @@ class RiskServiceHandler(BaseHTTPRequestHandler):
             return
         deadline = Deadline(self.server.request_timeout)
         try:
-            future = self.server.scheduler.submit(owner_id)
+            future = self.server.scheduler.submit(owner_id, measure=measure)
         except BackpressureError as error:
             breaker.record_failure()
             self._respond(
@@ -275,6 +348,13 @@ class RiskServiceHandler(BaseHTTPRequestHandler):
         except UnknownOwnerError as error:
             breaker.record_success()  # the service itself is healthy
             self._respond(404, {"error": str(error)})
+            return
+        except UnknownMeasureError as error:
+            breaker.record_success()  # client error, not a service fault
+            self._respond(
+                400,
+                {"error": str(error), "measures": list(error.available)},
+            )
             return
         except Exception as error:
             breaker.record_failure()
@@ -308,6 +388,9 @@ class RiskServiceHandler(BaseHTTPRequestHandler):
                 {"error": 'body must be JSON like {"owners": [<id>, ...]}'},
             )
             return
+        measure = self._measure_from_body(body)
+        if measure is _INVALID_MEASURE:
+            return
         breaker = self.server.breaker
         try:
             breaker.before_call()
@@ -318,7 +401,12 @@ class RiskServiceHandler(BaseHTTPRequestHandler):
         submissions: list[tuple[int, Any]] = []
         for owner_id in owners:
             try:
-                submissions.append((owner_id, self.server.scheduler.submit(owner_id)))
+                submissions.append(
+                    (
+                        owner_id,
+                        self.server.scheduler.submit(owner_id, measure=measure),
+                    )
+                )
             except BackpressureError as error:
                 submissions.append((owner_id, error))
         # NDJSON stream: no Content-Length is possible, so the connection
@@ -394,10 +482,7 @@ class RiskServiceHandler(BaseHTTPRequestHandler):
             return None
         return body
 
-    def _owner_from_body(self) -> int | None:
-        body = self._json_body()
-        if body is None:
-            return None
+    def _owner_from_body(self, body: dict[str, Any]) -> int | None:
         if "owner" not in body:
             self._respond(
                 400, {"error": 'body must be JSON like {"owner": <id>}'}
@@ -459,6 +544,7 @@ def build_server(
 
 
 __all__ = [
+    "MeasureParsingMixin",
     "RiskServiceHandler",
     "RiskServiceServer",
     "ServiceState",

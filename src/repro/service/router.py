@@ -5,7 +5,13 @@ holds no owner state and computes no scores: every ``/score``,
 ``/score-batch``, and ``/mutate`` is proxied to the shard worker that
 owns the request's owners (per the shared
 :class:`~repro.service.sharding.ShardMap`), and the answer — status
-code, body, ``Retry-After`` — is relayed verbatim.
+code, body, ``Retry-After`` — is relayed verbatim.  A requested risk
+measure (``?measure=`` / the batch body's ``"measure"`` field) is
+validated against the local registry (unknown names are a 400 with the
+menu, without touching any shard) and forwarded to the owning shard;
+``GET /measures`` is answered locally from the same registry.  Because
+every shard registers its owners with their *global* cohort indices,
+per-measure digests are byte-identical to the unsharded deployment.
 
 Failure policy, built from :mod:`repro.resilience`:
 
@@ -47,8 +53,9 @@ from ..errors import (
     RetryExhaustedError,
     ShardUnavailableError,
 )
+from ..measures import measure_catalog
 from ..resilience import CircuitBreaker, Deadline, RetryPolicy, retry_call
-from .http import ServiceState
+from .http import _INVALID_MEASURE, MeasureParsingMixin, ServiceState
 from .sharding import ShardMap
 from .supervisor import ShardSupervisor
 from .wal import MUTATION_OPS
@@ -272,7 +279,7 @@ class ShardRouterServer(ThreadingHTTPServer):
             return dict(self.counters)
 
 
-class ShardRouterHandler(BaseHTTPRequestHandler):
+class ShardRouterHandler(MeasureParsingMixin, BaseHTTPRequestHandler):
     """Routes requests to shard workers; never computes a score."""
 
     server: ShardRouterServer
@@ -293,12 +300,20 @@ class ShardRouterHandler(BaseHTTPRequestHandler):
             self._respond(200, self._metrics_document())
         elif parsed.path == "/owners":
             self._owners()
+        elif parsed.path == "/measures":
+            # Answered locally: the router imports the same registry the
+            # shard workers do, so no fan-out is needed.
+            self._respond(200, {"measures": measure_catalog()})
         elif parsed.path == "/score":
             if self._reject_while_draining():
                 return
-            owner_id = self._owner_from_query(parse_qs(parsed.query))
-            if owner_id is not None:
-                self._score(owner_id)
+            query = parse_qs(parsed.query)
+            owner_id = self._owner_from_query(query)
+            if owner_id is None:
+                return
+            measure = self._measure_from_values(query.get("measure"))
+            if measure is not _INVALID_MEASURE:
+                self._score(owner_id, measure)
         else:
             self._respond(404, {"error": f"unknown path {parsed.path!r}"})
 
@@ -308,9 +323,15 @@ class ShardRouterHandler(BaseHTTPRequestHandler):
         if parsed.path == "/score":
             if self._reject_while_draining():
                 return
-            owner_id = self._owner_from_body()
-            if owner_id is not None:
-                self._score(owner_id)
+            body = self._json_body()
+            if body is None:
+                return
+            owner_id = self._owner_from_body(body)
+            if owner_id is None:
+                return
+            measure = self._measure_from_body(body)
+            if measure is not _INVALID_MEASURE:
+                self._score(owner_id, measure)
         elif parsed.path == "/score-batch":
             if self._reject_while_draining():
                 return
@@ -429,14 +450,15 @@ class ShardRouterHandler(BaseHTTPRequestHandler):
             return True
         return False
 
-    def _score(self, owner_id: int) -> None:
+    def _score(self, owner_id: int, measure: str | None = None) -> None:
         self.server.count("score")
         shard = self.server.shard_map.shard_of(owner_id)
         client = self.server.clients[shard]
+        path = f"/score?owner={owner_id}"
+        if measure is not None:
+            path += f"&measure={measure}"
         try:
-            status, document, retry_after = client.call(
-                "GET", f"/score?owner={owner_id}"
-            )
+            status, document, retry_after = client.call("GET", path)
         except (ShardUnavailableError, RetryExhaustedError,
                 CircuitOpenError) as error:
             self.server.count("shard_unavailable")
@@ -472,6 +494,9 @@ class ShardRouterHandler(BaseHTTPRequestHandler):
                 {"error": 'body must be JSON like {"owners": [<id>, ...]}'},
             )
             return
+        measure = self._measure_from_body(body)
+        if measure is _INVALID_MEASURE:
+            return
         self.server.count("score_batch")
         groups: dict[int, list[tuple[int, int]]] = {}
         for position, owner_id in enumerate(owners):
@@ -493,10 +518,13 @@ class ShardRouterHandler(BaseHTTPRequestHandler):
 
         def pump(shard: int, members: list[tuple[int, int]]) -> None:
             client = self.server.clients[shard]
+            shard_body: dict[str, Any] = {
+                "owners": [o for _, o in members]
+            }
+            if measure is not None:
+                shard_body["measure"] = measure
             try:
-                stream = client.open_stream(
-                    "/score-batch", {"owners": [o for _, o in members]}
-                )
+                stream = client.open_stream("/score-batch", shard_body)
             except _ShardRefusal as refusal:
                 fail_members(
                     members,
@@ -745,10 +773,7 @@ class ShardRouterHandler(BaseHTTPRequestHandler):
             return None
         return body
 
-    def _owner_from_body(self) -> int | None:
-        body = self._json_body()
-        if body is None:
-            return None
+    def _owner_from_body(self, body: dict[str, Any]) -> int | None:
         if "owner" not in body:
             self._respond(
                 400, {"error": 'body must be JSON like {"owner": <id>}'}

@@ -59,7 +59,7 @@ class ScoreScheduler:
         self._lock = threading.Lock()
         self._idle = threading.Condition(self._lock)
         self._pending = 0
-        self._queues: dict[UserId, deque[Future]] = {}
+        self._queues: dict[UserId, deque[tuple[Future, str | None]]] = {}
         self._busy: set[UserId] = set()
         self._shutdown = False
         self._draining = False
@@ -67,8 +67,15 @@ class ScoreScheduler:
     # ------------------------------------------------------------------
     # submission
     # ------------------------------------------------------------------
-    def submit(self, owner_id: UserId) -> "Future[Any]":
+    def submit(
+        self, owner_id: UserId, measure: str | None = None
+    ) -> "Future[Any]":
         """Enqueue one scoring request; returns a future for its record.
+
+        ``measure`` names a registered risk measure; ``None`` keeps the
+        engine's default.  Serialization stays per *owner* regardless of
+        measure — a warm re-score of any measure must observe the store
+        state its predecessor left behind.
 
         Raises
         ------
@@ -89,15 +96,22 @@ class ScoreScheduler:
             self._pending += 1
             future: Future = Future()
             if owner_id in self._busy:
-                self._queues.setdefault(owner_id, deque()).append(future)
+                self._queues.setdefault(owner_id, deque()).append(
+                    (future, measure)
+                )
             else:
                 self._busy.add(owner_id)
-                self._executor.submit(self._run, owner_id, future)
+                self._executor.submit(self._run, owner_id, measure, future)
             return future
 
-    def score(self, owner_id: UserId, timeout: float | None = None):
+    def score(
+        self,
+        owner_id: UserId,
+        timeout: float | None = None,
+        measure: str | None = None,
+    ):
         """Blocking convenience wrapper: submit and wait for the record."""
-        return self.submit(owner_id).result(timeout=timeout)
+        return self.submit(owner_id, measure).result(timeout=timeout)
 
     # ------------------------------------------------------------------
     # introspection / lifecycle
@@ -191,12 +205,19 @@ class ScoreScheduler:
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
-    def _run(self, owner_id: UserId, future: Future) -> None:
+    def _run(
+        self, owner_id: UserId, measure: str | None, future: Future
+    ) -> None:
         if not future.set_running_or_notify_cancel():
             self._finish(owner_id)
             return
         try:
-            record = self._engine.score(owner_id)
+            # The positional call keeps duck-typed engines (test fakes
+            # with a plain ``score(owner_id)``) working measure-free.
+            if measure is None:
+                record = self._engine.score(owner_id)
+            else:
+                record = self._engine.score(owner_id, measure=measure)
         except BaseException as error:  # delivered via the future
             future.set_exception(error)
         else:
@@ -209,18 +230,22 @@ class ScoreScheduler:
             self._pending -= 1
             queue = self._queues.get(owner_id)
             if queue and (not self._shutdown or self._draining):
-                next_future = queue.popleft()
+                next_future, next_measure = queue.popleft()
                 if not queue:
                     del self._queues[owner_id]
                 try:
-                    self._executor.submit(self._run, owner_id, next_future)
+                    self._executor.submit(
+                        self._run, owner_id, next_measure, next_future
+                    )
                 except RuntimeError:
                     # Pool shut down (or killed) under us.  Nothing will
                     # ever run this owner's queue again, so fail *all* of
                     # it — failing only next_future would leave the rest
                     # counted in _pending forever and hang drain waiters.
                     orphans = [next_future]
-                    orphans.extend(self._queues.pop(owner_id, ()))
+                    orphans.extend(
+                        entry[0] for entry in self._queues.pop(owner_id, ())
+                    )
                     self._busy.discard(owner_id)
                     for orphan in orphans:
                         self._pending -= 1
@@ -232,7 +257,7 @@ class ScoreScheduler:
                 return
             if queue:  # shutting down without drain: fail the backlog
                 del self._queues[owner_id]
-                for orphan in queue:
+                for orphan, _ in queue:
                     self._pending -= 1
                     orphan.set_exception(
                         BackpressureError("scheduler is shut down")

@@ -191,7 +191,14 @@ class OwnerStore:
         """Create the edge ``{a, b}``; returns the owners invalidated.
 
         Both endpoints join the universe of every affected owner: a new
-        edge can pull the far endpoint into 2-hop view.
+        edge can pull the far endpoint into 2-hop view.  Every user the
+        edge newly pulls into an affected owner's 2-hop world — which on
+        a cross-ego edge includes the far endpoint's whole friend list —
+        gets a lazily derived ground-truth judgment
+        (:meth:`~repro.synth.owners.SimulatedOwner.judge_new_stranger`),
+        so the next warm re-score's oracle has an answer instead of
+        erroring.  The judgments are per-pair seeded, hence identical
+        across shard topologies and WAL replays.
         """
         with self._lock:
             affected = self.owners_of(a) | self.owners_of(b)
@@ -202,7 +209,28 @@ class OwnerStore:
                     if user not in entry.universe:
                         entry.universe.add(user)
                         self._user_owners.setdefault(user, set()).add(owner_id)
+                self._extend_ground_truth(entry)
             return self._bump(affected)
+
+    def _extend_ground_truth(self, entry: OwnerEntry) -> None:
+        """Judge (and adopt) strangers newly visible to one owner.
+
+        Sorted iteration keeps the extension order deterministic; the
+        judgments themselves are order-free (seeded per pair), so this
+        only matters for reproducible ground-truth dict layouts.
+        """
+        owner = entry.owner
+        newly_visible = (
+            self._graph.two_hop_neighbors(owner.user_id)
+            - owner.ground_truth.keys()
+        )
+        for stranger in sorted(newly_visible):
+            owner.judge_new_stranger(self._graph, stranger)
+            if stranger not in entry.universe:
+                entry.universe.add(stranger)
+                self._user_owners.setdefault(stranger, set()).add(
+                    owner.user_id
+                )
 
     def remove_friendship(self, a: UserId, b: UserId) -> frozenset[UserId]:
         """Remove the edge ``{a, b}``; returns the owners invalidated."""

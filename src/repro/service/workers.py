@@ -44,6 +44,7 @@ from ..graph.social_graph import SocialGraph
 from ..graph.visibility import stranger_visibility_vector
 from ..io.serialization import result_digest
 from ..learning.results import SessionResult
+from ..measures import DEFAULT_MEASURE, MeasureRequest, get_measure
 from ..resilience import RetryPolicy
 from ..synth.owners import SimulatedOwner
 from ..types import UserId
@@ -88,6 +89,10 @@ class ScoreJob:
     #: backend when a :class:`~repro.faults.ServiceFaultInjector` plans a
     #: crash for this dispatch; never set on retries.
     crash_worker: bool = False
+    #: Which registered risk measure the worker runs.  Resolved through
+    #: the measure registry inside the worker process — builtins
+    #: register at import, so a spawned worker sees the same menu.
+    measure: str = DEFAULT_MEASURE
 
     @classmethod
     def from_universe(
@@ -105,6 +110,7 @@ class ScoreJob:
         use_owner_confidence: bool = True,
         fault_plan: FaultPlan | None = None,
         retry_policy: RetryPolicy | None = None,
+        measure: str = DEFAULT_MEASURE,
     ) -> "ScoreJob":
         """Snapshot one owner's universe off the live graph into a job.
 
@@ -139,11 +145,27 @@ class ScoreJob:
             edges=edges,
             fault_plan=fault_plan,
             retry_policy=retry_policy,
+            measure=measure,
         )
 
     def subgraph(self) -> SocialGraph:
         """Rebuild the owner's universe as a standalone graph."""
         return SocialGraph.from_edges(self.profiles, self.edges)
+
+    def measure_request(self, graph: SocialGraph) -> MeasureRequest:
+        """The measure-agnostic request this job describes, over ``graph``."""
+        return MeasureRequest(
+            graph=graph,
+            owner=self.owner,
+            index=self.index,
+            pooling=self.pooling,
+            classifier=self.classifier,
+            config=self.config,
+            seed=self.seed,
+            use_owner_confidence=self.use_owner_confidence,
+            fault_plan=self.fault_plan,
+            retry_policy=self.retry_policy,
+        )
 
     def build_plan(self):
         """Derive the session plan exactly as :func:`run_study` does."""
@@ -166,14 +188,22 @@ class ScoreJob:
 
 @dataclass(frozen=True)
 class ScoreOutcome:
-    """A worker's answer: the result plus integrity and accounting data."""
+    """A worker's answer: the result plus integrity and accounting data.
+
+    ``measure`` names the registry entry that produced (and can
+    re-digest) ``result``; ``new_queries`` is the measure's own oracle
+    accounting (label requests for the default measure, 0 for the
+    deterministic ones).
+    """
 
     owner_id: UserId
     version: int
-    result: SessionResult
+    result: Any
     digest: str
     elapsed_seconds: float
     worker_pid: int
+    measure: str = DEFAULT_MEASURE
+    new_queries: int = 0
 
 
 @dataclass(frozen=True)
@@ -196,19 +226,24 @@ def execute_score_job(job: ScoreJob) -> ScoreOutcome:
 
     Pure function of the job — no shared state with the parent — so the
     result is byte-identical to the inline pipeline for the same inputs.
+    The job's measure is resolved through the registry; for the default
+    ``stranger`` measure this is exactly the historical
+    ``build_plan().build_session().run()`` path.
     """
     if job.crash_worker:
         os._exit(WORKER_CRASH_EXIT_CODE)
     start = time.perf_counter()
     graph = job.subgraph()
-    result = job.build_plan().build_session(graph).run()
+    score = get_measure(job.measure).compute(job.measure_request(graph))
     return ScoreOutcome(
         owner_id=job.owner.user_id,
         version=job.version,
-        result=result,
-        digest=result_digest(result),
+        result=score.result,
+        digest=score.digest,
         elapsed_seconds=time.perf_counter() - start,
         worker_pid=os.getpid(),
+        measure=job.measure,
+        new_queries=score.new_queries,
     )
 
 
@@ -508,8 +543,18 @@ class ProcessPoolBackend:
             pool.shutdown(wait=False)
 
     def _accept(self, outcome: Any) -> Any:
-        """Digest-check a rehydrated result and record accounting."""
-        if result_digest(outcome.result) != outcome.digest:
+        """Digest-check a rehydrated result and record accounting.
+
+        The check dispatches through the outcome's measure when it has
+        one (:class:`ScoreOutcome`); :class:`StudyOutcome` predates the
+        measure subsystem and always carries a session result.
+        """
+        measure_name = getattr(outcome, "measure", None)
+        if measure_name is None:
+            expected = result_digest(outcome.result)
+        else:
+            expected = get_measure(measure_name).digest(outcome.result)
+        if expected != outcome.digest:
             with self._lock:
                 self._integrity_failures += 1
             raise WorkerIntegrityError(

@@ -289,6 +289,36 @@ class SimulatedOwner:
                 f"stranger {stranger}"
             ) from None
 
+    def judge_new_stranger(self, graph, stranger: UserId) -> RiskLabel:
+        """Lazily judge a user pulled into 2-hop view after generation.
+
+        Cross-ego mutations (an edge bridging two owners' worlds) make
+        users visible as strangers that the population builder never
+        judged; without a label the oracle errors and warm re-scores
+        500.  This extends the ground truth on demand, mirroring the
+        population builder's judgment exactly — NS, the visibility
+        vector, and the owner's attitude — with the noise stream seeded
+        per ``(owner, stranger)`` pair, so every shard, worker process,
+        and WAL replay derives the identical label no matter when or in
+        what order the extension runs.
+        """
+        label = self.ground_truth.get(stranger)
+        if label is not None:
+            return label
+        # Imported lazily: similarity/visibility sit above synth in the
+        # layering and are only needed on this rare extension path.
+        from ..graph.visibility import stranger_visibility_vector
+        from ..similarity.network import NetworkSimilarity
+
+        similarity = NetworkSimilarity()(graph, self.user_id, stranger)
+        visibility = stranger_visibility_vector(graph, self.user_id, stranger)
+        rng = random.Random(f"lazy-judgment:{self.user_id}:{stranger}")
+        label = self.attitude.judge(
+            graph.profile(stranger), similarity, visibility, rng
+        )
+        self.ground_truth[stranger] = label
+        return label
+
     def as_oracle(self) -> CallbackOracle:
         """A label oracle answering from the ground truth."""
 

@@ -1,0 +1,28 @@
+"""Fixtures for the risk-measure subsystem tests.
+
+The cohort here is module-scoped and read-only: measure computations
+never mutate the graph (mutation semantics live in the service tests).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.synth import EgoNetConfig, generate_study_population
+
+MEASURE_SEED = 17
+
+
+def make_measure_population():
+    """A small three-owner cohort for measure determinism tests."""
+    return generate_study_population(
+        num_owners=3,
+        ego_config=EgoNetConfig(num_friends=10, num_strangers=30),
+        seed=MEASURE_SEED,
+    )
+
+
+@pytest.fixture(scope="module")
+def measure_population():
+    """A shared read-only cohort."""
+    return make_measure_population()

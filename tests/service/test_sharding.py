@@ -15,6 +15,7 @@ import time
 import pytest
 
 from repro.errors import ServiceError
+from repro.measures import available_measures
 from repro.resilience import RetryPolicy
 from repro.service import (
     DurableOwnerStore,
@@ -235,16 +236,62 @@ def cohort_owner_shards(shard_map):
 
 
 class TestRouterScoring:
-    def test_scores_match_the_unsharded_deployment(self, shard_rig):
+    @pytest.mark.parametrize("measure", available_measures())
+    def test_scores_match_the_unsharded_deployment(self, shard_rig, measure):
+        """Per-measure digests survive sharding byte-for-byte: every
+        shard holds the full graph and its owners' global cohort
+        indices, so seeds and cohorts agree with one big server."""
         router, _, _, shard_map = shard_rig
         reference = RiskEngine(
             OwnerStore.from_population(make_shard_population()),
             seed=SHARD_SEED,
         )
         for owner_id in cohort_owner_shards(shard_map):
-            status, document, _ = get(f"{router.url}/score?owner={owner_id}")
+            status, document, _ = get(
+                f"{router.url}/score?owner={owner_id}&measure={measure}"
+            )
             assert status == 200
-            assert document["digest"] == reference.score(owner_id).digest
+            assert document["measure"] == measure
+            assert (
+                document["digest"]
+                == reference.score(owner_id, measure=measure).digest
+            )
+
+    def test_measures_endpoint_is_answered_by_the_router(self, shard_rig):
+        router, *_ = shard_rig
+        status, document, _ = get(f"{router.url}/measures")
+        assert status == 200
+        assert [row["name"] for row in document["measures"]] == list(
+            available_measures()
+        )
+
+    def test_unknown_measure_is_400_without_touching_a_shard(self, shard_rig):
+        router, supervisor, _, shard_map = shard_rig
+        owner_id = next(iter(cohort_owner_shards(shard_map)))
+        # even with every shard down, validation answers locally
+        supervisor.down.update(range(NUM_SHARDS))
+        try:
+            status, document, _ = get(
+                f"{router.url}/score?owner={owner_id}&measure=tarot"
+            )
+            assert status == 400
+            assert document["measures"] == list(available_measures())
+        finally:
+            supervisor.down.clear()
+
+    @pytest.mark.parametrize("measure", available_measures())
+    def test_batch_forwards_the_measure_to_every_shard(
+        self, shard_rig, measure
+    ):
+        router, _, _, shard_map = shard_rig
+        owners = sorted(cohort_owner_shards(shard_map))
+        status, lines, _ = post_ndjson(
+            f"{router.url}/score-batch",
+            {"owners": owners, "measure": measure},
+        )
+        assert status == 200
+        assert [line["owner"] for line in lines] == owners
+        assert all(line["measure"] == measure for line in lines)
 
     def test_owners_are_spread_across_both_shards(self, shard_rig):
         router, *_ = shard_rig
@@ -293,10 +340,9 @@ class TestRouterScoring:
 
 
 class TestRouterFailover:
-    """Runs before the mutation tests: failover scoring needs owners
-    whose ego networks are still pristine (cross-ego mutations make the
-    synthetic oracle unable to warm-rescore — a cohort-generator
-    limitation, not a router one)."""
+    """Runs before the mutation tests so failover scoring sees owners
+    with pristine caches (mutations would turn the assertions into
+    warm-path ones, not break them)."""
 
     def test_dead_shard_is_bounded_503_and_siblings_keep_serving(
         self, shard_rig
@@ -386,9 +432,11 @@ class TestRouterFailover:
 
 
 class TestRouterMutations:
-    """Ends with cross-ego mutations, which are destructive to the
-    synthetic oracle's ground truth — no test below scores an owner
-    after mutating across ego networks."""
+    """Includes cross-ego mutations.  These used to leave the synthetic
+    oracle unable to warm-rescore (the far ego's users had no ground-
+    truth judgments, so a rescore was a 500); the store now derives
+    judgments lazily for newly visible users, so warm rescores after a
+    cross-ego edge must serve 200."""
 
     def test_owner_addressed_mutation_routes_to_owning_shard(self, shard_rig):
         router, _, servers, shard_map = shard_rig
@@ -427,6 +475,28 @@ class TestRouterMutations:
         # each shard applied the edge to its own graph copy
         for server in servers:
             assert server.engine.store.graph.are_friends(first, second)
+
+    def test_warm_rescore_after_cross_ego_edge_serves_200(self, shard_rig):
+        """The cross-ego oracle gap, fixed: an edge between two egos
+        pulls the far ego's users into 2-hop view, the store lazily
+        judges them, and the warm re-score answers 200 — not the 500
+        this scenario used to produce.  Runs after the broadcast test
+        above, so the cross-ego edge already exists on every shard."""
+        router, _, servers, shard_map = shard_rig
+        owner_shards = cohort_owner_shards(shard_map)
+        by_shard: dict[int, int] = {}
+        for owner_id, shard in owner_shards.items():
+            by_shard.setdefault(shard, owner_id)
+        for shard, owner_id in sorted(by_shard.items()):
+            status, document, _ = get(f"{router.url}/score?owner={owner_id}")
+            assert status == 200, document
+            assert document["source"] == "warm"
+            # the lazily judged strangers are now in the owner's universe
+            store = servers[shard].engine.store
+            entry = store.get(owner_id)
+            assert store.graph.two_hop_neighbors(owner_id) <= set(
+                entry.owner.ground_truth
+            )
 
     def test_add_user_is_broadcast_so_every_shard_knows_the_user(
         self, shard_rig

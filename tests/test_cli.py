@@ -37,6 +37,18 @@ class TestParser:
         assert excinfo.value.code == 2
         assert "mutually exclusive" in capsys.readouterr().err
 
+    def test_measure_choices_come_from_the_registry(self):
+        from repro.measures import available_measures
+
+        args = build_parser().parse_args([])
+        assert args.measure is None
+        for name in available_measures():
+            assert build_parser().parse_args(
+                ["--measure", name]
+            ).measure == name
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--measure", "tarot"])
+
     def test_serve_parser_score_worker_flags(self):
         from repro.cli import build_serve_parser
 
@@ -72,6 +84,26 @@ class TestMain:
             "--seed", "1", "--experiments", "headline",
         )
         assert "exact-match accuracy" in out
+
+    def test_measure_study_prints_digests_not_experiments(self, capsys):
+        from repro.measures import available_measures
+
+        for name in available_measures():
+            out = self.run(
+                capsys,
+                "--owners", "2", "--strangers", "25", "--friends", "10",
+                "--seed", "17", "--measure", name,
+            )
+            assert f"risk measure: {name}" in out
+            assert out.count("digest=") == 2
+            assert "Figure 4" not in out
+
+    def test_measure_study_is_deterministic_across_invocations(self, capsys):
+        argv = (
+            "--owners", "2", "--strangers", "25", "--friends", "10",
+            "--seed", "17", "--measure", "friendship",
+        )
+        assert self.run(capsys, *argv) == self.run(capsys, *argv)
 
     def test_fig7_needs_no_study(self, capsys):
         out = self.run(
