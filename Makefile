@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-paper-scale perf-smoke parallel-smoke robustness chaos shard-smoke measures-smoke study serve examples clean
+.PHONY: install test bench bench-paper-scale perf-smoke parallel-smoke robustness chaos shard-smoke rebalance-smoke measures-smoke study serve examples clean
 
 install:
 	$(PYTHON) -m pip install -e ".[test]"
@@ -70,6 +70,17 @@ shard-smoke:
 	REPRO_BENCH_SHARD_OWNERS=4 REPRO_BENCH_SHARD_STRANGERS=40 \
 		$(PYTHON) -m pytest -q -o addopts= -s \
 		"benchmarks/bench_service_throughput.py::test_sharded_scaling_throughput"
+
+# live rebalancing: the ring-delta / slice / coordinator suites, the
+# elastic-supervisor policy tests, then the process-level gate — grow
+# 2->3 and shrink 3->2 under mixed load with a kill -9 mid-migration,
+# plus the @slow kill matrix (every victim at every phase, router
+# included) that tier-1 skips
+rebalance-smoke:
+	$(PYTHON) -m pytest -q -o addopts= \
+		tests/service/test_rebalance.py \
+		tests/service/test_supervisor.py \
+		tests/service/test_rebalance_chaos.py
 
 # the pluggable risk-measure subsystem: registry/scorer/serving suites,
 # the per-measure sharded digest contract, and the per-measure E19

@@ -68,11 +68,18 @@ class ThetaWeights:
         return self.weights[item]
 
     def normalized(self) -> dict[BenefitItem, float]:
-        """Weights rescaled to sum to 1 (all-zero weights stay zero)."""
-        total = sum(self.weights.values())
+        """Weights rescaled to sum to 1 (all-zero weights stay zero).
+
+        Summation runs in :class:`BenefitItem` declaration order, not
+        dict insertion order: a serialization round-trip (WAL snapshot,
+        migration slice) rebuilds the dict sorted by item name, and an
+        order-dependent float sum would shift every normalized weight
+        by an ULP — enough to break byte-identical score digests.
+        """
+        total = sum(self.weights[item] for item in BenefitItem)
         if total == 0.0:
-            return {item: 0.0 for item in self.weights}
-        return {item: weight / total for item, weight in self.weights.items()}
+            return {item: 0.0 for item in BenefitItem}
+        return {item: self.weights[item] / total for item in BenefitItem}
 
     @classmethod
     def uniform(cls, value: float = 0.5) -> "ThetaWeights":

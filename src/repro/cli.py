@@ -322,6 +322,15 @@ def build_serve_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="internal: total shards in the map (with --shard-index)",
     )
+    sharding.add_argument(
+        "--join-empty",
+        action="store_true",
+        help=(
+            "internal: boot with the cohort graph but zero registered "
+            "owners (a shard joining a live rebalance; its owners "
+            "arrive via slice import)"
+        ),
+    )
     durability = parser.add_argument_group(
         "durability",
         "crash safety: write-ahead log, snapshots, graceful drain",
@@ -487,7 +496,10 @@ def _build_serve_store(args: argparse.Namespace):
             injector=_service_fault_injector(args),
             shard_map=shard_map,
             shard_index=args.shard_index,
+            join_empty=args.join_empty,
         )
+    if args.join_empty:
+        return OwnerStore(population.graph)
     return OwnerStore.from_population(
         population, shard_map=shard_map, shard_index=args.shard_index
     )
@@ -633,12 +645,14 @@ def serve_sharded(args: argparse.Namespace) -> int:
     import threading
 
     from .service import (
+        RebalanceCoordinator,
         ServiceState,
         ShardMap,
         ShardSpec,
         ShardSupervisor,
         build_router,
         build_worker_argv,
+        effective_topology,
     )
 
     base_args = [
@@ -668,33 +682,54 @@ def serve_sharded(args: argparse.Namespace) -> int:
     if args.fault_slow_disk:
         base_args += ["--fault-slow-disk", str(args.fault_slow_disk)]
 
-    shard_map = ShardMap(args.shards)
-    specs = []
-    for shard in range(args.shards):
-        wal_dir = (
-            os.path.join(args.wal_dir, f"shard-{shard}")
-            if args.wal_dir is not None
-            else None
+    # a completed live resize (POST /shards) persists the topology; an
+    # interrupted one leaves a manifest — the effective boot count rolls
+    # the migration forward (at/past cutover) or back (before it)
+    boot_count, pending_manifest = effective_topology(
+        args.wal_dir, args.shards
+    )
+    if boot_count != args.shards:
+        print(
+            f"persisted topology overrides --shards {args.shards}: "
+            f"booting {boot_count} shard worker(s)",
+            file=sys.stderr,
+            flush=True,
         )
-        specs.append(
-            ShardSpec(
-                index=shard,
-                argv=build_worker_argv(
-                    shard, args.shards, base_args, wal_dir=wal_dir
-                ),
-            )
+
+    def _shard_wal_dir(shard: int) -> str | None:
+        if args.wal_dir is None:
+            return None
+        return os.path.join(args.wal_dir, f"shard-{shard}")
+
+    def make_spec(
+        shard: int, shard_count: int, join_empty: bool = False
+    ) -> ShardSpec:
+        return ShardSpec(
+            index=shard,
+            argv=build_worker_argv(
+                shard,
+                shard_count,
+                base_args,
+                wal_dir=_shard_wal_dir(shard),
+                join_empty=join_empty,
+            ),
         )
+
+    shard_map = ShardMap(boot_count)
+    specs = [make_spec(shard, boot_count) for shard in range(boot_count)]
     supervisor = ShardSupervisor(
-        specs, log=lambda message: print(message, file=sys.stderr, flush=True)
+        specs,
+        backoff_seed=args.seed,
+        log=lambda message: print(message, file=sys.stderr, flush=True),
     )
     print(
-        f"starting {args.shards} shard worker(s) ...",
+        f"starting {boot_count} shard worker(s) ...",
         file=sys.stderr,
         flush=True,
     )
     supervisor.start()
 
-    state = ServiceState(ready=True, detail="routing")
+    state = ServiceState(ready=False, detail="recovering")
     router = build_router(
         shard_map,
         supervisor,
@@ -703,6 +738,26 @@ def serve_sharded(args: argparse.Namespace) -> int:
         request_timeout=args.timeout,
         state=state,
     )
+    coordinator = RebalanceCoordinator(
+        router,
+        lambda shard, shard_count: make_spec(
+            shard, shard_count, join_empty=True
+        ),
+        wal_root=args.wal_dir,
+        log=lambda message: print(message, file=sys.stderr, flush=True),
+    )
+    router.rebalance = coordinator
+    if pending_manifest is not None:
+        outcome = coordinator.finish_boot_recovery()
+        print(
+            f"interrupted rebalance recovered: {outcome}",
+            file=sys.stderr,
+            flush=True,
+        )
+    elif args.wal_dir is not None:
+        coordinator.finish_boot_recovery()  # persists the current topology
+    state.ready = True
+    state.detail = "routing"
     stop = threading.Event()
 
     def _begin_drain(signum, frame) -> None:
@@ -721,8 +776,8 @@ def serve_sharded(args: argparse.Namespace) -> int:
     except KeyboardInterrupt:  # pragma: no cover - race with the handler
         _begin_drain(signal.SIGINT, None)
     print(
-        f"draining router, stopping {args.shards} shard worker(s) "
-        f"(budget {args.drain_timeout:.1f}s each) ...",
+        f"draining router, stopping {supervisor.num_shards} shard "
+        f"worker(s) (budget {args.drain_timeout:.1f}s each) ...",
         file=sys.stderr,
     )
     summary = {

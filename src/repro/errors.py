@@ -170,11 +170,37 @@ class UnknownMeasureError(ServiceError):
 
 
 class BackpressureError(ServiceError):
-    """The scheduler's bounded queue is full; the request was rejected."""
+    """The scheduler refused new work; the request was rejected.
 
-    def __init__(self, message: str, *, pending: int | None = None) -> None:
+    ``saturated`` separates the two refusal modes so the HTTP layer can
+    speak the right status code: ``True`` means the bounded queue is full
+    (a *load* problem — clients should slow down and retry, ``429``),
+    ``False`` means the scheduler is draining or shut down (an *outage*
+    from the client's perspective — fail over, ``503``).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        pending: int | None = None,
+        saturated: bool = True,
+    ) -> None:
         super().__init__(message)
         self.pending = pending
+        self.saturated = saturated
+
+
+class RebalanceError(ServiceError):
+    """A live shard-rebalance operation failed or was rejected.
+
+    Carries the migration ``phase`` (when known) so operators and the
+    rebalance manifest can tell *where* the state machine stopped.
+    """
+
+    def __init__(self, message: str, *, phase: str | None = None) -> None:
+        super().__init__(message)
+        self.phase = phase
 
 
 class WalError(ServiceError):

@@ -32,7 +32,12 @@ instead of re-running the batch study per request:
   its own WAL, engine, and scheduler), a supervisor health-checks and
   restarts crashed shards, and a failover-aware router proxies
   ``/score``, ``/mutate``, and ``/score-batch`` to the owning shard
-  (``repro-study serve --shards N``).
+  (``repro-study serve --shards N``);
+* :class:`RebalanceCoordinator` — live elasticity: ``POST /shards``
+  resizes the fleet at runtime via a crash-journaled WAL-slice
+  migration (export → replay → digest-verify → cutover), with bounded
+  ``503 + Retry-After`` only for the owners in flight and deterministic
+  roll-forward/rollback after a crash at any phase.
 """
 
 from .engine import EngineMetrics, RiskEngine, ScoreRecord
@@ -42,6 +47,12 @@ from .http import (
     ServiceState,
     build_server,
 )
+from .rebalance import (
+    PHASES,
+    RebalanceCoordinator,
+    effective_topology,
+    phase_reached,
+)
 from .router import (
     ShardClient,
     ShardRouterHandler,
@@ -49,15 +60,20 @@ from .router import (
     build_router,
 )
 from .scheduler import ScoreScheduler
-from .sharding import DEFAULT_REPLICAS, ShardMap
+from .sharding import DEFAULT_REPLICAS, ShardMap, moved_owners
 from .store import OwnerEntry, OwnerStore
 from .supervisor import ShardSpec, ShardSupervisor, build_worker_argv
 from .wal import (
     DurableOwnerStore,
     RecoveryReport,
     WriteAheadLog,
+    detach_slice,
+    export_slice,
+    import_slice,
     mutate_store,
     read_wal,
+    slice_digest,
+    state_digest,
 )
 from .workers import (
     WORKER_CRASH_EXIT_CODE,
@@ -75,7 +91,9 @@ __all__ = [
     "EngineMetrics",
     "OwnerEntry",
     "OwnerStore",
+    "PHASES",
     "ProcessPoolBackend",
+    "RebalanceCoordinator",
     "RecoveryReport",
     "RiskEngine",
     "RiskServiceHandler",
@@ -97,8 +115,16 @@ __all__ = [
     "build_router",
     "build_server",
     "build_worker_argv",
+    "detach_slice",
+    "effective_topology",
     "execute_owner_run_job",
     "execute_score_job",
+    "export_slice",
+    "import_slice",
+    "moved_owners",
     "mutate_store",
+    "phase_reached",
     "read_wal",
+    "slice_digest",
+    "state_digest",
 ]

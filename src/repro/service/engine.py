@@ -37,7 +37,7 @@ import time
 from collections import OrderedDict, deque
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Any, Iterator, Literal
+from typing import Any, Iterable, Iterator, Literal
 
 from ..config import PipelineConfig
 from ..errors import ServiceError
@@ -455,6 +455,16 @@ class RiskEngine:
                     key for key in self._cache if key[0] == owner_id
                 ]:
                     del self._cache[key]
+
+    def invalidate_many(self, owner_ids: Iterable[UserId]) -> None:
+        """Drop memoized records for several owners at once.
+
+        Live rebalancing calls this when owners migrate off this shard:
+        stale records for detached owners are unreachable (the router no
+        longer routes them here) but would pin their graphs in memory.
+        """
+        for owner_id in owner_ids:
+            self.invalidate(owner_id)
 
     # ------------------------------------------------------------------
     # internals

@@ -23,13 +23,21 @@ A :class:`RiskServiceServer` (``http.server.ThreadingHTTPServer``) exposes
   ``remove_friendship``, ``update_profile``, ``add_user``,
   ``grant_labels``, ``touch``); a 200 means the mutation is applied
   *and*, on a WAL-backed store, durable — acknowledged-then-lost cannot
-  happen.
+  happen;
+* ``POST /slice/export|import|detach|digest`` — the shard-side handoff
+  surface for live rebalancing: export the moved owners' full state
+  (with digests), replay an exported slice into this shard's durable
+  store, drop migrated owners post-cutover, and report a state digest
+  for verification.  Driven by the router's rebalance coordinator, not
+  by clients.
 
 Requests flow through the resilience layer: each ``/score`` carries a
 :class:`~repro.resilience.Deadline` (504 when the budget runs out) and a
 shared :class:`~repro.resilience.CircuitBreaker` (503 fast-fail while
-scoring is known to be broken); scheduler saturation maps to 503 with
-``Retry-After``.  While the server drains (SIGTERM/SIGINT), ``/score``
+scoring is known to be broken).  Backpressure and outage speak different
+status codes: scheduler *saturation* is 429 + ``Retry-After`` (the
+client should slow down), while drain/shutdown is 503 (the client
+should fail over).  While the server drains (SIGTERM/SIGINT), ``/score``
 and ``/mutate`` answer 503 so load balancers fail over, while the
 health/metrics endpoints keep reporting drain progress.
 """
@@ -46,6 +54,7 @@ from urllib.parse import parse_qs, urlparse
 from ..errors import (
     BackpressureError,
     GraphError,
+    RebalanceError,
     SerializationError,
     UnknownMeasureError,
     UnknownOwnerError,
@@ -56,7 +65,15 @@ from ..measures import available_measures, measure_catalog
 from ..resilience import CircuitBreaker, Deadline
 from .engine import RiskEngine
 from .scheduler import ScoreScheduler
-from .wal import MUTATION_OPS, DurableOwnerStore, mutate_store
+from .wal import (
+    MUTATION_OPS,
+    DurableOwnerStore,
+    detach_slice,
+    export_slice,
+    import_slice,
+    mutate_store,
+    state_digest,
+)
 
 
 # Sentinel distinguishing "measure was invalid (response already sent)"
@@ -219,6 +236,14 @@ class RiskServiceHandler(MeasureParsingMixin, BaseHTTPRequestHandler):
             if self._reject_while_draining():
                 return
             self._mutate()
+        elif parsed.path == "/slice/export":
+            self._slice_export()
+        elif parsed.path == "/slice/import":
+            self._slice_import()
+        elif parsed.path == "/slice/detach":
+            self._slice_detach()
+        elif parsed.path == "/slice/digest":
+            self._slice_digest()
         else:
             self._respond(404, {"error": f"unknown path {parsed.path!r}"})
 
@@ -324,8 +349,10 @@ class RiskServiceHandler(MeasureParsingMixin, BaseHTTPRequestHandler):
             future = self.server.scheduler.submit(owner_id, measure=measure)
         except BackpressureError as error:
             breaker.record_failure()
+            # saturation asks the client to slow down (429); a draining or
+            # shut-down scheduler is an outage to fail over from (503)
             self._respond(
-                503,
+                429 if error.saturated else 503,
                 {"error": str(error), "pending": error.pending},
                 retry_after=1,
             )
@@ -422,7 +449,7 @@ class RiskServiceHandler(MeasureParsingMixin, BaseHTTPRequestHandler):
                 line: dict[str, Any] = {
                     "owner": owner_id,
                     "error": str(pending),
-                    "status": 503,
+                    "status": 429 if pending.saturated else 503,
                 }
                 failed = True
             else:
@@ -454,6 +481,93 @@ class RiskServiceHandler(MeasureParsingMixin, BaseHTTPRequestHandler):
             breaker.record_failure()
         else:
             breaker.record_success()
+
+    # ------------------------------------------------------------------
+    # migration handoff (driven by the router's rebalance coordinator)
+    # ------------------------------------------------------------------
+    def _owners_list_from_body(self, body: dict[str, Any]) -> list[int] | None:
+        owners = body.get("owners")
+        if (
+            not isinstance(owners, list)
+            or not all(isinstance(o, int) and not isinstance(o, bool)
+                       for o in owners)
+        ):
+            self._respond(
+                400,
+                {"error": 'body must be JSON like {"owners": [<id>, ...]}'},
+            )
+            return None
+        return owners
+
+    def _slice_export(self) -> None:
+        body = self._json_body()
+        if body is None:
+            return
+        owners = self._owners_list_from_body(body)
+        if owners is None:
+            return
+        try:
+            document = export_slice(self.server.engine.store, owners)
+        except UnknownOwnerError as error:
+            self._respond(404, {"error": str(error)})
+            return
+        self._respond(200, document)
+
+    def _slice_import(self) -> None:
+        body = self._json_body()
+        if body is None:
+            return
+        document = body.get("slice")
+        if not isinstance(document, dict):
+            self._respond(
+                400,
+                {"error": 'body must be JSON like {"slice": {...}}'},
+            )
+            return
+        try:
+            result = import_slice(
+                self.server.engine.store,
+                document,
+                adopt_graph=bool(body.get("adopt_graph")),
+            )
+        except RebalanceError as error:
+            # digest mismatch or unsupported slice: the migration must
+            # abort, not silently import divergent state
+            self._respond(409, {"error": str(error), "phase": error.phase})
+            return
+        except WalError as error:
+            self._respond(500, {"error": str(error)})
+            return
+        except (KeyError, TypeError, ValueError, SerializationError) as error:
+            self._respond(400, {"error": f"malformed slice: {error}"})
+            return
+        self._respond(200, result)
+
+    def _slice_detach(self) -> None:
+        body = self._json_body()
+        if body is None:
+            return
+        owners = self._owners_list_from_body(body)
+        if owners is None:
+            return
+        try:
+            result = detach_slice(self.server.engine.store, owners)
+        except WalError as error:
+            self._respond(500, {"error": str(error)})
+            return
+        # drop stale memoized scores so detached owners stop pinning
+        # their graphs in this shard's cache
+        self.server.engine.invalidate_many(owners)
+        self._respond(200, result)
+
+    def _slice_digest(self) -> None:
+        body = self._json_body()
+        if body is None:
+            return
+        owners = self._owners_list_from_body(body)
+        if owners is None:
+            return
+        self._respond(200, state_digest(self.server.engine.store, owners))
 
     # ------------------------------------------------------------------
     # request parsing

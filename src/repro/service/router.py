@@ -223,7 +223,13 @@ class ShardClient:
 
 
 class ShardRouterServer(ThreadingHTTPServer):
-    """Threaded router bound to one supervisor + shard map."""
+    """Threaded router bound to one supervisor + shard map.
+
+    The shard map and client list live together in one *topology* tuple
+    swapped atomically at rebalance cutover; request handlers snapshot
+    the topology once and use both halves from the same snapshot, so a
+    mid-request resize can never pair an old map with a new client list.
+    """
 
     daemon_threads = True
 
@@ -239,20 +245,24 @@ class ShardRouterServer(ThreadingHTTPServer):
         state: ServiceState | None = None,
     ) -> None:
         super().__init__(address, ShardRouterHandler)
-        self.shard_map = shard_map
         self.supervisor = supervisor
         self.request_timeout = request_timeout
+        self.retry_policy = retry_policy
         self.quiet = quiet
         self.state = state or ServiceState()
-        self.clients = [
-            ShardClient(
-                supervisor,
-                shard,
-                timeout=request_timeout + 5.0,
-                retry_policy=retry_policy,
-            )
-            for shard in range(shard_map.num_shards)
-        ]
+        self._topology = (
+            shard_map,
+            [
+                self._make_client(shard)
+                for shard in range(shard_map.num_shards)
+            ],
+        )
+        #: The live rebalance coordinator (wired by ``serve_sharded`` and
+        #: tests); ``POST /shards`` answers 503 while this is ``None``.
+        self.rebalance = None
+        #: ``(frozenset(moving_owners), phase)`` while a migration is in
+        #: flight, else ``None``.  Single-attribute read/write — atomic.
+        self._fence: tuple[frozenset[int], str] | None = None
         self._counter_lock = threading.Lock()
         self.counters = {
             "score": 0,
@@ -260,7 +270,63 @@ class ShardRouterServer(ThreadingHTTPServer):
             "mutate": 0,
             "broadcasts": 0,
             "shard_unavailable": 0,
+            "fenced": 0,
         }
+
+    def _make_client(self, shard: int) -> ShardClient:
+        return ShardClient(
+            self.supervisor,
+            shard,
+            timeout=self.request_timeout + 5.0,
+            retry_policy=self.retry_policy,
+        )
+
+    # -- topology ------------------------------------------------------
+    @property
+    def topology(self) -> tuple[ShardMap, list[ShardClient]]:
+        """The current ``(shard_map, clients)`` pair; read it ONCE per
+        request and use both halves from the same snapshot."""
+        return self._topology
+
+    @property
+    def shard_map(self) -> ShardMap:
+        """The current shard map (one half of :attr:`topology`)."""
+        return self._topology[0]
+
+    @property
+    def clients(self) -> list[ShardClient]:
+        """The current shard clients (other half of :attr:`topology`)."""
+        return self._topology[1]
+
+    def apply_topology(self, shard_map: ShardMap) -> None:
+        """Atomically swap in a resized topology (rebalance cutover).
+
+        Surviving shards keep their existing :class:`ShardClient` — and
+        with it their circuit-breaker history; new tail shards get fresh
+        clients; clients past the new count are dropped.
+        """
+        old_clients = self._topology[1]
+        clients = [
+            old_clients[shard]
+            if shard < len(old_clients)
+            else self._make_client(shard)
+            for shard in range(shard_map.num_shards)
+        ]
+        self._topology = (shard_map, clients)
+
+    # -- migration fence -----------------------------------------------
+    def set_fence(self, owners, phase: str) -> None:
+        """Fence the moving owners (and graph broadcasts) for migration."""
+        self._fence = (frozenset(int(owner) for owner in owners), phase)
+
+    def clear_fence(self) -> None:
+        """Lift the migration fence."""
+        self._fence = None
+
+    @property
+    def fence(self) -> tuple[frozenset[int], str] | None:
+        """The active fence, or ``None`` outside migrations."""
+        return self._fence
 
     @property
     def url(self) -> str:
@@ -340,8 +406,65 @@ class ShardRouterHandler(MeasureParsingMixin, BaseHTTPRequestHandler):
             if self._reject_while_draining():
                 return
             self._mutate()
+        elif parsed.path == "/shards":
+            self._shards_admin()
         else:
             self._respond(404, {"error": f"unknown path {parsed.path!r}"})
+
+    # ------------------------------------------------------------------
+    # rebalance admin
+    # ------------------------------------------------------------------
+    def _shards_admin(self) -> None:
+        """``POST /shards``: grow/shrink the fleet, or steer a migration.
+
+        * ``{"count": M}`` — start a live rebalance to ``M`` shards
+          (``"pause_before": "<phase>"`` holds the state machine at a
+          phase boundary for inspection or chaos drills);
+        * ``{"resume": true}`` — release a paused migration;
+        * ``{"abort": true}`` — request a rollback (pre-cutover only).
+        """
+        body = self._json_body()
+        if body is None:
+            return
+        coordinator = self.server.rebalance
+        if coordinator is None:
+            self._respond(
+                503,
+                {"error": "no rebalance coordinator wired to this router"},
+            )
+            return
+        from ..errors import RebalanceError
+
+        try:
+            if body.get("resume"):
+                coordinator.resume()
+            elif body.get("abort"):
+                coordinator.abort()
+            elif "count" in body:
+                count = body["count"]
+                if not isinstance(count, int) or isinstance(count, bool):
+                    self._respond(
+                        400, {"error": f"invalid shard count {count!r}"}
+                    )
+                    return
+                coordinator.begin(
+                    count, pause_before=body.get("pause_before")
+                )
+            else:
+                self._respond(
+                    400,
+                    {
+                        "error": (
+                            'body must be {"count": <n>}, {"resume": true}, '
+                            'or {"abort": true}'
+                        )
+                    },
+                )
+                return
+        except RebalanceError as error:
+            self._respond(409, {"error": str(error), "phase": error.phase})
+            return
+        self._respond(202, {"ok": True, "rebalance": coordinator.status()})
 
     # ------------------------------------------------------------------
     # aggregation endpoints
@@ -398,14 +521,27 @@ class ShardRouterHandler(MeasureParsingMixin, BaseHTTPRequestHandler):
         )
 
     def _shards_document(self) -> dict[str, Any]:
-        return {
-            "map": self.server.shard_map.to_dict(),
+        shard_map, clients = self.server.topology
+        document = {
+            "map": shard_map.to_dict(),
+            "num_shards": shard_map.num_shards,
             "supervisor": self.server.supervisor.snapshot(),
             "breakers": [
                 {"shard": client.shard_index, **client.breaker.snapshot()}
-                for client in self.server.clients
+                for client in clients
             ],
         }
+        coordinator = self.server.rebalance
+        if coordinator is not None:
+            document["rebalance"] = coordinator.status()
+        fence = self.server.fence
+        if fence is not None:
+            owners, phase = fence
+            document["fence"] = {
+                "owners": sorted(owners),
+                "phase": phase,
+            }
+        return document
 
     def _metrics_document(self) -> dict[str, Any]:
         shards = []
@@ -450,10 +586,37 @@ class ShardRouterHandler(MeasureParsingMixin, BaseHTTPRequestHandler):
             return True
         return False
 
+    def _fenced(self, owner_id: int) -> bool:
+        """503 + Retry-After when ``owner_id`` is mid-migration.
+
+        Reads are fenced too, not just writes: scoring grants labels as
+        a by-product, and a grant landing on the source after its slice
+        was exported would silently diverge from the destination.
+        """
+        fence = self.server.fence
+        if fence is None or owner_id not in fence[0]:
+            return False
+        self.server.count("fenced")
+        self._respond(
+            503,
+            {
+                "error": (
+                    f"owner {owner_id} is migrating between shards; "
+                    "retry shortly"
+                ),
+                "rebalance": fence[1],
+            },
+            retry_after=1,
+        )
+        return True
+
     def _score(self, owner_id: int, measure: str | None = None) -> None:
         self.server.count("score")
-        shard = self.server.shard_map.shard_of(owner_id)
-        client = self.server.clients[shard]
+        if self._fenced(owner_id):
+            return
+        shard_map, clients = self.server.topology
+        shard = shard_map.shard_of(owner_id)
+        client = clients[shard]
         path = f"/score?owner={owner_id}"
         if measure is not None:
             path += f"&measure={measure}"
@@ -498,12 +661,30 @@ class ShardRouterHandler(MeasureParsingMixin, BaseHTTPRequestHandler):
         if measure is _INVALID_MEASURE:
             return
         self.server.count("score_batch")
+        shard_map, clients = self.server.topology
+        fence = self.server.fence
+        fenced_owners = fence[0] if fence is not None else frozenset()
         groups: dict[int, list[tuple[int, int]]] = {}
-        for position, owner_id in enumerate(owners):
-            shard = self.server.shard_map.shard_of(owner_id)
-            groups.setdefault(shard, []).append((position, owner_id))
         slots: list[dict[str, Any] | None] = [None] * len(owners)
         arrived = [threading.Event() for _ in owners]
+        for position, owner_id in enumerate(owners):
+            if owner_id in fenced_owners:
+                # mid-migration owners get a bounded per-line 503 instead
+                # of racing the slice export on either shard
+                self.server.count("fenced")
+                slots[position] = {
+                    "owner": owner_id,
+                    "error": (
+                        f"owner {owner_id} is migrating between shards; "
+                        "retry shortly"
+                    ),
+                    "status": 503,
+                    "retry_after": 1,
+                }
+                arrived[position].set()
+                continue
+            shard = shard_map.shard_of(owner_id)
+            groups.setdefault(shard, []).append((position, owner_id))
 
         def fail_members(members, status, message, shard):
             for position, owner_id in members:
@@ -516,8 +697,13 @@ class ShardRouterHandler(MeasureParsingMixin, BaseHTTPRequestHandler):
                     }
                     arrived[position].set()
 
+        # live shard-reader streams, so teardown can force-close them and
+        # unblock any reader still parked in readline()
+        streams_lock = threading.Lock()
+        open_streams: list[Any] = []
+
         def pump(shard: int, members: list[tuple[int, int]]) -> None:
-            client = self.server.clients[shard]
+            client = clients[shard]
             shard_body: dict[str, Any] = {
                 "owners": [o for _, o in members]
             }
@@ -538,6 +724,8 @@ class ShardRouterHandler(MeasureParsingMixin, BaseHTTPRequestHandler):
                 self.server.count("shard_unavailable")
                 fail_members(members, 503, str(error), shard)
                 return
+            with streams_lock:
+                open_streams.append(stream)
             try:
                 with stream:
                     for position, owner_id in members:
@@ -555,10 +743,17 @@ class ShardRouterHandler(MeasureParsingMixin, BaseHTTPRequestHandler):
                     members, 503, f"stream from shard {shard} died: {error}",
                     shard,
                 )
+            finally:
+                with streams_lock:
+                    if stream in open_streams:
+                        open_streams.remove(stream)
 
         pumps = [
             threading.Thread(
-                target=pump, args=(shard, members), daemon=True
+                target=pump,
+                args=(shard, members),
+                name=f"batch-pump-shard-{shard}",
+                daemon=True,
             )
             for shard, members in groups.items()
         ]
@@ -588,8 +783,19 @@ class ShardRouterHandler(MeasureParsingMixin, BaseHTTPRequestHandler):
                 }
             self.wfile.write(json.dumps(line).encode("utf-8") + b"\n")
             self.wfile.flush()
+        # Reliable teardown: a reader parked in readline() on a slow
+        # shard would outlive a timed-out join and leak across requests.
+        # Closing its stream forces readline() to return/raise, so every
+        # pump provably exits before the handler does.
+        with streams_lock:
+            stranded = list(open_streams)
+        for stream in stranded:
+            try:
+                stream.close()
+            except Exception:  # pragma: no cover - close is best-effort
+                pass
         for thread in pumps:
-            thread.join(timeout=1.0)
+            thread.join(timeout=10.0)
 
     def _mutate(self) -> None:
         body = self._json_body()
@@ -616,8 +822,15 @@ class ShardRouterHandler(MeasureParsingMixin, BaseHTTPRequestHandler):
     def _mutate_owner_addressed(self, op: str, body: dict[str, Any]) -> None:
         """Route a single-owner mutation to its owning shard (one try)."""
         owner_id = int(body["owner"])
-        shard = self.server.shard_map.shard_of(owner_id)
-        client = self.server.clients[shard]
+        if self._fenced(owner_id):
+            return
+        if op == "add_user" and self._fence_blocks_broadcast(op):
+            # add_user fans the profile out to every shard's graph copy,
+            # so it is a broadcast in disguise
+            return
+        shard_map, clients = self.server.topology
+        shard = shard_map.shard_of(owner_id)
+        client = clients[shard]
         try:
             status, document, retry_after = client.call(
                 "POST", "/mutate", body, retries=False
@@ -635,7 +848,7 @@ class ShardRouterHandler(MeasureParsingMixin, BaseHTTPRequestHandler):
             # graph-only add on non-owning shards (the user belongs to no
             # universe there, so nobody's version is bumped)
             others = [
-                client_ for client_ in self.server.clients
+                client_ for client_ in clients
                 if client_.shard_index != shard
             ]
             failed = self._broadcast_to(
@@ -697,8 +910,35 @@ class ShardRouterHandler(MeasureParsingMixin, BaseHTTPRequestHandler):
             thread.join()
         return answers, sorted(failed)
 
+    def _fence_blocks_broadcast(self, op: str) -> bool:
+        """503 graph-wide mutations while a migration is in flight.
+
+        A joining shard's graph copy is frozen at export time; letting a
+        broadcast land on the old shards mid-transfer would hand the new
+        shard a stale graph at cutover.  Bounded: the fence only spans
+        export → cutover.
+        """
+        fence = self.server.fence
+        if fence is None:
+            return False
+        self.server.count("fenced")
+        self._respond(
+            503,
+            {
+                "error": (
+                    f"graph mutation {op!r} deferred: a shard rebalance "
+                    "is migrating owners; retry shortly"
+                ),
+                "rebalance": fence[1],
+            },
+            retry_after=1,
+        )
+        return True
+
     def _mutate_broadcast(self, op: str, body: dict[str, Any]) -> None:
         """Apply a graph-wide mutation on every shard; merge the acks."""
+        if self._fence_blocks_broadcast(op):
+            return
         self.server.count("broadcasts")
         answers, failed = self._broadcast_to(self.server.clients, body)
         if failed:

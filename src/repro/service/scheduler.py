@@ -10,7 +10,9 @@ invariants a serving deployment needs:
 * **backpressure** — the number of in-flight plus queued requests is
   bounded; past the bound, :meth:`submit` fails fast with
   :class:`~repro.errors.BackpressureError` instead of queueing without
-  limit (the HTTP layer maps this to *503, retry later*).
+  limit.  The error's ``saturated`` flag tells the HTTP layer which
+  status to speak: queue-full is *429, slow down* while shutdown/drain
+  is *503, fail over*.
 
 Different owners score concurrently up to ``max_workers``.
 """
@@ -80,12 +82,15 @@ class ScoreScheduler:
         Raises
         ------
         BackpressureError
-            When the bounded queue is full (or the pool is shut down).
+            When the bounded queue is full (``saturated=True``) or the
+            pool is shut down (``saturated=False``).
         """
         with self._lock:
             if self._shutdown:
                 raise BackpressureError(
-                    "scheduler is shut down", pending=self._pending
+                    "scheduler is shut down",
+                    pending=self._pending,
+                    saturated=False,
                 )
             if self._pending >= self._max_pending:
                 raise BackpressureError(
@@ -250,7 +255,9 @@ class ScoreScheduler:
                     for orphan in orphans:
                         self._pending -= 1
                         orphan.set_exception(
-                            BackpressureError("scheduler is shut down")
+                            BackpressureError(
+                                "scheduler is shut down", saturated=False
+                            )
                         )
                     if self._pending == 0:
                         self._idle.notify_all()
@@ -260,7 +267,9 @@ class ScoreScheduler:
                 for orphan, _ in queue:
                     self._pending -= 1
                     orphan.set_exception(
-                        BackpressureError("scheduler is shut down")
+                        BackpressureError(
+                            "scheduler is shut down", saturated=False
+                        )
                     )
             self._busy.discard(owner_id)
             if self._pending == 0:

@@ -125,6 +125,17 @@ class ShardMap:
             if self.shard_of(owner_id) == shard_index
         ]
 
+    def resized(self, num_shards: int) -> "ShardMap":
+        """A new map with ``num_shards`` shards and the same replicas.
+
+        Because ring points are derived from stable ``shard:I:replica:R``
+        strings, growing only *adds* points and shrinking only *removes*
+        them — so the set of owners whose assignment changes between
+        ``self`` and ``self.resized(n)`` is exactly the consistent-hash
+        delta (≈ ``|n - num_shards| / max(n, num_shards)`` of the space).
+        """
+        return ShardMap(num_shards, replicas=self._replicas)
+
     def to_dict(self) -> dict[str, Any]:
         """JSON-ready description for ``/shards`` and metrics."""
         return {
@@ -134,4 +145,32 @@ class ShardMap:
         }
 
 
-__all__ = ["DEFAULT_REPLICAS", "ShardMap"]
+def moved_owners(
+    old_map: ShardMap,
+    new_map: ShardMap,
+    owner_ids: Iterable[UserId],
+) -> dict[tuple[int, int], list[UserId]]:
+    """The exact set of owners a resize moves, grouped by migration edge.
+
+    Returns ``{(source_shard, destination_shard): [owner_id, ...]}`` for
+    every owner whose assignment differs between ``old_map`` and
+    ``new_map``, preserving input order within each group.  Owners whose
+    shard is unchanged do not appear — they must see zero disruption
+    during a rebalance, and the migration plan is built solely from this
+    delta.
+    """
+    if old_map.replicas != new_map.replicas:
+        raise ServiceError(
+            "cannot compute a ring delta across replica counts: "
+            f"{old_map.replicas} != {new_map.replicas}"
+        )
+    moves: dict[tuple[int, int], list[UserId]] = {}
+    for owner_id in owner_ids:
+        source = old_map.shard_of(owner_id)
+        destination = new_map.shard_of(owner_id)
+        if source != destination:
+            moves.setdefault((source, destination), []).append(owner_id)
+    return moves
+
+
+__all__ = ["DEFAULT_REPLICAS", "ShardMap", "moved_owners"]

@@ -126,6 +126,62 @@ class OwnerStore:
             return entry
 
     # ------------------------------------------------------------------
+    # migration (live rebalancing moves whole entries between shards)
+    # ------------------------------------------------------------------
+    def attach_entry(self, entry: OwnerEntry) -> OwnerEntry:
+        """Adopt a fully-formed entry migrated from another shard.
+
+        Unlike :meth:`register`, nothing is derived here: the entry's
+        cohort ``index``, ``version``, ``universe``, ``labels``, and the
+        owner's accumulated ground truth arrive exactly as they were on
+        the source shard, so the per-owner session seed and every digest
+        survive the move.  Idempotent: re-attaching an owner replaces the
+        previous entry (migration replays must converge, not error).
+        """
+        with self._lock:
+            self._detach_locked(entry.owner.user_id)
+            self._entries[entry.owner.user_id] = entry
+            for user in entry.universe:
+                self._user_owners.setdefault(user, set()).add(
+                    entry.owner.user_id
+                )
+            return entry
+
+    def detach_owner(self, owner_id: UserId) -> bool:
+        """Drop one owner's entry (it now lives on another shard).
+
+        Returns whether the owner was present — a no-op ``False`` rather
+        than an error when absent, again so migration replays converge.
+        The shared graph is untouched: every shard keeps the full graph,
+        only ownership moves.
+        """
+        with self._lock:
+            return self._detach_locked(owner_id)
+
+    def _detach_locked(self, owner_id: UserId) -> bool:
+        entry = self._entries.pop(owner_id, None)
+        if entry is None:
+            return False
+        for user in entry.universe:
+            owners = self._user_owners.get(user)
+            if owners is not None:
+                owners.discard(owner_id)
+                if not owners:
+                    del self._user_owners[user]
+        return True
+
+    def replace_graph(self, graph: SocialGraph) -> None:
+        """Swap in a replacement graph (migration graph adoption).
+
+        A shard joining mid-life booted from the seed cohort and missed
+        every broadcast mutation since; importing a slice hands it the
+        source's current graph wholesale.  Callers must ensure no entry's
+        universe refers to users absent from ``graph``.
+        """
+        with self._lock:
+            self._graph = graph
+
+    # ------------------------------------------------------------------
     # accessors
     # ------------------------------------------------------------------
     @property
@@ -286,6 +342,11 @@ class OwnerStore:
         for owner_id in owner_ids:
             self._entries[owner_id].version += 1
         return owner_ids
+
+    def has_owner(self, owner_id: UserId) -> bool:
+        """Whether ``owner_id`` is registered on this store."""
+        with self._lock:
+            return owner_id in self._entries
 
 
 __all__ = ["OwnerEntry", "OwnerStore"]

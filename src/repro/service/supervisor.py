@@ -25,6 +25,7 @@ the supervisor is already on it".
 
 from __future__ import annotations
 
+import random
 import subprocess
 import sys
 import threading
@@ -63,6 +64,16 @@ class _WorkerHandle:
     probe_failures: int = 0
     last_exit_code: int | None = None
     stderr_tail: deque[str] = field(default_factory=lambda: deque(maxlen=40))
+    #: Restart timestamps inside the crash-loop window (monotonic clock).
+    recent_restarts: deque[float] = field(
+        default_factory=lambda: deque(maxlen=32)
+    )
+    #: Tripped by the crash-loop breaker: no more respawns, ``/shards``
+    #: reports the shard as failed until an operator intervenes.
+    failed: bool = False
+    #: Set when the worker was deliberately retired (shrink rebalance);
+    #: the monitor must neither probe nor resurrect it.
+    retired: bool = False
 
 
 class ShardSupervisor:
@@ -85,8 +96,22 @@ class ShardSupervisor:
         Consecutive failed probes (connection-level, not 503s) after
         which a *live* process is presumed hung and force-restarted.
     restart_backoff:
-        Seconds to wait before respawning a crashed worker — keeps a
-        crash-looping shard from spinning the host.
+        *Base* of the exponential respawn delay: restart ``k`` within
+        the crash-loop window waits ``restart_backoff * 2**(k-1)``
+        seconds (capped at ``restart_backoff_cap``), plus seeded jitter
+        so a fleet of crashed shards doesn't respawn in lockstep.
+    restart_backoff_cap:
+        Ceiling on the exponential delay.
+    backoff_seed:
+        Seed for the jitter PRNG — deterministic backoff schedules in
+        tests, decorrelated ones in production (vary the seed).
+    crash_loop_threshold:
+        Restarts within ``crash_loop_window`` seconds after which the
+        breaker trips: the shard is marked failed in ``/shards`` and no
+        longer respawned — a persistently-crashing worker (bad disk,
+        poisoned WAL) must page an operator, not spin the host.
+    crash_loop_window:
+        Width of the sliding window the threshold counts within.
     """
 
     def __init__(
@@ -98,16 +123,28 @@ class ShardSupervisor:
         probe_timeout: float = 5.0,
         probe_failures_before_restart: int = 3,
         restart_backoff: float = 0.25,
+        restart_backoff_cap: float = 15.0,
+        backoff_seed: int = 0,
+        crash_loop_threshold: int = 5,
+        crash_loop_window: float = 30.0,
         log: Callable[[str], None] | None = None,
     ) -> None:
         if not specs:
             raise ServiceError("a shard supervisor needs at least one spec")
+        if crash_loop_threshold < 1:
+            raise ServiceError(
+                f"crash_loop_threshold must be >= 1, got {crash_loop_threshold}"
+            )
         self._handles = [_WorkerHandle(spec=spec) for spec in specs]
         self._health_interval = health_interval
         self._boot_timeout = boot_timeout
         self._probe_timeout = probe_timeout
         self._probe_failures_before_restart = probe_failures_before_restart
         self._restart_backoff = restart_backoff
+        self._restart_backoff_cap = restart_backoff_cap
+        self._jitter = random.Random(backoff_seed)
+        self._crash_loop_threshold = crash_loop_threshold
+        self._crash_loop_window = crash_loop_window
         self._log = log or (lambda message: None)
         self._lock = threading.Lock()
         self._stopping = threading.Event()
@@ -171,12 +208,17 @@ class ShardSupervisor:
         """The shard's current base URL, or ``None`` while it is down.
 
         The URL changes across restarts (workers bind ephemeral ports),
-        so callers must re-ask per request rather than cache.
+        so callers must re-ask per request rather than cache.  Failed
+        (crash-loop breaker) and retired shards answer ``None`` too.
         """
-        handle = self._handles[shard_index]
+        handle = self._handle_at(shard_index)
+        if handle is None:
+            return None
         with self._lock:
             if (
-                handle.process is None
+                handle.failed
+                or handle.retired
+                or handle.process is None
                 or handle.process.poll() is not None
                 or not handle.announced.is_set()
             ):
@@ -185,13 +227,21 @@ class ShardSupervisor:
 
     def pid_of(self, shard_index: int) -> int | None:
         """The worker's pid (chaos harnesses aim ``kill -9`` here)."""
-        process = self._handles[shard_index].process
+        handle = self._handle_at(shard_index)
+        process = handle.process if handle is not None else None
         return process.pid if process is not None else None
 
     def alive(self, shard_index: int) -> bool:
         """Whether the worker process is currently running."""
-        process = self._handles[shard_index].process
+        handle = self._handle_at(shard_index)
+        process = handle.process if handle is not None else None
         return process is not None and process.poll() is None
+
+    def _handle_at(self, shard_index: int) -> _WorkerHandle | None:
+        with self._lock:
+            if 0 <= shard_index < len(self._handles):
+                return self._handles[shard_index]
+            return None
 
     def wait_for_ready(
         self, shard_index: int, timeout: float = 60.0
@@ -224,10 +274,80 @@ class ShardSupervisor:
                         ),
                         "restarts": handle.restarts,
                         "last_exit_code": handle.last_exit_code,
+                        "failed": handle.failed,
+                        "retired": handle.retired,
                     }
                     for handle in self._handles
                 ]
             }
+
+    # ------------------------------------------------------------------
+    # runtime topology changes (live rebalancing)
+    # ------------------------------------------------------------------
+    def add_worker(self, spec: ShardSpec) -> None:
+        """Spawn one more shard worker while the fleet is serving.
+
+        The new spec's index must be the next tail index — consistent
+        hashing only ever grows/shrinks the ring at the tail, and tail-
+        only mutation keeps ``url_of(i)`` positional lookups stable for
+        every existing shard.  Blocks until the worker announces; on a
+        boot failure the worker is killed and the fleet is unchanged.
+        """
+        with self._lock:
+            expected = len(self._handles)
+            if spec.index != expected:
+                raise ServiceError(
+                    f"add_worker expects tail index {expected}, "
+                    f"got {spec.index}"
+                )
+            handle = _WorkerHandle(spec=spec)
+            self._handles.append(handle)
+        self._spawn(handle)
+        if not handle.announced.wait(timeout=self._boot_timeout):
+            tail = "\n".join(handle.stderr_tail)
+            process = handle.process
+            if process is not None and process.poll() is None:
+                process.kill()
+                process.wait(timeout=10)
+            with self._lock:
+                self._handles.remove(handle)
+            raise ServiceError(
+                f"new shard {spec.index} never announced within "
+                f"{self._boot_timeout:.0f}s; last stderr:\n{tail}"
+            )
+        self._log(f"shard {spec.index} joined the fleet")
+
+    def retire_worker(
+        self, shard_index: int, drain_timeout: float = 15.0
+    ) -> None:
+        """Drain and remove the tail shard worker (shrink rebalance).
+
+        Marks the handle retired first so the monitor neither probes nor
+        resurrects it, SIGTERMs for a graceful drain, and escalates to
+        ``kill -9`` past the timeout.  Tail-only, like :meth:`add_worker`.
+        """
+        with self._lock:
+            if shard_index != len(self._handles) - 1:
+                raise ServiceError(
+                    f"retire_worker expects tail index "
+                    f"{len(self._handles) - 1}, got {shard_index}"
+                )
+            if len(self._handles) == 1:
+                raise ServiceError("refusing to retire the last shard")
+            handle = self._handles[shard_index]
+            handle.retired = True
+        process = handle.process
+        if process is not None and process.poll() is None:
+            process.terminate()
+            try:
+                handle.last_exit_code = process.wait(timeout=drain_timeout)
+            except subprocess.TimeoutExpired:
+                process.kill()
+                handle.last_exit_code = process.wait(timeout=10)
+        with self._lock:
+            if self._handles and self._handles[-1] is handle:
+                self._handles.pop()
+        self._log(f"shard {shard_index} retired")
 
     # ------------------------------------------------------------------
     # internals
@@ -299,9 +419,14 @@ class ShardSupervisor:
 
     def _monitor_loop(self) -> None:
         while not self._stopping.wait(timeout=self._health_interval):
-            for handle in self._handles:
+            # iterate a copy: add_worker/retire_worker mutate the list
+            with self._lock:
+                handles = list(self._handles)
+            for handle in handles:
                 if self._stopping.is_set():
                     return
+                if handle.failed or handle.retired:
+                    continue
                 process = handle.process
                 if process is None:
                     continue
@@ -330,17 +455,49 @@ class ShardSupervisor:
                     handle.probe_failures = 0
 
     def _restart(self, handle: _WorkerHandle, reason: str) -> None:
-        if self._stopping.is_set():
+        if self._stopping.is_set() or handle.retired:
             return
         handle.restarts += 1
+        now = time.monotonic()
+        while (
+            handle.recent_restarts
+            and now - handle.recent_restarts[0] > self._crash_loop_window
+        ):
+            handle.recent_restarts.popleft()
+        handle.recent_restarts.append(now)
+        rapid = len(handle.recent_restarts)
+        if rapid >= self._crash_loop_threshold:
+            handle.failed = True
+            self._log(
+                f"shard {handle.spec.index} crash-looping ({rapid} restarts "
+                f"in {self._crash_loop_window:.0f}s); breaker tripped — "
+                "marking failed and giving up"
+            )
+            return
+        delay = self._next_backoff(rapid)
         self._log(
             f"shard {handle.spec.index} {reason}; restarting "
-            f"(restart #{handle.restarts})"
+            f"(restart #{handle.restarts}, backoff {delay:.2f}s)"
         )
-        if self._restart_backoff:
-            if self._stopping.wait(timeout=self._restart_backoff):
+        if delay:
+            if self._stopping.wait(timeout=delay):
                 return
         self._spawn(handle)
+
+    def _next_backoff(self, rapid_restarts: int) -> float:
+        """Exponential delay for the ``k``-th rapid restart, with jitter.
+
+        ``base * 2**(k-1)`` capped at the ceiling, then stretched by up
+        to +50% from the seeded jitter PRNG so sibling shards that died
+        together don't respawn in lockstep.
+        """
+        if not self._restart_backoff:
+            return 0.0
+        exponential = min(
+            self._restart_backoff_cap,
+            self._restart_backoff * (2 ** max(0, rapid_restarts - 1)),
+        )
+        return exponential * (1.0 + self._jitter.uniform(0.0, 0.5))
 
 
 def build_worker_argv(
@@ -348,13 +505,16 @@ def build_worker_argv(
     shard_count: int,
     base_args: Sequence[str],
     wal_dir: str | None = None,
+    join_empty: bool = False,
 ) -> list[str]:
     """The exec line for one shard worker.
 
     ``base_args`` are the serve flags shared by every shard (cohort,
     classifier, durability policy...); the shard identity, an ephemeral
     port, and the per-shard WAL directory are appended here so they can
-    never be forgotten or collide.
+    never be forgotten or collide.  ``join_empty`` boots the worker with
+    zero registered owners — the spawn mode of a shard joining a live
+    rebalance, which receives its owners via slice import.
     """
     argv = [
         sys.executable,
@@ -371,6 +531,8 @@ def build_worker_argv(
     ]
     if wal_dir is not None:
         argv += ["--wal-dir", wal_dir]
+    if join_empty:
+        argv.append("--join-empty")
     return argv
 
 

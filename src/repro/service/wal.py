@@ -28,16 +28,18 @@ write that timed out.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import threading
 import zlib
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Iterable, Mapping
+from typing import Any, Iterable, Mapping, Sequence
 
 from ..errors import (
     GraphError,
+    RebalanceError,
     SerializationError,
     UnknownUserError,
     WalError,
@@ -124,6 +126,177 @@ def read_wal(path: str | Path) -> tuple[list[dict[str, Any]], int]:
             return records, len(data) - offset
         offset = newline + 1
     return records, 0
+
+
+# ---------------------------------------------------------------------------
+# owner-entry rows: the unit of snapshots *and* of migration slices
+# ---------------------------------------------------------------------------
+def owner_entry_to_dict(entry: OwnerEntry) -> dict[str, Any]:
+    """One owner entry as a deterministic JSON-ready row.
+
+    Captures everything that makes a served digest: the owner (with its
+    accumulated ground truth and thetas), the **global cohort index**
+    that derives the session seed, the cache-keying version, the
+    universe, and granted labels.  Keys and collections are sorted, so
+    equal entries serialize to byte-equal rows — the property migration
+    digests rely on.
+    """
+    return {
+        "owner": owner_to_dict(entry.owner),
+        "index": entry.index,
+        "version": entry.version,
+        "universe": sorted(entry.universe),
+        "labels": {
+            str(stranger): int(label)
+            for stranger, label in sorted(entry.labels.items())
+        },
+    }
+
+
+def owner_entry_from_dict(row: Mapping[str, Any]) -> OwnerEntry:
+    """Inverse of :func:`owner_entry_to_dict`."""
+    return OwnerEntry(
+        owner=owner_from_dict(row["owner"]),
+        index=int(row["index"]),
+        version=int(row["version"]),
+        universe={int(user) for user in row["universe"]},
+        labels={
+            int(stranger): RiskLabel(int(label))
+            for stranger, label in row.get("labels", {}).items()
+        },
+    )
+
+
+def slice_digest(rows: Sequence[Mapping[str, Any]]) -> str:
+    """SHA-256 over the canonical JSON of owner rows, sorted by owner id.
+
+    Both sides of a migration compute this independently — the source
+    over what it exported, the destination over what it replayed — and
+    the coordinator refuses cutover unless they match.
+    """
+    canonical = sorted(rows, key=lambda row: int(row["owner"]["user_id"]))
+    payload = json.dumps(
+        canonical, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+    return hashlib.sha256(payload).hexdigest()
+
+
+def graph_digest(graph: SocialGraph) -> str:
+    """SHA-256 of the graph's canonical JSON serialization."""
+    return hashlib.sha256(graph_to_json(graph).encode("utf-8")).hexdigest()
+
+
+def export_slice(
+    store: OwnerStore, owner_ids: Iterable[UserId]
+) -> dict[str, Any]:
+    """Snapshot the moved owners' full state for WAL-slice handoff.
+
+    Returns a self-verifying document: the owners' rows plus the
+    source's current graph (a joining shard booted from the seed cohort
+    and missed every broadcast since, so it adopts the graph wholesale),
+    each with its digest.  Unknown owners raise — the migration plan
+    must only name owners the source actually holds.
+    """
+    with store._lock:
+        rows = [
+            owner_entry_to_dict(store.get(int(owner_id)))
+            for owner_id in owner_ids
+        ]
+        graph_doc = json.loads(graph_to_json(store.graph))
+        digest = graph_digest(store.graph)
+    return {
+        "version": _FORMAT_VERSION,
+        "owners": sorted(rows, key=lambda row: int(row["owner"]["user_id"])),
+        "owners_digest": slice_digest(rows),
+        "graph": graph_doc,
+        "graph_digest": digest,
+    }
+
+
+def import_slice(
+    store: OwnerStore,
+    document: Mapping[str, Any],
+    *,
+    adopt_graph: bool = False,
+) -> dict[str, Any]:
+    """Replay an exported slice into the destination store.
+
+    With ``adopt_graph`` the destination replaces its graph with the
+    source's (the joining-shard case); without it the destination must
+    already hold a byte-identical graph — broadcasts keep siblings in
+    sync, and a digest mismatch here means they diverged, which must
+    abort the migration rather than be papered over.
+
+    Idempotent (attach replaces), so a crashed transfer can simply be
+    re-run.  Returns ``{"attached": n, "owners_digest": ...}`` where the
+    digest is recomputed from the *replayed* entries — the verify phase
+    compares it against the source's.
+    """
+    if document.get("version") != _FORMAT_VERSION:
+        raise RebalanceError(
+            f"unsupported slice version: {document.get('version')!r}",
+            phase="transfer",
+        )
+    rows = list(document["owners"])
+    if slice_digest(rows) != document.get("owners_digest"):
+        raise RebalanceError(
+            "slice failed its owners digest in transit", phase="transfer"
+        )
+    if adopt_graph:
+        store.replace_graph(graph_from_json(json.dumps(document["graph"])))
+    elif graph_digest(store.graph) != document.get("graph_digest"):
+        raise RebalanceError(
+            "destination graph diverged from source graph; refusing to "
+            "import a slice across inconsistent graphs",
+            phase="transfer",
+        )
+    entries = [owner_entry_from_dict(row) for row in rows]
+    for entry in entries:
+        store.attach_entry(entry)
+    replayed = [
+        owner_entry_to_dict(store.get(entry.owner.user_id))
+        for entry in entries
+    ]
+    return {"attached": len(entries), "owners_digest": slice_digest(replayed)}
+
+
+def detach_slice(
+    store: OwnerStore, owner_ids: Iterable[UserId]
+) -> dict[str, Any]:
+    """Drop migrated owners from the source store (post-cutover).
+
+    Returns how many were actually present — replays of this step after
+    a crash see already-detached owners and count zero, which is fine.
+    """
+    detached = sum(
+        1 for owner_id in owner_ids if store.detach_owner(int(owner_id))
+    )
+    return {"detached": detached}
+
+
+def state_digest(
+    store: OwnerStore, owner_ids: Iterable[UserId]
+) -> dict[str, Any]:
+    """Digest of the named owners' current state on this store.
+
+    ``present`` lists which of them the store actually holds; the digest
+    covers only those.  Used by the verify phase and by the cutover
+    drift re-check (an in-flight request that raced the fence may have
+    changed a moved owner after export — the coordinator detects that
+    here and re-exports).
+    """
+    with store._lock:
+        present = [
+            int(owner_id)
+            for owner_id in owner_ids
+            if store.has_owner(int(owner_id))
+        ]
+        rows = [owner_entry_to_dict(store.get(owner_id)) for owner_id in present]
+    return {
+        "present": sorted(present),
+        "owners_digest": slice_digest(rows),
+        "graph_digest": graph_digest(store.graph),
+    }
 
 
 # ---------------------------------------------------------------------------
@@ -355,6 +528,7 @@ class DurableOwnerStore(OwnerStore):
         injector=None,
         shard_map=None,
         shard_index: int | None = None,
+        join_empty: bool = False,
     ) -> "DurableOwnerStore":
         """Recover a store from ``wal_dir``, or seed one from a cohort.
 
@@ -366,6 +540,10 @@ class DurableOwnerStore(OwnerStore):
         ``shard_map``/``shard_index``, only this shard's owners, each
         keeping its global cohort index — and write the initial snapshot
         so the next boot recovers instead of regenerating.
+
+        ``join_empty`` seeds the cohort graph but registers **zero**
+        owners: the boot mode of a shard joining a live rebalance, whose
+        owners arrive via slice import instead of the generator.
         """
         if (shard_map is None) != (shard_index is None):
             raise ValueError(
@@ -394,6 +572,8 @@ class DurableOwnerStore(OwnerStore):
                 compact_every=compact_every,
             )
             for global_index, owner in enumerate(population.owners):
+                if join_empty:
+                    break
                 if (
                     shard_map is not None
                     and shard_map.shard_of(owner.user_id) != shard_index
@@ -531,6 +711,43 @@ class DurableOwnerStore(OwnerStore):
             self._append("touch", {"owner": owner_id})
             return super().touch(owner_id)
 
+    def attach_entry(self, entry: OwnerEntry) -> OwnerEntry:
+        """Durably adopt a migrated entry (WAL-slice handoff, dest side).
+
+        The full row is logged, so a destination killed between import
+        and its next compaction replays the attach from its own WAL —
+        the handoff is acknowledged only once it can survive a crash.
+        """
+        with self._lock:
+            self._append("attach_owner", {"entry": owner_entry_to_dict(entry)})
+            return super().attach_entry(entry)
+
+    def detach_owner(self, owner_id: UserId) -> bool:
+        """Durably drop a migrated owner (handoff, source side).
+
+        Nothing is logged when the owner is already gone — replayed
+        truncations must not bloat the WAL.
+        """
+        with self._lock:
+            if not self.has_owner(owner_id):
+                return False
+            self._append("detach_owner", {"owner": int(owner_id)})
+            return super().detach_owner(owner_id)
+
+    def replace_graph(self, graph: SocialGraph) -> None:
+        """Durably adopt a replacement graph (joining-shard import).
+
+        The graph is logged wholesale: a joining shard's snapshot holds
+        the *seed* graph, so without this record a crash between import
+        and compaction would replay attach records against a graph
+        missing every pre-resize broadcast.
+        """
+        with self._lock:
+            self._append(
+                "adopt_graph", {"graph": json.loads(graph_to_json(graph))}
+            )
+            super().replace_graph(graph)
+
     # ------------------------------------------------------------------
     # durability lifecycle
     # ------------------------------------------------------------------
@@ -594,16 +811,7 @@ class DurableOwnerStore(OwnerStore):
             "seq": seq,
             "graph": json.loads(graph_to_json(self._graph)),
             "owners": [
-                {
-                    "owner": owner_to_dict(entry.owner),
-                    "index": entry.index,
-                    "version": entry.version,
-                    "universe": sorted(entry.universe),
-                    "labels": {
-                        str(stranger): int(label)
-                        for stranger, label in sorted(entry.labels.items())
-                    },
-                }
+                owner_entry_to_dict(entry)
                 for entry in sorted(
                     self._entries.values(), key=lambda e: e.index
                 )
@@ -626,17 +834,7 @@ class DurableOwnerStore(OwnerStore):
         try:
             graph = graph_from_json(json.dumps(document["graph"]))
             entries = [
-                OwnerEntry(
-                    owner=owner_from_dict(row["owner"]),
-                    index=int(row["index"]),
-                    version=int(row["version"]),
-                    universe={int(user) for user in row["universe"]},
-                    labels={
-                        int(stranger): RiskLabel(int(label))
-                        for stranger, label in row.get("labels", {}).items()
-                    },
-                )
-                for row in document["owners"]
+                owner_entry_from_dict(row) for row in document["owners"]
             ]
         except (KeyError, TypeError, ValueError, SerializationError) as error:
             raise WalError(f"malformed store snapshot: {error}") from error
@@ -681,6 +879,16 @@ class DurableOwnerStore(OwnerStore):
                 )
             elif op == "touch":
                 OwnerStore.touch(self, int(args["owner"]))
+            elif op == "attach_owner":
+                OwnerStore.attach_entry(
+                    self, owner_entry_from_dict(args["entry"])
+                )
+            elif op == "detach_owner":
+                OwnerStore.detach_owner(self, int(args["owner"]))
+            elif op == "adopt_graph":
+                OwnerStore.replace_graph(
+                    self, graph_from_json(json.dumps(args["graph"]))
+                )
             else:
                 raise WalError(f"unknown WAL op {op!r}")
         except WalError:
@@ -757,7 +965,15 @@ __all__ = [
     "WAL_FILENAME",
     "WriteAheadLog",
     "decode_record",
+    "detach_slice",
     "encode_record",
+    "export_slice",
+    "graph_digest",
+    "import_slice",
     "mutate_store",
+    "owner_entry_from_dict",
+    "owner_entry_to_dict",
     "read_wal",
+    "slice_digest",
+    "state_digest",
 ]

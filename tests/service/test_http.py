@@ -132,7 +132,9 @@ class TestEndpoints:
 
 
 class TestResilienceMapping:
-    def test_saturation_maps_to_503_with_retry_after(self):
+    def test_saturation_maps_to_429_with_retry_after(self):
+        # saturation is the client's cue to slow down (429), distinct
+        # from the service being unable to serve at all (503)
         engine = GatedEngine()
         scheduler = ScoreScheduler(engine, max_workers=1, max_pending=1)
         server = RiskServiceServer(("127.0.0.1", 0), engine, scheduler)
@@ -148,7 +150,7 @@ class TestResilienceMapping:
                 time.sleep(0.01)
             assert engine.running_now()
             status, document, response = get(f"{server.url}/score?owner=2")
-            assert status == 503
+            assert status == 429
             assert response.headers["Retry-After"] == "1"
             assert "saturated" in document["error"]
         finally:

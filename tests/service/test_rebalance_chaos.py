@@ -1,0 +1,438 @@
+"""Rebalance chaos: kill -9 shards and the router mid-migration.
+
+Process-level proof of the crash-proof migration contract
+(``docs/architecture.md``):
+
+* the **equivalence gate** — grow 2→3 and shrink 3→2 under concurrent
+  ``/score`` + ``/mutate`` load; afterwards (and again after a full
+  cold restart) every owner's digest for every measure is byte-identical
+  to an unsharded reference engine;
+* the tier-1 **smoke** — ``kill -9`` the migration's *source* shard
+  while the state machine is paused mid-handoff; the coordinator rides
+  out the supervisor restart and the migration completes with identical
+  digests;
+* the ``@slow`` **matrix** — kill source and destination at each
+  pre-cutover phase, and the *router itself* at a journaled phase
+  boundary (``REPRO_REBALANCE_EXIT_AFTER_PHASE``); a reboot on the same
+  WAL tree rolls the manifest back (pre-cutover) or forward (at/past
+  cutover) and serves the same digests either way.
+
+Run the slow matrix via ``make rebalance-smoke`` or ``pytest -m slow``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import threading
+import time
+
+import pytest
+
+from repro.service import ShardMap, moved_owners
+from repro.service.rebalance import EXIT_AFTER_ENV, REBALANCE_EXIT_CODE
+
+from .test_chaos import (
+    SHARD_COHORT,
+    ServeProcess,
+    owner_shards_of,
+    request_status,
+    shard_pids_of,
+)
+
+COHORT_SEED = 3
+
+
+@pytest.fixture
+def wal_dir(tmp_path):
+    return tmp_path / "wal"
+
+
+@pytest.fixture
+def serve(wal_dir):
+    booted: list[ServeProcess] = []
+
+    def boot(*extra: str) -> ServeProcess:
+        process = ServeProcess(wal_dir, *extra, cohort=SHARD_COHORT)
+        booted.append(process)
+        return process
+
+    yield boot
+    for process in booted:
+        process.cleanup()
+
+
+def reference_rig():
+    """An unsharded engine over the same cohort — the digest oracle.
+
+    Returns the engine *and* its store so a test can mirror ``touch``
+    mutations onto the oracle: a touch's warm rescore digest
+    legitimately differs from the cold digest (see ``test_chaos``), so
+    behavioral equivalence means the oracle must see the same op
+    history the deployment served.
+    """
+    from repro.service import OwnerStore, RiskEngine
+    from repro.synth import EgoNetConfig, generate_study_population
+
+    population = generate_study_population(
+        num_owners=4,
+        ego_config=EgoNetConfig(num_friends=6, num_strangers=20),
+        seed=COHORT_SEED,
+    )
+    store = OwnerStore.from_population(population)
+    return RiskEngine(store, seed=COHORT_SEED), store
+
+
+def reference_engine():
+    """A fresh oracle for cold-score comparisons (no mutation history)."""
+    return reference_rig()[0]
+
+
+def rebalance_status(server: ServeProcess) -> dict:
+    return server.get("/shards").get("rebalance") or {}
+
+
+def wait_for_rebalance(server: ServeProcess, predicate, timeout=120.0):
+    deadline = time.monotonic() + timeout
+    status = {}
+    while time.monotonic() < deadline:
+        status = rebalance_status(server)
+        if predicate(status):
+            return status
+        time.sleep(0.1)
+    raise AssertionError(f"rebalance never reached the target: {status}")
+
+
+def split_moving(owners, old_count: int, new_count: int):
+    """(moving, staying) owner lists for a resize, computed like the
+    coordinator does — from the consistent-hash delta."""
+    moves = moved_owners(
+        ShardMap(old_count), ShardMap(new_count), owners
+    )
+    moving = sorted({o for group in moves.values() for o in group})
+    staying = sorted(set(owners) - set(moving))
+    return moving, staying
+
+
+def assert_serves_reference_digests(
+    server: ServeProcess, reference, owners, measures=("",)
+):
+    for owner in owners:
+        for measure in measures:
+            suffix = f"&measure={measure}" if measure else ""
+            document = server.get(f"/score?owner={owner}{suffix}")
+            expected = (
+                reference.score(owner, measure=measure)
+                if measure
+                else reference.score(owner)
+            )
+            assert document["digest"] == expected.digest, (
+                f"owner {owner} measure {measure or 'default'} diverged "
+                "from the unsharded reference"
+            )
+
+
+class SteadyLoad:
+    """Concurrent /score + /mutate traffic against non-moving owners.
+
+    Every response must be 200 — the degraded-mode contract says owners
+    that are not migrating see zero errors for the whole resize.
+    """
+
+    def __init__(self, server: ServeProcess, owners):
+        self._server = server
+        self._owners = list(owners)
+        self._stop = threading.Event()
+        self.failures: list[tuple[int, int, dict]] = []
+        self.requests = 0
+        #: ordered ("score" | "touch", owner) ops, for oracle replay —
+        #: the loop is single-threaded, so this is the exact sequence
+        #: the deployment acknowledged
+        self.history: list[tuple[str, int]] = []
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def __enter__(self):
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc):
+        self._stop.set()
+        self._thread.join(timeout=30)
+
+    def _run(self):
+        tick = 0
+        while not self._stop.is_set():
+            owner = self._owners[tick % len(self._owners)]
+            if tick % 5 == 4:
+                op = "touch"
+                status, document, _ = request_status(
+                    self._server.url,
+                    "/mutate",
+                    {"op": "touch", "owner": owner},
+                )
+            else:
+                op = "score"
+                status, document, _ = request_status(
+                    self._server.url, f"/score?owner={owner}"
+                )
+            self.requests += 1
+            if status != 200:
+                self.failures.append((owner, status, document))
+            else:
+                self.history.append((op, owner))
+            tick += 1
+            time.sleep(0.02)
+
+
+# ---------------------------------------------------------------------------
+# tier-1: the equivalence gate and the mid-migration source kill
+# ---------------------------------------------------------------------------
+def test_rebalance_equivalence_gate_grow_and_shrink_under_load(serve):
+    """Grow 2→3, shrink 3→2, both under live traffic; digests for every
+    measure stay byte-identical to the unsharded engine — including
+    after a full cold restart of the whole deployment.
+
+    The oracle is *behavioral*: touches shift a served digest from the
+    cold to the warm chain on purpose, so the load's (single-threaded,
+    strictly ordered) op history is replayed onto the reference engine
+    before each comparison."""
+    server = serve("--shards", "2")
+    owners = sorted(owner_shards_of(server))
+    reference, reference_store = reference_rig()
+    measures = [
+        row["name"] for row in server.get("/measures")["measures"]
+    ]
+
+    # cold equivalence for every measure before any traffic at all
+    assert_serves_reference_digests(server, reference, owners, measures)
+
+    for old_count, new_count in ((2, 3), (3, 2)):
+        _, staying = split_moving(owners, old_count, new_count)
+        assert staying, "need fenced-free owners to drive load through"
+        with SteadyLoad(server, staying) as load:
+            code, document, _ = request_status(
+                server.url, "/shards", {"count": new_count}
+            )
+            assert code == 202, document
+            wait_for_rebalance(
+                server, lambda s: s.get("status") == "done"
+            )
+        assert load.requests > 0
+        assert load.failures == [], (
+            f"non-moving owners saw errors during {old_count}->"
+            f"{new_count}: {load.failures[:5]}"
+        )
+        document = server.get("/shards")
+        assert document["num_shards"] == new_count
+        expected_map = ShardMap(new_count)
+        assert owner_shards_of(server) == {
+            owner: expected_map.shard_of(owner) for owner in owners
+        }
+        # mirror the acknowledged op sequence onto the oracle, then the
+        # deployment must serve its digests byte for byte
+        for op, owner in load.history:
+            if op == "touch":
+                reference_store.touch(owner)
+            else:
+                reference.score(owner)
+        assert_serves_reference_digests(
+            server, reference, owners, measures
+        )
+
+    # a full cold restart recovers the final (2-shard) topology from
+    # disk and every measure's digest survives WAL replay
+    code, stderr = server.sigterm()
+    assert code == 0, stderr
+    rebooted = serve("--shards", "2")
+    assert rebooted.get("/shards")["num_shards"] == 2
+    assert_serves_reference_digests(
+        rebooted, reference_engine(), owners, measures
+    )
+
+
+def test_grow_survives_source_shard_kill_mid_handoff(serve, wal_dir):
+    """Tier-1 chaos smoke: kill -9 the slice's source shard while the
+    migration is paused mid-handoff; resume; the coordinator waits out
+    the supervisor restart (WAL replay) and completes with byte-
+    identical digests, then a cold reboot boots the grown topology."""
+    server = serve("--shards", "2")
+    owners = sorted(owner_shards_of(server))
+    reference = reference_engine()
+    moving, staying = split_moving(owners, 2, 3)
+    assert moving, "this cohort must move owners on a 2->3 grow"
+
+    code, document, _ = request_status(
+        server.url,
+        "/shards",
+        {"count": 3, "pause_before": "transfer"},
+    )
+    assert code == 202, document
+    status = wait_for_rebalance(
+        server, lambda s: s.get("paused_at") == "transfer"
+    )
+    source = status["moves"][0]["source"]
+
+    # the slice is exported and in flight: murder its source
+    os.kill(shard_pids_of(server)[source], signal.SIGKILL)
+    code, document, _ = request_status(
+        server.url, "/shards", {"resume": True}
+    )
+    assert code == 202, document
+    wait_for_rebalance(server, lambda s: s.get("status") == "done")
+
+    assert server.get("/shards")["num_shards"] == 3
+    grown_map = ShardMap(3)
+    assert owner_shards_of(server) == {
+        owner: grown_map.shard_of(owner) for owner in owners
+    }
+    assert_serves_reference_digests(server, reference, owners)
+
+    # restart the whole deployment with the *old* flag value: the
+    # persisted topology wins and the fleet boots at 3
+    code, stderr = server.sigterm()
+    assert code == 0, stderr
+    rebooted = serve("--shards", "2")
+    assert rebooted.get("/shards")["num_shards"] == 3
+    assert_serves_reference_digests(
+        rebooted, reference_engine(), owners
+    )
+
+
+# ---------------------------------------------------------------------------
+# slow matrix: every victim at every phase
+# ---------------------------------------------------------------------------
+@pytest.mark.slow
+@pytest.mark.parametrize("phase", ["snapshot-slice", "transfer", "verify-digest"])
+@pytest.mark.parametrize("victim", ["source", "destination"])
+def test_kill_matrix_shard_dies_at_each_phase(serve, phase, victim):
+    """Kill -9 the source or destination shard at each pre-cutover
+    phase boundary; the paused migration resumes against the restarted
+    worker and still lands byte-identical digests."""
+    server = serve("--shards", "2")
+    owners = sorted(owner_shards_of(server))
+    reference = reference_engine()
+
+    code, document, _ = request_status(
+        server.url, "/shards", {"count": 3, "pause_before": phase}
+    )
+    assert code == 202, document
+    status = wait_for_rebalance(
+        server, lambda s: s.get("paused_at") == phase
+    )
+    if status["moves"]:
+        move = status["moves"][0]
+        victim_shard = move[victim]
+    else:
+        # paused before plan computed the moves: fall back to the known
+        # delta for this cohort
+        moves = moved_owners(ShardMap(2), ShardMap(3), owners)
+        (source, destination), _ = sorted(moves.items())[0]
+        victim_shard = source if victim == "source" else destination
+    pids = shard_pids_of(server)
+    if victim_shard in pids and pids[victim_shard] is not None:
+        os.kill(pids[victim_shard], signal.SIGKILL)
+    code, document, _ = request_status(
+        server.url, "/shards", {"resume": True}
+    )
+    assert code == 202, document
+    wait_for_rebalance(server, lambda s: s.get("status") == "done")
+    assert server.get("/shards")["num_shards"] == 3
+    assert_serves_reference_digests(server, reference, owners)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize(
+    "exit_phase, expect_count",
+    [
+        ("transfer", 2),  # pre-cutover manifest rolls BACK
+        ("cutover", 3),  # journaled cutover rolls FORWARD
+    ],
+)
+def test_router_kill_at_journaled_phase_recovers_deterministically(
+    serve, wal_dir, monkeypatch, exit_phase, expect_count
+):
+    """The router dies (``os._exit``) the instant a phase is journaled.
+
+    Its shard workers are orphaned — the harness shoots them like an
+    OOM killer would — and a reboot on the same WAL tree must recover
+    from the manifest alone: roll back before cutover, roll forward at
+    or past it, identical digests either way."""
+    monkeypatch.setenv(EXIT_AFTER_ENV, exit_phase)
+    server = serve("--shards", "2")
+    owners = sorted(owner_shards_of(server))
+    reference = reference_engine()
+
+    # pause after spawn so every worker pid (including the joining
+    # shard's) is known before the router dies
+    code, document, _ = request_status(
+        server.url,
+        "/shards",
+        {"count": 3, "pause_before": "snapshot-slice"},
+    )
+    assert code == 202, document
+    wait_for_rebalance(
+        server, lambda s: s.get("paused_at") == "snapshot-slice"
+    )
+    orphans = [
+        pid for pid in shard_pids_of(server).values() if pid is not None
+    ]
+    assert len(orphans) == 3
+    code, document, _ = request_status(
+        server.url, "/shards", {"resume": True}
+    )
+    assert code == 202, document
+
+    assert server.wait(timeout=120) == REBALANCE_EXIT_CODE
+    for pid in orphans:
+        try:
+            os.kill(pid, signal.SIGKILL)
+        except ProcessLookupError:
+            pass
+
+    # the reboot must not inherit the chaos hook
+    monkeypatch.delenv(EXIT_AFTER_ENV)
+    rebooted = serve("--shards", "2")
+    document = rebooted.get("/shards")
+    assert document["num_shards"] == expect_count
+    assert document["rebalance"]["status"] in ("done", "aborted")
+    assert document["rebalance"]["active"] is False
+    expected_map = ShardMap(expect_count)
+    assert owner_shards_of(rebooted) == {
+        owner: expected_map.shard_of(owner) for owner in owners
+    }
+    assert_serves_reference_digests(rebooted, reference, owners)
+    if expect_count == 2:
+        # a rolled-back grow leaves no half-born shard WAL behind
+        assert not (wal_dir / "shard-2").exists()
+
+
+@pytest.mark.slow
+def test_shrink_survives_destination_kill_mid_handoff(serve):
+    """Shrink 3→2 with the *destination* (a surviving shard) killed
+    while the slice is in flight: the import replays onto the restarted
+    worker's WAL and the retired source's owners land intact."""
+    server = serve("--shards", "3")
+    owners = sorted(owner_shards_of(server))
+    reference = reference_engine()
+
+    code, document, _ = request_status(
+        server.url, "/shards", {"count": 2, "pause_before": "transfer"}
+    )
+    assert code == 202, document
+    status = wait_for_rebalance(
+        server, lambda s: s.get("paused_at") == "transfer"
+    )
+    destination = status["moves"][0]["destination"]
+    os.kill(shard_pids_of(server)[destination], signal.SIGKILL)
+    code, document, _ = request_status(
+        server.url, "/shards", {"resume": True}
+    )
+    assert code == 202, document
+    wait_for_rebalance(server, lambda s: s.get("status") == "done")
+    assert server.get("/shards")["num_shards"] == 2
+    shrunk_map = ShardMap(2)
+    assert owner_shards_of(server) == {
+        owner: shrunk_map.shard_of(owner) for owner in owners
+    }
+    assert_serves_reference_digests(server, reference, owners)

@@ -540,3 +540,113 @@ class TestRouterMutations:
         status, document = post(f"{router.url}/mutate", {"op": "touch"})
         assert status == 400
         assert "malformed arguments" in document["error"]
+
+
+class TestRouterBackpressureRelay:
+    """The 429-vs-503 split survives the router hop: saturation (slow
+    down, same shard will serve) relays as 429 + Retry-After, while a
+    draining or dead shard (stop asking this replica) stays 503."""
+
+    @pytest.fixture
+    def gated_rig(self):
+        from repro.service import RiskServiceServer, ScoreScheduler
+
+        from .test_scheduler import GatedEngine
+
+        engine = GatedEngine()
+        scheduler = ScoreScheduler(engine, max_workers=1, max_pending=1)
+        shard_server = RiskServiceServer(
+            ("127.0.0.1", 0), engine, scheduler
+        )
+        shard_thread = threading.Thread(
+            target=shard_server.serve_forever, daemon=True
+        )
+        shard_thread.start()
+        supervisor = StaticSupervisor([shard_server])
+        router = ShardRouterServer(
+            ("127.0.0.1", 0),
+            ShardMap(1),
+            supervisor,
+            retry_policy=RetryPolicy(
+                max_attempts=2, base_delay=0.01, max_delay=0.02, seed=1
+            ),
+        )
+        router_thread = threading.Thread(
+            target=router.serve_forever, daemon=True
+        )
+        router_thread.start()
+        yield router, shard_server, engine
+        engine.gate.set()
+        for server in (shard_server, router):
+            server.shutdown()
+            server.server_close()
+        shard_server.scheduler.shutdown(wait=False)
+        for thread in (shard_thread, router_thread):
+            thread.join(timeout=10)
+
+    def test_saturated_shard_relays_as_429(self, gated_rig):
+        router, _, engine = gated_rig
+        blocked = threading.Thread(
+            target=get, args=(f"{router.url}/score?owner=1",)
+        )
+        blocked.start()
+        try:
+            deadline = time.monotonic() + 10
+            while not engine.running_now() and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert engine.running_now()
+            status, document, response = get(f"{router.url}/score?owner=2")
+            assert status == 429
+            assert response.headers["Retry-After"] == "1"
+            assert "saturated" in document["error"]
+        finally:
+            engine.gate.set()
+            blocked.join(timeout=10)
+
+    def test_draining_shard_relays_as_503(self, gated_rig):
+        router, shard_server, engine = gated_rig
+        engine.gate.set()
+        shard_server.state.draining = True
+        try:
+            status, document, response = get(f"{router.url}/score?owner=1")
+            assert status == 503
+            assert "draining" in document["error"]
+            assert response.headers["Retry-After"] == "1"
+        finally:
+            shard_server.state.draining = False
+
+
+class TestBatchTeardown:
+    def test_batch_pump_threads_never_outlive_the_request(self, shard_rig):
+        """Merge-pump teardown is reliable: stranded shard streams are
+        force-closed and joined, even when one shard's members all fail
+        (the path that used to abandon a reader past a 1s join)."""
+        router, supervisor, _, shard_map = shard_rig
+        owners = sorted(cohort_owner_shards(shard_map))
+        supervisor.down.add(1)  # one shard's lines become 503 errors
+        try:
+            status, lines, _ = post_ndjson(
+                f"{router.url}/score-batch", {"owners": owners}
+            )
+            assert status == 200
+            assert len(lines) == len(owners)
+        finally:
+            supervisor.down.discard(1)
+        deadline = time.monotonic() + 10
+        while time.monotonic() < deadline:
+            leaked = [
+                thread.name
+                for thread in threading.enumerate()
+                if thread.name.startswith("batch-pump-shard-")
+            ]
+            if not leaked:
+                break
+            time.sleep(0.05)
+        assert leaked == []
+        # breaker recovery for later tests
+        end = time.monotonic() + 30
+        while time.monotonic() < end:
+            status, _, _ = get(f"{router.url}/readyz")
+            if status == 200:
+                break
+            time.sleep(0.2)
