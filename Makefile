@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-paper-scale perf-smoke parallel-smoke robustness chaos shard-smoke rebalance-smoke measures-smoke study serve examples clean
+.PHONY: install test bench bench-paper-scale perf-smoke parallel-smoke robustness chaos shard-smoke rebalance-smoke measures-smoke incremental-smoke study serve examples clean
 
 install:
 	$(PYTHON) -m pip install -e ".[test]"
@@ -92,6 +92,20 @@ measures-smoke:
 	REPRO_BENCH_OWNERS=3 REPRO_BENCH_STRANGERS=80 \
 		$(PYTHON) -m pytest -q -o addopts= -s \
 		"benchmarks/bench_service_throughput.py::test_measure_throughput"
+
+# the incremental rescoring layer: dirty-set/delta-replay/refresh unit
+# suites, the Hypothesis stateful equivalence gate at cranked depth
+# (every incremental warm digest must equal a cold recompute), and the
+# E21 single-edge mutation bench at reduced scale
+incremental-smoke:
+	INCREMENTAL_MACHINE_EXAMPLES=15 INCREMENTAL_MACHINE_STEPS=20 \
+		$(PYTHON) -m pytest -q -o addopts= \
+		tests/service/test_dirty.py \
+		tests/service/test_incremental.py \
+		tests/service/test_refresh.py
+	REPRO_BENCH_INCREMENTAL_SIZES=1000 \
+		$(PYTHON) -m pytest -q -o addopts= -s \
+		benchmarks/bench_incremental.py
 
 study:
 	$(PYTHON) -m repro --owners 8 --strangers 300

@@ -1,0 +1,158 @@
+"""E21 — incremental rescoring: mutation cost is delta-proportional.
+
+Not a paper artifact — the serving-layer argument for the dirty-set
+layer.  The paper motivates active learning with *fast-changing*
+stranger connections (Section III); a deployment that pays a full
+pipeline re-run per mutation cannot keep up.  This bench pins the
+incremental PR's acceptance contract on a mutate-heavy workload: after
+a **single-edge mutation**, the delta-replay warm path must rescore at
+least 5x faster than the full warm rescore (``incremental_enabled=
+False``, the legacy ``continue_session`` path) at n >= 1000 strangers —
+while serving a digest byte-identical to a cold recompute.
+
+Sweeps ``REPRO_BENCH_INCREMENTAL_SIZES`` (default ``1000,10000``)
+strangers for one owner; each size measures:
+
+* ``cold`` — the full pipeline, first score;
+* ``warm_full`` — the legacy warm rescore after one edge add;
+* ``warm_incremental`` — the dirty-set delta replay after the same edge;
+* the NS-moving variant (friend-stranger edge): the delta actually
+  perturbs similarities, so bins shift and affected pools re-run.
+
+The committed snapshot lives in
+``benchmarks/baselines/BENCH_incremental_baseline.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.service import OwnerStore, RiskEngine
+from repro.synth import EgoNetConfig, generate_study_population
+
+from .conftest import OUT_DIR, SEED, write_artifact
+
+SIZES = tuple(
+    int(value)
+    for value in os.environ.get(
+        "REPRO_BENCH_INCREMENTAL_SIZES", "1000,10000"
+    ).split(",")
+    if value.strip()
+)
+
+#: Digest-verify against a from-scratch cold recompute only at sizes
+#: where the extra full run stays cheap.
+VERIFY_LIMIT = int(os.environ.get("REPRO_BENCH_INCREMENTAL_VERIFY", "2000"))
+
+
+def _fresh_setup(num_strangers: int):
+    population = generate_study_population(
+        num_owners=1,
+        ego_config=EgoNetConfig(num_friends=40, num_strangers=num_strangers),
+        seed=SEED,
+    )
+    store = OwnerStore.from_population(population)
+    owner = population.owners[0].user_id
+    handle = population.handles[owner]
+    return store, owner, sorted(handle.strangers), sorted(handle.friends)
+
+
+def _timed_score(engine, owner):
+    start = time.perf_counter()
+    record = engine.score(owner)
+    return time.perf_counter() - start, record
+
+
+def test_incremental_rescoring_speedup():
+    results: dict[str, dict] = {}
+    for size in SIZES:
+        # --- incremental engine: cold, then delta-replay rescores ------
+        store, owner, strangers, friends = _fresh_setup(size)
+        engine = RiskEngine(store, seed=SEED)
+        cold_seconds, cold = _timed_score(engine, owner)
+        assert cold.source == "cold"
+
+        store.add_friendship(strangers[0], strangers[1])
+        incr_seconds, incr = _timed_score(engine, owner)
+        assert incr.source == "warm"
+
+        store.add_friendship(friends[0], strangers[5])
+        moving_seconds, moving = _timed_score(engine, owner)
+        assert moving.source == "warm"
+
+        if size <= VERIFY_LIMIT:
+            from repro.measures import MeasureRequest, get_measure
+
+            entry = store.get(owner)
+            reference = get_measure("stranger").compute(
+                MeasureRequest(
+                    graph=store.graph,
+                    owner=entry.owner,
+                    index=entry.index,
+                    seed=SEED,
+                ),
+                None,
+            )
+            assert moving.digest == reference.digest
+
+        # --- legacy engine: the same mutations, full warm rescores -----
+        store2, owner2, strangers2, friends2 = _fresh_setup(size)
+        legacy = RiskEngine(store2, seed=SEED, incremental_enabled=False)
+        legacy.score(owner2)
+        store2.add_friendship(strangers2[0], strangers2[1])
+        full_seconds, full = _timed_score(legacy, owner2)
+        assert full.source == "warm"
+        store2.add_friendship(friends2[0], strangers2[5])
+        full_moving_seconds, _ = _timed_score(legacy, owner2)
+
+        speedup = full_seconds / incr_seconds if incr_seconds else float("inf")
+        moving_speedup = (
+            full_moving_seconds / moving_seconds
+            if moving_seconds
+            else float("inf")
+        )
+        # acceptance contract: single-edge rescore >= 5x the full warm
+        if size >= 1000:
+            assert speedup >= 5.0, (
+                f"incremental rescore only {speedup:.2f}x the full warm "
+                f"rescore at n={size}"
+            )
+
+        stats = engine.metrics.snapshot()["incremental"]
+        results[str(size)] = {
+            "cold_seconds": round(cold_seconds, 4),
+            "warm_full_seconds": round(full_seconds, 4),
+            "warm_incremental_seconds": round(incr_seconds, 5),
+            "speedup_incremental_vs_full": round(speedup, 1),
+            "ns_moving_full_seconds": round(full_moving_seconds, 4),
+            "ns_moving_incremental_seconds": round(moving_seconds, 5),
+            "ns_moving_speedup": round(moving_speedup, 1),
+            "speedup_vs_cold": round(
+                cold_seconds / incr_seconds if incr_seconds else 0.0, 1
+            ),
+            "incremental_stats": stats,
+        }
+
+    document = {
+        "cpu_cores": os.cpu_count() or 1,
+        "seed": SEED,
+        "sizes": results,
+        "digest_equivalence_verified_upto": VERIFY_LIMIT,
+    }
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / "BENCH_incremental.json").write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    lines = ["E21 incremental rescoring (single-edge mutation, one owner)"]
+    for size, row in results.items():
+        lines.append(
+            f"  n={size:>6}: cold {row['cold_seconds']:>8}s   "
+            f"full warm {row['warm_full_seconds']:>8}s   "
+            f"incremental {row['warm_incremental_seconds']:>8}s   "
+            f"({row['speedup_incremental_vs_full']}x vs full, "
+            f"{row['speedup_vs_cold']}x vs cold)"
+        )
+    write_artifact("incremental_rescoring", "\n".join(lines))

@@ -289,6 +289,22 @@ def build_serve_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="score every owner once before accepting traffic",
     )
+    parser.add_argument(
+        "--background-refresh",
+        action="store_true",
+        help=(
+            "rescore mutation-invalidated owners in idle scheduler "
+            "slots, ahead of demand (surfaced under /metrics refresh)"
+        ),
+    )
+    parser.add_argument(
+        "--no-incremental",
+        action="store_true",
+        help=(
+            "disable dirty-set delta replay on warm re-scores and use "
+            "the legacy label-reuse path instead"
+        ),
+    )
     sharding = parser.add_argument_group(
         "sharding",
         "fault isolation: consistent-hash owner shards behind a router",
@@ -567,6 +583,7 @@ def serve_main(argv: Sequence[str] | None = None) -> int:
         classifier=args.classifier,
         seed=args.seed,
         backend=backend,
+        incremental_enabled=not args.no_incremental,
     )
     if args.warm_all:
         for owner_id in store.owner_ids():
@@ -583,7 +600,10 @@ def serve_main(argv: Sequence[str] | None = None) -> int:
         max_workers=args.workers,
         max_pending=args.max_pending,
         request_timeout=args.timeout,
+        background_refresh=args.background_refresh,
     )
+    if server.refresher is not None:
+        print("background refresh enabled", file=sys.stderr)
     server.state.ready = True
     server.state.detail = "serving"
 
@@ -609,9 +629,16 @@ def serve_main(argv: Sequence[str] | None = None) -> int:
         f"budget {args.drain_timeout:.1f}s",
         file=sys.stderr,
     )
+    if server.refresher is not None:
+        summary_refresh = server.refresher.snapshot()
+        server.refresher.shutdown()
+    else:
+        summary_refresh = None
     summary = server.scheduler.shutdown(
         wait=True, drain=True, timeout=args.drain_timeout
     )
+    if summary_refresh is not None:
+        summary["refresh"] = summary_refresh
     if backend is not None:
         summary["workers"] = backend.stats()
         backend.shutdown()

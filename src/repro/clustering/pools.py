@@ -115,16 +115,69 @@ def build_pools(
     The result is a partition of the stranger set, which is verified before
     returning (and property-tested in the suite).
     """
+    pools, _, _ = build_pools_cached(similarities, profiles, config, None)
+    return pools
+
+
+@dataclass(frozen=True)
+class PooledGroup:
+    """One NS group's Squeezer outcome, keyed by its exact inputs.
+
+    Squeezer is deterministic in its inputs: the group's member list (in
+    sorted order) and their profiles, plus the (fixed) pooling config.
+    A cached :class:`PooledGroup` whose ``members``/``profiles`` equal
+    the current group's can therefore replay its ``pools`` verbatim —
+    the incremental warm path's way of re-running Squeezer only in
+    groups a mutation actually perturbed.
+    """
+
+    members: tuple[UserId, ...]
+    profiles: tuple[Profile, ...]
+    pools: tuple[StrangerPool, ...]
+
+
+def build_pools_cached(
+    similarities: Mapping[UserId, float],
+    profiles: Mapping[UserId, Profile],
+    config: PoolingConfig | None = None,
+    cache: Mapping[int, PooledGroup] | None = None,
+) -> tuple[list[StrangerPool], dict[int, PooledGroup], int]:
+    """NPP pools with per-group Squeezer reuse.
+
+    Identical partition to :func:`build_pools` — binning is always
+    recomputed (cheap), but a group whose membership and member profiles
+    match a ``cache`` entry reuses that entry's clusters instead of
+    re-running Squeezer.  Returns ``(pools, new_cache, groups_reused)``;
+    the partition check always runs on the final pool list.
+    """
     cfg = config or PoolingConfig()
     groups = network_similarity_groups(similarities, cfg.alpha)
     weights = cfg.normalized_weights()
     pools: list[StrangerPool] = []
+    new_cache: dict[int, PooledGroup] = {}
+    reused = 0
     for group in groups:
         if not group.members:
             continue
-        pools.extend(_pools_for_group(group, profiles, cfg, weights))
+        member_profiles = tuple(profiles[user_id] for user_id in group.members)
+        prior = cache.get(group.index) if cache else None
+        if (
+            prior is not None
+            and prior.members == group.members
+            and prior.profiles == member_profiles
+        ):
+            group_pools = prior.pools
+            reused += 1
+        else:
+            group_pools = tuple(_pools_for_group(group, profiles, cfg, weights))
+        new_cache[group.index] = PooledGroup(
+            members=group.members,
+            profiles=member_profiles,
+            pools=group_pools,
+        )
+        pools.extend(group_pools)
     _check_partition(pools, similarities)
-    return pools
+    return pools, new_cache, reused
 
 
 def _pools_for_group(

@@ -23,6 +23,44 @@ def edge_count_within(graph: SocialGraph, nodes: Iterable[UserId]) -> int:
     return graph.edges_within(nodes)
 
 
+def ns_dirty_after_edge_toggle(
+    graph: SocialGraph, owner: UserId, a: UserId, b: UserId
+) -> frozenset[UserId] | None:
+    """Strangers whose ``NS(owner, s)`` the edge toggle ``{a, b}`` moved.
+
+    ``NS(o, s)`` is a function of the mutual-friend set
+    ``M = N(o) ∩ N(s)`` and the edges within ``M`` (count factor and
+    cohesion factor, :mod:`repro.similarity.network`).  Toggling the
+    single edge ``{a, b}`` changes exactly two adjacency rows — ``N(a)``
+    gains/loses ``b`` and ``N(b)`` gains/loses ``a`` — so for an owner
+    ``o ∉ {a, b}``:
+
+    * ``M(o, s)`` changes only for ``s ∈ {a, b}`` (``N(o)`` and every
+      other ``N(s)`` row are untouched);
+    * the edge ``{a, b}`` is counted inside ``M(o, s)`` only when both
+      endpoints are mutual friends of ``o`` and ``s`` — i.e. when both
+      are friends of the owner *and* ``s ∈ N(a) ∩ N(b)``;
+    * 2-hop stranger-set membership changes only for ``a`` or ``b``
+      (2-hop reach of ``o`` grows/shrinks through its unchanged friend
+      rows by at most the far endpoint).
+
+    Hence the exact dirty set is ``{a, b}``, plus ``N(a) ∩ N(b)`` when
+    both endpoints are friends of the owner.  (``N(a) ∩ N(b)`` itself is
+    invariant under toggling ``{a, b}`` — neither endpoint is its own
+    neighbor — so the set is the same computed before or after the
+    mutation.)  Returns ``None`` when the owner *is* an endpoint: their
+    friend row changed, every stranger's mutual set is suspect, and the
+    caller must fall back to a full recompute.
+    """
+    if owner == a or owner == b:
+        return None
+    dirty = {a, b}
+    friends = graph.friends(owner)
+    if a in friends and b in friends:
+        dirty |= graph.mutual_friends(a, b)
+    return frozenset(dirty)
+
+
 def induced_density(graph: SocialGraph, nodes: Iterable[UserId]) -> float:
     """Edge density of the subgraph induced by ``nodes``.
 

@@ -1,0 +1,329 @@
+"""Delta-proportional session replay: cold-identical results at warm cost.
+
+The paper's motivation for active learning is the *dynamic* graph —
+"stranger connections might change very fast ... it is preferable to
+select the training set on the fly" (Section III).  This module is the
+serving-layer answer: given the pipeline state of a previous run and the
+dirty delta of the mutations since
+(:class:`~repro.service.dirty.DirtyDelta`), :func:`replay_session`
+reproduces — byte for byte — what a **cold** session on the current
+graph would compute, while only paying for what the delta touched:
+
+* ``NS(o, s)`` is recomputed only for dirty strangers (the batch bitset
+  kernel over the touched rows); every other similarity is replayed
+  from the state.
+* Benefits are recomputed only for strangers whose profile changed
+  (``B(o, s)`` reads nothing but the stranger's own profile).
+* NS binning always re-runs (linear, cheap), but Squeezer re-clusters
+  only the groups whose membership or member profiles moved
+  (:func:`~repro.clustering.pools.build_pools_cached`).
+* Each pool's learning loop re-runs only when its *inputs* changed.  A
+  pool's outcome is a pure function of its fingerprint — members, their
+  similarities, benefits, and profiles — plus the session RNG state at
+  the moment the pool starts (the only RNG consumer is in-pool
+  sampling, and the oracle is a deterministic ground-truth lookup).  A
+  recorded pool whose fingerprint and entry RNG state match is replayed
+  verbatim and the RNG is fast-forwarded to its recorded exit state, so
+  every *subsequent* pool — rerun or not — sees exactly the stream a
+  full run would have produced.
+* Re-run pools with unchanged profiles reuse their similarity graph and
+  harmonic classifier (and thereby its splu factor cache) through the
+  session's classifier memo.
+
+Because reuse is gated on *recomputed-input equality*, not on the dirty
+sets alone, conservative (superset) deltas cost extra recomputation but
+can never change the result — the substrate of the engine's
+digest-equivalence guarantee, property-tested by the stateful
+mutate/score suite.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from ..clustering.pools import (
+    PooledGroup,
+    StrangerPool,
+    build_network_only_pools,
+    build_pools_cached,
+)
+from ..errors import LearningError
+from ..graph.social_graph import SocialGraph
+from ..similarity.network import NetworkSimilarity
+from ..types import UserId
+from .oracle import LabelOracle, RecordingOracle
+from .results import PoolResult, SessionResult
+from .session import RiskLearningSession
+
+#: Session-constructor kwargs that make a replay unsound: a fetcher can
+#: drop members nondeterministically w.r.t. our fingerprints, a custom
+#: NS() or edge-similarity wrapper breaks the dirty-set derivation
+#: (which is exact only for the default structural measure), and a
+#: custom sampler may consume randomness we do not checkpoint.
+REPLAY_UNSAFE_KWARGS = (
+    "fetcher",
+    "network_similarity",
+    "edge_similarity_wrapper",
+    "sampler",
+)
+
+
+def replay_supported(session_kwargs: Mapping[str, Any]) -> bool:
+    """Whether a session built with these kwargs may be replayed."""
+    return all(not session_kwargs.get(key) for key in REPLAY_UNSAFE_KWARGS)
+
+
+@dataclass
+class PoolRecord:
+    """One completed pool: its inputs, outcome, and RNG bracket."""
+
+    fingerprint: tuple
+    result: PoolResult
+    rng_before: tuple
+    rng_after: tuple
+
+
+@dataclass
+class SessionReplayState:
+    """Everything a later replay can reuse from one session run."""
+
+    similarities: dict[UserId, float] = field(default_factory=dict)
+    benefits: dict[UserId, float] = field(default_factory=dict)
+    groups: dict[int, PooledGroup] = field(default_factory=dict)
+    pools: dict[str, PoolRecord] = field(default_factory=dict)
+    #: ``pool_id -> (profiles, classifier)`` — the session-level memo
+    #: carrying the similarity graphs and splu factor caches across runs.
+    classifiers: dict[str, tuple] = field(default_factory=dict)
+
+
+@dataclass
+class ReplayStats:
+    """Delta accounting of one replay, for ``/metrics``."""
+
+    full_run: bool = False
+    ns_reused: int = 0
+    ns_recomputed: int = 0
+    benefits_reused: int = 0
+    benefits_recomputed: int = 0
+    groups_reused: int = 0
+    groups_total: int = 0
+    pools_reused: int = 0
+    pools_rerun: int = 0
+
+    def to_dict(self) -> dict[str, int | bool]:
+        """The JSON-shaped form merged into the ``incremental`` block."""
+        return {
+            "full_run": self.full_run,
+            "ns_reused": self.ns_reused,
+            "ns_recomputed": self.ns_recomputed,
+            "benefits_reused": self.benefits_reused,
+            "benefits_recomputed": self.benefits_recomputed,
+            "groups_reused": self.groups_reused,
+            "groups_total": self.groups_total,
+            "pools_reused": self.pools_reused,
+            "pools_rerun": self.pools_rerun,
+        }
+
+
+@dataclass
+class ReplayOutcome:
+    """A replayed session: the cold-identical result plus bookkeeping."""
+
+    result: SessionResult
+    state: SessionReplayState
+    stats: ReplayStats
+    reused_labels: int
+    new_queries: int
+
+
+def replay_session(
+    graph: SocialGraph,
+    owner: UserId,
+    oracle: LabelOracle,
+    seed: int | None,
+    session_kwargs: Mapping[str, Any],
+    state: SessionReplayState | None,
+    dirty,
+) -> ReplayOutcome:
+    """Run (or incrementally replay) one owner's session.
+
+    ``state`` is the previous run's :class:`SessionReplayState` (``None``
+    runs everything and just *builds* state); ``dirty`` is the merged
+    :class:`~repro.service.dirty.DirtyDelta` covering every mutation
+    since that state was recorded, or ``None`` when the gap is unknown
+    (treated as full).  The returned result is byte-identical to
+    ``RiskLearningSession(...).run()`` on the current graph.
+
+    Raises
+    ------
+    LearningError
+        As the plain session would (e.g. the owner has no strangers),
+        or when ``session_kwargs`` contain replay-unsafe hooks.
+    """
+    if not replay_supported(session_kwargs):
+        raise LearningError(
+            "session kwargs contain replay-unsafe hooks; "
+            f"unsupported: {REPLAY_UNSAFE_KWARGS}"
+        )
+    recorder = RecordingOracle(oracle)
+    prior = state or SessionReplayState()
+    session = RiskLearningSession(
+        graph,
+        owner,
+        recorder,
+        seed=seed,
+        classifier_cache=prior.classifiers,
+        **session_kwargs,
+    )
+    strangers = session.ego.strangers
+    if not strangers:
+        raise LearningError(
+            f"owner {owner} has no strangers; nothing to learn"
+        )
+    stats = ReplayStats()
+    full = state is None or dirty is None or dirty.full
+
+    # --- network similarities: recompute only the dirty rows ----------
+    if full:
+        dirty_ns = strangers
+    else:
+        dirty_ns = {
+            s for s in strangers
+            if s in dirty.ns or s not in prior.similarities
+        }
+    similarities = {
+        s: prior.similarities[s] for s in strangers if s not in dirty_ns
+    }
+    if dirty_ns:
+        # Batch path over just the touched strangers; value-for-value
+        # identical to the full batch a cold run computes.
+        measure = NetworkSimilarity(session.config.network_similarity)
+        similarities.update(
+            measure.for_strangers(graph, owner, frozenset(dirty_ns))
+        )
+    stats.ns_recomputed = len(dirty_ns)
+    stats.ns_reused = len(strangers) - len(dirty_ns)
+
+    # --- benefits: B(o, s) reads only s's profile ---------------------
+    if full:
+        dirty_benefit = strangers
+    else:
+        dirty_benefit = {
+            s for s in strangers
+            if s in dirty.profiles or s not in prior.benefits
+        }
+    benefits = {
+        s: prior.benefits[s] for s in strangers if s not in dirty_benefit
+    }
+    if dirty_benefit:
+        benefits.update(
+            session.benefit_model.for_strangers(
+                graph, owner, frozenset(dirty_benefit)
+            )
+        )
+    stats.benefits_recomputed = len(dirty_benefit)
+    stats.benefits_reused = len(strangers) - len(dirty_benefit)
+
+    # --- pooling: re-bin everything, re-Squeeze only moved groups -----
+    profiles = session.ego.stranger_profiles()
+    if session.pooling == "nsp":
+        pools = build_network_only_pools(similarities, session.config.pooling)
+        new_groups: dict[int, PooledGroup] = {}
+        stats.groups_total = len(pools)
+    else:
+        pools, new_groups, reused_groups = build_pools_cached(
+            similarities,
+            profiles,
+            session.config.pooling,
+            None if state is None else prior.groups,
+        )
+        stats.groups_reused = reused_groups
+        stats.groups_total = len(new_groups)
+
+    # --- pool loops: replay matching records, re-run the rest ---------
+    rng = random.Random(session.seed)
+    pool_results: list[PoolResult] = []
+    new_pools: dict[str, PoolRecord] = {}
+    reused_labels = 0
+    for pool in pools:
+        fingerprint = _pool_fingerprint(pool, similarities, benefits, profiles)
+        rng_before = rng.getstate()
+        record = prior.pools.get(pool.pool_id) if state is not None else None
+        if (
+            record is not None
+            and record.fingerprint == fingerprint
+            and record.rng_before == rng_before
+        ):
+            pool_results.append(record.result)
+            new_pools[pool.pool_id] = record
+            rng.setstate(record.rng_after)
+            reused_labels += len(record.result.owner_labels)
+            stats.pools_reused += 1
+            continue
+        result = session.run_pool(pool, similarities, benefits, rng)
+        new_pools[pool.pool_id] = PoolRecord(
+            fingerprint=fingerprint,
+            result=result,
+            rng_before=rng_before,
+            rng_after=rng.getstate(),
+        )
+        pool_results.append(result)
+        stats.pools_rerun += 1
+    stats.full_run = stats.pools_reused == 0
+
+    result = SessionResult(
+        owner=owner,
+        pool_results=tuple(pool_results),
+        confidence=session.config.learning.confidence,
+    )
+    next_state = SessionReplayState(
+        similarities=similarities,
+        benefits=benefits,
+        groups=new_groups,
+        pools=new_pools,
+        classifiers=prior.classifiers,
+    )
+    return ReplayOutcome(
+        result=result,
+        state=next_state,
+        stats=stats,
+        reused_labels=reused_labels,
+        new_queries=recorder.stats.queries,
+    )
+
+
+def _pool_fingerprint(
+    pool: StrangerPool,
+    similarities: Mapping[UserId, float],
+    benefits: Mapping[UserId, float],
+    profiles: Mapping[UserId, Any],
+) -> tuple:
+    """Everything (besides the RNG state) a pool's outcome depends on.
+
+    Members fix the candidate set, similarities/benefits feed every
+    oracle query's metadata and the sampling order, and profiles drive
+    the classifier's edge weights, Squeezer attributes, and display
+    names.  Ground truth is deliberately absent: an existing stranger's
+    judgment never changes (lazy judgments only *add* entries for newly
+    visible users), and the set of members actually queried is a pure
+    function of the fingerprint plus the RNG bracket.
+    """
+    return (
+        pool.pool_id,
+        pool.members,
+        tuple(similarities[m] for m in pool.members),
+        tuple(benefits[m] for m in pool.members),
+        tuple(profiles[m] for m in pool.members),
+    )
+
+
+__all__ = [
+    "PoolRecord",
+    "ReplayOutcome",
+    "ReplayStats",
+    "SessionReplayState",
+    "replay_session",
+    "replay_supported",
+]

@@ -116,6 +116,7 @@ class RiskLearningSession:
         edge_similarity_wrapper=None,
         network_similarity=None,
         fetcher=None,
+        classifier_cache: dict | None = None,
     ) -> None:
         self._graph = graph
         self._owner = owner
@@ -133,6 +134,15 @@ class RiskLearningSession:
         #: the default reconstruction with the session's config.
         self._network_similarity = network_similarity
         self._fetcher = fetcher
+        #: Optional cross-session classifier memo, ``pool_id -> (profiles,
+        #: classifier)``.  When the pool's profiles are unchanged the
+        #: similarity graph — and the classifier holding the splu factor
+        #: cache — is reused instead of rebuilt, so a warm re-run of an
+        #: untouched-membership pool skips graph assembly and (on a
+        #: factor-cache hit) the sparse factorization.  Only consulted
+        #: when no fetcher and no edge-similarity wrapper are active
+        #: (both can change the effective profiles/weights per run).
+        self._classifier_cache = classifier_cache
         self._ego = EgoNetwork(graph, owner)
 
     # ------------------------------------------------------------------
@@ -147,6 +157,21 @@ class RiskLearningSession:
     def config(self) -> PipelineConfig:
         """The active configuration."""
         return self._config
+
+    @property
+    def seed(self) -> int:
+        """The session RNG seed."""
+        return self._seed
+
+    @property
+    def pooling(self) -> PoolingStrategy:
+        """The active pooling strategy."""
+        return self._pooling
+
+    @property
+    def benefit_model(self) -> BenefitModel:
+        """The owner's benefit measure."""
+        return self._benefit_model
 
     # ------------------------------------------------------------------
     # pipeline
@@ -259,6 +284,24 @@ class RiskLearningSession:
             confidence=self._config.learning.confidence,
         )
 
+    def run_pool(
+        self,
+        pool: StrangerPool,
+        similarities: Mapping[UserId, float],
+        benefits: Mapping[UserId, float],
+        rng: random.Random,
+        initial_labels: Mapping[UserId, RiskLabel] | None = None,
+    ) -> PoolResult:
+        """Run one pool's learning loop with the given session RNG.
+
+        The public seam the incremental replay
+        (:mod:`repro.learning.replay`) drives: a replay that reuses some
+        pools verbatim must run the *remaining* pools with the RNG in
+        exactly the state a full :meth:`run` would have reached — the
+        caller owns the RNG threading, this method only consumes it.
+        """
+        return self._run_pool(pool, similarities, benefits, rng, initial_labels)
+
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
@@ -292,27 +335,34 @@ class RiskLearningSession:
                 unreachable=frozenset(pool.members),
                 profile_coverage=0.0,
             )
-        # Edge weights use PS() built on the pool's own profiles — "the
-        # frequency of the item values in the data set (i.e., the profiles
-        # in the considered pool)" (Section III-C).
-        pool_similarity = ProfileSimilarity(
-            profiles,
-            attributes=tuple(ProfileAttribute),
-            weights=DEFAULT_EDGE_WEIGHTS,
-            config=self._config.profile_similarity,
-        )
-        edge_similarity = (
-            self._edge_similarity_wrapper(pool_similarity)
-            if self._edge_similarity_wrapper is not None
-            else pool_similarity
-        )
-        similarity_graph = SimilarityGraph.from_profiles(
-            profiles,
-            edge_similarity,
-            min_edge_weight=self._config.classifier.min_edge_weight,
-            sharpening=self._config.classifier.edge_sharpening,
-        )
-        classifier = self._classifier_factory(similarity_graph)
+        classifier = self._cached_classifier(pool.pool_id, profiles)
+        if classifier is None:
+            # Edge weights use PS() built on the pool's own profiles — "the
+            # frequency of the item values in the data set (i.e., the
+            # profiles in the considered pool)" (Section III-C).
+            pool_similarity = ProfileSimilarity(
+                profiles,
+                attributes=tuple(ProfileAttribute),
+                weights=DEFAULT_EDGE_WEIGHTS,
+                config=self._config.profile_similarity,
+            )
+            edge_similarity = (
+                self._edge_similarity_wrapper(pool_similarity)
+                if self._edge_similarity_wrapper is not None
+                else pool_similarity
+            )
+            similarity_graph = SimilarityGraph.from_profiles(
+                profiles,
+                edge_similarity,
+                min_edge_weight=self._config.classifier.min_edge_weight,
+                sharpening=self._config.classifier.edge_sharpening,
+            )
+            classifier = self._classifier_factory(similarity_graph)
+            if self._cache_eligible():
+                self._classifier_cache[pool.pool_id] = (
+                    list(profiles),
+                    classifier,
+                )
         learner = PoolLearner(
             pool_id=pool.pool_id,
             nsg_index=pool.nsg_index,
@@ -335,6 +385,33 @@ class RiskLearningSession:
             unreachable=result.unreachable | fetch_unreachable,
             profile_coverage=attribute_coverage(profiles),
         )
+
+    def _cache_eligible(self) -> bool:
+        """Whether the cross-session classifier memo may be used."""
+        return (
+            self._classifier_cache is not None
+            and self._fetcher is None
+            and self._edge_similarity_wrapper is None
+        )
+
+    def _cached_classifier(self, pool_id: str, profiles):
+        """A memoized classifier for the pool, or ``None`` to rebuild.
+
+        A hit requires the pool's profile list (identity *and* content)
+        to equal the one the classifier's similarity graph was built
+        from — the graph's edge weights are a pure function of those
+        profiles and the fixed config, so the reused instance predicts
+        byte-identically to a rebuilt one.
+        """
+        if not self._cache_eligible():
+            return None
+        entry = self._classifier_cache.get(pool_id)
+        if entry is None:
+            return None
+        cached_profiles, classifier = entry
+        if cached_profiles != list(profiles):
+            return None
+        return classifier
 
     @staticmethod
     def _display_names(profiles) -> dict[UserId, str]:

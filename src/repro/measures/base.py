@@ -90,6 +90,21 @@ class MeasureScore:
     new_queries: int = 0
 
 
+@dataclass(frozen=True)
+class IncrementalScore:
+    """An incremental measure's answer: score, carry-over state, stats.
+
+    ``state`` is opaque to the engine — it is handed back verbatim on
+    the next incremental call for the same ``(owner, measure)``.
+    ``stats`` is a JSON-ready dict of delta accounting (what was reused
+    vs recomputed), surfaced in ``/metrics``.
+    """
+
+    score: MeasureScore
+    state: Any = None
+    stats: Mapping[str, Any] | None = None
+
+
 class RiskMeasure(abc.ABC):
     """Contract of one pluggable risk scorer.
 
@@ -110,6 +125,11 @@ class RiskMeasure(abc.ABC):
     #: outside the owner's 2-hop universe — cohort-relative measures —
     #: must stay inline on the full graph.
     remote_safe: ClassVar[bool] = True
+    #: Whether :meth:`compute_incremental` is implemented.  Incremental
+    #: measures promise a hard contract: the incremental result (and its
+    #: digest) is byte-identical to a cold :meth:`compute` on the same
+    #: graph, for any conservative dirty delta.
+    supports_incremental: ClassVar[bool] = False
 
     @abc.abstractmethod
     def compute(
@@ -121,6 +141,24 @@ class RiskMeasure(abc.ABC):
         holds a stale memo (warm re-score); measures without incremental
         state simply recompute.
         """
+
+    def compute_incremental(
+        self, request: MeasureRequest, state: Any = None, dirty: Any = None
+    ) -> IncrementalScore:
+        """Score one owner from a prior pipeline state plus a dirty delta.
+
+        ``state`` is what the previous :class:`IncrementalScore` carried
+        (``None`` = no usable state: run fully, but *build* state);
+        ``dirty`` is the merged
+        :class:`~repro.service.dirty.DirtyDelta` covering every store
+        mutation between that state and the current graph, or ``None``
+        when the gap is unknown (must be treated as full).  The returned
+        score must be byte-identical to a cold :meth:`compute` on the
+        current graph — the engine's equivalence gate enforces it.
+        """
+        raise NotImplementedError(
+            f"measure {self.name!r} does not support incremental scoring"
+        )
 
     @abc.abstractmethod
     def digest(self, result: Any) -> str:
@@ -147,6 +185,7 @@ class RiskMeasure(abc.ABC):
 
 __all__ = [
     "DEFAULT_MEASURE",
+    "IncrementalScore",
     "MeasureRequest",
     "MeasureScore",
     "RiskMeasure",

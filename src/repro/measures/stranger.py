@@ -18,9 +18,10 @@ from typing import Any
 from ..experiments.study import plan_owner_session
 from ..io.serialization import result_digest, session_result_to_dict
 from ..learning.incremental import continue_session
+from ..learning.replay import replay_session, replay_supported
 from ..learning.results import SessionResult
 from ..types import RiskLabel, UserId
-from .base import MeasureRequest, MeasureScore, RiskMeasure
+from .base import IncrementalScore, MeasureRequest, MeasureScore, RiskMeasure
 from .registry import register_measure
 
 
@@ -36,6 +37,8 @@ class StrangerRiskMeasure(RiskMeasure):
     #: An ego session only touches the owner's universe subgraph, so the
     #: measure runs on worker processes digest-identically.
     remote_safe = True
+    #: Cold-identical delta replay via :mod:`repro.learning.replay`.
+    supports_incremental = True
 
     def compute(
         self, request: MeasureRequest, previous: Any = None
@@ -73,6 +76,58 @@ class StrangerRiskMeasure(RiskMeasure):
             digest=result_digest(result),
             reused_labels=0,
             new_queries=result.labels_requested,
+        )
+
+    def compute_incremental(
+        self, request: MeasureRequest, state=None, dirty=None
+    ) -> IncrementalScore:
+        """Cold-identical score at delta cost (see :mod:`..learning.replay`).
+
+        With ``state=None`` this is a full run that *builds* the replay
+        state; otherwise only what ``dirty`` touched is recomputed.
+        Either way the result — and therefore the digest — is the one a
+        cold :meth:`compute` would produce on the current graph.  Plans
+        carrying replay-unsafe hooks (fault injection) fall back to a
+        plain cold run with no state.
+        """
+        plan = plan_owner_session(
+            request.owner,
+            request.index,
+            pooling=request.pooling,  # type: ignore[arg-type]
+            classifier=request.classifier,
+            config=request.config,
+            seed=request.seed,
+            use_owner_confidence=request.use_owner_confidence,
+            fault_plan=request.fault_plan,
+            retry_policy=request.retry_policy,
+        )
+        if plan.injector is not None or not replay_supported(
+            plan.session_kwargs
+        ):
+            return IncrementalScore(score=self.compute(request, None))
+        outcome = replay_session(
+            request.graph,
+            plan.owner_id,
+            plan.oracle,
+            plan.seed,
+            plan.session_kwargs,
+            state,
+            dirty,
+        )
+        if state is None:
+            # Cold-run accounting parity with ``compute``: report the
+            # session's own label tally rather than the recorder's.
+            new_queries = outcome.result.labels_requested
+        else:
+            new_queries = outcome.new_queries
+        score = MeasureScore(
+            result=outcome.result,
+            digest=result_digest(outcome.result),
+            reused_labels=outcome.reused_labels if state is not None else 0,
+            new_queries=new_queries,
+        )
+        return IncrementalScore(
+            score=score, state=outcome.state, stats=outcome.stats.to_dict()
         )
 
     def digest(self, result: SessionResult) -> str:

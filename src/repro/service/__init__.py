@@ -14,6 +14,10 @@ instead of re-running the batch study per request:
   :func:`repro.experiments.run_study` byte for byte on cold scores;
 * :class:`ScoreScheduler` — bounded worker pool with per-owner
   serialization and backpressure;
+* :class:`RefreshScheduler` — background refresh: store mutations
+  enqueue the invalidated owners, and idle scheduler slots rescore them
+  ahead of demand (``repro-study serve --background-refresh``), with
+  delta accounting surfaced under ``/metrics``;
 * :class:`ProcessPoolBackend` — multi-core cold scoring: picklable
   :class:`ScoreJob`\\ s run in worker processes, results are rehydrated
   and digest-checked, crashed workers are retried on a fresh pool
@@ -40,6 +44,7 @@ instead of re-running the batch study per request:
   roll-forward/rollback after a crash at any phase.
 """
 
+from .dirty import DirtyDelta, DirtyLog
 from .engine import EngineMetrics, RiskEngine, ScoreRecord
 from .http import (
     RiskServiceHandler,
@@ -59,6 +64,7 @@ from .router import (
     ShardRouterServer,
     build_router,
 )
+from .refresh import RefreshScheduler
 from .scheduler import ScoreScheduler
 from .sharding import DEFAULT_REPLICAS, ShardMap, moved_owners
 from .store import OwnerEntry, OwnerStore
@@ -87,6 +93,8 @@ from .workers import (
 
 __all__ = [
     "DEFAULT_REPLICAS",
+    "DirtyDelta",
+    "DirtyLog",
     "DurableOwnerStore",
     "EngineMetrics",
     "OwnerEntry",
@@ -95,6 +103,7 @@ __all__ = [
     "ProcessPoolBackend",
     "RebalanceCoordinator",
     "RecoveryReport",
+    "RefreshScheduler",
     "RiskEngine",
     "RiskServiceHandler",
     "RiskServiceServer",

@@ -40,9 +40,10 @@ from dataclasses import dataclass
 from typing import Any, Iterable, Iterator, Literal
 
 from ..config import PipelineConfig
-from ..errors import ServiceError
+from ..errors import ServiceError, UnknownMeasureError, UnknownOwnerError
 from ..measures import DEFAULT_MEASURE, MeasureRequest, get_measure
 from ..types import UserId
+from .dirty import DirtyDelta, EMPTY_DELTA
 from .store import OwnerStore
 
 #: How a score was produced: full pipeline, warm re-score, or memo.
@@ -143,6 +144,17 @@ class EngineMetrics:
         self.reused_labels = 0
         self.new_queries = 0
         self.cache_evictions = 0
+        self.incremental_scores = 0
+        self._incremental_totals: dict[str, int] = {
+            "full_runs": 0,
+            "ns_reused": 0,
+            "ns_recomputed": 0,
+            "benefits_reused": 0,
+            "benefits_recomputed": 0,
+            "groups_reused": 0,
+            "pools_reused": 0,
+            "pools_rerun": 0,
+        }
         self._latency_window = latency_window
         self._latency: dict[str, _LatencyAccumulator] = {
             "cold": _LatencyAccumulator(latency_window),
@@ -200,14 +212,33 @@ class EngineMetrics:
             self.reused_labels += reused
             self.new_queries += queries
 
-    def record_error(self, measure: str = DEFAULT_MEASURE) -> None:
-        """Count one request that raised instead of scoring."""
+    def record_error(self, measure: str | None = DEFAULT_MEASURE) -> None:
+        """Count one request that raised instead of scoring.
+
+        ``measure=None`` counts only the global totals — the path for
+        :class:`~repro.errors.UnknownMeasureError`, where creating a
+        per-measure block keyed by an arbitrary client-supplied name
+        would let callers grow the metrics dict without bound.
+        """
         with self._lock:
             self.requests += 1
             self.errors += 1
+            if measure is None:
+                return
             block = self._measure_block(measure)
             block["requests"] += 1
             block["errors"] += 1
+
+    def record_incremental(self, stats: dict[str, Any]) -> None:
+        """Fold one incremental score's delta accounting into the totals."""
+        with self._lock:
+            self.incremental_scores += 1
+            if stats.get("full_run"):
+                self._incremental_totals["full_runs"] += 1
+            for key in self._incremental_totals:
+                if key == "full_runs":
+                    continue
+                self._incremental_totals[key] += int(stats.get(key, 0))
 
     def record_eviction(self) -> None:
         """Count one memoized record dropped by the LRU bound."""
@@ -238,6 +269,10 @@ class EngineMetrics:
                 "reused_labels": self.reused_labels,
                 "new_queries": self.new_queries,
                 "cache_evictions": self.cache_evictions,
+                "incremental": {
+                    "scores": self.incremental_scores,
+                    **dict(self._incremental_totals),
+                },
                 "latency_window": self._latency_window,
                 "latency": {
                     "cold": self._latency["cold"].stats(),
@@ -258,6 +293,14 @@ class EngineMetrics:
                     for name, block in sorted(self._measures.items())
                 },
             }
+
+
+@dataclass
+class _PipelineState:
+    """One measure's carry-over state, tagged with its graph version."""
+
+    version: int
+    payload: Any
 
 
 class _CountedLock:
@@ -311,12 +354,14 @@ class RiskEngine:
         backend=None,
         max_cached_owners: int = 4096,
         clock=time.perf_counter,
+        incremental_enabled: bool = True,
     ) -> None:
         if max_cached_owners < 1:
             raise ServiceError(
                 f"max_cached_owners must be >= 1, got {max_cached_owners}"
             )
         self._store = store
+        self._incremental_enabled = incremental_enabled
         self._pooling = pooling
         self._classifier = classifier
         self._config = config
@@ -330,6 +375,12 @@ class RiskEngine:
         # and invalidates independently, but all of an owner's entries
         # share the owner's version (one mutation stales them all).
         self._cache: OrderedDict[tuple[UserId, str], ScoreRecord] = (
+            OrderedDict()
+        )
+        # Incremental pipeline states, keyed like the memo and bounded
+        # by the same LRU limit.  A state is advisory: losing one only
+        # costs the next warm score a full (state-rebuilding) run.
+        self._states: OrderedDict[tuple[UserId, str], _PipelineState] = (
             OrderedDict()
         )
         self._cache_guard = threading.Lock()
@@ -359,6 +410,11 @@ class RiskEngine:
         """The LRU bound on memoized records."""
         return self._max_cached_owners
 
+    @property
+    def incremental_enabled(self) -> bool:
+        """Whether warm re-scores use dirty-set delta replay."""
+        return self._incremental_enabled
+
     def cached(
         self, owner_id: UserId, measure: str = DEFAULT_MEASURE
     ) -> ScoreRecord | None:
@@ -371,22 +427,27 @@ class RiskEngine:
 
         ``cached_version``/``cache_fresh`` describe the default measure
         (the historical columns); ``cached_measures`` lists every
-        measure with a fresh memo for the owner.
+        measure with a fresh memo for the owner.  The memo is folded
+        into an owner→records map in one pass — re-scanning the whole
+        cache per owner row made ``/owners`` quadratic on large fleets.
         """
+        by_owner: dict[UserId, dict[str, ScoreRecord]] = {}
+        with self._cache_guard:
+            for (owner_id, measure), record in self._cache.items():
+                by_owner.setdefault(owner_id, {})[measure] = record
         overview = []
         for row in self._store.snapshot():
-            cached = self.cached(row["owner"])
+            records = by_owner.get(row["owner"], {})
+            cached = records.get(DEFAULT_MEASURE)
             row["cached_version"] = cached.version if cached else None
             row["cache_fresh"] = (
                 cached is not None and cached.version == row["version"]
             )
-            with self._cache_guard:
-                row["cached_measures"] = sorted(
-                    measure
-                    for (owner_id, measure), record in self._cache.items()
-                    if owner_id == row["owner"]
-                    and record.version == row["version"]
-                )
+            row["cached_measures"] = sorted(
+                measure
+                for measure, record in records.items()
+                if record.version == row["version"]
+            )
             overview.append(row)
         return overview
 
@@ -414,10 +475,25 @@ class RiskEngine:
             If ``measure`` names no registered risk measure.
         """
         name = DEFAULT_MEASURE if measure is None else measure
-        risk_measure = get_measure(name)
-        entry = self._store.get(owner_id)
+        try:
+            risk_measure = get_measure(name)
+        except UnknownMeasureError:
+            # Global-only accounting: a per-measure block keyed by an
+            # arbitrary unknown name would be unbounded.
+            self._metrics.record_error(None)
+            raise
         with self._owner_lock(owner_id):
-            version = self._store.version(owner_id)
+            # The entry must be fetched *inside* the owner lock: a
+            # concurrent attach_entry (migration) or universe-widening
+            # add_friendship swaps/extends the entry, and a pre-lock
+            # fetch could compute a stale owner/universe against a
+            # freshly bumped version.
+            try:
+                entry = self._store.get(owner_id)
+            except UnknownOwnerError:
+                self._metrics.record_error(name)
+                raise
+            version = entry.version
             cached = self._touch_cache(owner_id, name, version)
             if cached is not None:
                 self._metrics.record_hit(name)
@@ -448,13 +524,22 @@ class RiskEngine:
             return record
 
     def invalidate(self, owner_id: UserId) -> None:
-        """Drop the owner's memoized records (the next scores run cold)."""
+        """Drop the owner's memoized records (the next scores run cold).
+
+        Pipeline states go with them: ``invalidate`` promises a *cold*
+        re-score, and a surviving state would silently serve a delta
+        replay instead.
+        """
         with self._owner_lock(owner_id):
             with self._cache_guard:
                 for key in [
                     key for key in self._cache if key[0] == owner_id
                 ]:
                     del self._cache[key]
+                for key in [
+                    key for key in self._states if key[0] == owner_id
+                ]:
+                    del self._states[key]
 
     def invalidate_many(self, owner_ids: Iterable[UserId]) -> None:
         """Drop memoized records for several owners at once.
@@ -477,7 +562,10 @@ class RiskEngine:
             and self._backend is not None
             and risk_measure.remote_safe
         ):
+            # Pure cold scores still ship to the worker pool; pipeline
+            # state is built lazily by the first inline re-score.
             return self._compute_cold_on_backend(entry, version, risk_measure)
+        owner_id = entry.owner.user_id
         request = MeasureRequest(
             graph=self._store.graph,
             owner=entry.owner,
@@ -489,8 +577,13 @@ class RiskEngine:
             use_owner_confidence=self._use_owner_confidence,
         )
         start = self._clock()
-        previous = cached.result if cached is not None else None
-        score = risk_measure.compute(request, previous)
+        if self._incremental_enabled and risk_measure.supports_incremental:
+            score = self._compute_incremental(
+                owner_id, request, version, cached, risk_measure
+            )
+        else:
+            previous = cached.result if cached is not None else None
+            score = risk_measure.compute(request, previous)
         elapsed = self._clock() - start
         source: ScoreSource = "warm" if cached is not None else "cold"
         return ScoreRecord(
@@ -504,6 +597,55 @@ class RiskEngine:
             elapsed_seconds=elapsed,
             measure=risk_measure.name,
         )
+
+    def _compute_incremental(
+        self,
+        owner_id: UserId,
+        request: MeasureRequest,
+        version: int,
+        cached: ScoreRecord | None,
+        risk_measure,
+    ):
+        """Delta-replay one score through the measure's pipeline state.
+
+        The dirty delta handed to the measure merges every store
+        mutation between the state's version and ``version`` (the
+        version read under the owner lock at the top of :meth:`score`).
+        A ``None`` delta — no state, or the dirty log no longer covers
+        the gap — makes the measure run fully and rebuild state, so a
+        lost state or evicted log costs time, never correctness.
+        """
+        with self._cache_guard:
+            state = self._states.get((owner_id, risk_measure.name))
+            if state is not None:
+                self._states.move_to_end((owner_id, risk_measure.name))
+        dirty: DirtyDelta | None = None
+        payload = None
+        if state is not None and cached is not None:
+            payload = state.payload
+            if state.version == version:
+                dirty = EMPTY_DELTA
+            else:
+                dirty = self._store.dirty_between(owner_id, state.version)
+            if dirty is None:
+                # Gap not covered by the dirty log (evicted entries or a
+                # replaced graph): full rebuild, not a wrong reuse.
+                payload = None
+        incremental = risk_measure.compute_incremental(
+            request, payload, dirty
+        )
+        if incremental.state is not None:
+            with self._cache_guard:
+                key = (owner_id, risk_measure.name)
+                self._states[key] = _PipelineState(
+                    version=version, payload=incremental.state
+                )
+                self._states.move_to_end(key)
+                while len(self._states) > self._max_cached_owners:
+                    self._states.popitem(last=False)
+        if incremental.stats is not None:
+            self._metrics.record_incremental(dict(incremental.stats))
+        return incremental.score
 
     def _compute_cold_on_backend(
         self, entry, version: int, risk_measure

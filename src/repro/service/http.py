@@ -111,6 +111,7 @@ class RiskServiceServer(ThreadingHTTPServer):
         breaker: CircuitBreaker | None = None,
         quiet: bool = True,
         state: ServiceState | None = None,
+        refresher=None,
     ) -> None:
         super().__init__(address, RiskServiceHandler)
         self.engine = engine
@@ -121,6 +122,8 @@ class RiskServiceServer(ThreadingHTTPServer):
         )
         self.quiet = quiet
         self.state = state or ServiceState()
+        # optional RefreshScheduler: surfaces under /metrics as "refresh"
+        self.refresher = refresher
 
     @property
     def url(self) -> str:
@@ -302,6 +305,9 @@ class RiskServiceHandler(MeasureParsingMixin, BaseHTTPRequestHandler):
         backend = getattr(self.server.engine, "backend", None)
         if backend is not None and hasattr(backend, "stats"):
             document["workers"] = backend.stats()
+        refresher = getattr(self.server, "refresher", None)
+        if refresher is not None:
+            document["refresh"] = refresher.snapshot()
         return document
 
     def _mutate(self) -> None:
@@ -642,11 +648,23 @@ def build_server(
     request_timeout: float = 60.0,
     breaker: CircuitBreaker | None = None,
     state: ServiceState | None = None,
+    background_refresh: bool = False,
 ) -> RiskServiceServer:
-    """Wire engine → scheduler → HTTP server (port 0 = ephemeral)."""
+    """Wire engine → scheduler → HTTP server (port 0 = ephemeral).
+
+    ``background_refresh=True`` additionally attaches a
+    :class:`~repro.service.refresh.RefreshScheduler` to the engine's
+    store, so mutations enqueue their invalidated owners for ahead-of-
+    demand rescoring in idle scheduler slots.
+    """
     scheduler = ScoreScheduler(
         engine, max_workers=max_workers, max_pending=max_pending
     )
+    refresher = None
+    if background_refresh:
+        from .refresh import RefreshScheduler
+
+        refresher = RefreshScheduler(scheduler).attach(engine.store)
     return RiskServiceServer(
         (host, port),
         engine,
@@ -654,6 +672,7 @@ def build_server(
         request_timeout=request_timeout,
         breaker=breaker,
         state=state,
+        refresher=refresher,
     )
 
 

@@ -1,0 +1,194 @@
+"""Background refresh: rescore dirty owners ahead of demand.
+
+The store knows the instant an owner goes stale (every mutation reports
+the owners it invalidated); without this module, that knowledge sits
+unused until the next ``/score`` request eats the warm-rescore latency
+inline.  :class:`RefreshScheduler` closes the loop: it subscribes to the
+store's mutation listeners, keeps a bounded ordered set of dirty owners,
+and — whenever the serving scheduler has idle capacity — submits them
+for rescoring so the next client hit is a cache hit.
+
+Design points:
+
+* **Demand traffic wins.**  The refresher only drains when the serving
+  scheduler's pending count is at or below ``idle_threshold``, and each
+  drain submits at most ``max_batch`` owners, so background work can
+  never saturate the queue ahead of real requests.  A submission that
+  still bounces off backpressure is requeued, not lost.
+* **Coalescing.**  The queue is a set: ten rapid mutations of one owner
+  cost one background rescore.  An owner re-dirtied while its refresh
+  is in flight is simply re-enqueued (the engine's per-owner lock and
+  version check make the extra pass cheap or a no-op).
+* **Advisory only.**  Losing the refresher (or never starting one)
+  changes nothing about correctness — scores stay versioned and warm
+  on demand; this is purely ahead-of-time work, surfaced in
+  ``/metrics`` under ``refresh``.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Iterable
+
+from ..errors import BackpressureError
+from ..types import UserId
+
+
+class RefreshScheduler:
+    """Daemon that rescoring-drains dirty owners during idle slots.
+
+    Parameters
+    ----------
+    scheduler:
+        The serving :class:`~repro.service.scheduler.ScoreScheduler`
+        (anything with ``submit``, ``pending``, ``accepting``).
+    idle_threshold:
+        Drain only while ``scheduler.pending <= idle_threshold``.  The
+        default ``0`` is the most deferential setting: refresh only on a
+        completely quiet queue.
+    max_batch:
+        Owners submitted per drain pass; keeps each pass small so a
+        burst of demand traffic reclaims the queue within one interval.
+    interval:
+        Seconds between idle checks when no mutation wakes the loop.
+    """
+
+    def __init__(
+        self,
+        scheduler,
+        idle_threshold: int = 0,
+        max_batch: int = 4,
+        interval: float = 0.05,
+    ) -> None:
+        self._scheduler = scheduler
+        self._idle_threshold = max(0, int(idle_threshold))
+        self._max_batch = max(1, int(max_batch))
+        self._interval = float(interval)
+        # dict-as-ordered-set: first dirtied drains first
+        self._queue: dict[UserId, None] = {}
+        self._lock = threading.Lock()
+        self._wake = threading.Event()
+        self._stopped = threading.Event()
+        self.enqueued = 0
+        self.refreshed = 0
+        self.failed = 0
+        self.requeued = 0
+        self._thread = threading.Thread(
+            target=self._loop, name="risk-refresh", daemon=True
+        )
+        self._thread.start()
+
+    # ------------------------------------------------------------------
+    # producer side
+    # ------------------------------------------------------------------
+    def notify(self, owner_ids: Iterable[UserId]) -> None:
+        """Mark owners dirty (the store's mutation-listener hook)."""
+        if self._stopped.is_set():
+            return
+        with self._lock:
+            for owner_id in owner_ids:
+                if owner_id not in self._queue:
+                    self._queue[owner_id] = None
+                    self.enqueued += 1
+        self._wake.set()
+
+    def attach(self, store) -> "RefreshScheduler":
+        """Subscribe to a store's mutation stream; returns ``self``."""
+        store.add_mutation_listener(self.notify)
+        return self
+
+    # ------------------------------------------------------------------
+    # introspection / lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def queued(self) -> int:
+        """Owners currently waiting for a background rescore."""
+        with self._lock:
+            return len(self._queue)
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-ready refresher state for the ``/metrics`` endpoint."""
+        with self._lock:
+            return {
+                "queued": len(self._queue),
+                "enqueued": self.enqueued,
+                "refreshed": self.refreshed,
+                "failed": self.failed,
+                "requeued": self.requeued,
+                "idle_threshold": self._idle_threshold,
+                "max_batch": self._max_batch,
+                "running": not self._stopped.is_set(),
+            }
+
+    def drain_wait(self, timeout: float = 5.0) -> bool:
+        """Block until the dirty queue is empty and submitted work is
+        done (test helper); returns whether it drained in time."""
+        deadline = threading.Event()
+        waiter = threading.Timer(timeout, deadline.set)
+        waiter.daemon = True
+        waiter.start()
+        try:
+            while not deadline.is_set():
+                with self._lock:
+                    empty = not self._queue
+                if empty and self._scheduler.pending == 0:
+                    return True
+                self._stopped.wait(0.01)
+            return False
+        finally:
+            waiter.cancel()
+
+    def shutdown(self) -> None:
+        """Stop the drain loop (idempotent; queued owners are dropped)."""
+        self._stopped.set()
+        self._wake.set()
+        self._thread.join(timeout=5.0)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _loop(self) -> None:
+        while not self._stopped.is_set():
+            self._wake.wait(timeout=self._interval)
+            self._wake.clear()
+            if self._stopped.is_set():
+                return
+            self._drain_once()
+
+    def _drain_once(self) -> None:
+        if not getattr(self._scheduler, "accepting", True):
+            return
+        if self._scheduler.pending > self._idle_threshold:
+            return
+        batch: list[UserId] = []
+        with self._lock:
+            while self._queue and len(batch) < self._max_batch:
+                owner_id = next(iter(self._queue))
+                del self._queue[owner_id]
+                batch.append(owner_id)
+        for owner_id in batch:
+            try:
+                future = self._scheduler.submit(owner_id)
+            except BackpressureError:
+                # queue filled up (or shut down) under us: put it back
+                with self._lock:
+                    if owner_id not in self._queue:
+                        self._queue[owner_id] = None
+                        self.requeued += 1
+                continue
+            except Exception:
+                with self._lock:
+                    self.failed += 1
+                continue
+            future.add_done_callback(self._account)
+
+    def _account(self, future) -> None:
+        error = future.exception()
+        with self._lock:
+            if error is None:
+                self.refreshed += 1
+            else:
+                self.failed += 1
+
+
+__all__ = ["RefreshScheduler"]

@@ -24,11 +24,13 @@ from dataclasses import dataclass, field
 from typing import Mapping
 
 from ..errors import UnknownOwnerError
+from ..graph.metrics import ns_dirty_after_edge_toggle
 from ..graph.profile import Profile
 from ..graph.social_graph import SocialGraph
 from ..synth.owners import SimulatedOwner
 from ..synth.population import StudyPopulation
 from ..types import RiskLabel, UserId
+from .dirty import EMPTY_DELTA, FULL_DELTA, DirtyDelta, DirtyLog
 
 
 @dataclass
@@ -39,7 +41,9 @@ class OwnerEntry:
     drives the per-owner session seed (``base_seed + index``), mirroring
     :func:`repro.experiments.run_study`'s enumeration so served scores
     reproduce the batch study.  ``version`` counts the deltas that have
-    touched this owner's universe since registration.
+    touched this owner's universe since registration; ``dirty`` records
+    *what* each of those bumps could have changed (bounded, see
+    :class:`~repro.service.dirty.DirtyLog`).
     """
 
     owner: SimulatedOwner
@@ -47,6 +51,7 @@ class OwnerEntry:
     version: int = 0
     universe: set[UserId] = field(default_factory=set)
     labels: dict[UserId, RiskLabel] = field(default_factory=dict)
+    dirty: DirtyLog = field(default_factory=DirtyLog)
 
 
 class OwnerStore:
@@ -62,6 +67,7 @@ class OwnerStore:
         self._entries: dict[UserId, OwnerEntry] = {}
         self._user_owners: dict[UserId, set[UserId]] = {}
         self._lock = threading.RLock()
+        self._mutation_listeners: list = []
 
     # ------------------------------------------------------------------
     # construction
@@ -177,9 +183,15 @@ class OwnerStore:
         every broadcast mutation since; importing a slice hands it the
         source's current graph wholesale.  Callers must ensure no entry's
         universe refers to users absent from ``graph``.
+
+        Every owner's dirty log is cleared: deltas recorded against the
+        old graph say nothing about the new one, and an empty log makes
+        ``dirty_between`` answer ``None`` (full-recompute fallback).
         """
         with self._lock:
             self._graph = graph
+            for entry in self._entries.values():
+                entry.dirty.clear()
 
     # ------------------------------------------------------------------
     # accessors
@@ -229,19 +241,36 @@ class OwnerStore:
     # mutations (each bumps the affected owners' versions)
     # ------------------------------------------------------------------
     def add_user(self, profile: Profile, owner_id: UserId) -> None:
-        """Add a new user to the graph, inside one owner's universe."""
+        """Add a new user to the graph, inside one owner's universe.
+
+        The dirty delta is profile-only: an edgeless user is nobody's
+        2-hop contact yet, so no stranger's ``NS`` moved.
+        """
         with self._lock:
             entry = self.get(owner_id)
             self._graph.add_user(profile)
             entry.universe.add(profile.user_id)
             self._user_owners.setdefault(profile.user_id, set()).add(owner_id)
-            entry.version += 1
+            delta = DirtyDelta(profiles=frozenset({profile.user_id}))
+            self._bump(frozenset({owner_id}), lambda _: delta)
+        self._notify(frozenset({owner_id}))
 
     def update_profile(self, profile: Profile) -> frozenset[UserId]:
-        """Replace a user's profile; returns the owners invalidated."""
+        """Replace a user's profile; returns the owners invalidated.
+
+        Profile edits never move ``NS`` (a structural measure), so the
+        dirty delta marks only the user's profile: benefits, Squeezer
+        clusters, and classifier edge weights of pools containing the
+        user are what a warm re-score must refresh.
+        """
         with self._lock:
             self._graph.add_user(profile)
-            return self._bump(self.owners_of(profile.user_id))
+            delta = DirtyDelta(profiles=frozenset({profile.user_id}))
+            affected = self._bump(
+                self.owners_of(profile.user_id), lambda _: delta
+            )
+        self._notify(affected)
+        return affected
 
     def add_friendship(self, a: UserId, b: UserId) -> frozenset[UserId]:
         """Create the edge ``{a, b}``; returns the owners invalidated.
@@ -255,6 +284,11 @@ class OwnerStore:
         so the next warm re-score's oracle has an answer instead of
         erroring.  The judgments are per-pair seeded, hence identical
         across shard topologies and WAL replays.
+
+        Each affected owner's dirty delta is the exact NS perturbation
+        of the toggled edge
+        (:func:`~repro.graph.metrics.ns_dirty_after_edge_toggle`);
+        owners who are themselves an endpoint get a full delta.
         """
         with self._lock:
             affected = self.owners_of(a) | self.owners_of(b)
@@ -266,7 +300,9 @@ class OwnerStore:
                         entry.universe.add(user)
                         self._user_owners.setdefault(user, set()).add(owner_id)
                 self._extend_ground_truth(entry)
-            return self._bump(affected)
+            self._bump(affected, self._edge_delta(a, b))
+        self._notify(affected)
+        return affected
 
     def _extend_ground_truth(self, entry: OwnerEntry) -> None:
         """Judge (and adopt) strangers newly visible to one owner.
@@ -289,10 +325,21 @@ class OwnerStore:
                 )
 
     def remove_friendship(self, a: UserId, b: UserId) -> frozenset[UserId]:
-        """Remove the edge ``{a, b}``; returns the owners invalidated."""
+        """Remove the edge ``{a, b}``; returns the owners invalidated.
+
+        Dirty accounting mirrors :meth:`add_friendship`: the exact NS
+        perturbation of the toggled edge (``N(a) ∩ N(b)`` is invariant
+        under the toggle, so deriving it after the removal is identical
+        to before).
+        """
         with self._lock:
             self._graph.remove_friendship(a, b)
-            return self._bump(self.owners_of(a) | self.owners_of(b))
+            affected = self._bump(
+                self.owners_of(a) | self.owners_of(b),
+                self._edge_delta(a, b),
+            )
+        self._notify(affected)
+        return affected
 
     def grant_labels(
         self, owner_id: UserId, labels: Mapping[UserId, int]
@@ -315,11 +362,67 @@ class OwnerStore:
             return new
 
     def touch(self, owner_id: UserId) -> int:
-        """Manually invalidate one owner; returns the new version."""
+        """Manually invalidate one owner; returns the new version.
+
+        A manual bump carries no delta information, so its dirty entry
+        is *full* — the next warm re-score revalidates everything (and
+        still reuses any pool whose recomputed inputs come out equal).
+        """
         with self._lock:
             entry = self.get(owner_id)
-            entry.version += 1
-            return entry.version
+            self._bump(frozenset({owner_id}), lambda _: FULL_DELTA)
+            version = entry.version
+        self._notify(frozenset({owner_id}))
+        return version
+
+    # ------------------------------------------------------------------
+    # dirty-set / mutation-listener plumbing
+    # ------------------------------------------------------------------
+    def dirty_between(
+        self, owner_id: UserId, since_version: int
+    ) -> DirtyDelta | None:
+        """Merged dirty delta covering ``(since_version, current]``.
+
+        ``None`` means the owner's log cannot vouch for the whole range
+        (evicted entries, or an entry that predates the log — e.g. a
+        freshly migrated owner): the caller must treat the gap as full.
+        Raises :class:`UnknownOwnerError` for unknown owners.
+        """
+        with self._lock:
+            entry = self.get(owner_id)
+            return entry.dirty.between(since_version, entry.version)
+
+    def add_mutation_listener(self, listener) -> None:
+        """Register ``listener(owner_ids)`` to run after each mutation.
+
+        Listeners fire outside the store lock, on the mutating thread,
+        with the frozenset of invalidated owners — the hook the
+        background refresh scheduler uses to enqueue rescoring work.
+        Listeners must not raise; exceptions are swallowed so a broken
+        observer can never fail a mutation that already happened.
+        """
+        with self._lock:
+            self._mutation_listeners.append(listener)
+
+    def _notify(self, owner_ids: frozenset[UserId]) -> None:
+        if not owner_ids:
+            return
+        for listener in list(self._mutation_listeners):
+            try:
+                listener(owner_ids)
+            except Exception:  # pragma: no cover - defensive
+                pass
+
+    def _edge_delta(self, a: UserId, b: UserId):
+        """Per-owner delta factory for an edge toggle (lock held)."""
+
+        def derive(owner_id: UserId) -> DirtyDelta:
+            dirty = ns_dirty_after_edge_toggle(self._graph, owner_id, a, b)
+            if dirty is None:
+                return FULL_DELTA
+            return DirtyDelta(ns=dirty)
+
+        return derive
 
     # ------------------------------------------------------------------
     # reporting
@@ -338,9 +441,19 @@ class OwnerStore:
                 for owner_id, entry in self._entries.items()
             ]
 
-    def _bump(self, owner_ids: frozenset[UserId]) -> frozenset[UserId]:
+    def _bump(
+        self, owner_ids: frozenset[UserId], delta_for=None
+    ) -> frozenset[UserId]:
+        """Bump versions, recording each bump's dirty delta.
+
+        ``delta_for(owner_id)`` derives the per-owner delta; ``None``
+        (unknown provenance) records a conservative full delta.
+        """
         for owner_id in owner_ids:
-            self._entries[owner_id].version += 1
+            entry = self._entries[owner_id]
+            entry.version += 1
+            delta = FULL_DELTA if delta_for is None else delta_for(owner_id)
+            entry.dirty.record(entry.version, delta)
         return owner_ids
 
     def has_owner(self, owner_id: UserId) -> bool:
