@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-paper-scale perf-smoke parallel-smoke robustness chaos shard-smoke rebalance-smoke measures-smoke incremental-smoke study serve examples clean
+.PHONY: install test bench bench-paper-scale perf-smoke parallel-smoke robustness chaos shard-smoke rebalance-smoke measures-smoke incremental-smoke async-smoke study serve examples clean
 
 install:
 	$(PYTHON) -m pip install -e ".[test]"
@@ -106,6 +106,22 @@ incremental-smoke:
 	REPRO_BENCH_INCREMENTAL_SIZES=1000 \
 		$(PYTHON) -m pytest -q -o addopts= -s \
 		benchmarks/bench_incremental.py
+
+# the asyncio front-end: route-for-route digest parity vs the threaded
+# server, admission/coalescing/group-commit suites, the async kill -9
+# chaos gate (including the @slow mid-flight kill that tier-1 skips),
+# and the E22 latency-under-concurrency bench at reduced scale (the
+# >= 3x p99 floor only asserts at the full 256-in-flight level)
+async-smoke:
+	$(PYTHON) -m pytest -q -o addopts= \
+		tests/service/test_async_http.py \
+		"tests/service/test_scheduler.py::TestCoalescing" \
+		"tests/service/test_wal.py::TestGroupCommit" \
+		"tests/service/test_chaos.py::test_async_kill9_loses_no_group_committed_ack" \
+		"tests/service/test_chaos.py::test_async_kill9_mid_flight_keeps_the_acked_prefix"
+	REPRO_BENCH_E22_CONCURRENCY=16,64 REPRO_BENCH_E22_REQUESTS=8 \
+		$(PYTHON) -m pytest -q -o addopts= -s \
+		benchmarks/bench_latency_concurrency.py
 
 study:
 	$(PYTHON) -m repro --owners 8 --strangers 300

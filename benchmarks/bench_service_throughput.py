@@ -13,6 +13,11 @@ The sharded section boots the real ``serve --shards N`` topology
 topology serves byte-identical digests, and records the cold/cached
 throughput sweep (a committed snapshot, stamped with ``cpu_cores``,
 lives in ``benchmarks/baselines/BENCH_shard_scaling_baseline.json``).
+Clients hold keep-alive sessions (one persistent connection per
+thread, via :class:`~benchmarks.conftest.KeepAliveClient`) so the
+sweep times the service rather than per-request TCP setup — the
+committed baseline was refreshed when this landed, since the old
+fresh-connection-per-request numbers understated cached throughput.
 
 The per-measure section sweeps every registered risk measure through
 the engine + scheduler stack — cold and cached — asserting digest
@@ -31,7 +36,6 @@ import signal
 import subprocess
 import sys
 import time
-import urllib.request
 from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 
@@ -43,7 +47,7 @@ from repro.service import (
     ScoreScheduler,
 )
 
-from .conftest import OUT_DIR, SEED, write_artifact
+from .conftest import OUT_DIR, SEED, KeepAliveClient, write_artifact
 
 CACHED_ROUNDS = 20
 
@@ -308,6 +312,9 @@ class _ShardedServe:
             text=True,
         )
         self.url = self._await_announcement()
+        # keep-alive sessions: the sweep times the service, not TCP
+        # connection setup (one persistent connection per client thread)
+        self.client = KeepAliveClient(self.url)
 
     def _await_announcement(self) -> str:
         for _ in range(400):
@@ -323,12 +330,10 @@ class _ShardedServe:
         raise AssertionError("no 'serving on' announcement")
 
     def get(self, path: str) -> dict:
-        with urllib.request.urlopen(
-            self.url + path, timeout=600
-        ) as response:
-            return json.loads(response.read())
+        return self.client.get(path)
 
     def stop(self) -> int:
+        self.client.close()
         self.process.send_signal(signal.SIGTERM)
         self.process.stderr.read()
         code = self.process.wait(timeout=120)
@@ -336,6 +341,7 @@ class _ShardedServe:
         return code
 
     def cleanup(self) -> None:
+        self.client.close()
         if self.process.poll() is None:
             self.process.terminate()
             try:

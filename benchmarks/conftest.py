@@ -14,7 +14,11 @@ quick CI pass and a full-scale reproduction run:
 
 from __future__ import annotations
 
+import http.client
+import json
 import os
+import threading
+import urllib.parse
 from pathlib import Path
 
 import pytest
@@ -27,6 +31,89 @@ STRANGERS = int(os.environ.get("REPRO_BENCH_STRANGERS", "300"))
 SEED = int(os.environ.get("REPRO_BENCH_SEED", "2012"))
 
 OUT_DIR = Path(__file__).parent / "out"
+
+
+class KeepAliveClient:
+    """Persistent HTTP/1.1 connections to a served benchmark target.
+
+    ``urllib.request.urlopen`` opens a fresh TCP connection per request,
+    so a throughput sweep through it measures connection setup as much
+    as the service.  This client keeps one ``http.client.HTTPConnection``
+    per calling thread and reuses it across requests, which is what a
+    real load generator (and any sane production client) does.  A
+    connection that the server closed (or that errored mid-request) is
+    discarded and rebuilt once, transparently.
+    """
+
+    def __init__(self, url: str, timeout: float = 600.0):
+        parsed = urllib.parse.urlsplit(url)
+        self.host = parsed.hostname or "127.0.0.1"
+        self.port = parsed.port or 80
+        self.timeout = timeout
+        self._local = threading.local()
+        self._conns: list[http.client.HTTPConnection] = []
+        self._conns_lock = threading.Lock()
+
+    def _connection(self) -> http.client.HTTPConnection:
+        conn = getattr(self._local, "conn", None)
+        if conn is None:
+            conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+            self._local.conn = conn
+            with self._conns_lock:
+                self._conns.append(conn)
+        return conn
+
+    def _reset(self) -> None:
+        conn = getattr(self._local, "conn", None)
+        if conn is not None:
+            conn.close()
+            with self._conns_lock:
+                if conn in self._conns:
+                    self._conns.remove(conn)
+        self._local.conn = None
+
+    def request(self, method: str, path: str, body: dict | None = None):
+        """One request on the thread's persistent connection.
+
+        Returns ``(status, document)``; retries exactly once on a stale
+        keep-alive connection.
+        """
+        payload = None
+        headers = {}
+        if body is not None:
+            payload = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        for attempt in (0, 1):
+            conn = self._connection()
+            try:
+                conn.request(method, path, body=payload, headers=headers)
+                response = conn.getresponse()
+                raw = response.read()
+            except (http.client.HTTPException, OSError):
+                self._reset()
+                if attempt:
+                    raise
+                continue
+            return response.status, json.loads(raw)
+        raise AssertionError("unreachable")
+
+    def get(self, path: str) -> dict:
+        status, document = self.request("GET", path)
+        assert status == 200, f"GET {path} -> {status}: {document}"
+        return document
+
+    def post(self, path: str, body: dict) -> dict:
+        status, document = self.request("POST", path, body)
+        assert status == 200, f"POST {path} -> {status}: {document}"
+        return document
+
+    def close(self) -> None:
+        with self._conns_lock:
+            conns, self._conns = self._conns, []
+        for conn in conns:
+            conn.close()
 
 
 def write_artifact(name: str, text: str) -> None:

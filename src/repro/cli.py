@@ -259,6 +259,29 @@ def build_serve_parser() -> argparse.ArgumentParser:
         "--port", type=int, default=8080, help="bind port (0 = ephemeral)"
     )
     parser.add_argument(
+        "--async",
+        dest="use_async",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help=(
+            "serve on the asyncio front-end: bounded admission (queue "
+            "full -> 429 + Retry-After), request coalescing for "
+            "concurrent same-owner /score hits, and group-committed WAL "
+            "appends; --no-async (the default) runs the legacy threaded "
+            "server, byte-for-byte unchanged"
+        ),
+    )
+    parser.add_argument(
+        "--admission",
+        type=int,
+        default=256,
+        metavar="N",
+        help=(
+            "async only: bound on concurrently admitted work-bearing "
+            "requests before shedding with 429 + Retry-After"
+        ),
+    )
+    parser.add_argument(
         "--workers", type=int, default=4, help="concurrent scoring threads"
     )
     parser.add_argument(
@@ -363,16 +386,22 @@ def build_serve_parser() -> argparse.ArgumentParser:
     )
     durability.add_argument(
         "--wal-fsync",
-        choices=("always", "batch", "never"),
-        default="always",
-        help="fsync policy: every append, group commit, or OS-buffered",
+        choices=("always", "group", "batch", "never"),
+        default=None,
+        help=(
+            "fsync policy: 'always' = one fsync per mutation before the "
+            "ack; 'group' = concurrent mutations share one fsync via a "
+            "commit barrier, each acked only after its batch is durable; "
+            "'batch'/'never' are CRASH-UNSAFE (acks before fsync). "
+            "Default: 'group' with --async, 'always' otherwise"
+        ),
     )
     durability.add_argument(
         "--wal-batch",
         type=int,
         default=16,
         metavar="N",
-        help="appends per group commit under --wal-fsync batch",
+        help="appends per deferred fsync under --wal-fsync batch",
     )
     durability.add_argument(
         "--compact-every",
@@ -536,6 +565,13 @@ def serve_main(argv: Sequence[str] | None = None) -> int:
 
     parser = build_serve_parser()
     args = parser.parse_args(argv)
+    if args.wal_fsync is None:
+        # group commit is the async serving default (one fsync per batch
+        # of concurrent mutations, acked only after the batch is
+        # durable); the threaded server keeps its historical per-append
+        # fsync so `serve` without --async stays bit-for-bit the legacy
+        # server
+        args.wal_fsync = "group" if args.use_async else "always"
     if args.shards and args.shard_index is not None:
         parser.error("--shards and --shard-index are mutually exclusive")
     if (args.shard_index is None) != (args.shard_count is None):
@@ -549,7 +585,12 @@ def serve_main(argv: Sequence[str] | None = None) -> int:
         )
     if args.shards:
         return serve_sharded(args)
-    from .service import DurableOwnerStore, RiskEngine, build_server
+    from .service import (
+        DurableOwnerStore,
+        RiskEngine,
+        build_async_server,
+        build_server,
+    )
 
     store = _build_serve_store(args)
     if isinstance(store, DurableOwnerStore):
@@ -593,15 +634,32 @@ def serve_main(argv: Sequence[str] | None = None) -> int:
                 f"({record.new_queries} labels, {record.elapsed_seconds:.2f}s)",
                 file=sys.stderr,
             )
-    server = build_server(
-        engine,
-        host=args.host,
-        port=args.port,
-        max_workers=args.workers,
-        max_pending=args.max_pending,
-        request_timeout=args.timeout,
-        background_refresh=args.background_refresh,
-    )
+    if args.use_async:
+        server = build_async_server(
+            engine,
+            host=args.host,
+            port=args.port,
+            max_workers=args.workers,
+            max_pending=args.max_pending,
+            request_timeout=args.timeout,
+            background_refresh=args.background_refresh,
+            admission_capacity=args.admission,
+        )
+        print(
+            f"async serving: admission capacity {args.admission}, "
+            f"wal fsync {args.wal_fsync!r}",
+            file=sys.stderr,
+        )
+    else:
+        server = build_server(
+            engine,
+            host=args.host,
+            port=args.port,
+            max_workers=args.workers,
+            max_pending=args.max_pending,
+            request_timeout=args.timeout,
+            background_refresh=args.background_refresh,
+        )
     if server.refresher is not None:
         print("background refresh enabled", file=sys.stderr)
     server.state.ready = True
@@ -699,7 +757,13 @@ def serve_sharded(args: argparse.Namespace) -> int:
         "--compact-every", str(args.compact_every),
         "--drain-timeout", str(args.drain_timeout),
         "--fault-seed", str(args.fault_seed),
+        "--admission", str(args.admission),
     ]
+    if args.use_async:
+        # shard workers serve on the asyncio front-end; the router stays
+        # threaded (it proxies, never scores) and forwards each worker's
+        # Retry-After header and coalescing counters
+        base_args.append("--async")
     if args.load_dataset:
         base_args += ["--load-dataset", args.load_dataset]
     if args.warm_all:

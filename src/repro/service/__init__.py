@@ -26,6 +26,13 @@ instead of re-running the batch study per request:
   (``/score``, ``/mutate``, ``/owners``, ``/healthz``, ``/readyz``,
   ``/metrics``) wired through the resilience layer; started from the CLI
   via ``repro-study serve``;
+* :class:`AsyncRiskServer` — the asyncio twin of the threaded server
+  (``repro-study serve --async``), byte-identical on every route, with
+  bounded admission (queue full → 429 + ``Retry-After``), request
+  coalescing (concurrent same-``(owner, measure, version)`` ``/score``
+  hits share one engine call), and group-committed WAL appends (one
+  fsync per batch of concurrent mutations, acked only after the batch
+  is durable);
 * :class:`DurableOwnerStore` / :class:`WriteAheadLog` — crash safety:
   every mutation is logged write-ahead (checksummed, fsync'd) and
   periodically compacted into an atomic snapshot, so a ``kill -9`` loses
@@ -44,6 +51,7 @@ instead of re-running the batch study per request:
   roll-forward/rollback after a crash at any phase.
 """
 
+from .async_http import AdmissionQueue, AsyncRiskServer, build_async_server
 from .dirty import DirtyDelta, DirtyLog
 from .engine import EngineMetrics, RiskEngine, ScoreRecord
 from .http import (
@@ -92,6 +100,8 @@ from .workers import (
 )
 
 __all__ = [
+    "AdmissionQueue",
+    "AsyncRiskServer",
     "DEFAULT_REPLICAS",
     "DirtyDelta",
     "DirtyLog",
@@ -121,6 +131,7 @@ __all__ = [
     "StudyOutcome",
     "WORKER_CRASH_EXIT_CODE",
     "WriteAheadLog",
+    "build_async_server",
     "build_router",
     "build_server",
     "build_worker_argv",

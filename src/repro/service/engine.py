@@ -454,6 +454,19 @@ class RiskEngine:
     # ------------------------------------------------------------------
     # scoring
     # ------------------------------------------------------------------
+    def resolve_measure(self, measure: str | None = None) -> str:
+        """The canonical measure name a request will be scored under.
+
+        ``None`` resolves to the engine default.  This is the
+        normalization the scheduler's request coalescing keys on: a
+        ``/score?owner=7`` and a ``/score?owner=7&measure=stranger``
+        must collapse into one engine call, so both must map to the
+        same ``(owner, measure, version)`` key.  No registry lookup —
+        unknown names pass through and fail inside :meth:`score`, where
+        the error is delivered per-request.
+        """
+        return DEFAULT_MEASURE if measure is None else measure
+
     def score(
         self, owner_id: UserId, measure: str | None = None
     ) -> ScoreRecord:

@@ -185,6 +185,11 @@ class MeasureParsingMixin:
 class RiskServiceHandler(MeasureParsingMixin, BaseHTTPRequestHandler):
     """Routes the four service endpoints to the engine/scheduler."""
 
+    # HTTP/1.1 so clients reuse connections: every response carries a
+    # Content-Length (or explicitly closes, as /score-batch does), which
+    # keep-alive requires
+    protocol_version = "HTTP/1.1"
+
     server: RiskServiceServer
 
     # ------------------------------------------------------------------
@@ -336,7 +341,11 @@ class RiskServiceHandler(MeasureParsingMixin, BaseHTTPRequestHandler):
                 400, {"error": f"malformed arguments for {op!r}: {error}"}
             )
         except WalError as error:
-            # the mutation was NOT applied and must not be acknowledged
+            # not acknowledged: under "always" the append failed before
+            # the mutation applied; under "group" the fsync barrier
+            # failed after it applied in memory, poisoning the log —
+            # either way the client must not treat the mutation as
+            # durable
             self._respond(500, {"error": str(error)})
         else:
             self._respond(200, result)

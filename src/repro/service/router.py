@@ -348,6 +348,10 @@ class ShardRouterServer(ThreadingHTTPServer):
 class ShardRouterHandler(MeasureParsingMixin, BaseHTTPRequestHandler):
     """Routes requests to shard workers; never computes a score."""
 
+    # HTTP/1.1 so clients reuse connections (responses always carry a
+    # Content-Length or close explicitly, e.g. /score-batch streams)
+    protocol_version = "HTTP/1.1"
+
     server: ShardRouterServer
 
     # ------------------------------------------------------------------
@@ -552,9 +556,23 @@ class ShardRouterHandler(MeasureParsingMixin, BaseHTTPRequestHandler):
                 if answer is None
                 else {"shard": client.shard_index, **answer[1]}
             )
+        # fleet-wide coalescing rollup, forwarded from each worker's
+        # scheduler block: how many /score hits were absorbed by an
+        # already-in-flight identical request, per shard and in total
+        per_shard: dict[str, int] = {}
+        for entry in shards:
+            scheduler = entry.get("scheduler")
+            if isinstance(scheduler, dict) and "coalesced_hits" in scheduler:
+                per_shard[str(entry["shard"])] = int(
+                    scheduler["coalesced_hits"]
+                )
         return {
             "router": self.server.counters_snapshot(),
             "supervisor": self.server.supervisor.snapshot(),
+            "coalescing": {
+                "coalesced_hits": sum(per_shard.values()),
+                "per_shard": per_shard,
+            },
             "shards": shards,
         }
 

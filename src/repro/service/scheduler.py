@@ -15,6 +15,14 @@ invariants a serving deployment needs:
   is *503, fail over*.
 
 Different owners score concurrently up to ``max_workers``.
+
+On top of those, :meth:`ScoreScheduler.submit_coalesced` adds **request
+coalescing** (single-flight): concurrent requests for the same
+``(owner, measure, version)`` share one in-flight future instead of
+queueing N engine calls, and every waiter receives the identical
+record.  The store *version* is part of the key, so a mutation that
+lands mid-coalesce bumps the version and later requests miss the stale
+entry — they see the post-mutation score, never a stale fan-out.
 """
 
 from __future__ import annotations
@@ -65,6 +73,12 @@ class ScoreScheduler:
         self._busy: set[UserId] = set()
         self._shutdown = False
         self._draining = False
+        # single-flight map, guarded by its own lock: done-callbacks can
+        # fire synchronously on the submitting thread, and taking the
+        # (non-reentrant) scheduler lock there would deadlock
+        self._coalesce_lock = threading.Lock()
+        self._inflight: dict[tuple[UserId, str | None, int], Future] = {}
+        self._coalesced_hits = 0
 
     # ------------------------------------------------------------------
     # submission
@@ -109,6 +123,71 @@ class ScoreScheduler:
                 self._executor.submit(self._run, owner_id, measure, future)
             return future
 
+    def submit_coalesced(
+        self, owner_id: UserId, measure: str | None = None
+    ) -> "tuple[Future[Any], bool]":
+        """Like :meth:`submit`, but single-flight per (owner, measure,
+        version); returns ``(future, coalesced)``.
+
+        A request arriving while an identical one — same owner, same
+        resolved measure, same store version — is still in flight gets
+        that request's future back (``coalesced=True``) instead of a
+        fresh engine call; the one engine result fans out to every
+        waiter.  The version in the key is what makes this safe against
+        mutations: a mid-coalesce mutation bumps the owner's version,
+        so later requests key differently and compute the new score.
+
+        Callers sharing a coalesced future must not cancel it — their
+        neighbors are waiting on it too (the async front-end shields it
+        accordingly).  Engines without a ``store``/``version`` (duck-
+        typed test fakes) fall back to a plain :meth:`submit`.
+
+        Raises
+        ------
+        BackpressureError
+            Only when a fresh submission is actually attempted; joining
+            an in-flight request costs no queue slot.
+        """
+        key = self._coalesce_key(owner_id, measure)
+        if key is not None:
+            with self._coalesce_lock:
+                shared = self._inflight.get(key)
+                if shared is not None and not shared.done():
+                    self._coalesced_hits += 1
+                    return shared, True
+        future = self.submit(owner_id, measure)
+        if key is not None:
+            with self._coalesce_lock:
+                if key not in self._inflight:
+                    self._inflight[key] = future
+            future.add_done_callback(
+                lambda done, key=key: self._uncoalesce(key, done)
+            )
+        return future, False
+
+    def _coalesce_key(
+        self, owner_id: UserId, measure: str | None
+    ) -> tuple[UserId, str | None, int] | None:
+        """The single-flight key, or ``None`` when the engine can't
+        vouch for one (no store/version → coalescing disabled)."""
+        store = getattr(self._engine, "store", None)
+        resolve = getattr(self._engine, "resolve_measure", None)
+        if store is None:
+            return None
+        try:
+            version = store.version(owner_id)
+        except Exception:
+            # unknown owner (or a storeless fake): let the plain path
+            # deliver the per-request error through its own future
+            return None
+        name = resolve(measure) if callable(resolve) else measure
+        return (owner_id, name, version)
+
+    def _uncoalesce(self, key, done: Future) -> None:
+        with self._coalesce_lock:
+            if self._inflight.get(key) is done:
+                del self._inflight[key]
+
     def score(
         self,
         owner_id: UserId,
@@ -146,6 +225,9 @@ class ScoreScheduler:
 
     def snapshot(self) -> dict[str, int | bool]:
         """JSON-ready scheduler state for the ``/metrics`` endpoint."""
+        with self._coalesce_lock:
+            coalesced_hits = self._coalesced_hits
+            coalesce_inflight = len(self._inflight)
         with self._lock:
             return {
                 "pending": self._pending,
@@ -153,6 +235,8 @@ class ScoreScheduler:
                 "owners_in_flight": len(self._busy),
                 "accepting": not self._shutdown,
                 "draining": self._draining,
+                "coalesced_hits": coalesced_hits,
+                "coalesce_inflight": coalesce_inflight,
             }
 
     def shutdown(

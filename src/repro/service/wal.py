@@ -8,11 +8,10 @@ crash-safe with the classic two-file scheme:
 
 * :class:`WriteAheadLog` — an append-only JSON-lines log of every store
   mutation.  Each record is one line, ``<crc32-hex> <compact-json>\\n``,
-  fsync'd according to policy before the mutation is applied (and hence
-  before the HTTP layer acknowledges it).  A torn *final* record — the
-  signature of a crash mid-write — fails its checksum and is truncated
-  on recovery; a corrupt record *followed by valid ones* is real
-  corruption and refuses to load.
+  fsync'd according to policy before the mutation is acknowledged.  A
+  torn *final* record — the signature of a crash mid-write — fails its
+  checksum and is truncated on recovery; a corrupt record *followed by
+  valid ones* is real corruption and refuses to load.
 * :class:`DurableOwnerStore` — an :class:`~repro.service.OwnerStore`
   whose mutations are logged write-ahead, with periodic compaction into
   an atomic snapshot file (the temp+rename+fsync machinery of
@@ -24,6 +23,29 @@ against ``kill -9``: **no acknowledged mutation is ever lost**.  A
 mutation in flight at the crash (logged but unacknowledged, or torn) may
 or may not survive — both outcomes are correct, exactly like a client
 write that timed out.
+
+When exactly is an acknowledged mutation on disk?  Per fsync policy:
+
+* ``"always"`` — fsync'd inside :meth:`WriteAheadLog.append`, before the
+  mutation is applied in memory and before the caller can acknowledge.
+  One fsync per mutation; the durability contract holds.
+* ``"group"`` — appended (write + flush, no fsync) inside ``append``,
+  then fsync'd by the :meth:`WriteAheadLog.wait_durable` commit barrier
+  **before the caller acknowledges**.  Concurrent mutations that arrive
+  while a sync is in flight share the next barrier, so one fsync covers
+  a whole batch.  The mutation is applied in memory *before* it is
+  durable (memtable-style; apply order equals WAL order), but
+  :class:`DurableOwnerStore` only returns to its caller — and hence the
+  HTTP layer only acks — after ``wait_durable``.  The durability
+  contract holds, at a fraction of the fsync cost.
+* ``"batch"`` — **crash-unsafe**: ``append`` returns (and the mutation
+  is acked) after a buffered write; fsync happens only every
+  ``batch_size``-th append or on :meth:`WriteAheadLog.flush`.  Up to
+  ``batch_size - 1`` *acknowledged* mutations can be lost to a crash or
+  power failure.  Kept only as a benchmark reference point — use
+  ``"group"`` for batched fsyncs without the durability hole.
+* ``"never"`` — **crash-unsafe**: no fsync at all; the OS flushes
+  whenever it pleases.  For measuring the raw fsync tax.
 """
 
 from __future__ import annotations
@@ -64,8 +86,10 @@ _FORMAT_VERSION = 1
 WAL_FILENAME = "mutations.wal"
 SNAPSHOT_KEY = "store-snapshot"
 
-#: How the WAL reaches the platter.
-FSYNC_POLICIES = ("always", "batch", "never")
+#: How the WAL reaches the platter.  ``"always"`` and ``"group"`` are
+#: crash-safe (acks only after fsync); ``"batch"`` and ``"never"`` are
+#: not (see the module docstring for the exact contract of each).
+FSYNC_POLICIES = ("always", "group", "batch", "never")
 
 
 # ---------------------------------------------------------------------------
@@ -310,13 +334,19 @@ class WriteAheadLog:
     path:
         The log file (created if missing).
     fsync:
-        ``"always"`` — fsync every append (full durability, the
-        default); ``"batch"`` — group-commit: fsync once per
-        ``batch_size`` appends or on :meth:`flush`; ``"never"`` — leave
-        flushing to the OS (crash-unsafe; for benchmarking the fsync
-        cost).
+        ``"always"`` — fsync inside every :meth:`append` (full
+        durability, the default); ``"group"`` — group commit: ``append``
+        only writes, and :meth:`wait_durable` runs a commit barrier that
+        batches every record appended since the last sync into one
+        fsync, acking each only once its batch is durable (full
+        durability at a fraction of the fsync cost — the async serving
+        default); ``"batch"`` — **crash-unsafe**: ``append`` returns
+        before any fsync, syncing only once per ``batch_size`` appends,
+        so up to ``batch_size - 1`` acknowledged mutations can be lost;
+        ``"never"`` — **crash-unsafe**: leave flushing to the OS (for
+        benchmarking the fsync cost).
     batch_size:
-        Appends per group commit under the ``"batch"`` policy.
+        Appends per deferred sync under the ``"batch"`` policy.
     start_seq:
         Sequence number to continue from (recovery sets this).
     injector:
@@ -351,6 +381,16 @@ class WriteAheadLog:
         self._appends = 0
         self._syncs = 0
         self._closed = False
+        # group-commit barrier state, guarded by _commit_cond (never
+        # held while _lock is taken *by a waiter*; the leader takes
+        # _lock only after releasing _commit_cond, so ordering is safe)
+        self._commit_cond = threading.Condition()
+        self._durable_seq = start_seq
+        self._sync_leader = False
+        self._commit_error: WalError | None = None
+        self._group_commits = 0
+        self._group_batch_total = 0
+        self._group_batch_max = 0
 
     @property
     def path(self) -> Path:
@@ -363,31 +403,61 @@ class WriteAheadLog:
         with self._lock:
             return self._seq
 
-    def stats(self) -> dict[str, int | str]:
-        """Appends, fsyncs, and policy — for metrics and benches."""
+    def stats(self) -> dict[str, Any]:
+        """Appends, fsyncs, and policy — for metrics and benches.
+
+        Under the ``"group"`` policy a ``"group"`` block reports the
+        barrier's behavior: how many group commits ran, the mean and max
+        records per fsync, and the highest durable sequence number.
+        """
         with self._lock:
-            return {
+            document: dict[str, Any] = {
                 "appends": self._appends,
                 "fsyncs": self._syncs,
                 "policy": self._policy,
                 "seq": self._seq,
             }
+        if self._policy == "group":
+            with self._commit_cond:
+                commits = self._group_commits
+                document["group"] = {
+                    "commits": commits,
+                    "batch_max": self._group_batch_max,
+                    "batch_mean": (
+                        round(self._group_batch_total / commits, 3)
+                        if commits
+                        else 0.0
+                    ),
+                    "durable_seq": self._durable_seq,
+                }
+        return document
 
     def append(self, op: str, args: dict[str, Any]) -> int:
-        """Durably log one mutation; returns its sequence number.
+        """Log one mutation; returns its sequence number.
 
-        The record is on disk (per the fsync policy) when this returns —
-        the caller may then apply the mutation and acknowledge it.
+        Under ``"always"`` the record is fsync'd when this returns and
+        the caller may apply and acknowledge immediately.  Under
+        ``"group"`` the record is written but **not yet durable**: the
+        caller must apply, then call :meth:`wait_durable` with the
+        returned sequence number before acknowledging.  Under
+        ``"batch"``/``"never"`` the record may sit in OS buffers —
+        those policies trade the durability contract away.
 
         Raises
         ------
         WalError
-            When the log is closed or the disk refuses the write/sync;
-            the caller must *not* apply or acknowledge the mutation.
+            When the log is closed, poisoned by an earlier group-commit
+            fsync failure, or the disk refuses the write/sync; the
+            caller must *not* apply or acknowledge the mutation.
         """
         with self._lock:
             if self._closed:
                 raise WalError("write-ahead log is closed")
+            if self._commit_error is not None:
+                raise WalError(
+                    "write-ahead log poisoned by an earlier group-commit "
+                    f"fsync failure: {self._commit_error}"
+                )
             seq = self._seq + 1
             line = encode_record({"seq": seq, "op": op, "args": args})
             if self._injector is not None:
@@ -406,24 +476,106 @@ class WriteAheadLog:
                 self._policy == "batch" and self._unsynced >= self._batch_size
             ):
                 self._sync_locked()
-            if self._injector is not None:
+            if self._injector is not None and self._policy != "group":
                 self._injector.after_commit(seq)
             return seq
+
+    def wait_durable(self, seq: int) -> None:
+        """Block until record ``seq`` is fsync'd; the group-commit barrier.
+
+        A no-op for every policy but ``"group"`` (``"always"`` already
+        synced inside :meth:`append`; ``"batch"``/``"never"`` never
+        promised durability).  Under ``"group"``, the first waiter to
+        find no sync in flight becomes the *leader*: it fsyncs once,
+        covering every record appended so far, then wakes all followers
+        — which is how concurrent mutations share one fsync.  Followers
+        whose record the leader's sync covered return without syncing;
+        ones that appended after the leader took its cut run the next
+        barrier round.
+
+        Raises
+        ------
+        WalError
+            When the fsync failed.  Batched records may already be
+            applied in memory without being durable, so a failure here
+            *poisons the log*: every subsequent append or wait raises
+            until the process restarts and recovers from disk.
+        """
+        if self._policy != "group":
+            return
+        while True:
+            with self._commit_cond:
+                if self._commit_error is not None and seq > self._durable_seq:
+                    raise WalError(
+                        "group commit failed; mutation is applied in memory "
+                        f"but NOT durable: {self._commit_error}"
+                    )
+                if seq <= self._durable_seq:
+                    break
+                if self._sync_leader:
+                    self._commit_cond.wait()
+                    continue
+                self._sync_leader = True
+            # leader: sync outside _commit_cond so followers can queue up
+            error: WalError | None = None
+            with self._lock:
+                high = self._seq
+                try:
+                    if not self._closed:
+                        self._sync_locked()
+                except WalError as sync_error:
+                    error = sync_error
+            with self._commit_cond:
+                self._sync_leader = False
+                if error is None:
+                    batch = high - self._durable_seq
+                    if batch > 0:
+                        self._group_commits += 1
+                        self._group_batch_total += batch
+                        self._group_batch_max = max(
+                            self._group_batch_max, batch
+                        )
+                    self._durable_seq = max(self._durable_seq, high)
+                else:
+                    self._commit_error = error
+                self._commit_cond.notify_all()
+            if error is not None:
+                raise WalError(
+                    "group commit failed; mutation is applied in memory "
+                    f"but NOT durable: {error}"
+                )
+        if self._injector is not None:
+            self._injector.after_commit(seq)
+
+    def _mark_durable(self, seq: int) -> None:
+        """Record that everything up to ``seq`` reached disk; wake waiters."""
+        with self._commit_cond:
+            self._durable_seq = max(self._durable_seq, seq)
+            self._commit_cond.notify_all()
 
     def flush(self) -> None:
         """Force any batched appends to disk."""
         with self._lock:
             if not self._closed and self._unsynced:
                 self._sync_locked()
+            seq = self._seq
+        self._mark_durable(seq)
 
     def reset(self, seq: int | None = None) -> None:
-        """Truncate the log (after compaction); sequence numbers continue."""
+        """Truncate the log (after compaction); sequence numbers continue.
+
+        Every record folded into the (fsync'd, atomically renamed)
+        snapshot is durable by construction, so truncation marks the
+        whole log durable and wakes any group-commit waiters.
+        """
         with self._lock:
             self._file.close()
             self._file = open(self._path, "wb")
             self._unsynced = 0
             if seq is not None:
                 self._seq = seq
+            durable = self._seq
+        self._mark_durable(durable)
 
     def close(self) -> None:
         """Flush and close; further appends raise."""
@@ -437,6 +589,8 @@ class WriteAheadLog:
                     pass
             self._file.close()
             self._closed = True
+            seq = self._seq
+        self._mark_durable(seq)
 
     def _sync_locked(self) -> None:
         try:
@@ -481,11 +635,18 @@ class DurableOwnerStore(OwnerStore):
     Construct via :meth:`open` (recover-or-seed) — the plain constructor
     wires an already-populated store to an already-positioned log.
 
-    Mutation protocol, under the store lock: validate the arguments,
+    Mutation protocol: under the store lock, validate the arguments,
     append to the WAL (fsync per policy), apply in memory, auto-compact
-    every ``compact_every`` mutations.  Because validation precedes
-    logging, every logged record replays cleanly; because logging
-    precedes applying, an acknowledged mutation is always on disk.
+    every ``compact_every`` mutations; then — with the lock released —
+    block on :meth:`WriteAheadLog.wait_durable` before returning.
+    Because validation precedes logging, every logged record replays
+    cleanly; because logging precedes applying (and the apply happens
+    under the same lock), replay order equals memory order; because
+    nothing returns before ``wait_durable``, an *acknowledged* mutation
+    is always on disk under the crash-safe policies (``"always"`` syncs
+    inside the append, ``"group"`` at the barrier).  Waiting outside
+    the store lock is what lets concurrent mutations pile into one
+    group-commit fsync instead of serializing on it.
     """
 
     def __init__(
@@ -633,7 +794,7 @@ class DurableOwnerStore(OwnerStore):
             resolved = set(universe or {owner.user_id})
             if index is None:
                 index = len(self._entries)
-            self._append(
+            seq = self._append(
                 "register",
                 {
                     "owner": owner_to_dict(owner),
@@ -641,39 +802,53 @@ class DurableOwnerStore(OwnerStore):
                     "index": int(index),
                 },
             )
-            return super().register(owner, universe=resolved, index=index)
+            entry = super().register(owner, universe=resolved, index=index)
+            self._maybe_compact()
+        self._wal.wait_durable(seq)
+        return entry
 
     def add_user(self, profile: Profile, owner_id: UserId) -> None:
         """Durably add a new user inside one owner's universe."""
         with self._lock:
             self.get(owner_id)  # validate before logging
-            self._append(
+            seq = self._append(
                 "add_user",
                 {"profile": profile_to_dict(profile), "owner": owner_id},
             )
             super().add_user(profile, owner_id)
+            self._maybe_compact()
+        self._wal.wait_durable(seq)
 
     def update_profile(self, profile: Profile) -> frozenset[UserId]:
         """Durably replace a user's profile."""
         with self._lock:
-            self._append(
+            seq = self._append(
                 "update_profile", {"profile": profile_to_dict(profile)}
             )
-            return super().update_profile(profile)
+            affected = super().update_profile(profile)
+            self._maybe_compact()
+        self._wal.wait_durable(seq)
+        return affected
 
     def add_friendship(self, a: UserId, b: UserId) -> frozenset[UserId]:
         """Durably create the edge ``{a, b}``."""
         with self._lock:
             self._validate_edge(a, b)
-            self._append("add_friendship", {"a": a, "b": b})
-            return super().add_friendship(a, b)
+            seq = self._append("add_friendship", {"a": a, "b": b})
+            affected = super().add_friendship(a, b)
+            self._maybe_compact()
+        self._wal.wait_durable(seq)
+        return affected
 
     def remove_friendship(self, a: UserId, b: UserId) -> frozenset[UserId]:
         """Durably remove the edge ``{a, b}``."""
         with self._lock:
             self._validate_edge(a, b)
-            self._append("remove_friendship", {"a": a, "b": b})
-            return super().remove_friendship(a, b)
+            seq = self._append("remove_friendship", {"a": a, "b": b})
+            affected = super().remove_friendship(a, b)
+            self._maybe_compact()
+        self._wal.wait_durable(seq)
+        return affected
 
     def grant_labels(
         self, owner_id: UserId, labels: Mapping[UserId, int]
@@ -688,7 +863,7 @@ class DurableOwnerStore(OwnerStore):
             }
             if not delta:
                 return 0
-            self._append(
+            seq = self._append(
                 "grant_labels",
                 {
                     "owner": owner_id,
@@ -698,7 +873,10 @@ class DurableOwnerStore(OwnerStore):
                     },
                 },
             )
-            return super().grant_labels(owner_id, delta)
+            granted = super().grant_labels(owner_id, delta)
+            self._maybe_compact()
+        self._wal.wait_durable(seq)
+        return granted
 
     def touch(self, owner_id: UserId) -> int:
         """Durably bump one owner's version.
@@ -708,8 +886,11 @@ class DurableOwnerStore(OwnerStore):
         """
         with self._lock:
             self.get(owner_id)
-            self._append("touch", {"owner": owner_id})
-            return super().touch(owner_id)
+            seq = self._append("touch", {"owner": owner_id})
+            version = super().touch(owner_id)
+            self._maybe_compact()
+        self._wal.wait_durable(seq)
+        return version
 
     def attach_entry(self, entry: OwnerEntry) -> OwnerEntry:
         """Durably adopt a migrated entry (WAL-slice handoff, dest side).
@@ -719,8 +900,13 @@ class DurableOwnerStore(OwnerStore):
         the handoff is acknowledged only once it can survive a crash.
         """
         with self._lock:
-            self._append("attach_owner", {"entry": owner_entry_to_dict(entry)})
-            return super().attach_entry(entry)
+            seq = self._append(
+                "attach_owner", {"entry": owner_entry_to_dict(entry)}
+            )
+            attached = super().attach_entry(entry)
+            self._maybe_compact()
+        self._wal.wait_durable(seq)
+        return attached
 
     def detach_owner(self, owner_id: UserId) -> bool:
         """Durably drop a migrated owner (handoff, source side).
@@ -731,8 +917,11 @@ class DurableOwnerStore(OwnerStore):
         with self._lock:
             if not self.has_owner(owner_id):
                 return False
-            self._append("detach_owner", {"owner": int(owner_id)})
-            return super().detach_owner(owner_id)
+            seq = self._append("detach_owner", {"owner": int(owner_id)})
+            detached = super().detach_owner(owner_id)
+            self._maybe_compact()
+        self._wal.wait_durable(seq)
+        return detached
 
     def replace_graph(self, graph: SocialGraph) -> None:
         """Durably adopt a replacement graph (joining-shard import).
@@ -743,10 +932,12 @@ class DurableOwnerStore(OwnerStore):
         missing every pre-resize broadcast.
         """
         with self._lock:
-            self._append(
+            seq = self._append(
                 "adopt_graph", {"graph": json.loads(graph_to_json(graph))}
             )
             super().replace_graph(graph)
+            self._maybe_compact()
+        self._wal.wait_durable(seq)
 
     # ------------------------------------------------------------------
     # durability lifecycle
@@ -788,12 +979,23 @@ class DurableOwnerStore(OwnerStore):
     def _append(self, op: str, args: dict[str, Any]) -> int:
         seq = self._wal.append(op, args)
         self._since_compaction += 1
+        return seq
+
+    def _maybe_compact(self) -> None:
+        """Compact once ``compact_every`` mutations accumulate.
+
+        Called (under the store lock) *after* a mutation applies, never
+        before: the snapshot covers the WAL's current sequence number,
+        so compacting between append and apply would truncate a record
+        whose effect the snapshot does not yet hold — losing an
+        acknowledged mutation to the very mechanism meant to preserve
+        it.
+        """
         if (
             self._compact_every is not None
             and self._since_compaction >= self._compact_every
         ):
             self._save_snapshot()
-        return seq
 
     def _validate_edge(self, a: UserId, b: UserId) -> None:
         # surface graph errors *before* the WAL sees the record, so every

@@ -1,0 +1,536 @@
+"""Tests for the asyncio front-end: parity, admission, coalescing.
+
+Three contracts pinned here:
+
+* **parity** — the async server answers every route with the same
+  documents, digests, and status codes as the threaded server (the
+  ``--async`` flag must never change what a client observes, only how
+  it is served);
+* **bounded admission** — a full admission queue sheds load explicitly
+  with *429 + Retry-After* (slow down), never a bare 503 (fail over),
+  and releases its slot whatever way the request ends;
+* **coalescing** — N concurrent ``/score`` hits for one
+  ``(owner, measure, version)`` collapse into a single engine call whose
+  record fans out to every waiter, while a mutation landing mid-coalesce
+  bumps the version so later waiters compute (and see) the new score.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import types
+import time
+
+import pytest
+
+from repro.service import (
+    AdmissionQueue,
+    AsyncRiskServer,
+    OwnerStore,
+    RiskEngine,
+    ScoreScheduler,
+    build_async_server,
+    build_server,
+)
+
+from .conftest import SERVICE_SEED, make_service_population
+from .test_http import get, post, post_ndjson, serve
+from .test_scheduler import GatedEngine
+
+
+class EmptyStore:
+    """Minimal store for fake engines: ``/healthz`` and ``/metrics``
+    dereference ``engine.store`` (as with the threaded server), and
+    ``version`` raising keeps coalescing out of the admission tests."""
+
+    def owner_ids(self):
+        return ()
+
+    def version(self, owner_id):
+        raise KeyError(owner_id)
+
+
+def gated_engine() -> GatedEngine:
+    engine = GatedEngine()
+    engine.store = EmptyStore()
+    # /metrics dereferences engine.metrics, same as the threaded server
+    engine.metrics = types.SimpleNamespace(snapshot=dict)
+    return engine
+
+
+def wait_until(predicate, timeout: float = 10.0) -> bool:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.01)
+    return bool(predicate())
+
+
+def make_engine():
+    population = make_service_population()
+    store = OwnerStore.from_population(population)
+    return RiskEngine(store, seed=SERVICE_SEED)
+
+
+def shut_down(server, thread) -> None:
+    server.shutdown()
+    server.server_close()
+    server.scheduler.shutdown(wait=False)
+    thread.join(timeout=10)
+
+
+# ---------------------------------------------------------------------------
+# the admission queue itself
+# ---------------------------------------------------------------------------
+class TestAdmissionQueue:
+    def test_counts_admissions_and_sheds(self):
+        queue = AdmissionQueue(capacity=2)
+        assert queue.try_enter() and queue.try_enter()
+        assert not queue.try_enter()  # full: shed
+        queue.leave()
+        assert queue.try_enter()  # the slot came back
+        snapshot = queue.snapshot()
+        assert snapshot == {
+            "capacity": 2,
+            "depth": 2,
+            "peak": 2,
+            "admitted": 3,
+            "shed": 1,
+        }
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError, match="capacity"):
+            AdmissionQueue(capacity=0)
+
+
+# ---------------------------------------------------------------------------
+# parity with the threaded server
+# ---------------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def paired_servers():
+    """A threaded and an async server over identically-seeded cohorts.
+
+    Byte-for-byte parity needs independent engines (scoring mutates
+    owner label state), so each server gets its own population built
+    from the same seed.
+    """
+    threaded = build_server(make_engine(), max_workers=2, max_pending=8)
+    threaded_thread = serve(threaded)
+    asynced = build_async_server(make_engine(), max_workers=2, max_pending=8)
+    async_thread = serve(asynced)
+    yield threaded, asynced
+    shut_down(threaded, threaded_thread)
+    shut_down(asynced, async_thread)
+
+
+class TestParity:
+    def test_every_measure_scores_byte_identical(self, paired_servers):
+        threaded, asynced = paired_servers
+        status, catalog, _ = get(f"{asynced.url}/measures")
+        assert status == 200
+        assert catalog == get(f"{threaded.url}/measures")[1]
+        owner = threaded.engine.store.owner_ids()[0]
+        for measure in [None, *(m["name"] for m in catalog["measures"])]:
+            query = f"/score?owner={owner}"
+            if measure is not None:
+                query += f"&measure={measure}"
+            status_t, record_t, _ = get(f"{threaded.url}{query}")
+            status_a, record_a, _ = get(f"{asynced.url}{query}")
+            assert (status_t, status_a) == (200, 200), (measure, record_a)
+            assert record_a["digest"] == record_t["digest"], measure
+            # identical but for wall-clock timing
+            record_a.pop("elapsed_seconds"), record_t.pop("elapsed_seconds")
+            assert record_a == record_t, measure
+
+    def test_post_score_matches_get(self, paired_servers):
+        _, asynced = paired_servers
+        owner = asynced.engine.store.owner_ids()[0]
+        status, via_get, _ = get(f"{asynced.url}/score?owner={owner}")
+        post_status, via_post = post(f"{asynced.url}/score", {"owner": owner})
+        assert (status, post_status) == (200, 200)
+        assert via_post["digest"] == via_get["digest"]
+
+    def test_error_responses_are_identical(self, paired_servers):
+        threaded, asynced = paired_servers
+        cases = [
+            ("GET", "/score", None),  # missing owner
+            ("GET", "/score?owner=banana", None),
+            ("GET", "/score?owner=987654", None),  # unknown owner
+            ("GET", "/score?owner=1&measure=bogus", None),
+            ("GET", "/nope", None),
+            ("POST", "/score", {"who": 3}),
+            ("POST", "/mutate", {"op": "drop_table"}),
+            ("POST", "/score-batch", {"owners": []}),
+            ("POST", "/score-batch", {"owners": "1"}),
+        ]
+        for method, path, body in cases:
+            if method == "GET":
+                status_t, doc_t, _ = get(f"{threaded.url}{path}")
+                status_a, doc_a, _ = get(f"{asynced.url}{path}")
+            else:
+                status_t, doc_t = post(f"{threaded.url}{path}", body)
+                status_a, doc_a = post(f"{asynced.url}{path}", body)
+            assert status_a == status_t, (method, path, doc_a)
+            assert doc_a == doc_t, (method, path)
+
+    def test_unknown_measure_answers_the_registry_menu(self, paired_servers):
+        _, asynced = paired_servers
+        owner = asynced.engine.store.owner_ids()[0]
+        status, document, _ = get(
+            f"{asynced.url}/score?owner={owner}&measure=bogus"
+        )
+        assert status == 400
+        assert "stranger" in document["measures"]
+
+    def test_health_owners_and_readyz_match(self, paired_servers):
+        threaded, asynced = paired_servers
+        for path in ("/healthz", "/owners", "/readyz"):
+            status_t, doc_t, _ = get(f"{threaded.url}{path}")
+            status_a, doc_a, _ = get(f"{asynced.url}{path}")
+            assert status_a == status_t, path
+            # /readyz reports live queue depth; compare the stable part
+            doc_a.pop("pending", None), doc_t.pop("pending", None)
+            assert doc_a == doc_t, path
+
+    def test_metrics_adds_only_the_admission_block(self, paired_servers):
+        threaded, asynced = paired_servers
+        _, doc_t, _ = get(f"{threaded.url}/metrics")
+        status, doc_a, _ = get(f"{asynced.url}/metrics")
+        assert status == 200
+        assert set(doc_a) == set(doc_t) | {"admission"}
+        assert doc_a["admission"]["capacity"] == 256
+        assert doc_a["admission"]["depth"] == 0
+        assert doc_a["scheduler"]["coalesced_hits"] >= 0
+
+    def test_score_batch_streams_ndjson_in_request_order(
+        self, paired_servers
+    ):
+        threaded, asynced = paired_servers
+        owners = list(asynced.engine.store.owner_ids())
+        status, lines, response = post_ndjson(
+            f"{asynced.url}/score-batch", {"owners": owners}
+        )
+        assert status == 200
+        assert response.headers["Content-Type"] == "application/x-ndjson"
+        assert [line["owner"] for line in lines] == owners
+        for line in lines:
+            twin = get(f"{threaded.url}/score?owner={line['owner']}")[1]
+            assert line["digest"] == twin["digest"]
+
+    def test_score_batch_unknown_owner_is_an_error_line(self, paired_servers):
+        _, asynced = paired_servers
+        owners = list(asynced.engine.store.owner_ids())
+        status, lines, _ = post_ndjson(
+            f"{asynced.url}/score-batch", {"owners": [owners[0], 999999]}
+        )
+        assert status == 200
+        assert "digest" in lines[0]
+        assert lines[1] == {
+            "owner": 999999,
+            "error": "unknown owner id: 999999",
+            "status": 404,
+        }
+
+    def test_keep_alive_serves_many_requests_per_connection(
+        self, paired_servers
+    ):
+        for server in paired_servers:
+            host, port = server.url.removeprefix("http://").split(":")
+            connection = http.client.HTTPConnection(host, int(port), timeout=30)
+            try:
+                for _ in range(3):
+                    connection.request("GET", "/healthz")
+                    response = connection.getresponse()
+                    assert response.status == 200
+                    assert json.loads(response.read())["status"] == "ok"
+            finally:
+                connection.close()
+
+    def test_unsupported_method_is_501(self, paired_servers):
+        _, asynced = paired_servers
+        host, port = asynced.url.removeprefix("http://").split(":")
+        connection = http.client.HTTPConnection(host, int(port), timeout=30)
+        try:
+            connection.request("DELETE", "/score")
+            response = connection.getresponse()
+            assert response.status == 501
+        finally:
+            connection.close()
+
+
+# ---------------------------------------------------------------------------
+# bounded admission: queue full -> 429 + Retry-After, never a bare 503
+# ---------------------------------------------------------------------------
+class TestAdmission:
+    def test_full_queue_sheds_with_429_and_retry_after(self):
+        engine = gated_engine()
+        scheduler = ScoreScheduler(engine, max_workers=1, max_pending=8)
+        server = AsyncRiskServer(
+            ("127.0.0.1", 0), engine, scheduler, admission_capacity=1
+        )
+        thread = serve(server)
+        try:
+            blocked_result: list = []
+            blocked = threading.Thread(
+                target=lambda: blocked_result.append(
+                    get(f"{server.url}/score?owner=1")
+                )
+            )
+            blocked.start()
+            assert wait_until(engine.running_now)
+            status, document, response = get(f"{server.url}/score?owner=2")
+            assert status == 429  # shed, not an outage: don't fail over
+            assert response.headers["Retry-After"] == "1"
+            assert "admission queue full" in document["error"]
+            assert document["pending"] == 1
+            _, metrics, _ = get(f"{server.url}/metrics")
+            assert metrics["admission"]["shed"] == 1
+            assert metrics["admission"]["depth"] == 1
+        finally:
+            engine.gate.set()
+            blocked.join(timeout=10)
+            shut_down(server, thread)
+        assert blocked_result and blocked_result[0][0] == 200
+
+    def test_slot_is_released_when_the_request_finishes(self):
+        engine = gated_engine()
+        engine.gate.set()  # instant scores
+        scheduler = ScoreScheduler(engine, max_workers=1, max_pending=8)
+        server = AsyncRiskServer(
+            ("127.0.0.1", 0), engine, scheduler, admission_capacity=1
+        )
+        thread = serve(server)
+        try:
+            for owner in (1, 2, 3):  # sequential: the one slot is enough
+                status, _, _ = get(f"{server.url}/score?owner={owner}")
+                assert status == 200
+            _, metrics, _ = get(f"{server.url}/metrics")
+            assert metrics["admission"]["admitted"] == 3
+            assert metrics["admission"]["shed"] == 0
+            assert metrics["admission"]["depth"] == 0
+        finally:
+            shut_down(server, thread)
+
+    def test_bad_requests_release_their_slot_too(self):
+        engine = gated_engine()
+        engine.gate.set()
+        scheduler = ScoreScheduler(engine, max_workers=1, max_pending=8)
+        server = AsyncRiskServer(
+            ("127.0.0.1", 0), engine, scheduler, admission_capacity=1
+        )
+        thread = serve(server)
+        try:
+            status, _, _ = get(f"{server.url}/score?owner=banana")
+            assert status == 400
+            status, _, _ = get(f"{server.url}/score?owner=1")
+            assert status == 200  # the 400 released its slot
+            _, metrics, _ = get(f"{server.url}/metrics")
+            assert metrics["admission"]["depth"] == 0
+        finally:
+            shut_down(server, thread)
+
+    def test_scheduler_saturation_still_maps_to_429(self):
+        # admission has room, but the scheduler queue is full: the
+        # threaded server's 429-vs-503 split must survive the rewrite
+        engine = gated_engine()
+        scheduler = ScoreScheduler(engine, max_workers=1, max_pending=1)
+        server = AsyncRiskServer(("127.0.0.1", 0), engine, scheduler)
+        thread = serve(server)
+        try:
+            blocked = threading.Thread(
+                target=get, args=(f"{server.url}/score?owner=1",)
+            )
+            blocked.start()
+            assert wait_until(engine.running_now)
+            status, document, response = get(f"{server.url}/score?owner=2")
+            assert status == 429
+            assert response.headers["Retry-After"] == "1"
+            assert "saturated" in document["error"]
+        finally:
+            engine.gate.set()
+            blocked.join(timeout=10)
+            shut_down(server, thread)
+
+    def test_draining_rejects_work_with_503(self):
+        engine = gated_engine()
+        engine.gate.set()
+        scheduler = ScoreScheduler(engine, max_workers=1, max_pending=8)
+        server = AsyncRiskServer(("127.0.0.1", 0), engine, scheduler)
+        thread = serve(server)
+        try:
+            server.state.draining = True
+            status, document, _ = get(f"{server.url}/score?owner=1")
+            assert status == 503  # an outage to fail over from, not a shed
+            assert "draining" in document["error"]
+            status, document = post(
+                f"{server.url}/mutate", {"op": "touch", "owner": 1}
+            )
+            assert status == 503
+            status, document, _ = get(f"{server.url}/readyz")
+            assert status == 503
+            status, document, _ = get(f"{server.url}/healthz")
+            assert status == 200
+            assert document["draining"] is True
+        finally:
+            shut_down(server, thread)
+
+
+# ---------------------------------------------------------------------------
+# request coalescing against a real engine
+# ---------------------------------------------------------------------------
+@pytest.fixture
+def async_server():
+    """A fresh async server over a real engine the test may instrument."""
+    server = build_async_server(make_engine(), max_workers=2, max_pending=32)
+    thread = serve(server)
+    yield server
+    shut_down(server, thread)
+
+
+class GateAfterScore:
+    """Wrap ``engine.score`` to block *after* computing the record.
+
+    The future stays unresolved while the gate is closed, holding the
+    coalescing window open deterministically — but the score itself ran
+    against the store state at call time, so records capture the version
+    they were computed under.
+    """
+
+    def __init__(self, engine):
+        self._original = engine.score
+        self.started = threading.Event()
+        self.gate = threading.Event()
+        engine.score = self
+
+    def __call__(self, owner_id, measure=None):
+        record = self._original(owner_id, measure=measure)
+        self.started.set()
+        self.gate.wait(timeout=30)
+        return record
+
+
+class TestCoalescing:
+    def test_concurrent_hits_collapse_into_one_engine_call(
+        self, async_server
+    ):
+        engine = async_server.engine
+        owner = engine.store.owner_ids()[0]
+        gated = GateAfterScore(engine)
+        waiters = 6
+        results: list = [None] * waiters
+
+        def hit(index: int) -> None:
+            results[index] = get(f"{async_server.url}/score?owner={owner}")
+
+        threads = [
+            threading.Thread(target=hit, args=(index,))
+            for index in range(waiters)
+        ]
+        for thread in threads:
+            thread.start()
+        # every waiter must be admitted (and coalesced) before release
+        assert wait_until(
+            lambda: get(f"{async_server.url}/metrics")[1]["admission"][
+                "depth"
+            ]
+            == waiters
+        )
+        gated.gate.set()
+        for thread in threads:
+            thread.join(timeout=30)
+
+        digests = {result[1]["digest"] for result in results}
+        assert all(result[0] == 200 for result in results)
+        assert len(digests) == 1  # one record fanned out to every waiter
+        _, metrics, _ = get(f"{async_server.url}/metrics")
+        assert metrics["engine"]["requests"] == 1  # the collapse itself
+        assert metrics["scheduler"]["coalesced_hits"] == waiters - 1
+
+    def test_mid_coalesce_mutation_gives_later_waiters_the_new_version(
+        self, async_server
+    ):
+        engine = async_server.engine
+        owner = engine.store.owner_ids()[0]
+        gated = GateAfterScore(engine)
+        results: dict[str, tuple] = {}
+
+        def hit(name: str) -> None:
+            results[name] = get(f"{async_server.url}/score?owner={owner}")
+
+        first = threading.Thread(target=hit, args=("first",))
+        first.start()
+        assert gated.started.wait(timeout=30)
+
+        # while the v0 score is in flight, a second waiter coalesces...
+        joined = threading.Thread(target=hit, args=("joined",))
+        joined.start()
+        assert wait_until(
+            lambda: get(f"{async_server.url}/metrics")[1]["scheduler"][
+                "coalesced_hits"
+            ]
+            == 1
+        )
+
+        # ...then a mutation bumps the version mid-coalesce
+        status, acked = post(
+            f"{async_server.url}/mutate", {"op": "touch", "owner": owner}
+        )
+        assert status == 200 and acked["versions"][str(owner)] == 1
+
+        # a waiter arriving after the mutation keys on the new version:
+        # it must miss the stale in-flight entry and compute fresh
+        late = threading.Thread(target=hit, args=("late",))
+        late.start()
+        assert wait_until(
+            lambda: get(f"{async_server.url}/metrics")[1]["scheduler"][
+                "pending"
+            ]
+            == 2
+        )
+        gated.gate.set()
+        for thread in (first, joined, late):
+            thread.join(timeout=30)
+
+        assert {name: result[0] for name, result in results.items()} == {
+            "first": 200,
+            "joined": 200,
+            "late": 200,
+        }
+        # the coalesced pair saw the pre-mutation record...
+        assert results["first"][1] == results["joined"][1]
+        assert results["first"][1]["version"] == 0
+        # ...the late waiter saw the post-mutation score, never stale
+        assert results["late"][1]["version"] == 1
+        _, metrics, _ = get(f"{async_server.url}/metrics")
+        assert metrics["engine"]["requests"] == 2
+        assert metrics["scheduler"]["coalesced_hits"] == 1
+
+
+# ---------------------------------------------------------------------------
+# lifecycle
+# ---------------------------------------------------------------------------
+class TestLifecycle:
+    def test_shutdown_before_url_unblocks_waiters(self):
+        engine = gated_engine()
+        scheduler = ScoreScheduler(engine, max_workers=1)
+        server = AsyncRiskServer(("127.0.0.1", 0), engine, scheduler)
+        thread = serve(server)
+        assert server.url.startswith("http://127.0.0.1:")
+        shut_down(server, thread)
+        assert not thread.is_alive()
+
+    def test_mutations_ack_through_the_async_path(self, async_server):
+        owner = async_server.engine.store.owner_ids()[0]
+        status, document = post(
+            f"{async_server.url}/mutate", {"op": "touch", "owner": owner}
+        )
+        assert status == 200
+        assert document["ok"] is True
+        assert document["versions"][str(owner)] == 1
+        assert document["seq"] is None  # plain in-memory store: no WAL
+        status, record, _ = get(f"{async_server.url}/score?owner={owner}")
+        assert status == 200
+        assert record["version"] == 1

@@ -13,6 +13,7 @@ and the concurrent-traffic kill are ``@pytest.mark.slow`` (run via
 
 from __future__ import annotations
 
+import http.client
 import json
 import os
 import signal
@@ -514,3 +515,103 @@ def test_killed_and_restarted_run_matches_an_unkilled_control(tmp_path):
     chaos = run(tmp_path / "chaos", kill_after=2)
     # same mutation history -> byte-identical risk labels, kill or no kill
     assert control == chaos
+
+
+# ---------------------------------------------------------------------------
+# async serving: group-committed acks survive kill -9
+# ---------------------------------------------------------------------------
+def test_async_kill9_loses_no_group_committed_ack(serve):
+    """The async serving smoke: ``--async`` defaults to the group-commit
+    WAL, where an ack means "your batch's fsync completed" — so a
+    ``kill -9`` under concurrent mutation traffic must lose nothing that
+    was acked, and recovery must serve byte-identical scores."""
+    first = serve("--async")
+    owner = owner_of(first)
+    before = first.get(f"/score?owner={owner}")
+
+    acked: list[dict] = []
+    errors: list[BaseException] = []
+
+    def mutate_burst(count: int) -> None:
+        try:
+            for _ in range(count):
+                acked.append(
+                    first.post("/mutate", {"op": "touch", "owner": owner})
+                )
+        except (urllib.error.URLError, ConnectionError, OSError) as error:
+            errors.append(error)
+
+    threads = [
+        threading.Thread(target=mutate_burst, args=(5,)) for _ in range(3)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=60)
+    assert not errors and len(acked) == 15
+    assert all(entry["ok"] and entry["seq"] is not None for entry in acked)
+
+    metrics = first.get("/metrics")
+    assert metrics["wal"]["policy"] == "group"  # the --async default
+    assert metrics["wal"]["group"]["durable_seq"] >= max(
+        entry["seq"] for entry in acked
+    )
+    assert "admission" in metrics  # the async front-end answered
+
+    first.kill9()
+
+    second = serve()  # recovery runs the same WAL, threaded or async
+    health = second.get("/healthz")
+    assert health["recovery"]["source"] == "recovered"
+    assert health["last_seq"] >= max(entry["seq"] for entry in acked)
+    assert version_of(second, owner) >= max(
+        entry["versions"][str(owner)] for entry in acked
+    )
+    rescored = second.get(f"/score?owner={owner}")
+    assert rescored["digest"] == before["digest"]
+
+    code, stderr = second.sigterm()
+    assert code == 0
+    assert "final metrics:" in stderr
+
+
+@pytest.mark.slow
+def test_async_kill9_mid_flight_keeps_the_acked_prefix(serve):
+    """Kill -9 lands *while* mutations are in flight at the barrier: an
+    unacked mutation may or may not survive (like any timed-out write),
+    but every acked seq/version must."""
+    first = serve("--async")
+    owner = owner_of(first)
+    acked: list[dict] = []
+    stop = threading.Event()
+
+    def mutate_loop():
+        while not stop.is_set():
+            try:
+                acked.append(
+                    first.post("/mutate", {"op": "touch", "owner": owner})
+                )
+            except (urllib.error.URLError, ConnectionError, OSError):
+                return  # the kill landed mid-request
+            except http.client.HTTPException:
+                return
+
+    threads = [threading.Thread(target=mutate_loop) for _ in range(3)]
+    for thread in threads:
+        thread.start()
+    deadline = time.monotonic() + 60
+    while len(acked) < 25 and time.monotonic() < deadline:
+        time.sleep(0.01)
+    first.kill9()
+    stop.set()
+    for thread in threads:
+        thread.join(timeout=30)
+    assert acked
+
+    second = serve()
+    assert second.get("/healthz")["last_seq"] >= max(
+        entry["seq"] for entry in acked
+    )
+    assert version_of(second, owner) >= max(
+        entry["versions"][str(owner)] for entry in acked
+    )

@@ -352,3 +352,139 @@ class TestExecutorDeath:
         for orphan in queued:
             with pytest.raises(BackpressureError):
                 orphan.result(timeout=10)
+
+
+# ---------------------------------------------------------------------------
+# request coalescing (single-flight per owner/measure/version)
+# ---------------------------------------------------------------------------
+class VersionedStore:
+    """Store stub exposing just the version map the coalesce key needs."""
+
+    def __init__(self, versions: dict[int, int]):
+        self.versions = dict(versions)
+
+    def version(self, owner_id: int) -> int:
+        return self.versions[owner_id]
+
+
+class VersionedGatedEngine(GatedEngine):
+    """A gated engine with the store/resolve surface coalescing keys on."""
+
+    def __init__(self, versions: dict[int, int] | None = None):
+        super().__init__()
+        self.store = VersionedStore(versions or {1: 0})
+
+    def score(self, owner_id: int, measure: str | None = None) -> FakeRecord:
+        return super().score(owner_id)
+
+    def resolve_measure(self, measure: str | None = None) -> str:
+        return "default" if measure is None else measure
+
+
+class TestCoalescing:
+    def test_identical_concurrent_requests_share_one_future(self):
+        engine = VersionedGatedEngine()
+        scheduler = ScoreScheduler(engine, max_workers=2, max_pending=8)
+        try:
+            first, coalesced_first = scheduler.submit_coalesced(1)
+            second, coalesced_second = scheduler.submit_coalesced(1)
+            assert not coalesced_first and coalesced_second
+            assert second is first  # one engine call, two waiters
+            snapshot = scheduler.snapshot()
+            assert snapshot["coalesced_hits"] == 1
+            assert snapshot["coalesce_inflight"] == 1
+            assert snapshot["pending"] == 1  # joining costs no queue slot
+            engine.gate.set()
+            assert first.result(timeout=10) is second.result(timeout=10)
+            assert len(engine.calls) == 1
+        finally:
+            engine.gate.set()
+            scheduler.shutdown()
+
+    def test_completed_flight_is_not_reused(self):
+        engine = VersionedGatedEngine()
+        engine.gate.set()
+        scheduler = ScoreScheduler(engine, max_workers=1, max_pending=8)
+        try:
+            first, _ = scheduler.submit_coalesced(1)
+            first.result(timeout=10)
+            second, coalesced = scheduler.submit_coalesced(1)
+            assert not coalesced
+            assert second is not first  # a finished future never fans out
+            second.result(timeout=10)
+            assert len(engine.calls) == 2
+        finally:
+            scheduler.shutdown()
+
+    def test_version_bump_misses_the_stale_flight(self):
+        engine = VersionedGatedEngine({1: 0})
+        scheduler = ScoreScheduler(engine, max_workers=2, max_pending=8)
+        try:
+            stale, _ = scheduler.submit_coalesced(1)
+            engine.store.versions[1] = 1  # a mutation landed mid-coalesce
+            fresh, coalesced = scheduler.submit_coalesced(1)
+            assert not coalesced
+            assert fresh is not stale  # new version: new engine call
+            assert scheduler.snapshot()["coalesced_hits"] == 0
+            engine.gate.set()
+            assert stale.result(timeout=10) != fresh.result(timeout=10)
+            assert len(engine.calls) == 2
+        finally:
+            engine.gate.set()
+            scheduler.shutdown()
+
+    def test_distinct_measures_do_not_coalesce(self):
+        engine = VersionedGatedEngine()
+        scheduler = ScoreScheduler(engine, max_workers=2, max_pending=8)
+        try:
+            default, _ = scheduler.submit_coalesced(1)
+            other, coalesced = scheduler.submit_coalesced(1, measure="other")
+            assert not coalesced and other is not default
+            engine.gate.set()
+            drain(default, other)
+        finally:
+            engine.gate.set()
+            scheduler.shutdown()
+
+    def test_storeless_engines_fall_back_to_plain_submit(self):
+        engine = GatedEngine()  # no .store: coalescing cannot key safely
+        scheduler = ScoreScheduler(engine, max_workers=2, max_pending=8)
+        try:
+            first, coalesced_first = scheduler.submit_coalesced(1)
+            second, coalesced_second = scheduler.submit_coalesced(1)
+            assert not coalesced_first and not coalesced_second
+            assert second is not first
+            assert scheduler.snapshot()["coalesced_hits"] == 0
+            engine.gate.set()
+            drain(first, second)
+        finally:
+            engine.gate.set()
+            scheduler.shutdown()
+
+    def test_unknown_owner_falls_back_and_errors_per_request(self):
+        engine = VersionedGatedEngine({1: 0})  # owner 2 unknown
+        engine.gate.set()
+        scheduler = ScoreScheduler(engine, max_workers=1, max_pending=8)
+        try:
+            first, coalesced = scheduler.submit_coalesced(2)
+            assert not coalesced  # version lookup failed: plain submit
+            first.result(timeout=10)  # the engine itself accepts it
+        finally:
+            scheduler.shutdown()
+
+    def test_finished_flights_leave_the_inflight_map(self):
+        engine = VersionedGatedEngine()
+        engine.gate.set()
+        scheduler = ScoreScheduler(engine, max_workers=1, max_pending=8)
+        try:
+            future, _ = scheduler.submit_coalesced(1)
+            future.result(timeout=10)
+            deadline = time.monotonic() + 10
+            while (
+                scheduler.snapshot()["coalesce_inflight"]
+                and time.monotonic() < deadline
+            ):
+                time.sleep(0.01)
+            assert scheduler.snapshot()["coalesce_inflight"] == 0
+        finally:
+            scheduler.shutdown()

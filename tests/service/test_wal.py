@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+import threading
 import zlib
 
 import pytest
@@ -436,3 +437,157 @@ def profile_to_dict_for_test(profile):
     from repro.io.serialization import profile_to_dict
 
     return profile_to_dict(profile)
+
+
+# ---------------------------------------------------------------------------
+# group commit: batched fsyncs behind the ack barrier
+# ---------------------------------------------------------------------------
+class TestGroupCommit:
+    def test_one_barrier_covers_every_record_appended_so_far(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / WAL_FILENAME, fsync="group")
+        first = wal.append("touch", {"owner": 1})
+        second = wal.append("touch", {"owner": 2})
+        assert wal.stats()["fsyncs"] == 0  # append never syncs
+        wal.wait_durable(second)
+        stats = wal.stats()
+        assert stats["fsyncs"] == 1  # one fsync for both records
+        assert stats["group"] == {
+            "commits": 1,
+            "batch_max": 2,
+            "batch_mean": 2.0,
+            "durable_seq": second,
+        }
+        wal.wait_durable(first)  # already covered: no second fsync
+        assert wal.stats()["fsyncs"] == 1
+        wal.close()
+
+    def test_wait_durable_is_a_noop_outside_the_group_policy(self, tmp_path):
+        always = WriteAheadLog(tmp_path / "always.wal", fsync="always")
+        seq = always.append("touch", {})
+        always.wait_durable(seq)
+        assert always.stats()["fsyncs"] == 1  # append already synced
+        always.close()
+        # "batch" is the documented durability hole: the ack point
+        # (append + wait_durable) passes with zero fsyncs on disk
+        batch = WriteAheadLog(
+            tmp_path / "batch.wal", fsync="batch", batch_size=16
+        )
+        batch.wait_durable(batch.append("touch", {}))
+        assert batch.stats()["fsyncs"] == 0
+        batch.close()
+
+    def test_concurrent_waiters_share_fsyncs(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / WAL_FILENAME, fsync="group")
+        appends = 24
+
+        def commit_one(owner: int) -> None:
+            wal.wait_durable(wal.append("touch", {"owner": owner}))
+
+        threads = [
+            threading.Thread(target=commit_one, args=(owner,))
+            for owner in range(appends)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        stats = wal.stats()
+        assert stats["appends"] == appends
+        assert stats["group"]["durable_seq"] == appends  # all acked durable
+        records, torn = read_wal(tmp_path / WAL_FILENAME)
+        assert len(records) == appends and torn == 0
+        wal.close()
+
+    def test_flush_reset_and_close_mark_the_log_durable(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / WAL_FILENAME, fsync="group")
+        seq = wal.append("touch", {})
+        wal.flush()
+        wal.wait_durable(seq)  # satisfied by the flush: no barrier round
+        assert wal.stats()["fsyncs"] == 1
+        seq = wal.append("touch", {})
+        wal.reset()  # compaction path: snapshot made the log durable
+        wal.wait_durable(seq)
+        assert wal.stats()["fsyncs"] == 1
+        seq = wal.append("touch", {})
+        wal.close()
+        wal.wait_durable(seq)  # close syncs before releasing waiters
+
+    def test_fsync_failure_poisons_the_log(self, wal_dir):
+        injector = ServiceFaultInjector(
+            ServiceFaultPlan(fsync_failure_rate=1.0), seed=5
+        )
+        store = DurableOwnerStore.open(
+            wal_dir,
+            make_service_population(),
+            fsync="group",
+            injector=injector,
+        )
+        owner = store.owner_ids()[0]
+        version = store.version(owner)
+        # applied in memory (memtable-style), but the caller sees the
+        # barrier failure instead of an ack
+        with pytest.raises(WalError, match="NOT durable"):
+            store.touch(owner)
+        assert store.version(owner) == version + 1
+        # the log is poisoned: every later mutation refuses up front,
+        # because memory is now ahead of disk until restart + recovery
+        with pytest.raises(WalError, match="poisoned"):
+            store.touch(owner)
+        assert store.version(owner) == version + 1
+        store.close()
+
+    def test_group_store_mutations_survive_reopen(self, wal_dir):
+        store = DurableOwnerStore.open(
+            wal_dir, make_service_population(), fsync="group"
+        )
+        owners = store.owner_ids()
+        a, b = owners[0], owners[1]
+        store.add_friendship(a, b)
+        store.touch(a)
+        store.grant_labels(a, {b: 1})
+        expected = store_state(store)
+        recovered = reopen(store, wal_dir)
+        assert recovered.recovery.source == "recovered"
+        assert store_state(recovered) == expected
+        recovered.close()
+
+    def test_crash_after_group_commit_preserves_the_acked_mutation(
+        self, wal_dir
+    ):
+        # under "group" the crash hook fires at the barrier (after the
+        # fsync), so committed-before-crash still implies recoverable
+        crashes = []
+        injector = ServiceFaultInjector(
+            ServiceFaultPlan(crash_at_mutation=2),
+            crash=lambda code: crashes.append(code),
+        )
+        store = DurableOwnerStore.open(
+            wal_dir,
+            make_service_population(),
+            fsync="group",
+            injector=injector,
+        )
+        owner = store.owner_ids()[0]
+        store.touch(owner)
+        store.touch(owner)
+        assert crashes == [24]
+        seq = store.last_seq
+        store.wal.close()
+
+        recovered = DurableOwnerStore.open(wal_dir)
+        assert recovered.last_seq == seq
+        assert recovered.version(owner) == 2
+        recovered.close()
+
+    def test_auto_compaction_never_outruns_the_apply(self, wal_dir):
+        # regression: compacting between append and apply would snapshot
+        # the pre-mutation state while truncating the record — silently
+        # losing an acknowledged mutation at compact_every=1
+        store = DurableOwnerStore.open(
+            wal_dir, make_service_population(), compact_every=1
+        )
+        owner = store.owner_ids()[0]
+        store.touch(owner)
+        recovered = reopen(store, wal_dir)
+        assert recovered.version(owner) == 1
+        recovered.close()
